@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Hardware design-space ablations beyond the paper's Tab. 6: MAC
+ * lane scaling, activation-GB bank width, the partial
+ * time-multiplexing donation threshold, and a head-to-head of the
+ * three orchestration modes — each isolating one design choice of
+ * Sec. 5.
+ */
+
+#include <cstdio>
+
+#include "accel/simulator.h"
+#include "common/stats.h"
+
+using namespace eyecod;
+using namespace eyecod::accel;
+
+int
+main()
+{
+    const EnergyModel energy;
+    PipelineWorkloadConfig pc;
+    const auto workloads = buildPipelineWorkload(pc);
+
+    // --- MAC lane scaling ---
+    {
+        TextTable t({"lanes (MACs)", "FPS", "utilization",
+                     "power mW", "FPS/W"});
+        for (int lanes : {32, 64, 128, 256}) {
+            HwConfig hw;
+            hw.mac_lanes = lanes;
+            const PerfReport r = simulate(workloads, hw, energy);
+            t.addRow({std::to_string(lanes) + " (" +
+                          std::to_string(hw.totalMacs()) + ")",
+                      formatDouble(r.fps, 1),
+                      formatDouble(r.utilization * 100.0, 1) + "%",
+                      formatDouble(r.power_w * 1e3, 1),
+                      formatDouble(r.fps_per_watt, 0)});
+        }
+        std::printf("=== Ablation: MAC lane scaling (Tab. 1 ships "
+                    "128 lanes) ===\n%s\n",
+                    t.render().c_str());
+    }
+
+    // --- Activation GB bank width (read bandwidth) ---
+    {
+        TextTable t({"bank width B", "plain-buffer FPS",
+                     "SWPR-buffer FPS", "SWPR gain"});
+        for (int width : {8, 16, 32, 64}) {
+            HwConfig plain;
+            plain.act_bank_width_bytes = width;
+            plain.swpr_input_buffer = false;
+            HwConfig swpr = plain;
+            swpr.swpr_input_buffer = true;
+            const double f_plain =
+                simulate(workloads, plain, energy).fps;
+            const double f_swpr =
+                simulate(workloads, swpr, energy).fps;
+            t.addRow({std::to_string(width),
+                      formatDouble(f_plain, 1),
+                      formatDouble(f_swpr, 1),
+                      formatDouble(f_swpr / f_plain, 2) + "x"});
+        }
+        std::printf("=== Ablation: Act GB bank width vs the SWPR "
+                    "input buffer (Principle #IV) ===\n%s\n",
+                    t.render().c_str());
+    }
+
+    // --- Partial time-multiplexing donation threshold ---
+    {
+        TextTable t({"util threshold", "FPS", "seg hidden",
+                     "utilization"});
+        for (double thr : {0.5, 0.65, 0.8, 0.95}) {
+            HwConfig hw;
+            hw.partial_util_threshold = thr;
+            const PerfReport r = simulate(workloads, hw, energy);
+            t.addRow({formatDouble(thr, 2),
+                      formatDouble(r.fps, 1),
+                      formatDouble(r.seg_hidden_fraction * 100.0, 0)
+                          + "%",
+                      formatDouble(r.utilization * 100.0, 1) + "%"});
+        }
+        std::printf("=== Ablation: partial time-multiplexing "
+                    "donation threshold (paper uses 0.80) ===\n%s\n",
+                    t.render().c_str());
+    }
+
+    // --- Orchestration mode head-to-head ---
+    {
+        TextTable t({"mode", "steady FPS", "worst-frame FPS",
+                     "utilization"});
+        const std::pair<const char *, OrchestrationMode> modes[] = {
+            {"time-multiplexing", OrchestrationMode::TimeMultiplex},
+            {"concurrent", OrchestrationMode::Concurrent},
+            {"partial time-multiplexing",
+             OrchestrationMode::PartialTimeMultiplex},
+        };
+        for (const auto &[name, mode] : modes) {
+            HwConfig hw;
+            hw.orchestration = mode;
+            const PerfReport r = simulate(workloads, hw, energy);
+            t.addRow({name, formatDouble(r.fps, 1),
+                      formatDouble(r.fps_peak, 1),
+                      formatDouble(r.utilization * 100.0, 1) + "%"});
+        }
+        std::printf("=== Ablation: the three orchestration modes of "
+                    "Sec. 5.1 #I ===\n%s\n",
+                    t.render().c_str());
+    }
+
+    // --- ROI refresh period vs accelerator load ---
+    {
+        TextTable t({"refresh 1/N", "FPS", "energy/frame uJ"});
+        for (int n : {10, 25, 50, 100}) {
+            PipelineWorkloadConfig cfg;
+            cfg.roi_refresh = n;
+            const PerfReport r =
+                simulate(buildPipelineWorkload(cfg), HwConfig{},
+                         energy);
+            t.addRow({std::to_string(n), formatDouble(r.fps, 1),
+                      formatDouble(r.energy_per_frame_j * 1e6, 1)});
+        }
+        std::printf("=== Ablation: segmentation refresh period vs "
+                    "accelerator throughput (Tab. 5 companion) "
+                    "===\n%s\n",
+                    t.render().c_str());
+    }
+    return 0;
+}

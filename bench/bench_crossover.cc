@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Workload-scaling crossover study: where does a host GPU behind a
+ * camera link catch up with the on-device EyeCoD accelerator? The
+ * gaze workload is swept from tiny ROIs to full frames; the GPU's
+ * fixed per-frame overhead and camera link dominate small
+ * workloads (EyeCoD wins big), while raw FLOPS eventually narrow
+ * the gap at workloads far beyond the eye tracking operating point
+ * — locating the crossover the paper's "who wins" claim rests on.
+ */
+
+#include <cstdio>
+
+#include "accel/simulator.h"
+#include "common/stats.h"
+#include "platforms/platform.h"
+
+using namespace eyecod;
+using namespace eyecod::accel;
+
+int
+main()
+{
+    const EnergyModel energy;
+    const auto specs = platforms::baselinePlatforms();
+    const platforms::PlatformSpec *gpu = nullptr;
+    for (const auto &s : specs)
+        if (s.name == "GPU")
+            gpu = &s;
+
+    TextTable t({"ROI (gaze input)", "work MMAC/frame",
+                 "EyeCoD FPS", "GPU system FPS", "EyeCoD/GPU"});
+    // Sweep the gaze input size; the operating point is 96x160.
+    const std::pair<int, int> sizes[] = {
+        {32, 64},  {64, 96},   {96, 160},
+        {160, 256}, {256, 416}, {416, 672},
+    };
+    double last_ratio = 0.0;
+    for (const auto &[h, w] : sizes) {
+        PipelineWorkloadConfig pc;
+        pc.roi_height = h;
+        pc.roi_width = w;
+        const auto workloads = buildPipelineWorkload(pc);
+        double macs = 0.0;
+        for (const auto &m : workloads)
+            macs += m.macsPerFrame();
+
+        const PerfReport eyecod =
+            simulate(workloads, HwConfig{}, energy);
+        const auto gpu_perf = platforms::evaluatePlatform(
+            *gpu, macs, 256 * 256);
+        last_ratio = eyecod.fps / gpu_perf.system_fps;
+        t.addRow({std::to_string(h) + "x" + std::to_string(w),
+                  formatDouble(macs / 1e6, 1),
+                  formatDouble(eyecod.fps, 1),
+                  formatDouble(gpu_perf.system_fps, 1),
+                  formatDouble(last_ratio, 2) + "x"});
+    }
+    std::printf("=== Crossover study: EyeCoD vs GPU-behind-a-cable "
+                "as the gaze workload scales ===\n%s\n",
+                t.render().c_str());
+    std::printf("At the paper's operating point (96x160) EyeCoD "
+                "wins decisively; the gap %s as the workload grows "
+                "toward GPU-friendly sizes.\n",
+                last_ratio < 2.0 ? "closes" : "narrows");
+    return 0;
+}

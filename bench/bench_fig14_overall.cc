@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fig. 14 reproduction: overall throughput and normalized energy
+ * efficiency of EyeCoD against EdgeCPU / CPU / EdgeGPU / GPU /
+ * CIS-GEP, plus the abstract's end-to-end system speedups (which add
+ * the camera-to-processor communication) and the Tab. 1 / Fig. 13
+ * configuration header.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/eyecod.h"
+
+using namespace eyecod;
+
+namespace {
+
+/** Paper values for the side-by-side columns. */
+struct PaperRow
+{
+    const char *name;
+    double speedup;        // Fig. 14 throughput ratio
+    double system_speedup; // abstract end-to-end ratio (if given)
+};
+
+const PaperRow kPaper[] = {
+    {"EdgeCPU", 2966.65, 0.0}, {"CPU", 12.75, 10.95},
+    {"EdgeGPU", 14.83, 0.0},   {"GPU", 2.61, 3.21},
+    {"CIS-GEP", 12.86, 12.85}, {"EyeCoD", 1.0, 1.0},
+};
+
+} // namespace
+
+int
+main()
+{
+    core::EyeCoDSystem sys{core::SystemConfig{}};
+    const auto &hw = sys.config().hw;
+
+    std::printf("=== EyeCoD accelerator configuration "
+                "(Tab. 1 / Fig. 13) ===\n");
+    std::printf("MAC lanes: %d x %d MACs = %d MACs @ %.0f MHz\n",
+                hw.mac_lanes, hw.macs_per_lane, hw.totalMacs(),
+                hw.clock_hz / 1e6);
+    std::printf("Act GB: %ld KB x %d | weight buf: %ld KB x 2 | "
+                "weight GB: %ld KB | index: %ld KB | instr: %ld KB\n",
+                hw.act_gb_bytes / 1024, hw.act_gb_count,
+                hw.weight_buf_bytes / 1024,
+                hw.weight_gb_bytes / 1024,
+                hw.index_sram_bytes / 1024,
+                hw.instr_sram_bytes / 1024);
+
+    const accel::PerfReport perf = sys.simulatePerformance();
+    std::printf("Simulated EyeCoD: %.2f FPS, %.1f mW, utilization "
+                "%.1f%% (paper chip: 154.32 mW @ 370 MHz)\n\n",
+                perf.fps, perf.power_w * 1e3,
+                perf.utilization * 100.0);
+
+    const auto rows = sys.compareAgainstBaselines();
+    const core::ComparisonRow &self = rows.back();
+
+    TextTable t({"platform", "FPS", "system FPS", "FPS/W",
+                 "norm. energy eff", "speedup (paper)",
+                 "sys speedup (paper)"});
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        const PaperRow &p = kPaper[i];
+        auto ratio = [](double a, double b) {
+            return b > 0.0 ? a / b : 0.0;
+        };
+        std::string paper_sys =
+            p.system_speedup > 0.0
+                ? formatDouble(
+                      ratio(self.system_fps, r.system_fps), 2) +
+                      "x (" + formatDouble(p.system_speedup, 2) +
+                      "x)"
+                : formatDouble(
+                      ratio(self.system_fps, r.system_fps), 2) +
+                      "x (n/a)";
+        t.addRow({r.name, formatDouble(r.fps, 2),
+                  formatDouble(r.system_fps, 2),
+                  formatDouble(r.fps_per_watt, 1),
+                  formatDouble(r.norm_energy_eff, 4),
+                  formatDouble(ratio(self.fps, r.fps), 2) + "x (" +
+                      formatDouble(p.speedup, 2) + "x)",
+                  paper_sys});
+    }
+    std::printf("=== Fig. 14: overall comparison "
+                "(ours, paper in parentheses) ===\n%s\n",
+                t.render().c_str());
+
+    std::printf("Communication volume per frame: lens camera %lld B;"
+                " raw FlatCam measurement %lld B; with the "
+                "sensing-processing interface (Sec. 4.2) %lld B\n",
+                sys.lensFrameCommBytes(), sys.rawMeasurementBytes(),
+                sys.frameCommBytes());
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the functional pipeline
+ * stages: FlatCam capture, Tikhonov reconstruction, segmentation,
+ * ROI prediction, and gaze inference. These time the host-side
+ * reference implementations (the deployment latency numbers come
+ * from the cycle-level simulator, not from these).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "eyetrack/pipeline.h"
+
+using namespace eyecod;
+using namespace eyecod::eyetrack;
+
+namespace {
+
+struct Fixture
+{
+    dataset::SyntheticEyeRenderer renderer;
+    PredictThenFocusPipeline pipeline;
+    dataset::EyeSample sample;
+    Image reconstructed;
+    dataset::SegMask mask;
+
+    Fixture()
+        : renderer(
+              [] {
+                  dataset::RenderConfig rc;
+                  rc.image_size = 128;
+                  return rc;
+              }(),
+              2019),
+          pipeline([] {
+              PipelineConfig pc;
+              pc.camera = CameraKind::FlatCam;
+              pc.scene_size = 128;
+              return pc;
+          }()),
+          sample(renderer.sample(7))
+    {
+        pipeline.trainGaze(renderer, 200);
+        reconstructed = pipeline.acquire(sample.image);
+        mask = pipeline.segmenter().segment(reconstructed);
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_RenderEye(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    uint64_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.renderer.sample(i++));
+}
+BENCHMARK(BM_RenderEye);
+
+void
+BM_FlatCamAcquire(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.pipeline.acquire(f.sample.image));
+}
+BENCHMARK(BM_FlatCamAcquire);
+
+void
+BM_Segmentation(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            f.pipeline.segmenter().segment(f.reconstructed));
+}
+BENCHMARK(BM_Segmentation);
+
+void
+BM_RoiPrediction(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.pipeline.roiPredictor().predict(
+            f.mask, CropPolicy::Roi));
+}
+BENCHMARK(BM_RoiPrediction);
+
+void
+BM_GazeInference(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    const Rect roi =
+        f.pipeline.roiPredictor().predict(f.mask, CropPolicy::Roi);
+    const Image crop = f.reconstructed.cropped(roi);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            f.pipeline.gazeEstimator().predict(crop));
+}
+BENCHMARK(BM_GazeInference);
+
+void
+BM_FullFrame(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            f.pipeline.processFrame(f.sample.image));
+}
+BENCHMARK(BM_FullFrame);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Roofline analysis of the pipeline's three workloads on the EyeCoD
+ * accelerator: which layers sit below the machine balance point
+ * (bandwidth-bound) with and without the depth-wise optimization —
+ * the analytical view behind the Fig. 7 dips and the Sec. 5.1 #IV
+ * bandwidth discussion.
+ */
+
+#include <cstdio>
+
+#include "accel/roofline.h"
+#include "common/stats.h"
+
+using namespace eyecod;
+using namespace eyecod::accel;
+
+int
+main()
+{
+    PipelineWorkloadConfig pc;
+    const auto workloads = buildPipelineWorkload(pc);
+
+    for (const bool dw_opt : {false, true}) {
+        HwConfig hw;
+        hw.depthwise_optimization = dw_opt;
+        std::printf("=== Roofline, depth-wise optimization %s "
+                    "(balance point printed per model) ===\n",
+                    dw_opt ? "ON" : "OFF");
+        for (const auto &m : workloads) {
+            const RooflineSummary s = analyzeRoofline(m, hw);
+            std::printf("%-24s balance %.1f MAC/B: %d/%zu layers "
+                        "bandwidth-bound (%.1f%% of MACs)\n",
+                        m.name.c_str(), s.balance_intensity,
+                        s.bandwidth_bound_layers, s.points.size(),
+                        s.bandwidth_bound_mac_share * 100.0);
+        }
+        std::printf("\n");
+    }
+
+    // Per-layer detail for the gaze model (the Fig. 7 subject).
+    HwConfig hw;
+    const RooflineSummary s = analyzeRoofline(workloads[1], hw);
+    TextTable t({"layer", "kind", "MAC/B", "attainable MAC/cy",
+                 "achieved MAC/cy", "bound"});
+    int shown = 0;
+    for (const RooflinePoint &p : s.points) {
+        // Print the interesting ones: every depth-wise layer and a
+        // sample of the rest.
+        if (p.kind != nn::LayerKind::ConvDepthwise && shown % 6 != 0) {
+            ++shown;
+            continue;
+        }
+        ++shown;
+        t.addRow({p.layer, nn::layerKindName(p.kind),
+                  formatDouble(p.intensity, 1),
+                  formatDouble(p.attainable, 0),
+                  formatDouble(p.achieved, 0),
+                  p.bandwidth_bound ? "bandwidth" : "compute"});
+    }
+    std::printf("=== Gaze model layer detail (all depth-wise + "
+                "every 6th other layer) ===\n%s\n",
+                t.render().c_str());
+    return 0;
+}

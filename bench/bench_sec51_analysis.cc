@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Sec. 5.1 analysis numbers, reproduced from the workload and cost
+ * model:
+ *
+ *  - layer-type operation breakdown over a 50-frame window
+ *    (paper: generic 8.8%, point-wise 68.8%, depth-wise 7.9%,
+ *    FC 0.001%, matmul 14.5%);
+ *  - depth-wise share of processing time under the naive mapping
+ *    (paper: 7.9% of ops but 33.6% of time);
+ *  - depth-wise time reduction from intra-channel reuse (paper 71%);
+ *  - time-multiplexing extra-MAC requirement for 240 FPS
+ *    (paper: +256 MACs = +25%);
+ *  - activation memory with/without feature-wise partition
+ *    (paper: 2.78 MB -> ~1 MB, about 36%);
+ *  - SWPR input-buffer bandwidth saving (paper: 50-60% for 3x3).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "accel/input_buffer.h"
+#include "accel/partition.h"
+#include "accel/simulator.h"
+#include "common/stats.h"
+#include "models/model_zoo.h"
+
+using namespace eyecod;
+using namespace eyecod::accel;
+
+int
+main()
+{
+    PipelineWorkloadConfig pc;
+    const auto workloads = buildPipelineWorkload(pc);
+
+    // --- Layer-type breakdown over a 50-frame window ---
+    std::map<nn::LayerKind, double> ops;
+    double total = 0.0;
+    for (const auto &m : workloads) {
+        const double execs = 50.0 / m.period;
+        for (const auto &l : m.layers) {
+            if (!nn::isMacKind(l.kind))
+                continue;
+            ops[l.kind] += double(l.macs) * execs;
+            total += double(l.macs) * execs;
+        }
+    }
+    const std::pair<nn::LayerKind, double> paper_share[] = {
+        {nn::LayerKind::ConvGeneric, 8.8},
+        {nn::LayerKind::ConvPointwise, 68.8},
+        {nn::LayerKind::ConvDepthwise, 7.9},
+        {nn::LayerKind::FullyConnected, 0.001},
+        {nn::LayerKind::MatMul, 14.5},
+    };
+    TextTable t({"layer type", "ops share % (paper)"});
+    for (const auto &[kind, paper] : paper_share) {
+        t.addRow({nn::layerKindName(kind),
+                  formatDouble(100.0 * ops[kind] / total, 2) + " (" +
+                      formatDouble(paper, 3) + ")"});
+    }
+    std::printf("=== Sec. 5.1 #II: operation breakdown over a "
+                "50-frame window ===\n%s\n",
+                t.render().c_str());
+
+    // --- Depth-wise time share under the naive mapping ---
+    HwConfig naive;
+    naive.depthwise_optimization = false;
+    long long dw_cycles = 0, all_cycles = 0, dw_macs = 0,
+              all_macs = 0;
+    for (const auto &m : workloads) {
+        for (const auto &l : m.layers) {
+            const LayerCost c = costLayer(l, naive, naive.mac_lanes);
+            const double execs = 50.0 / m.period;
+            const long long cyc =
+                (long long)(c.totalCycles() * execs);
+            all_cycles += cyc;
+            all_macs += (long long)(double(l.macs) * execs);
+            if (l.kind == nn::LayerKind::ConvDepthwise) {
+                dw_cycles += cyc;
+                dw_macs += (long long)(double(l.macs) * execs);
+            }
+        }
+    }
+    std::printf("=== Sec. 5.1 #II(3): depth-wise pathology ===\n"
+                "depth-wise: %.1f%% of ops but %.1f%% of time under "
+                "the naive mapping (paper: 7.9%% of ops, 33.6%% of "
+                "time)\n\n",
+                100.0 * double(dw_macs) / double(all_macs),
+                100.0 * double(dw_cycles) / double(all_cycles));
+
+    // --- Intra-channel reuse gain on depth-wise layers ---
+    HwConfig opt;
+    long long dw_opt_cycles = 0;
+    for (const auto &m : workloads)
+        for (const auto &l : m.layers)
+            if (l.kind == nn::LayerKind::ConvDepthwise)
+                dw_opt_cycles +=
+                    (long long)(costLayer(l, opt, opt.mac_lanes)
+                                    .totalCycles() *
+                                (50.0 / m.period));
+    std::printf("=== Principle #II: intra-channel reuse ===\n"
+                "depth-wise processing time reduced by %.0f%% "
+                "(paper: 71%%)\n\n",
+                100.0 * (1.0 - double(dw_opt_cycles) /
+                                   double(dw_cycles)));
+
+    // --- Time-multiplexing extra-MAC analysis ---
+    // MACs needed to hold 240 FPS through the worst (segmentation
+    // boundary) frame under time-multiplexing, vs the steady need.
+    HwConfig tm;
+    tm.orchestration = OrchestrationMode::TimeMultiplex;
+    const EnergyModel energy;
+    const PerfReport tm_perf = simulate(workloads, tm, energy);
+    const double target_cycles = tm.clock_hz / 240.0;
+    const double steady_macs =
+        double(tm_perf.frame_cycles) / target_cycles *
+        tm.totalMacs();
+    const double peak_macs =
+        double(tm.clock_hz / tm_perf.fps_peak) / target_cycles *
+        tm.totalMacs();
+    std::printf("=== Challenge #I: time-multiplexing provisioning "
+                "for 240 FPS ===\n"
+                "steady-state need: %.0f MACs; boundary-frame need: "
+                "%.0f MACs (+%.0f%%) (paper: 1024 + 256 = +25%%)\n\n",
+                steady_macs, peak_macs,
+                100.0 * (peak_macs - steady_macs) / steady_macs);
+
+    // --- Activation memory partition ---
+    long long unpart = 0, part = 0;
+    for (const auto &m : workloads) {
+        unpart += peakActivationBytes(m.layers);
+        const PartitionAnalysis a =
+            analyzePartition(m.layers, 2LL * 512 * 1024);
+        part += a.partitioned_bytes;
+    }
+    std::printf("=== Principle #III: input feature-wise partition "
+                "===\n"
+                "activation memory: %.2f MB -> %.2f MB (%.0f%%) "
+                "(paper: 2.78 MB -> ~1 MB, 36%%)\n\n",
+                unpart / 1048576.0, part / 1048576.0,
+                100.0 * double(part) / double(unpart));
+
+    // --- SWPR input buffer bandwidth saving ---
+    InputBufferConfig ib;
+    ib.compute_cycles_per_round = 3;
+    std::printf("=== Principle #IV: sequential-write-parallel-read "
+                "buffer ===\n"
+                "bandwidth saving for 3x3 kernels: %.0f%% "
+                "(paper: 50-60%%); for 5x5: %.0f%%\n",
+                100.0 * swprBandwidthSaving(ib),
+                100.0 * [&] {
+                    InputBufferConfig k5 = ib;
+                    k5.compute_cycles_per_round = 5;
+                    return swprBandwidthSaving(k5);
+                }());
+    return 0;
+}

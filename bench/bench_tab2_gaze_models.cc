@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tab. 2 reproduction: gaze estimation on FlatCam-reconstructed data
+ * across the model sweep (ResNet18 on lens at full resolution;
+ * ResNet18 / MobileNet / FBNet-C100 / FBNet-C100-8bit on FlatCam
+ * ROIs).
+ *
+ * Parameter and FLOPs columns come from the exact layer graphs at
+ * the paper's input sizes. Error columns come from the trainable
+ * stand-in estimators (see DESIGN.md): each backbone maps to a
+ * feature capacity, trained and evaluated end-to-end through the
+ * configured camera + segmentation + ROI pipeline at the repo's
+ * 128x128 scene scale (paper scale 256x256; ROI 48x80 here
+ * corresponds to the paper's 96x160).
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "eyetrack/pipeline.h"
+#include "models/model_zoo.h"
+
+using namespace eyecod;
+using namespace eyecod::eyetrack;
+
+namespace {
+
+struct Row
+{
+    const char *model;
+    CameraKind camera;
+    bool full_frame;   ///< Lens baseline uses the whole image.
+    int feat_h, feat_w; ///< Stand-in capacity for this backbone.
+    int quant_bits;
+    double paper_error;
+    const char *paper_flops;
+    nn::Graph (*graph)(int, int, int);
+    int gh, gw;        ///< Paper-scale graph input.
+};
+
+const Row kRows[] = {
+    {"ResNet18 [lens 224x224]", CameraKind::Lens, true, 18, 30, 0,
+     3.17, "1.82G", &models::buildResNet18, 224, 224},
+    {"ResNet18", CameraKind::FlatCam, false, 18, 30, 0, 3.27,
+     "0.56G", &models::buildResNet18, 96, 160},
+    {"MobileNet", CameraKind::FlatCam, false, 10, 16, 0, 3.43,
+     "0.10G", &models::buildMobileNetV2, 96, 160},
+    {"FBNet-C100", CameraKind::FlatCam, false, 16, 26, 0, 3.23,
+     "0.12G", &models::buildFBNetC100, 96, 160},
+    {"FBNet-C100 (8-bit)", CameraKind::FlatCam, false, 16, 26, 8,
+     3.23, "0.01G*", &models::buildFBNetC100, 96, 160},
+};
+
+double
+evaluateRow(const Row &row,
+            const dataset::SyntheticEyeRenderer &ren)
+{
+    PipelineConfig pc;
+    pc.camera = row.camera;
+    pc.scene_size = 128;
+    if (row.full_frame) {
+        // Full-frame baseline: the winner's CNN implicitly localizes
+        // the eye inside the 224x224 frame; the stand-in gets that
+        // localization explicitly (a full-extent pupil-centred view).
+        pc.roi_height = 128;
+        pc.roi_width = 128;
+        pc.policy = CropPolicy::Roi;
+    } else {
+        pc.roi_height = 48;
+        pc.roi_width = 80;
+        pc.policy = CropPolicy::Roi;
+    }
+    pc.gaze.feat_height = row.feat_h;
+    pc.gaze.feat_width = row.feat_w;
+    pc.gaze.quant_bits = row.quant_bits;
+
+    PredictThenFocusPipeline pipe(pc);
+    pipe.trainGaze(ren, 400);
+    double err = 0.0;
+    const int n = 120;
+    for (int i = 0; i < n; ++i) {
+        pipe.reset();
+        const auto s = ren.sample(uint64_t(200000 + i));
+        err += dataset::angularErrorDeg(
+            pipe.processFrame(s.image).gaze, s.gaze);
+    }
+    return err / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    dataset::RenderConfig rc;
+    rc.image_size = 128;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+
+    TextTable t({"model", "camera", "resolution", "error deg (paper)",
+                 "params", "FLOPs (paper)"});
+    for (const Row &row : kRows) {
+        const nn::Graph g = row.graph(row.gh, row.gw, 0);
+        const double err = evaluateRow(row, ren);
+        t.addRow({row.model,
+                  row.camera == CameraKind::Lens ? "Lens" : "FlatCam",
+                  std::to_string(row.gh) + "x" +
+                      std::to_string(row.gw),
+                  formatDouble(err, 2) + " (" +
+                      formatDouble(row.paper_error, 2) + ")",
+                  formatSi(double(g.totalParams()), 2),
+                  formatSi(double(g.totalMacs()), 2) + " (" +
+                      row.paper_flops + ")"});
+    }
+    std::printf("=== Tab. 2: gaze estimation on the FlatCam dataset "
+                "(ours, paper in parentheses) ===\n%s\n"
+                "* the paper counts 8-bit FLOPs at reduced cost; the "
+                "MAC count is unchanged.\n"
+                "Errors come from the trainable stand-in estimators "
+                "(DESIGN.md); FLOPs/params from the exact graphs.\n",
+                t.render().c_str());
+    return 0;
+}

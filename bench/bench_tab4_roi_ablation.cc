@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tab. 4 reproduction: the ROI-prediction ablation — gaze error when
+ * the focus stage consumes a random crop, a fixed central crop, or
+ * the pupil-anchored ROI, all through the FlatCam pipeline.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "eyetrack/pipeline.h"
+
+using namespace eyecod;
+using namespace eyecod::eyetrack;
+
+namespace {
+
+double
+evaluatePolicy(CropPolicy policy,
+               const dataset::SyntheticEyeRenderer &ren)
+{
+    PipelineConfig pc;
+    pc.camera = CameraKind::FlatCam;
+    pc.scene_size = 128;
+    pc.roi_height = 48;
+    pc.roi_width = 80;
+    pc.policy = policy;
+
+    PredictThenFocusPipeline pipe(pc);
+    pipe.trainGaze(ren, 400);
+    double err = 0.0;
+    const int n = 120;
+    for (int i = 0; i < n; ++i) {
+        pipe.reset();
+        const auto s = ren.sample(uint64_t(300000 + i));
+        err += dataset::angularErrorDeg(
+            pipe.processFrame(s.image).gaze, s.gaze);
+    }
+    return err / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    dataset::RenderConfig rc;
+    rc.image_size = 128;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+
+    const double e_random = evaluatePolicy(CropPolicy::Random, ren);
+    const double e_central =
+        evaluatePolicy(CropPolicy::Central, ren);
+    const double e_roi = evaluatePolicy(CropPolicy::Roi, ren);
+
+    TextTable t({"crop policy", "gaze error deg (paper)"});
+    t.addRow({"Random Crop", formatDouble(e_random, 2) + " (12.64)"});
+    t.addRow({"Central Crop",
+              formatDouble(e_central, 2) + " (11.57)"});
+    t.addRow({"ROI (Ours)", formatDouble(e_roi, 2) + " (3.23)"});
+    std::printf("=== Tab. 4: ROI prediction ablation "
+                "(ours, paper in parentheses) ===\n%s\n"
+                "Error reductions: ROI vs random %.2f deg, ROI vs "
+                "central %.2f deg (paper: 9.41 and 8.24)\n",
+                t.render().c_str(), e_random - e_roi,
+                e_central - e_roi);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: build an EyeCoD system, train its gaze stage on
+ * synthetic eyes, track a few frames, and print the simulated
+ * accelerator performance.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/eyecod.h"
+#include "dataset/sequence.h"
+
+using namespace eyecod;
+
+int
+main()
+{
+    // 1. Configure the system. The defaults are the paper's adopted
+    //    setting: FlatCam sensing, 1-in-50 ROI refresh, a 48x80 ROI
+    //    at the 128x128 scene scale (96x160 at the paper's 256x256),
+    //    and the full accelerator (partial time-multiplexing, SWPR
+    //    input buffer, depth-wise intra-channel reuse).
+    core::SystemConfig cfg;
+    core::EyeCoDSystem sys(cfg);
+
+    // 2. Train the functional gaze stage on synthetic subjects.
+    dataset::RenderConfig rc;
+    rc.image_size = cfg.pipeline.scene_size;
+    dataset::SyntheticEyeRenderer eyes(rc, /*seed=*/2019);
+    std::printf("training the gaze stage on 400 synthetic eyes...\n");
+    sys.train(eyes, 400);
+
+    // 3. Track one subject's eye across a moving sequence (the
+    //    pipeline's ROI state assumes consecutive frames of the
+    //    same eye, as in a headset).
+    dataset::TrajectoryConfig tc;
+    tc.frames = 60;
+    const auto traj = dataset::makeTrajectory(eyes, /*subject=*/7,
+                                              tc);
+    double total_err = 0.0;
+    for (size_t i = 0; i < traj.size(); ++i) {
+        const dataset::EyeSample s = eyes.render(traj[i], 99);
+        const auto result = sys.processFrame(s.image);
+        const double err =
+            dataset::angularErrorDeg(result.gaze, s.gaze);
+        total_err += err;
+        if (i % 10 == 0) {
+            std::printf("frame %2zu: gaze = (%+.3f, %+.3f, %+.3f)  "
+                        "truth = (%+.3f, %+.3f, %+.3f)  "
+                        "error %.2f deg%s\n",
+                        i, result.gaze[0], result.gaze[1],
+                        result.gaze[2], s.gaze[0], s.gaze[1],
+                        s.gaze[2], err,
+                        result.roi_refreshed ? "  [ROI refresh]"
+                                             : "");
+        }
+    }
+    std::printf("mean error over %zu frames: %.2f deg\n\n",
+                traj.size(), total_err / double(traj.size()));
+
+    // 4. Ask the cycle-level simulator what the accelerator would do
+    //    with this pipeline.
+    const accel::PerfReport perf = sys.simulatePerformance();
+    std::printf("simulated accelerator: %.0f FPS (target: >240), "
+                "%.2f ms/frame, %.0f mW, utilization %.0f%%\n",
+                perf.fps, perf.frame_ms, perf.power_w * 1e3,
+                perf.utilization * 100.0);
+    std::printf("activation memory: %lld KB resident "
+                "(feature-wise partition x%d; %lld KB without)\n",
+                perf.act_mem_bytes / 1024, perf.partition_factor,
+                perf.act_mem_unpartitioned / 1024);
+    return 0;
+}

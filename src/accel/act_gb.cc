@@ -1,0 +1,231 @@
+#include "accel/act_gb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+namespace {
+
+/** Channel tiles of a view with c channels and t-pixel tiles. */
+int
+channelTiles(int c, int t)
+{
+    return (c + t - 1) / t;
+}
+
+} // namespace
+
+int8_t
+ActView::read(const ActGbModel &gb, int c, int y, int x) const
+{
+    eyecod_assert(c >= 0 && c < c_ && y >= 0 && y < h_ && x >= 0 &&
+                  x < w_,
+                  "ActView read (%d,%d,%d) out of %dx%dx%d bounds",
+                  c, y, x, c_, h_, w_);
+    switch (kind_) {
+      case Kind::Base: {
+        const int ct = channelTiles(c_, gb.tileChannels());
+        const long tile =
+            base_tile_ + (long(y) * w_ + x) * ct +
+            c / gb.tileChannels();
+        return gb.readPhysical(tile, c % gb.tileChannels());
+      }
+      case Kind::Partition:
+        return child_a_->read(gb, c, y + off_y_, x + off_x_);
+      case Kind::Concat:
+        if (c < child_a_->channels())
+            return child_a_->read(gb, c, y, x);
+        return child_b_->read(gb, c - child_a_->channels(), y, x);
+      case Kind::Downsample:
+        return child_a_->read(gb, c, y * factor_, x * factor_);
+      case Kind::Upsample:
+        if (zero_insert_ && (y % factor_ != 0 || x % factor_ != 0))
+            return 0;
+        return child_a_->read(gb, c, y / factor_, x / factor_);
+    }
+    panic("unreachable view kind");
+}
+
+TileAddress
+ActView::tileOf(const ActGbModel &gb, int c, int y, int x) const
+{
+    switch (kind_) {
+      case Kind::Base: {
+        const int ct = channelTiles(c_, gb.tileChannels());
+        const long tile =
+            base_tile_ + (long(y) * w_ + x) * ct +
+            c / gb.tileChannels();
+        return gb.mapTile(tile);
+      }
+      case Kind::Partition:
+        return child_a_->tileOf(gb, c, y + off_y_, x + off_x_);
+      case Kind::Concat:
+        if (c < child_a_->channels())
+            return child_a_->tileOf(gb, c, y, x);
+        return child_b_->tileOf(gb, c - child_a_->channels(), y, x);
+      case Kind::Downsample:
+        return child_a_->tileOf(gb, c, y * factor_, x * factor_);
+      case Kind::Upsample:
+        return child_a_->tileOf(gb, c, y / factor_, x / factor_);
+    }
+    panic("unreachable view kind");
+}
+
+ActGbModel::ActGbModel(int banks, int tile_channels, long bank_rows)
+    : banks_(banks), tile_channels_(tile_channels),
+      bank_rows_(bank_rows)
+{
+    eyecod_assert(banks > 0 && tile_channels > 0 && bank_rows > 0,
+                  "bad ActGbModel configuration");
+    storage_.resize(size_t(banks));
+    for (auto &bank : storage_)
+        bank.assign(size_t(bank_rows) * tile_channels, 0);
+}
+
+int8_t
+ActGbModel::readPhysical(long tile, int lane) const
+{
+    const TileAddress a = mapTile(tile);
+    eyecod_assert(a.row < bank_rows_, "Act GB tile %ld out of range",
+                  tile);
+    return storage_[size_t(a.bank)]
+                   [size_t(a.row) * tile_channels_ + lane];
+}
+
+void
+ActGbModel::writePhysical(long tile, int lane, int8_t value)
+{
+    const TileAddress a = mapTile(tile);
+    eyecod_assert(a.row < bank_rows_, "Act GB tile %ld out of range",
+                  tile);
+    storage_[size_t(a.bank)][size_t(a.row) * tile_channels_ + lane] =
+        value;
+}
+
+ActView
+ActGbModel::alloc(int c, int h, int w)
+{
+    eyecod_assert(c > 0 && h > 0 && w > 0, "alloc of empty view");
+    ActView v;
+    v.kind_ = ActView::Kind::Base;
+    v.c_ = c;
+    v.h_ = h;
+    v.w_ = w;
+    v.base_tile_ = next_tile_;
+    const long tiles =
+        long(h) * w * channelTiles(c, tile_channels_);
+    next_tile_ += tiles;
+    eyecod_assert(next_tile_ <= bank_rows_ * banks_,
+                  "Act GB capacity exceeded (%ld tiles > %ld)",
+                  next_tile_, bank_rows_ * banks_);
+    return v;
+}
+
+ActView
+ActGbModel::store(const nn::Tensor &t)
+{
+    const nn::Shape s = t.shape();
+    ActView v = alloc(s.c, s.h, s.w);
+    for (int c = 0; c < s.c; ++c)
+        for (int y = 0; y < s.h; ++y)
+            for (int x = 0; x < s.w; ++x)
+                write(v, c, y, x,
+                      int8_t(std::clamp(
+                          std::lround(t.at(c, y, x) * 127.0f), -128L,
+                          127L)));
+    return v;
+}
+
+void
+ActGbModel::write(const ActView &v, int c, int y, int x, int8_t value)
+{
+    eyecod_assert(v.kind_ == ActView::Kind::Base,
+                  "writes only through base views");
+    const int ct = channelTiles(v.c_, tile_channels_);
+    const long tile =
+        v.base_tile_ + (long(y) * v.w_ + x) * ct + c / tile_channels_;
+    writePhysical(tile, c % tile_channels_, value);
+}
+
+ActView
+ActGbModel::partition(const ActView &v, int off_y, int off_x, int h,
+                      int w) const
+{
+    eyecod_assert(off_y >= 0 && off_x >= 0 &&
+                  off_y + h <= v.height() && off_x + w <= v.width(),
+                  "partition out of bounds");
+    ActView out;
+    out.kind_ = ActView::Kind::Partition;
+    out.c_ = v.channels();
+    out.h_ = h;
+    out.w_ = w;
+    out.off_y_ = off_y;
+    out.off_x_ = off_x;
+    out.child_a_ = std::make_shared<ActView>(v);
+    return out;
+}
+
+ActView
+ActGbModel::concat(const ActView &a, const ActView &b) const
+{
+    eyecod_assert(a.height() == b.height() && a.width() == b.width(),
+                  "concat extent mismatch");
+    ActView out;
+    out.kind_ = ActView::Kind::Concat;
+    out.c_ = a.channels() + b.channels();
+    out.h_ = a.height();
+    out.w_ = a.width();
+    out.child_a_ = std::make_shared<ActView>(a);
+    out.child_b_ = std::make_shared<ActView>(b);
+    return out;
+}
+
+ActView
+ActGbModel::downsample(const ActView &v, int factor) const
+{
+    eyecod_assert(factor >= 2, "downsample factor must be >= 2");
+    ActView out;
+    out.kind_ = ActView::Kind::Downsample;
+    out.c_ = v.channels();
+    out.h_ = v.height() / factor;
+    out.w_ = v.width() / factor;
+    out.factor_ = factor;
+    out.child_a_ = std::make_shared<ActView>(v);
+    return out;
+}
+
+ActView
+ActGbModel::upsample(const ActView &v, int factor,
+                     bool zero_insert) const
+{
+    eyecod_assert(factor >= 2, "upsample factor must be >= 2");
+    ActView out;
+    out.kind_ = ActView::Kind::Upsample;
+    out.c_ = v.channels();
+    out.h_ = v.height() * factor;
+    out.w_ = v.width() * factor;
+    out.factor_ = factor;
+    out.zero_insert_ = zero_insert;
+    out.child_a_ = std::make_shared<ActView>(v);
+    return out;
+}
+
+int
+ActGbModel::conflictsFor(const std::vector<TileAddress> &tiles) const
+{
+    std::vector<int> per_bank(size_t(banks_), 0);
+    for (const TileAddress &t : tiles)
+        ++per_bank[size_t(t.bank)];
+    int max_depth = 0;
+    for (int d : per_bank)
+        max_depth = std::max(max_depth, d);
+    // Serialized extra cycles beyond the first parallel access.
+    return std::max(0, max_depth - 1);
+}
+
+} // namespace accel
+} // namespace eyecod

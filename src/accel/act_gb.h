@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Functional model of the activation global buffer storage
+ * arrangement (Fig. 11): each bank address stores one 16-pixel tile
+ * along the channel dimension, banks are interleaved along the
+ * flattened (channel-tile, y, x) order, and the four reshaping
+ * operations of the predict-then-focus pipeline — partition,
+ * concatenation, down-sampling, up-sampling — are pure address
+ * arithmetic over that arrangement (no data movement).
+ */
+
+#ifndef EYECOD_ACCEL_ACT_GB_H
+#define EYECOD_ACCEL_ACT_GB_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace eyecod {
+namespace accel {
+
+/** Physical location of one activation tile. */
+struct TileAddress
+{
+    int bank = 0;  ///< Bank index.
+    long row = 0;  ///< Address within the bank.
+};
+
+class ActGbModel;
+
+/**
+ * A logical CHW view over activations stored in the GB. Views are
+ * produced by allocation or by reshaping other views; reads resolve
+ * through the view chain to physical tiles.
+ */
+class ActView
+{
+  public:
+    /** Channels of the view. */
+    int channels() const { return c_; }
+    /** Height of the view. */
+    int height() const { return h_; }
+    /** Width of the view. */
+    int width() const { return w_; }
+
+    /** Read one activation (int8) through the view chain. */
+    int8_t read(const ActGbModel &gb, int c, int y, int x) const;
+
+    /**
+     * Physical address of the tile holding (c, y, x); only defined
+     * for views that resolve to a single backing tensor (i.e. not
+     * across a concat seam).
+     */
+    TileAddress tileOf(const ActGbModel &gb, int c, int y,
+                       int x) const;
+
+  private:
+    friend class ActGbModel;
+
+    enum class Kind { Base, Partition, Concat, Downsample, Upsample };
+
+    Kind kind_ = Kind::Base;
+    int c_ = 0, h_ = 0, w_ = 0;
+    // Base:
+    long base_tile_ = 0; ///< First linear tile index.
+    // Partition:
+    int off_y_ = 0, off_x_ = 0;
+    // Down/Upsample:
+    int factor_ = 1;
+    bool zero_insert_ = false;
+    // Children (one for most, two for concat).
+    std::shared_ptr<const ActView> child_a_;
+    std::shared_ptr<const ActView> child_b_;
+};
+
+/**
+ * The banked activation GB.
+ */
+class ActGbModel
+{
+  public:
+    /**
+     * @param banks parallel banks (4 in EyeCoD).
+     * @param tile_channels channel pixels per address (16).
+     * @param bank_rows addresses per bank.
+     */
+    ActGbModel(int banks, int tile_channels, long bank_rows);
+
+    /** Allocate and write a CHW tensor (quantized to int8 storage). */
+    ActView store(const nn::Tensor &t);
+
+    /** Allocate space for a CHW shape without writing. */
+    ActView alloc(int c, int h, int w);
+
+    /** Write one value through a base view. */
+    void write(const ActView &v, int c, int y, int x, int8_t value);
+
+    // --- The four reshaping operations (Fig. 11 b-e) ---
+
+    /** Spatial partition: a stripe [off_y, off_y+h) x [off_x, ...). */
+    ActView partition(const ActView &v, int off_y, int off_x, int h,
+                      int w) const;
+
+    /** Channel-wise concatenation of two equal-extent views. */
+    ActView concat(const ActView &a, const ActView &b) const;
+
+    /** Factor-f down-sampling (keeps every f-th pixel). */
+    ActView downsample(const ActView &v, int factor) const;
+
+    /** Factor-f up-sampling (duplicate or zero-insert). */
+    ActView upsample(const ActView &v, int factor,
+                     bool zero_insert) const;
+
+    /** Banks in the GB. */
+    int banks() const { return banks_; }
+    /** Channel pixels per address. */
+    int tileChannels() const { return tile_channels_; }
+    /** Tiles allocated so far. */
+    long tilesAllocated() const { return next_tile_; }
+
+    /**
+     * Number of bank conflicts when the given tiles are fetched in
+     * one cycle (tiles mapping to the same bank serialize).
+     */
+    int conflictsFor(const std::vector<TileAddress> &tiles) const;
+
+  private:
+    friend class ActView;
+
+    /** Bank/row of a linear tile index (bank-interleaved). */
+    TileAddress
+    mapTile(long tile) const
+    {
+        return TileAddress{int(tile % banks_), tile / banks_};
+    }
+
+    int8_t readPhysical(long tile, int lane) const;
+    void writePhysical(long tile, int lane, int8_t value);
+
+    int banks_;
+    int tile_channels_;
+    long bank_rows_;
+    long next_tile_ = 0;
+    std::vector<std::vector<int8_t>> storage_; ///< Per-bank bytes.
+};
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_ACT_GB_H

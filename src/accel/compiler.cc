@@ -1,0 +1,188 @@
+#include "accel/isa.h"
+
+#include <algorithm>
+
+#include "accel/dataflow.h"
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConfigLayer: return "config";
+      case Opcode::LoadWeights: return "load-weights";
+      case Opcode::LoadInput:   return "load-input";
+      case Opcode::Compute:     return "compute";
+      case Opcode::StoreOutput: return "store-output";
+      case Opcode::Reshape:     return "reshape";
+      case Opcode::LoopBegin:   return "loop-begin";
+      case Opcode::LoopEnd:     return "loop-end";
+      case Opcode::Barrier:     return "barrier";
+    }
+    return "unknown";
+}
+
+std::map<Opcode, int>
+InstructionStream::histogram() const
+{
+    std::map<Opcode, int> out;
+    for (const Instruction &i : instructions)
+        ++out[i.op];
+    return out;
+}
+
+bool
+InstructionStream::fitsOnChip(const HwConfig &hw) const
+{
+    return encodedBytes() <= hw.instr_sram_bytes &&
+           index_bytes <= hw.index_sram_bytes;
+}
+
+namespace {
+
+/** Bytes of one reshaping-view descriptor in the index SRAM. */
+constexpr long long kDescriptorBytes = 16;
+
+} // namespace
+
+InstructionStream
+compileModel(const ModelWorkload &model, const HwConfig &hw,
+             int partition_stripes)
+{
+    eyecod_assert(partition_stripes >= 1,
+                  "partition stripes must be >= 1");
+    InstructionStream s;
+    s.model = model.name;
+
+    int layer_id = 0;
+    for (const nn::LayerWorkload &w : model.layers) {
+        if (!nn::isMacKind(w.kind)) {
+            // Non-MAC layers lower to reshaping descriptors (concat
+            // / up / down-sampling are address arithmetic, Fig. 11)
+            // or to a data-movement instruction (pool / add / BN).
+            if (w.kind == nn::LayerKind::Concat ||
+                w.kind == nn::LayerKind::Upsample) {
+                s.instructions.push_back(
+                    {Opcode::Reshape, layer_id, partition_stripes,
+                     0});
+                s.index_bytes +=
+                    kDescriptorBytes * partition_stripes;
+            } else {
+                // Pool / add / BN: a single streaming data-move
+                // through the vector path (bytes in, bytes out).
+                s.instructions.push_back(
+                    {Opcode::LoadInput, layer_id,
+                     w.inActBytes() / partition_stripes,
+                     w.outActBytes() / partition_stripes});
+            }
+            ++layer_id;
+            continue;
+        }
+
+        s.instructions.push_back(
+            {Opcode::ConfigLayer, layer_id,
+             int64_t(w.kernel) << 8 | int64_t(w.stride), w.c_out});
+
+        // Weights stream through the 64 KB ping-pong buffers.
+        const long long chunks =
+            std::max(1LL, (w.weightBytes() + hw.weight_buf_bytes - 1)
+                              / hw.weight_buf_bytes);
+        if (chunks > 1) {
+            s.instructions.push_back(
+                {Opcode::LoopBegin, layer_id, chunks, 0});
+            s.instructions.push_back(
+                {Opcode::LoadWeights, layer_id,
+                 std::min<long long>(w.weightBytes(),
+                                     hw.weight_buf_bytes),
+                 0});
+            s.instructions.push_back(
+                {Opcode::LoopEnd, layer_id, 0, 0});
+        } else {
+            s.instructions.push_back(
+                {Opcode::LoadWeights, layer_id, w.weightBytes(), 0});
+        }
+
+        // One Compute instruction per stripe loop: the wave sequence
+        // and the per-round input/output buffer traffic are
+        // hardware-managed (the SWPR input buffer of Fig. 12 and the
+        // output buffer drain autonomously), so the controller only
+        // encodes the wave count and lane grant.
+        const LayerCost cost = costLayer(w, hw, hw.mac_lanes);
+        const long long waves_per_stripe =
+            std::max(1LL,
+                     (long long)cost.waves / partition_stripes);
+        if (partition_stripes > 1) {
+            s.instructions.push_back(
+                {Opcode::LoopBegin, layer_id, partition_stripes, 0});
+        }
+        s.instructions.push_back(
+            {Opcode::Compute, layer_id, waves_per_stripe,
+             cost.lanes_used});
+        if (partition_stripes > 1) {
+            s.instructions.push_back(
+                {Opcode::LoopEnd, layer_id, 0, 0});
+        }
+
+        // Stripe boundaries need a halo view descriptor.
+        if (partition_stripes > 1)
+            s.index_bytes += kDescriptorBytes * partition_stripes;
+        ++layer_id;
+    }
+    s.instructions.push_back({Opcode::Barrier, -1, 0, 0});
+    return s;
+}
+
+std::string
+validateStream(const InstructionStream &s)
+{
+    int depth = 0;
+    std::vector<char> weights_loaded;
+    std::vector<char> configured;
+    for (const Instruction &i : s.instructions) {
+        if (i.layer >= 0) {
+            if (size_t(i.layer) >= weights_loaded.size()) {
+                weights_loaded.resize(size_t(i.layer) + 1, 0);
+                configured.resize(size_t(i.layer) + 1, 0);
+            }
+        }
+        switch (i.op) {
+          case Opcode::LoopBegin:
+            if (i.arg0 <= 0)
+                return "loop with non-positive trip count";
+            ++depth;
+            break;
+          case Opcode::LoopEnd:
+            if (--depth < 0)
+                return "unbalanced loop end";
+            break;
+          case Opcode::ConfigLayer:
+            configured[size_t(i.layer)] = 1;
+            break;
+          case Opcode::LoadWeights:
+            if (!configured[size_t(i.layer)])
+                return "weights loaded before layer config";
+            weights_loaded[size_t(i.layer)] = 1;
+            break;
+          case Opcode::Compute:
+            if (!weights_loaded[size_t(i.layer)])
+                return "compute before weights loaded";
+            if (i.arg1 <= 0)
+                return "compute with no lanes";
+            break;
+          default:
+            break;
+        }
+    }
+    if (depth != 0)
+        return "unterminated loop";
+    if (s.instructions.empty() ||
+        s.instructions.back().op != Opcode::Barrier)
+        return "stream must end with a barrier";
+    return "";
+}
+
+} // namespace accel
+} // namespace eyecod

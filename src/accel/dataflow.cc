@@ -1,0 +1,220 @@
+#include "accel/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+using nn::LayerKind;
+using nn::LayerWorkload;
+
+namespace {
+
+/** ceil division for positive integers. */
+long long
+ceilDiv(long long a, long long b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Fill the common derived fields of a MAC-layer cost. */
+void
+finalizeMacCost(LayerCost &c, const LayerWorkload &w,
+                const HwConfig &hw, long long input_bytes)
+{
+    c.ideal_macs = w.macs;
+    if (c.compute_cycles > 0) {
+        c.utilization =
+            double(c.ideal_macs) /
+            (double(c.compute_cycles) * hw.totalMacs());
+        c.read_bytes_per_cycle =
+            double(input_bytes) / double(c.compute_cycles);
+    }
+    // Input-bandwidth stalls beyond the effective GB read bandwidth.
+    const double bw = hw.actReadBandwidth();
+    const long long min_read_cycles =
+        (long long)std::ceil(double(input_bytes) / bw);
+    c.stall_cycles = std::max(0LL, min_read_cycles - c.compute_cycles);
+
+    c.activity.mac_ops = c.ideal_macs;
+    c.activity.act_gb_bytes = input_bytes + w.outActBytes();
+    // Rows pass through the input buffer; weights through the
+    // ping-pong buffers.
+    c.activity.buf_bytes = input_bytes + w.weightBytes();
+    c.activity.weight_gb_bytes = w.weightBytes();
+    // Weights are streamed from off-chip once per execution (the
+    // weight GB double-buffers them); activations stay on-chip.
+    c.activity.dram_bytes = w.weightBytes();
+    c.activity.cycles = c.totalCycles();
+}
+
+/** Generic / point-wise convolution (FC and matmul lower to this). */
+LayerCost
+costDenseConv(const LayerWorkload &w, const HwConfig &hw, int lanes)
+{
+    LayerCost c;
+    const long long cgroups = ceilDiv(w.c_out, hw.macs_per_lane);
+    const long long units = (long long)w.h_out * cgroups;
+    c.waves = int(ceilDiv(units, lanes));
+    const long long wave_cycles =
+        (long long)w.w_out * w.kernel * w.kernel * w.c_in;
+    c.compute_cycles = c.waves * wave_cycles;
+    c.lanes_used = int(std::min<long long>(units, lanes));
+
+    // Each output row pulls K input rows; rows are broadcast across
+    // the channel groups sharing the same spatial row.
+    const long long input_bytes =
+        (long long)w.kernel * w.h_out * w.w_in * w.c_in;
+    finalizeMacCost(c, w, hw, input_bytes);
+    return c;
+}
+
+/** Fully-connected: one unit per 8-output group, c_in-cycle waves. */
+LayerCost
+costFc(const LayerWorkload &w, const HwConfig &hw, int lanes)
+{
+    LayerCost c;
+    const long long units = ceilDiv(w.c_out, hw.macs_per_lane);
+    c.waves = int(ceilDiv(units, lanes));
+    c.compute_cycles = c.waves * std::max(1, w.c_in);
+    c.lanes_used = int(std::min<long long>(units, lanes));
+    finalizeMacCost(c, w, hw, w.c_in);
+    return c;
+}
+
+/**
+ * Matrix-matrix multiplication: treated as point-wise convolution
+ * with batch > 1 (Sec. 5.1): units tile (rows x column groups), a
+ * wave costs k cycles per output column.
+ */
+LayerCost
+costMatMul(const LayerWorkload &w, const HwConfig &hw, int lanes)
+{
+    LayerCost c;
+    const long long rows = w.c_out; // rows in the workload encoding
+    const long long cols = w.w_out;
+    const long long k = w.c_in;
+    const long long cgroups = ceilDiv(cols, hw.macs_per_lane);
+    const long long units = rows * cgroups;
+    c.waves = int(ceilDiv(units, lanes));
+    // A wave streams the k-length input row once: k cycles produce 8
+    // outputs per lane.
+    c.compute_cycles = c.waves * std::max(1LL, k);
+    c.lanes_used = int(std::min<long long>(units, lanes));
+    const long long input_bytes = rows * k; // each row read once
+    finalizeMacCost(c, w, hw, input_bytes);
+    return c;
+}
+
+/** Depth-wise convolution. */
+LayerCost
+costDepthwise(const LayerWorkload &w, const HwConfig &hw, int lanes)
+{
+    LayerCost c;
+    long long units;
+    long long wave_cycles;
+    long long input_bytes;
+
+    if (!hw.depthwise_optimization) {
+        // Naive mapping: one output row of one channel per lane;
+        // only 1 of the 8 MACs can be fed from the single row FIFO.
+        units = (long long)w.h_out * w.c_out;
+        wave_cycles = (long long)w.w_out * w.kernel * w.kernel;
+        input_bytes =
+            (long long)w.kernel * w.h_out * w.w_in * w.c_in;
+    } else {
+        // Column-wise intra-channel reuse: ceil(K/stride) weight rows
+        // of one filter column share the lane's input row, producing
+        // that many output rows (Fig. 10a). Stride > 1 halves the
+        // sharing because weight rows then hit disjoint input rows.
+        const int col_reuse =
+            std::max(1, (w.kernel + w.stride - 1) / w.stride);
+        // Deeper row-wise reuse (Fig. 10b): split one input row over
+        // two lanes when the row is long enough to amortize it.
+        const int row_split = w.w_out >= 16 ? 2 : 1;
+        units = ceilDiv(w.h_out, col_reuse) * (long long)w.c_out *
+                row_split;
+        wave_cycles = ceilDiv(w.w_out, row_split) *
+                      (long long)w.kernel * w.kernel;
+        // The shared row feeds col_reuse output rows, cutting reads.
+        input_bytes = (long long)w.kernel * w.h_out * w.w_in *
+                      w.c_in / col_reuse;
+    }
+    c.waves = int(ceilDiv(units, lanes));
+    c.compute_cycles = c.waves * wave_cycles;
+    c.lanes_used = int(std::min<long long>(units, lanes));
+    finalizeMacCost(c, w, hw, input_bytes);
+    return c;
+}
+
+/** Non-MAC layers: data movement on the activation GB. */
+LayerCost
+costDataMovement(const LayerWorkload &w, const HwConfig &hw)
+{
+    LayerCost c;
+    long long bytes = w.inActBytes() + w.outActBytes();
+    if (w.kind == LayerKind::Concat) {
+        // The banked storage arrangement (Fig. 11c) realizes concat
+        // as address arithmetic: no data moves.
+        bytes = 0;
+    }
+    const double bw = double(hw.act_gb_banks) * hw.act_bank_width_bytes;
+    c.compute_cycles = (long long)std::ceil(double(bytes) / bw);
+    c.activity.act_gb_bytes = bytes;
+    c.activity.cycles = c.compute_cycles;
+    c.utilization = 0.0;
+    return c;
+}
+
+} // namespace
+
+LayerCost
+costLayer(const LayerWorkload &w, const HwConfig &hw,
+          int lanes_available)
+{
+    eyecod_assert(lanes_available > 0 &&
+                  lanes_available <= hw.mac_lanes,
+                  "layer %s granted %d lanes (array has %d)",
+                  w.name.c_str(), lanes_available, hw.mac_lanes);
+    switch (w.kind) {
+      case LayerKind::ConvGeneric:
+      case LayerKind::ConvPointwise:
+        return costDenseConv(w, hw, lanes_available);
+      case LayerKind::ConvDepthwise:
+        return costDepthwise(w, hw, lanes_available);
+      case LayerKind::FullyConnected:
+        return costFc(w, hw, lanes_available);
+      case LayerKind::MatMul:
+        return costMatMul(w, hw, lanes_available);
+      default:
+        return costDataMovement(w, hw);
+    }
+}
+
+LayerCost
+costModel(const std::vector<LayerWorkload> &layers, const HwConfig &hw,
+          int lanes_available)
+{
+    LayerCost total;
+    for (const LayerWorkload &w : layers) {
+        const LayerCost c = costLayer(w, hw, lanes_available);
+        total.compute_cycles += c.compute_cycles;
+        total.stall_cycles += c.stall_cycles;
+        total.ideal_macs += c.ideal_macs;
+        total.lanes_used = std::max(total.lanes_used, c.lanes_used);
+        total.waves += c.waves;
+        total.activity += c.activity;
+    }
+    if (total.totalCycles() > 0) {
+        total.utilization =
+            double(total.ideal_macs) /
+            (double(total.totalCycles()) * hw.totalMacs());
+    }
+    return total;
+}
+
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-layer dataflow cost model of the EyeCoD accelerator.
+ *
+ * Mapping (Sec. 5.2): each MAC lane holds one input-activation row in
+ * its FIFO and streams weights from the ping-pong weight buffers
+ * (row-wise intra-channel reuse). Work is tiled into "waves" of up to
+ * `mac_lanes` spatial units:
+ *
+ *  - generic / point-wise conv (and FC / matmul): a unit is one
+ *    output row for a group of 8 output channels; the 8 MACs of a
+ *    lane compute 8 filters against the broadcast input row (input
+ *    reuse), so a wave costs w_out * K * K * c_in cycles with all 8
+ *    MACs busy;
+ *  - depth-wise conv, naive mapping: a unit is one output row of ONE
+ *    channel — there is no cross-filter input reuse, so only 1 of 8
+ *    MACs can be fed from the lane's single row (Challenge #II);
+ *  - depth-wise conv, optimized (Principle #II, Fig. 10):
+ *    column-wise intra-channel reuse lets ceil(K/stride) weight rows
+ *    share one input row (that many MACs active), and deeper
+ *    row-wise reuse splits a row across two lanes, halving wave
+ *    cycles.
+ *
+ * Input-read stalls (Challenge #IV / Principle #IV): a layer demands
+ * `input_bytes / compute_cycles` bytes per cycle from the activation
+ * GB. With the sequential-write-parallel-read input buffer the full
+ * banked bandwidth is usable and next-round rows load during the
+ * current round; without it reads serialize and effective bandwidth
+ * halves. Demand beyond the effective bandwidth stalls the array.
+ */
+
+#ifndef EYECOD_ACCEL_DATAFLOW_H
+#define EYECOD_ACCEL_DATAFLOW_H
+
+#include "accel/energy.h"
+#include "accel/hw_config.h"
+#include "nn/layer.h"
+
+namespace eyecod {
+namespace accel {
+
+/** Cost of one layer execution on (a slice of) the array. */
+struct LayerCost
+{
+    long long compute_cycles = 0; ///< Array-occupancy cycles.
+    long long stall_cycles = 0;   ///< Input-bandwidth stalls.
+    long long ideal_macs = 0;     ///< Algorithmic MAC count.
+    int lanes_used = 0;           ///< Peak lanes occupied.
+    int waves = 0;                ///< Spatial tiling waves.
+    double utilization = 0.0;     ///< ideal / (cycles * lanes * 8).
+    double read_bytes_per_cycle = 0.0; ///< Act GB read demand.
+    ActivityCounts activity;      ///< Energy-relevant traffic.
+
+    /** Total cycles including stalls. */
+    long long totalCycles() const
+    {
+        return compute_cycles + stall_cycles;
+    }
+};
+
+/**
+ * Cost a single layer on @p lanes_available lanes of the array.
+ *
+ * Non-MAC layers (pool / upsample / add / batchnorm / activation)
+ * cost their data movement on the Act GB; concat is free (the banked
+ * storage arrangement of Fig. 11 makes it address arithmetic).
+ *
+ * @param w layer workload (8-bit datatype byte counts).
+ * @param hw hardware configuration (feature switches respected).
+ * @param lanes_available lanes granted by the orchestrator.
+ */
+LayerCost costLayer(const nn::LayerWorkload &w, const HwConfig &hw,
+                    int lanes_available);
+
+/**
+ * Sum the cost of an entire model (layer list) run layer-by-layer on
+ * @p lanes_available lanes.
+ */
+LayerCost costModel(const std::vector<nn::LayerWorkload> &layers,
+                    const HwConfig &hw, int lanes_available);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_DATAFLOW_H

@@ -1,0 +1,97 @@
+#include "accel/executor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "accel/dataflow.h"
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+ExecStats
+executeStream(const InstructionStream &stream,
+              const ModelWorkload &model, const HwConfig &hw)
+{
+    eyecod_assert(validateStream(stream).empty(),
+                  "executing an invalid stream for %s",
+                  model.name.c_str());
+
+    // Per-layer wave cycle cost from the dataflow model (the
+    // fixed-width encoding stores wave counts, not cycle counts).
+    std::vector<long long> wave_cycles(model.layers.size(), 0);
+    for (size_t i = 0; i < model.layers.size(); ++i) {
+        const nn::LayerWorkload &w = model.layers[i];
+        if (!nn::isMacKind(w.kind))
+            continue;
+        const LayerCost c = costLayer(w, hw, hw.mac_lanes);
+        wave_cycles[i] =
+            c.compute_cycles / std::max(1, c.waves);
+    }
+
+    struct LoopFrame
+    {
+        size_t begin_pc;    ///< Index of the LoopBegin.
+        int64_t remaining;  ///< Iterations left after this one.
+    };
+
+    ExecStats stats;
+    std::vector<LoopFrame> loops;
+    constexpr long long kDynamicCap = 50'000'000;
+    size_t pc = 0;
+    while (pc < stream.instructions.size()) {
+        const Instruction &in = stream.instructions[pc];
+        ++stats.dynamic_instructions;
+        eyecod_assert(stats.dynamic_instructions < kDynamicCap,
+                      "runaway instruction stream for %s",
+                      model.name.c_str());
+        switch (in.op) {
+          case Opcode::LoopBegin:
+            loops.push_back({pc, in.arg0 - 1});
+            stats.max_loop_depth = std::max(
+                stats.max_loop_depth, int(loops.size()));
+            break;
+          case Opcode::LoopEnd:
+            eyecod_assert(!loops.empty(), "loop underflow");
+            if (loops.back().remaining > 0) {
+                --loops.back().remaining;
+                pc = loops.back().begin_pc;
+            } else {
+                loops.pop_back();
+            }
+            break;
+          case Opcode::LoadWeights:
+            stats.weight_bytes += in.arg0;
+            stats.peak_weight_chunk =
+                std::max<long long>(stats.peak_weight_chunk,
+                                    in.arg0);
+            break;
+          case Opcode::Compute: {
+            eyecod_assert(in.layer >= 0 &&
+                          size_t(in.layer) < wave_cycles.size(),
+                          "compute references unknown layer %d",
+                          in.layer);
+            stats.compute_cycles +=
+                in.arg0 * wave_cycles[size_t(in.layer)];
+            break;
+          }
+          case Opcode::LoadInput:
+            stats.act_bytes += in.arg0 + in.arg1;
+            break;
+          case Opcode::StoreOutput:
+            stats.act_bytes += in.arg0;
+            break;
+          case Opcode::Reshape:
+            ++stats.reshape_views;
+            break;
+          case Opcode::ConfigLayer:
+          case Opcode::Barrier:
+            break;
+        }
+        ++pc;
+    }
+    return stats;
+}
+
+} // namespace accel
+} // namespace eyecod

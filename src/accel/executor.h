@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Functional executor for compiled instruction streams: walks a
+ * stream with a loop stack, tracks buffer occupancy, and accumulates
+ * dynamic statistics. Used to cross-check the compiler against the
+ * analytical dataflow model — the executor's cycle total for a model
+ * must agree with costModel() on the same hardware.
+ */
+
+#ifndef EYECOD_ACCEL_EXECUTOR_H
+#define EYECOD_ACCEL_EXECUTOR_H
+
+#include "accel/isa.h"
+
+namespace eyecod {
+namespace accel {
+
+/** Dynamic statistics of one stream execution. */
+struct ExecStats
+{
+    long long dynamic_instructions = 0; ///< Instructions retired.
+    long long compute_cycles = 0;   ///< MAC-array busy cycles.
+    long long weight_bytes = 0;     ///< Weight buffer fill traffic.
+    long long act_bytes = 0;        ///< Data-move traffic.
+    int reshape_views = 0;          ///< Descriptors installed.
+    int max_loop_depth = 0;
+    /** Peak single-chunk weight-buffer occupancy. */
+    long long peak_weight_chunk = 0;
+};
+
+/**
+ * Execute a compiled stream against its source model.
+ *
+ * @param stream output of compileModel().
+ * @param model the model the stream was compiled from (supplies the
+ *        per-wave cycle counts the fixed-width encoding omits).
+ * @param hw hardware configuration used at compile time.
+ */
+ExecStats executeStream(const InstructionStream &stream,
+                        const ModelWorkload &model,
+                        const HwConfig &hw);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_EXECUTOR_H

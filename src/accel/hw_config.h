@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hardware configuration of the EyeCoD accelerator (Tab. 1 / Fig. 13):
+ * 128 MAC lanes x 8 MACs at 370 MHz, two 512 KB activation global
+ * buffers, double-buffered 64 KB weight buffers fed from a 512 KB
+ * weight GB, 20 KB index and 4 KB instruction SRAMs — plus the
+ * feature switches the Tab. 6 ablation toggles.
+ */
+
+#ifndef EYECOD_ACCEL_HW_CONFIG_H
+#define EYECOD_ACCEL_HW_CONFIG_H
+
+#include <cstdint>
+
+namespace eyecod {
+namespace accel {
+
+/** Workload orchestration modes of Sec. 5.1 Challenge/Principle #I. */
+enum class OrchestrationMode {
+    TimeMultiplex, ///< One model's layer owns the whole array.
+    Concurrent,    ///< Static lane split between the two models.
+    PartialTimeMultiplex, ///< Gaze owns the array; segmentation
+                          ///  backfills waves with utilization < 80%.
+};
+
+/** The accelerator configuration. */
+struct HwConfig
+{
+    // --- Compute (Tab. 1) ---
+    int mac_lanes = 128;     ///< MAC lanes.
+    int macs_per_lane = 8;   ///< MACs per lane.
+    double clock_hz = 370e6; ///< Core clock.
+
+    // --- Memories (Tab. 1) ---
+    long act_gb_bytes = 512 * 1024;   ///< Each of the two Act GBs.
+    int act_gb_count = 2;
+    long weight_buf_bytes = 64 * 1024; ///< Each ping-pong buffer.
+    long weight_gb_bytes = 512 * 1024;
+    long index_sram_bytes = 20 * 1024;
+    long instr_sram_bytes = 4 * 1024;
+
+    // --- Activation GB organization (Fig. 11) ---
+    int act_gb_banks = 4;        ///< Parallel banks per Act GB.
+    int act_bank_width_bytes = 16; ///< One 16-channel tile / address.
+
+    // --- Input activation buffer (Fig. 12) ---
+    int input_buf_rows = 16;     ///< M rows fetched per round.
+
+    // --- Feature switches (Tab. 6 ablation) ---
+    /** Sequential-write-parallel-read input buffer ("Input."). */
+    bool swpr_input_buffer = true;
+    /** Intra-channel reuse for depth-wise layers ("Depth."). */
+    bool depthwise_optimization = true;
+    /** Input feature-wise partition (all Tab. 6 rows keep this on). */
+    bool feature_partition = true;
+    /** Workload orchestration ("Partial."). */
+    OrchestrationMode orchestration =
+        OrchestrationMode::PartialTimeMultiplex;
+
+    /**
+     * Utilization threshold below which partial time-multiplexing
+     * donates unused lanes to the segmentation model (Fig. 7).
+     */
+    double partial_util_threshold = 0.80;
+
+    /** Total MAC count. */
+    int totalMacs() const { return mac_lanes * macs_per_lane; }
+
+    /**
+     * Peak Act-GB read bandwidth in bytes per cycle. The
+     * sequential-write-parallel-read buffer doubles usable read
+     * bandwidth (parallel reads from In-Act G0/G1) relative to the
+     * plain buffer whose reads serialize against writes.
+     */
+    double
+    actReadBandwidth() const
+    {
+        // One bank address (a 16-channel tile) is served per cycle
+        // per read port; the SWPR buffer's interleaved In-Act G0/G1
+        // groups double the usable read bandwidth (Fig. 12).
+        const double raw = double(act_bank_width_bytes);
+        return swpr_input_buffer ? raw * 2.0 : raw;
+    }
+};
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_HW_CONFIG_H

@@ -1,0 +1,65 @@
+#include "accel/input_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+InputBufferTiming
+simulateInputBuffer(const InputBufferConfig &cfg, int rounds)
+{
+    eyecod_assert(rounds > 0 && cfg.rows_per_round > 0 &&
+                  cfg.row_bytes > 0 &&
+                  cfg.compute_cycles_per_round > 0 &&
+                  cfg.gb_bytes_per_cycle > 0.0,
+                  "bad input buffer configuration");
+    const long long fetch_bytes =
+        (long long)cfg.rows_per_round * cfg.row_bytes;
+    const long long fetch_cycles = (long long)std::ceil(
+        double(fetch_bytes) / cfg.gb_bytes_per_cycle);
+    const long long compute = cfg.compute_cycles_per_round;
+
+    InputBufferTiming t;
+    if (cfg.swpr) {
+        // The temp buffer fetches round r+1's rows during round r's
+        // compute; In-Act G0/G1 alternate so reads never wait on
+        // writes. The first round's fetch is exposed.
+        const long long per_round = std::max(compute, fetch_cycles);
+        t.total_cycles = fetch_cycles + (long long)rounds * per_round;
+        t.stall_cycles =
+            (long long)rounds * std::max(0LL, fetch_cycles - compute)
+            + fetch_cycles;
+        t.required_peak_bw = double(fetch_bytes) / double(compute);
+    } else {
+        // The plain buffer serializes fetch and compute: rows must
+        // land before the round starts. Zero-stall operation would
+        // need the whole round's rows within the ~1.5-cycle
+        // write-to-read turnaround window.
+        t.total_cycles = (long long)rounds * (compute + fetch_cycles);
+        t.stall_cycles = (long long)rounds * fetch_cycles;
+        t.required_peak_bw = double(fetch_bytes) / 1.5;
+    }
+    t.effective_bw = double(fetch_bytes) * rounds /
+                     double(std::max(1LL, t.total_cycles));
+    return t;
+}
+
+double
+swprBandwidthSaving(const InputBufferConfig &cfg)
+{
+    InputBufferConfig plain = cfg;
+    plain.swpr = false;
+    InputBufferConfig swpr = cfg;
+    swpr.swpr = true;
+    const double bw_plain =
+        simulateInputBuffer(plain, 1).required_peak_bw;
+    const double bw_swpr =
+        simulateInputBuffer(swpr, 1).required_peak_bw;
+    return 1.0 - bw_swpr / bw_plain;
+}
+
+} // namespace accel
+} // namespace eyecod

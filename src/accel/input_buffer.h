@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Timing model of the sequential-write-parallel-read input
+ * activation buffer (Fig. 12): a temp buffer fetches the next
+ * round's M input-activation rows from the Act GBs sequentially
+ * while the MAC lanes work on the current round; the two interleaved
+ * groups In-Act G0/G1 are then read in parallel. The plain
+ * (non-SWPR) buffer must fetch the rows up front, stalling the
+ * array.
+ */
+
+#ifndef EYECOD_ACCEL_INPUT_BUFFER_H
+#define EYECOD_ACCEL_INPUT_BUFFER_H
+
+#include <vector>
+
+namespace eyecod {
+namespace accel {
+
+/** Timing parameters of an input-buffer simulation. */
+struct InputBufferConfig
+{
+    int rows_per_round = 16;     ///< M rows fetched per round.
+    int row_bytes = 80;          ///< Bytes per activation row.
+    int compute_cycles_per_round = 3; ///< Kernel-size cycles.
+    double gb_bytes_per_cycle = 64.0; ///< Act GB fetch bandwidth.
+    bool swpr = true;            ///< Overlap fetch with compute.
+};
+
+/** Result of simulating a run of rounds. */
+struct InputBufferTiming
+{
+    long long total_cycles = 0;  ///< Compute + stalls.
+    long long stall_cycles = 0;  ///< Cycles the array waited.
+    double effective_bw = 0.0;   ///< Bytes/cycle actually needed.
+    /**
+     * Peak instantaneous bandwidth the Act GB must provide to avoid
+     * stalls: the whole round's rows in one cycle without SWPR,
+     * spread over the round with it.
+     */
+    double required_peak_bw = 0.0;
+};
+
+/**
+ * Simulate @p rounds rounds of processing through the input buffer.
+ */
+InputBufferTiming simulateInputBuffer(const InputBufferConfig &cfg,
+                                      int rounds);
+
+/**
+ * Bandwidth saving of the SWPR buffer vs the plain buffer for the
+ * same round shape: 1 - required_peak_bw(swpr) /
+ * required_peak_bw(plain). The paper reports 50-60% for 3x3 kernels.
+ */
+double swprBandwidthSaving(const InputBufferConfig &cfg);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_INPUT_BUFFER_H

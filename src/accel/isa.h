@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Instruction set of the EyeCoD accelerator's on-chip controller
+ * (Fig. 9): the controller reads instructions from the 4 KB
+ * instruction SRAM to sequence weight loads (ping-pong buffers),
+ * input-row fetches (SWPR buffer), MAC-lane waves, output stores,
+ * and the Fig. 11 reshaping operations whose tile descriptors live
+ * in the 20 KB index SRAM.
+ *
+ * Loops keep the encoding compact: a layer's waves and partition
+ * stripes are expressed as LoopBegin/LoopEnd pairs rather than
+ * unrolled, which is what makes the 4 KB instruction SRAM
+ * sufficient for the whole predict-then-focus pipeline.
+ */
+
+#ifndef EYECOD_ACCEL_ISA_H
+#define EYECOD_ACCEL_ISA_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/hw_config.h"
+#include "accel/workload.h"
+
+namespace eyecod {
+namespace accel {
+
+/** Controller opcodes. */
+enum class Opcode : uint8_t {
+    ConfigLayer,  ///< Latch layer shape/dataflow registers.
+    LoadWeights,  ///< Weight GB -> ping-pong weight buffer chunk.
+    LoadInput,    ///< Act GB -> input activation buffer rows.
+    Compute,      ///< Run one wave on the MAC lanes.
+    StoreOutput,  ///< Output activation buffer -> Act GB.
+    Reshape,      ///< Install a Fig. 11 view descriptor (index SRAM).
+    LoopBegin,    ///< Repeat the enclosed block arg0 times.
+    LoopEnd,
+    Barrier,      ///< Wait for all lanes / buffers to drain.
+};
+
+/** Human-readable opcode name. */
+const char *opcodeName(Opcode op);
+
+/** One fixed-width (8-byte encoded) controller instruction. */
+struct Instruction
+{
+    Opcode op;
+    int layer = -1;      ///< Layer index within the model.
+    int64_t arg0 = 0;    ///< Opcode-specific (loop count, bytes...).
+    int64_t arg1 = 0;
+};
+
+/** A compiled instruction stream plus its storage footprints. */
+struct InstructionStream
+{
+    std::string model;   ///< Source model name.
+    std::vector<Instruction> instructions;
+    /** Index-SRAM bytes consumed by reshaping descriptors. */
+    long long index_bytes = 0;
+
+    /** Encoded size: 8 bytes per instruction. */
+    long long
+    encodedBytes() const
+    {
+        return 8LL * (long long)instructions.size();
+    }
+
+    /** Instruction count per opcode. */
+    std::map<Opcode, int> histogram() const;
+
+    /** True when the stream fits the Tab. 1 SRAM budgets. */
+    bool fitsOnChip(const HwConfig &hw) const;
+};
+
+/**
+ * Lower a model workload to a controller instruction stream.
+ *
+ * @param model layer workloads in execution order.
+ * @param hw hardware configuration (buffer sizes, lanes).
+ * @param partition_stripes feature-wise partition factor applied to
+ *        the activation traffic (Principle #III).
+ */
+InstructionStream compileModel(const ModelWorkload &model,
+                               const HwConfig &hw,
+                               int partition_stripes = 1);
+
+/**
+ * Verify structural well-formedness: balanced loops, weights
+ * configured and loaded before the first compute of each layer, a
+ * final barrier. Returns an empty string when valid, else a
+ * diagnostic.
+ */
+std::string validateStream(const InstructionStream &stream);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_ISA_H

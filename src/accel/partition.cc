@@ -1,0 +1,58 @@
+#include "accel/partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+long long
+peakActivationBytes(const std::vector<nn::LayerWorkload> &layers)
+{
+    long long peak = 0;
+    for (const nn::LayerWorkload &w : layers)
+        peak = std::max(peak, w.inActBytes() + w.outActBytes());
+    return peak;
+}
+
+long long
+partitionedActivationBytes(
+    const std::vector<nn::LayerWorkload> &layers, int stripes)
+{
+    eyecod_assert(stripes >= 1, "partition stripes must be >= 1");
+    long long peak = 0;
+    for (const nn::LayerWorkload &w : layers) {
+        const long long body =
+            (w.inActBytes() + w.outActBytes()) / stripes;
+        // Cross-layer stripe processing keeps a (kernel-1)-column
+        // halo of the input resident per stripe boundary.
+        const long long halo =
+            stripes > 1
+                ? (long long)(w.kernel - 1) * w.h_in * w.c_in
+                : 0;
+        peak = std::max(peak, body + std::max(0LL, halo));
+    }
+    return peak;
+}
+
+PartitionAnalysis
+analyzePartition(const std::vector<nn::LayerWorkload> &layers,
+                 long long budget_bytes, int max_stripes)
+{
+    PartitionAnalysis a;
+    a.unpartitioned_bytes = peakActivationBytes(layers);
+    a.partition_factor = 1;
+    a.partitioned_bytes = a.unpartitioned_bytes;
+    while (a.partitioned_bytes > budget_bytes &&
+           a.partition_factor < max_stripes) {
+        a.partition_factor *= 2;
+        a.partitioned_bytes =
+            partitionedActivationBytes(layers, a.partition_factor);
+    }
+    a.fits = a.partitioned_bytes <= budget_bytes;
+    return a;
+}
+
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Input feature-wise partition (Challenge/Principle #III, Fig. 8):
+ * activation-memory analysis with and without partitioned cross-layer
+ * processing.
+ *
+ * Without partition, layer-by-layer processing must keep each
+ * layer's full input + output activations resident, so the required
+ * activation memory is the maximum such working set. With the
+ * partition, the feature maps are tiled along the spatial dimensions
+ * into P stripes processed through consecutive layers, so only 1/P of
+ * each working set plus a (kernel-1)-wide halo per layer is resident.
+ */
+
+#ifndef EYECOD_ACCEL_PARTITION_H
+#define EYECOD_ACCEL_PARTITION_H
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace eyecod {
+namespace accel {
+
+/** Result of the activation-memory analysis for one model. */
+struct PartitionAnalysis
+{
+    long long unpartitioned_bytes = 0; ///< Peak in+out working set.
+    long long partitioned_bytes = 0;   ///< Peak with P stripes + halo.
+    int partition_factor = 1;          ///< Chosen P.
+    bool fits = false;                 ///< Partitioned set fits budget.
+};
+
+/** Peak layer-by-layer activation working set (8-bit activations). */
+long long peakActivationBytes(
+    const std::vector<nn::LayerWorkload> &layers);
+
+/** Resident activation bytes when partitioned into @p stripes. */
+long long partitionedActivationBytes(
+    const std::vector<nn::LayerWorkload> &layers, int stripes);
+
+/**
+ * Pick the smallest power-of-two partition factor whose resident set
+ * fits @p budget_bytes (caps at @p max_stripes).
+ */
+PartitionAnalysis analyzePartition(
+    const std::vector<nn::LayerWorkload> &layers,
+    long long budget_bytes, int max_stripes = 16);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_PARTITION_H

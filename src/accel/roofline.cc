@@ -1,0 +1,56 @@
+#include "accel/roofline.h"
+
+#include <algorithm>
+
+#include "accel/dataflow.h"
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+RooflineSummary
+analyzeRoofline(const ModelWorkload &model, const HwConfig &hw)
+{
+    RooflineSummary s;
+    s.peak_macs_per_cycle = hw.totalMacs();
+    const double bandwidth = hw.actReadBandwidth();
+    s.balance_intensity = s.peak_macs_per_cycle / bandwidth;
+
+    long long total_macs = 0;
+    long long bound_macs = 0;
+    for (const nn::LayerWorkload &w : model.layers) {
+        if (!nn::isMacKind(w.kind))
+            continue;
+        const LayerCost cost = costLayer(w, hw, hw.mac_lanes);
+        RooflinePoint p;
+        p.layer = w.name;
+        p.kind = w.kind;
+        // Intensity over the contended resource: activation-GB
+        // *read* traffic (weights stream through their own buffers;
+        // writes use the second GB). With the stall model charging
+        // max(0, reads/bw - compute), achieved <= attainable holds
+        // by construction.
+        const double reads =
+            double(cost.activity.act_gb_bytes - w.outActBytes());
+        p.intensity = reads > 0.0 ? double(w.macs) / reads : 1e9;
+        p.attainable = std::min(s.peak_macs_per_cycle,
+                                p.intensity * bandwidth);
+        p.achieved =
+            double(w.macs) /
+            double(std::max(1LL, cost.totalCycles()));
+        p.bandwidth_bound = p.intensity < s.balance_intensity;
+        total_macs += w.macs;
+        if (p.bandwidth_bound) {
+            ++s.bandwidth_bound_layers;
+            bound_macs += w.macs;
+        }
+        s.points.push_back(std::move(p));
+    }
+    s.bandwidth_bound_mac_share =
+        total_macs > 0 ? double(bound_macs) / double(total_macs)
+                       : 0.0;
+    return s;
+}
+
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Roofline analysis of the accelerator workload: per-layer
+ * arithmetic intensity (MACs per byte of activation + weight
+ * traffic) against the machine balance point (peak MACs/cycle over
+ * activation-GB bytes/cycle), classifying each layer as compute- or
+ * bandwidth-bound. This is the analytical companion to the stall
+ * model: bandwidth-bound layers are exactly the ones the SWPR input
+ * buffer and the depth-wise intra-channel reuse rescue.
+ */
+
+#ifndef EYECOD_ACCEL_ROOFLINE_H
+#define EYECOD_ACCEL_ROOFLINE_H
+
+#include <string>
+#include <vector>
+
+#include "accel/hw_config.h"
+#include "accel/workload.h"
+
+namespace eyecod {
+namespace accel {
+
+/** Roofline placement of one layer. */
+struct RooflinePoint
+{
+    std::string layer;
+    nn::LayerKind kind;
+    double intensity = 0.0;      ///< MACs per traffic byte.
+    double attainable = 0.0;     ///< MACs/cycle under the roofline.
+    double achieved = 0.0;       ///< MACs/cycle from the cost model.
+    bool bandwidth_bound = false; ///< Below the balance point.
+};
+
+/** Whole-model roofline summary. */
+struct RooflineSummary
+{
+    double balance_intensity = 0.0; ///< Machine balance (MACs/B).
+    double peak_macs_per_cycle = 0.0;
+    std::vector<RooflinePoint> points;
+    int bandwidth_bound_layers = 0;
+    double bandwidth_bound_mac_share = 0.0; ///< Fraction of MACs.
+};
+
+/**
+ * Compute the roofline placement of every MAC layer of a model on
+ * the given hardware.
+ */
+RooflineSummary analyzeRoofline(const ModelWorkload &model,
+                                const HwConfig &hw);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_ROOFLINE_H

@@ -1,0 +1,63 @@
+#include "accel/simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+PerfReport
+simulate(const std::vector<ModelWorkload> &workloads,
+         const HwConfig &hw, const EnergyModel &energy)
+{
+    PerfReport r;
+    r.schedule = scheduleFrame(workloads, hw);
+    r.frame_cycles = r.schedule.frame_cycles;
+    r.frame_ms = double(r.frame_cycles) / hw.clock_hz * 1e3;
+    r.fps = hw.clock_hz / double(std::max(1LL, r.frame_cycles));
+    r.fps_peak =
+        hw.clock_hz / double(std::max(1LL,
+                                      r.schedule.peak_frame_cycles));
+    r.utilization = r.schedule.utilization;
+    r.seg_hidden_fraction = r.schedule.seg_hidden_fraction;
+
+    // Activation memory: every model must keep its resident set
+    // within the two activation GBs; the feature-wise partition is
+    // applied per model when enabled.
+    const long long budget =
+        (long long)hw.act_gb_bytes * hw.act_gb_count;
+    long long resident = 0;
+    long long unpart = 0;
+    int factor = 1;
+    bool fits = true;
+    for (const ModelWorkload &m : workloads) {
+        unpart = std::max(unpart, peakActivationBytes(m.layers));
+        if (hw.feature_partition) {
+            const PartitionAnalysis a =
+                analyzePartition(m.layers, budget);
+            resident = std::max(resident, a.partitioned_bytes);
+            factor = std::max(factor, a.partition_factor);
+            fits = fits && a.fits;
+        } else {
+            resident = std::max(resident,
+                                peakActivationBytes(m.layers));
+            fits = fits && resident <= budget;
+        }
+    }
+    r.act_mem_bytes = resident;
+    r.act_mem_unpartitioned = unpart;
+    r.partition_factor = factor;
+    r.act_mem_fits = fits;
+
+    // Energy: amortized per-frame activity over the frame window.
+    r.activity = r.schedule.activity;
+    r.activity.cycles = r.frame_cycles;
+    r.energy_per_frame_j = energy.energyJoules(r.activity);
+    r.power_w = energy.averagePowerWatts(r.activity);
+    r.fps_per_watt = r.power_w > 0.0 ? r.fps / r.power_w : 0.0;
+    return r;
+}
+
+} // namespace accel
+} // namespace eyecod

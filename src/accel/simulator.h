@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Top-level accelerator simulator: composes the dataflow cost model,
+ * the workload orchestrator, the feature-wise partition analysis,
+ * and the energy model into the per-configuration performance report
+ * that the Tab. 6 / Fig. 7 / Fig. 14 benchmarks consume.
+ */
+
+#ifndef EYECOD_ACCEL_SIMULATOR_H
+#define EYECOD_ACCEL_SIMULATOR_H
+
+#include "accel/energy.h"
+#include "accel/orchestrator.h"
+#include "accel/partition.h"
+#include "accel/workload.h"
+
+namespace eyecod {
+namespace accel {
+
+/** Performance report of one simulated configuration. */
+struct PerfReport
+{
+    double fps = 0.0;        ///< Steady-state throughput.
+    double fps_peak = 0.0;   ///< Worst-frame throughput.
+    double utilization = 0.0; ///< Overall MAC utilization.
+    long long frame_cycles = 0;
+    double frame_ms = 0.0;
+    double power_w = 0.0;        ///< Average power.
+    double energy_per_frame_j = 0.0;
+    double fps_per_watt = 0.0;   ///< Energy-efficiency metric.
+    long long act_mem_bytes = 0; ///< Resident activations (partitioned).
+    long long act_mem_unpartitioned = 0;
+    int partition_factor = 1;
+    bool act_mem_fits = false;   ///< Fits the two Act GBs.
+    double seg_hidden_fraction = 0.0;
+    ActivityCounts activity;     ///< Amortized per-frame activity.
+    FrameSchedule schedule;      ///< Layer timeline (Fig. 7).
+};
+
+/**
+ * Simulate one steady-state frame of the given pipeline workloads on
+ * the given hardware configuration.
+ */
+PerfReport simulate(const std::vector<ModelWorkload> &workloads,
+                    const HwConfig &hw, const EnergyModel &energy);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_SIMULATOR_H

@@ -1,0 +1,50 @@
+#include "accel/weight_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace accel {
+
+WeightStreamTiming
+simulateWeightStream(const WeightStreamConfig &c)
+{
+    eyecod_assert(c.weight_bytes >= 0 && c.compute_cycles >= 0 &&
+                  c.buffer_bytes > 0 && c.gb_bytes_per_cycle > 0.0,
+                  "bad weight stream configuration");
+    WeightStreamTiming t;
+    if (c.weight_bytes == 0) {
+        t.total_cycles = c.compute_cycles;
+        return t;
+    }
+    t.chunks = int((c.weight_bytes + c.buffer_bytes - 1) /
+                   c.buffer_bytes);
+    const long long chunk_load = (long long)std::ceil(
+        double(std::min(c.weight_bytes, c.buffer_bytes)) /
+        c.gb_bytes_per_cycle);
+    t.load_cycles = (long long)t.chunks * chunk_load;
+
+    // Compute is spread evenly over the chunks (each chunk's weights
+    // cover a slice of the output channels).
+    const long long compute_per_chunk =
+        c.compute_cycles / std::max(1, t.chunks);
+
+    if (!c.double_buffered) {
+        // Every chunk load is exposed.
+        t.stall_cycles = t.load_cycles;
+    } else {
+        // The first fill is exposed; subsequent fills overlap the
+        // previous chunk's compute window.
+        t.stall_cycles = chunk_load;
+        for (int i = 1; i < t.chunks; ++i)
+            t.stall_cycles +=
+                std::max(0LL, chunk_load - compute_per_chunk);
+    }
+    t.total_cycles = c.compute_cycles + t.stall_cycles;
+    return t;
+}
+
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Timing model of the ping-pong weight buffers (Fig. 9): two 64 KB
+ * buffers between the weight GB and the MAC lanes, filled
+ * alternately so the next chunk loads while the current one streams
+ * to the lanes — "to avoid the weight load stalls". Stalls appear
+ * only when a chunk's load time exceeds the compute time it covers
+ * (small layers with large weights, i.e. FC).
+ */
+
+#ifndef EYECOD_ACCEL_WEIGHT_BUFFER_H
+#define EYECOD_ACCEL_WEIGHT_BUFFER_H
+
+namespace eyecod {
+namespace accel {
+
+/** Weight streaming parameters for one layer. */
+struct WeightStreamConfig
+{
+    long long weight_bytes = 0;  ///< Layer weight footprint.
+    long long compute_cycles = 0; ///< Layer compute duration.
+    long long buffer_bytes = 64 * 1024; ///< One ping-pong buffer.
+    double gb_bytes_per_cycle = 16.0; ///< Weight GB bandwidth.
+    bool double_buffered = true; ///< Ping-pong enabled.
+};
+
+/** Timing result of streaming one layer's weights. */
+struct WeightStreamTiming
+{
+    int chunks = 0;             ///< Buffer-sized chunks.
+    long long load_cycles = 0;  ///< Total fill time.
+    long long stall_cycles = 0; ///< Exposed (non-overlapped) time.
+    long long total_cycles = 0; ///< Compute + stalls.
+};
+
+/**
+ * Simulate weight streaming for one layer: chunk i+1 loads during
+ * the compute window of chunk i when double buffering is on;
+ * otherwise every load is exposed.
+ */
+WeightStreamTiming simulateWeightStream(const WeightStreamConfig &c);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_WEIGHT_BUFFER_H

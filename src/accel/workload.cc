@@ -1,0 +1,101 @@
+#include "accel/workload.h"
+
+#include "common/logging.h"
+#include "models/model_zoo.h"
+
+namespace eyecod {
+namespace accel {
+
+long long
+ModelWorkload::totalMacs() const
+{
+    long long acc = 0;
+    for (const nn::LayerWorkload &w : layers)
+        acc += w.macs;
+    return acc;
+}
+
+ModelWorkload
+workloadFromGraph(const nn::Graph &graph, int period)
+{
+    eyecod_assert(period >= 1, "workload period must be >= 1");
+    ModelWorkload m;
+    m.name = graph.name();
+    m.layers = graph.workloads();
+    m.period = period;
+    return m;
+}
+
+ModelWorkload
+reconstructionWorkload(int scene, int sensor)
+{
+    eyecod_assert(scene > 0 && sensor >= scene,
+                  "reconstruction needs sensor >= scene (%d < %d)",
+                  sensor, scene);
+    ModelWorkload m;
+    m.name = "flatcam-recon";
+    m.period = 1;
+    auto matmul = [&](const std::string &name, int rows, int k,
+                      int cols) {
+        nn::LayerWorkload w;
+        w.name = name;
+        w.kind = nn::LayerKind::MatMul;
+        w.c_out = rows;
+        w.h_out = 1;
+        w.w_out = cols;
+        w.c_in = k;
+        w.h_in = rows;
+        w.w_in = 1;
+        w.kernel = 1;
+        w.stride = 1;
+        w.macs = (long long)rows * k * cols;
+        w.params = (long long)k * cols;
+        m.layers.push_back(std::move(w));
+    };
+    // X = Vl * ((Sl (Ul^T y Ur) Sr) ./ (Sl^2 Sr^2 + eps)) * Vr^T.
+    matmul("ult_y", scene, sensor, sensor);   // Ul^T * y
+    matmul("y_ur", scene, sensor, scene);     // (.) * Ur
+    matmul("vl_x", scene, scene, scene);      // Vl * Xhat
+    matmul("x_vrt", scene, scene, scene);     // (.) * Vr^T
+    return m;
+}
+
+std::vector<ModelWorkload>
+buildPipelineWorkload(const PipelineWorkloadConfig &cfg)
+{
+    std::vector<ModelWorkload> out;
+    if (cfg.flatcam)
+        out.push_back(reconstructionWorkload(cfg.scene, cfg.sensor));
+
+    const nn::Graph gaze = models::buildFBNetC100(
+        cfg.roi_height, cfg.roi_width, cfg.quant_bits);
+    out.push_back(workloadFromGraph(gaze, 1));
+
+    const nn::Graph seg = models::buildRitNet(
+        cfg.seg_input, cfg.seg_input, cfg.quant_bits);
+    ModelWorkload seg_w = workloadFromGraph(seg, cfg.roi_refresh);
+    if (cfg.optical_first_layer && !seg_w.layers.empty()) {
+        // The mask computes the first conv optically (Sec. 4.2).
+        seg_w.layers.erase(seg_w.layers.begin());
+    }
+    out.push_back(std::move(seg_w));
+    return out;
+}
+
+std::vector<ModelWorkload>
+buildLensBaselineWorkload(const PipelineWorkloadConfig &cfg)
+{
+    std::vector<ModelWorkload> out;
+    // Gaze on the raw full-resolution frame (no ROI focus).
+    const nn::Graph gaze = models::buildFBNetC100(
+        cfg.scene, cfg.scene, cfg.quant_bits);
+    out.push_back(workloadFromGraph(gaze, 1));
+
+    const nn::Graph seg = models::buildRitNet(
+        cfg.seg_input, cfg.seg_input, cfg.quant_bits);
+    out.push_back(workloadFromGraph(seg, cfg.roi_refresh));
+    return out;
+}
+
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Workload assembly for the accelerator simulator: per-model layer
+ * lists plus the composed EyeCoD predict-then-focus pipeline workload
+ * (per-frame gaze estimation + FlatCam reconstruction, segmentation
+ * once every N frames).
+ */
+
+#ifndef EYECOD_ACCEL_WORKLOAD_H
+#define EYECOD_ACCEL_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace eyecod {
+namespace accel {
+
+/** A model's layer workload plus its execution period. */
+struct ModelWorkload
+{
+    std::string name;
+    std::vector<nn::LayerWorkload> layers;
+    /** The model executes once every `period` frames (>= 1). */
+    int period = 1;
+
+    /** Total MACs of one execution. */
+    long long totalMacs() const;
+
+    /** MACs amortized per frame. */
+    double macsPerFrame() const
+    {
+        return double(totalMacs()) / double(period);
+    }
+};
+
+/** Extract a ModelWorkload from a functional graph. */
+ModelWorkload workloadFromGraph(const nn::Graph &graph, int period = 1);
+
+/**
+ * The FlatCam Tikhonov reconstruction lowered to the accelerator's
+ * matrix-matrix layers: Ul^T y, (.) Ur, Vl Xhat, (.) Vr^T (the
+ * element-wise singular-value filter rides along the second product).
+ *
+ * @param scene scene extent (reconstruction output is scene x scene).
+ * @param sensor sensor extent (measurement is sensor x sensor).
+ */
+ModelWorkload reconstructionWorkload(int scene, int sensor);
+
+/** Configuration of the full pipeline workload. */
+struct PipelineWorkloadConfig
+{
+    int scene = 256;        ///< Reconstructed scene extent.
+    int sensor = 512;       ///< FlatCam sensor extent (~2x scene).
+    int seg_input = 128;    ///< Segmentation input (downsampled).
+    int roi_height = 96;    ///< Gaze ROI extent.
+    int roi_width = 160;
+    int roi_refresh = 50;   ///< Segmentation period (frames).
+    int quant_bits = 8;     ///< Deployment precision.
+    bool flatcam = true;    ///< Include the reconstruction workload.
+    /**
+     * Sensing-processing interface (Sec. 4.2): the first conv layer
+     * of the segmentation model is computed optically in the mask
+     * and dropped from the electronic workload.
+     */
+    bool optical_first_layer = false;
+};
+
+/**
+ * Assemble the per-frame workloads of the EyeCoD pipeline:
+ * reconstruction (period 1, FlatCam only), gaze estimation
+ * (FBNet-C100, period 1), and segmentation (RITNet, period N).
+ *
+ * Order matters to the orchestrator: index 0.. are per-frame
+ * ("gaze-side") workloads; the last entry is the periodic
+ * segmentation workload.
+ */
+std::vector<ModelWorkload> buildPipelineWorkload(
+    const PipelineWorkloadConfig &cfg);
+
+/**
+ * The lens-based baseline workload of Sec. 6.4: no reconstruction,
+ * no ROI — segmentation and gaze estimation both consume the raw
+ * 256x256 frames.
+ */
+std::vector<ModelWorkload> buildLensBaselineWorkload(
+    const PipelineWorkloadConfig &cfg);
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_WORKLOAD_H

@@ -1,0 +1,182 @@
+#include "common/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+
+Image::Image(int height, int width, float fill)
+    : height_(height), width_(width),
+      data_(size_t(height) * size_t(width), fill)
+{
+    eyecod_assert(height >= 0 && width >= 0, "negative image shape");
+}
+
+float
+Image::atClamped(int y, int x) const
+{
+    y = std::clamp(y, 0, height_ - 1);
+    x = std::clamp(x, 0, width_ - 1);
+    return at(y, x);
+}
+
+Image
+Image::resized(int new_height, int new_width) const
+{
+    eyecod_assert(height_ > 0 && width_ > 0, "resize of empty image");
+    Image out(new_height, new_width);
+    const double sy = double(height_) / new_height;
+    const double sx = double(width_) / new_width;
+    for (int y = 0; y < new_height; ++y) {
+        const double fy = (y + 0.5) * sy - 0.5;
+        const int y0 = int(std::floor(fy));
+        const double wy = fy - y0;
+        for (int x = 0; x < new_width; ++x) {
+            const double fx = (x + 0.5) * sx - 0.5;
+            const int x0 = int(std::floor(fx));
+            const double wx = fx - x0;
+            const double v =
+                (1 - wy) * ((1 - wx) * atClamped(y0, x0) +
+                            wx * atClamped(y0, x0 + 1)) +
+                wy * ((1 - wx) * atClamped(y0 + 1, x0) +
+                      wx * atClamped(y0 + 1, x0 + 1));
+            out.at(y, x) = float(v);
+        }
+    }
+    return out;
+}
+
+Image
+Image::cropped(const Rect &r) const
+{
+    eyecod_assert(r.width > 0 && r.height > 0, "empty crop rect");
+    Image out(r.height, r.width);
+    for (int y = 0; y < r.height; ++y)
+        for (int x = 0; x < r.width; ++x)
+            out.at(y, x) = atClamped(r.y + y, r.x + x);
+    return out;
+}
+
+void
+Image::clamp(float lo, float hi)
+{
+    for (float &v : data_)
+        v = std::clamp(v, lo, hi);
+}
+
+float
+Image::mean() const
+{
+    if (data_.empty())
+        return 0.0f;
+    double acc = 0.0;
+    for (float v : data_)
+        acc += v;
+    return float(acc / data_.size());
+}
+
+float
+Image::minValue() const
+{
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float
+Image::maxValue() const
+{
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+void
+Image::normalize()
+{
+    if (data_.empty())
+        return;
+    const float lo = minValue();
+    const float hi = maxValue();
+    const float span = hi - lo;
+    if (span <= 0.0f) {
+        std::fill(data_.begin(), data_.end(), 0.0f);
+        return;
+    }
+    for (float &v : data_)
+        v = (v - lo) / span;
+}
+
+void
+Image::fillDisk(double cy, double cx, double radius, float value)
+{
+    fillEllipse(cy, cx, radius, radius, value);
+}
+
+void
+Image::fillEllipse(double cy, double cx, double ry, double rx,
+                   float value)
+{
+    if (ry <= 0.0 || rx <= 0.0)
+        return;
+    const int y_lo = std::max(0, int(std::floor(cy - ry)));
+    const int y_hi = std::min(height_ - 1, int(std::ceil(cy + ry)));
+    for (int y = y_lo; y <= y_hi; ++y) {
+        const double dy = (y - cy) / ry;
+        const double rem = 1.0 - dy * dy;
+        if (rem < 0.0)
+            continue;
+        const double half = rx * std::sqrt(rem);
+        const int x_lo = std::max(0, int(std::floor(cx - half)));
+        const int x_hi = std::min(width_ - 1, int(std::ceil(cx + half)));
+        for (int x = x_lo; x <= x_hi; ++x) {
+            const double dx = (x - cx) / rx;
+            if (dy * dy + dx * dx <= 1.0)
+                at(y, x) = value;
+        }
+    }
+}
+
+double
+imageMse(const Image &a, const Image &b)
+{
+    eyecod_assert(a.height() == b.height() && a.width() == b.width(),
+                  "MSE shape mismatch");
+    if (a.size() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = double(a.data()[i]) - double(b.data()[i]);
+        acc += d * d;
+    }
+    return acc / double(a.size());
+}
+
+double
+imagePsnr(const Image &a, const Image &b)
+{
+    const double mse = imageMse(a, b);
+    if (mse <= 0.0)
+        return 99.0;
+    return 10.0 * std::log10(1.0 / mse);
+}
+
+double
+imageNcc(const Image &a, const Image &b)
+{
+    eyecod_assert(a.height() == b.height() && a.width() == b.width(),
+                  "NCC shape mismatch");
+    const double ma = a.mean();
+    const double mb = b.mean();
+    double num = 0.0, da = 0.0, db = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double xa = a.data()[i] - ma;
+        const double xb = b.data()[i] - mb;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if (da <= 0.0 || db <= 0.0)
+        return 0.0;
+    return num / std::sqrt(da * db);
+}
+
+} // namespace eyecod

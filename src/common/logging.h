@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant of the simulator is broken (a bug in
+ *            EyeCoD itself); aborts so a debugger/core dump can be used.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   — something may not behave as well as it should, but the run
+ *            can continue.
+ * inform() — plain status messages.
+ */
+
+#ifndef EYECOD_COMMON_LOGGING_H
+#define EYECOD_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace eyecod {
+
+/** Verbosity levels for message filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global verbosity; messages above the level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a condition that might indicate a problem but is survivable. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a normal status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a verbose debugging message. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an invariant with a formatted message; calls panic() on
+ * failure. Enabled in all build types (unlike assert()).
+ */
+#define eyecod_assert(cond, fmt, ...)                                     \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::eyecod::panic("assertion '%s' failed at %s:%d: " fmt,       \
+                            #cond, __FILE__, __LINE__, ##__VA_ARGS__);    \
+        }                                                                 \
+    } while (0)
+
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_LOGGING_H

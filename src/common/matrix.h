@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dense double-precision matrix with the linear algebra the FlatCam
+ * optical model needs: products, transposes, norms, and a one-sided
+ * Jacobi singular value decomposition used by the separable Tikhonov
+ * reconstruction.
+ */
+
+#ifndef EYECOD_COMMON_MATRIX_H
+#define EYECOD_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace eyecod {
+
+/**
+ * A dense row-major matrix of doubles.
+ */
+class Matrix
+{
+  public:
+    /** An empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** A rows x cols matrix filled with @p fill. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Number of rows. */
+    size_t rows() const { return rows_; }
+    /** Number of columns. */
+    size_t cols() const { return cols_; }
+    /** Total number of elements. */
+    size_t size() const { return data_.size(); }
+
+    /** Mutable element access. */
+    double &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    /** Const element access. */
+    double
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw storage (row-major). */
+    const std::vector<double> &data() const { return data_; }
+    /** Raw storage (row-major, mutable). */
+    std::vector<double> &data() { return data_; }
+
+    /** The identity matrix of order n. */
+    static Matrix identity(size_t n);
+
+    /** Matrix product this * other. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Element-wise sum; shapes must match. */
+    Matrix add(const Matrix &other) const;
+
+    /** Element-wise difference; shapes must match. */
+    Matrix sub(const Matrix &other) const;
+
+    /** All elements multiplied by s. */
+    Matrix scaled(double s) const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest absolute element. */
+    double maxAbs() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Thin singular value decomposition A = U * diag(S) * V^T.
+ *
+ * U is m x k, S holds k = min(m, n) non-negative singular values in
+ * descending order, and V is n x k with orthonormal columns.
+ */
+struct Svd
+{
+    Matrix u;              ///< Left singular vectors (m x k).
+    std::vector<double> s; ///< Singular values, descending.
+    Matrix v;              ///< Right singular vectors (n x k).
+};
+
+/**
+ * Solve A * X = B for X where A is symmetric positive definite,
+ * via Cholesky factorization. Used by the ridge-regression gaze
+ * estimator (normal equations).
+ *
+ * @param a SPD matrix (n x n); not modified.
+ * @param b right-hand side (n x m).
+ * @return X (n x m).
+ */
+Matrix solveSpd(const Matrix &a, const Matrix &b);
+
+/**
+ * Compute the thin SVD of @p a via one-sided Jacobi rotations.
+ *
+ * Intended for the moderate sizes of FlatCam transfer matrices
+ * (hundreds of rows/columns); accuracy is ~1e-10 relative.
+ *
+ * @param a input matrix (m x n with m >= n preferred; handled
+ *          internally otherwise).
+ * @param max_sweeps upper bound on Jacobi sweeps before giving up.
+ */
+Svd computeSvd(const Matrix &a, int max_sweeps = 60);
+
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_MATRIX_H

@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace eyecod {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    eyecod_assert(cells.size() == headers_.size(),
+                  "row arity %zu != header arity %zu",
+                  cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatSi(double v, int decimals)
+{
+    const char *suffix = "";
+    double scaled = v;
+    if (std::fabs(v) >= 1e12) {
+        scaled = v / 1e12;
+        suffix = "T";
+    } else if (std::fabs(v) >= 1e9) {
+        scaled = v / 1e9;
+        suffix = "G";
+    } else if (std::fabs(v) >= 1e6) {
+        scaled = v / 1e6;
+        suffix = "M";
+    } else if (std::fabs(v) >= 1e3) {
+        scaled = v / 1e3;
+        suffix = "K";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%s", decimals, scaled, suffix);
+    return buf;
+}
+
+} // namespace eyecod

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lightweight statistics helpers shared by the simulator and the
+ * benchmark harnesses: running scalar statistics and formatted table
+ * printing for the paper-style result rows.
+ */
+
+#ifndef EYECOD_COMMON_STATS_H
+#define EYECOD_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace eyecod {
+
+/**
+ * Online mean / variance / min / max accumulator (Welford).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / double(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    /** Number of samples seen. */
+    uint64_t count() const { return n_; }
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const { return n_ > 1 ? m2_ / double(n_) : 0.0; }
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-column text table used by the bench binaries to print
+ * paper-style rows.
+ */
+class TextTable
+{
+  public:
+    /** Create with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string formatDouble(double v, int decimals = 2);
+
+/** Format a count with SI-style suffixes (K/M/G/T). */
+std::string formatSi(double v, int decimals = 2);
+
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_STATS_H

@@ -1,0 +1,109 @@
+#include "core/eyecod.h"
+
+#include "common/logging.h"
+#include "flatcam/optical_interface.h"
+
+namespace eyecod {
+namespace core {
+
+EyeCoDSystem::EyeCoDSystem(SystemConfig cfg)
+    : cfg_(std::move(cfg)),
+      pipe_(std::make_unique<eyetrack::PredictThenFocusPipeline>(
+          cfg_.pipeline))
+{
+}
+
+void
+EyeCoDSystem::train(const dataset::SyntheticEyeRenderer &renderer,
+                    int train_count)
+{
+    pipe_->trainGaze(renderer, train_count);
+}
+
+eyetrack::PredictThenFocusPipeline::FrameResult
+EyeCoDSystem::processFrame(const Image &scene)
+{
+    return pipe_->processFrame(scene);
+}
+
+void
+EyeCoDSystem::reset()
+{
+    pipe_->reset();
+}
+
+accel::PerfReport
+EyeCoDSystem::simulatePerformance() const
+{
+    const auto workloads = accel::buildPipelineWorkload(cfg_.workload);
+    return accel::simulate(workloads, cfg_.hw, cfg_.energy);
+}
+
+long long
+EyeCoDSystem::frameCommBytes() const
+{
+    const int sensor = cfg_.workload.sensor;
+    if (!cfg_.optical_interface)
+        return (long long)sensor * sensor; // raw 8-bit measurement
+    // Sensing-processing interface: the mask computes the first
+    // layer optically; the sensor transmits downsampled feature maps.
+    flatcam::OpticalFirstLayer optical;
+    return optical.featureBytes(sensor, sensor);
+}
+
+long long
+EyeCoDSystem::lensFrameCommBytes() const
+{
+    const int scene = cfg_.workload.scene;
+    return (long long)scene * scene;
+}
+
+long long
+EyeCoDSystem::rawMeasurementBytes() const
+{
+    const int sensor = cfg_.workload.sensor;
+    return (long long)sensor * sensor;
+}
+
+std::vector<ComparisonRow>
+EyeCoDSystem::compareAgainstBaselines() const
+{
+    const auto workloads = accel::buildPipelineWorkload(cfg_.workload);
+    double macs_per_frame = 0.0;
+    for (const auto &m : workloads)
+        macs_per_frame += m.macsPerFrame();
+
+    std::vector<ComparisonRow> rows;
+    const long long lens_bytes = lensFrameCommBytes();
+    for (const auto &spec : platforms::baselinePlatforms()) {
+        const auto p = platforms::evaluatePlatform(
+            spec, macs_per_frame, lens_bytes);
+        ComparisonRow row;
+        row.name = p.name;
+        row.fps = p.fps;
+        row.system_fps = p.system_fps;
+        row.fps_per_watt = p.fps_per_watt;
+        rows.push_back(row);
+    }
+
+    // EyeCoD itself: simulated accelerator + attached-sensor link.
+    const accel::PerfReport perf = simulatePerformance();
+    const platforms::CommLink link = platforms::eyecodAttachedLink();
+    ComparisonRow self;
+    self.name = "EyeCoD";
+    self.fps = perf.fps;
+    self.system_fps =
+        1.0 / (1.0 / perf.fps + link.latency(frameCommBytes()));
+    self.fps_per_watt = perf.fps_per_watt;
+    rows.push_back(self);
+
+    // Normalize energy efficiency to EyeCoD = 1.0 (Fig. 14 y-axis).
+    const double base = self.fps_per_watt;
+    for (ComparisonRow &row : rows)
+        row.norm_energy_eff = base > 0.0
+            ? row.fps_per_watt / base : 0.0;
+    return rows;
+}
+
+} // namespace core
+} // namespace eyecod

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * EyeCoD public API: the composed eye tracking system.
+ *
+ * An EyeCoDSystem bundles the two faces of the reproduction:
+ *
+ *  - the *functional* path — FlatCam sensing, Tikhonov
+ *    reconstruction, predict-then-focus segmentation/ROI/gaze — which
+ *    produces actual gaze vectors for actual (synthetic) eye images;
+ *  - the *performance* path — the cycle-level accelerator simulator
+ *    running the deployment workload (int8 RITNet + FBNet-C100 +
+ *    reconstruction) — which produces throughput/energy numbers and
+ *    the comparison against the Fig. 14 baseline platforms.
+ *
+ * Quickstart:
+ * @code
+ *   core::EyeCoDSystem sys{core::SystemConfig{}};
+ *   dataset::SyntheticEyeRenderer eyes(
+ *       {.image_size = sys.config().pipeline.scene_size});
+ *   sys.train(eyes, 400);
+ *   auto frame = sys.processFrame(eyes.sample(0).image);
+ *   auto perf = sys.simulatePerformance();
+ * @endcode
+ */
+
+#ifndef EYECOD_CORE_EYECOD_H
+#define EYECOD_CORE_EYECOD_H
+
+#include <memory>
+
+#include "accel/simulator.h"
+#include "eyetrack/pipeline.h"
+#include "platforms/platform.h"
+
+namespace eyecod {
+namespace core {
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    /** Functional predict-then-focus pipeline. */
+    eyetrack::PipelineConfig pipeline;
+    /** Deployment workload fed to the accelerator simulator. */
+    accel::PipelineWorkloadConfig workload;
+    /** Accelerator hardware configuration (Tab. 1). */
+    accel::HwConfig hw;
+    /** Accelerator energy model (silicon-calibrated). */
+    accel::EnergyModel energy;
+    /**
+     * Sensing-processing interface (Sec. 4.2): transmit first-layer
+     * feature maps instead of raw measurements, reducing the
+     * camera-processor traffic.
+     */
+    bool optical_interface = true;
+};
+
+/** One row of the Fig. 14 style cross-platform comparison. */
+struct ComparisonRow
+{
+    std::string name;
+    double fps = 0.0;        ///< Compute-only throughput.
+    double system_fps = 0.0; ///< End-to-end incl. camera link.
+    double fps_per_watt = 0.0;
+    double norm_energy_eff = 0.0; ///< Normalized to EyeCoD = 1.0.
+};
+
+/**
+ * The composed EyeCoD system.
+ */
+class EyeCoDSystem
+{
+  public:
+    explicit EyeCoDSystem(SystemConfig cfg);
+
+    /** Train the functional gaze stage on synthetic subjects. */
+    void train(const dataset::SyntheticEyeRenderer &renderer,
+               int train_count);
+
+    /** Run one frame through the functional pipeline. */
+    eyetrack::PredictThenFocusPipeline::FrameResult processFrame(
+        const Image &scene);
+
+    /** Reset the functional pipeline's per-sequence state. */
+    void reset();
+
+    /** Simulate the accelerator on the deployment workload. */
+    accel::PerfReport simulatePerformance() const;
+
+    /**
+     * Fig. 14: EyeCoD (simulated) against the baseline platforms on
+     * the same per-frame workload. EyeCoD is the last row.
+     */
+    std::vector<ComparisonRow> compareAgainstBaselines() const;
+
+    /** Camera-to-processor bytes per frame for this system. */
+    long long frameCommBytes() const;
+
+    /** Camera-to-processor bytes per frame for a lens baseline. */
+    long long lensFrameCommBytes() const;
+
+    /** Raw FlatCam measurement bytes (no sensing-processing
+     *  interface). */
+    long long rawMeasurementBytes() const;
+
+    /** Configuration in use. */
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Direct access to the functional pipeline. */
+    eyetrack::PredictThenFocusPipeline &pipeline() { return *pipe_; }
+
+  private:
+    SystemConfig cfg_;
+    std::unique_ptr<eyetrack::PredictThenFocusPipeline> pipe_;
+};
+
+} // namespace core
+} // namespace eyecod
+
+#endif // EYECOD_CORE_EYECOD_H

@@ -1,0 +1,104 @@
+#include "dataset/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace dataset {
+
+namespace {
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writePgm(const std::string &path, const Image &img)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    std::fprintf(f.get(), "P5\n%d %d\n255\n", img.width(),
+                 img.height());
+    std::vector<unsigned char> row(size_t(img.width()));
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            const float v = std::clamp(img.at(y, x), 0.0f, 1.0f);
+            row[size_t(x)] = (unsigned char)std::lround(v * 255.0f);
+        }
+        if (std::fwrite(row.data(), 1, row.size(), f.get()) !=
+            row.size())
+            return false;
+    }
+    return true;
+}
+
+bool
+readPgm(const std::string &path, Image *img)
+{
+    eyecod_assert(img != nullptr, "readPgm needs a destination");
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    int w = 0, h = 0, maxval = 0;
+    if (std::fscanf(f.get(), "P5 %d %d %d", &w, &h, &maxval) != 3 ||
+        w <= 0 || h <= 0 || maxval != 255)
+        return false;
+    std::fgetc(f.get()); // the single whitespace after the header
+    *img = Image(h, w);
+    std::vector<unsigned char> row(static_cast<size_t>(w), 0);
+    for (int y = 0; y < h; ++y) {
+        if (std::fread(row.data(), 1, row.size(), f.get()) !=
+            row.size())
+            return false;
+        for (int x = 0; x < w; ++x)
+            img->at(y, x) = float(row[size_t(x)]) / 255.0f;
+    }
+    return true;
+}
+
+bool
+writeMaskPpm(const std::string &path, const SegMask &mask)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    std::fprintf(f.get(), "P6\n%d %d\n255\n", mask.width,
+                 mask.height);
+    static const unsigned char palette[4][3] = {
+        {0, 0, 0},     // background
+        {220, 60, 60}, // sclera
+        {60, 200, 60}, // iris
+        {60, 60, 230}, // pupil
+    };
+    std::vector<unsigned char> row(size_t(mask.width) * 3);
+    for (int y = 0; y < mask.height; ++y) {
+        for (int x = 0; x < mask.width; ++x) {
+            const unsigned char *c = palette[mask.at(y, x) & 3];
+            row[size_t(x) * 3 + 0] = c[0];
+            row[size_t(x) * 3 + 1] = c[1];
+            row[size_t(x) * 3 + 2] = c[2];
+        }
+        if (std::fwrite(row.data(), 1, row.size(), f.get()) !=
+            row.size())
+            return false;
+    }
+    return true;
+}
+
+} // namespace dataset
+} // namespace eyecod

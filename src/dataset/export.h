@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Image export/import for debugging and visualization: binary PGM
+ * (P5) for grayscale images and binary PPM (P6) for colorized
+ * segmentation masks. The examples use these to dump eye renders,
+ * FlatCam measurements, and reconstructions.
+ */
+
+#ifndef EYECOD_DATASET_EXPORT_H
+#define EYECOD_DATASET_EXPORT_H
+
+#include <string>
+
+#include "common/image.h"
+#include "dataset/synthetic_eye.h"
+
+namespace eyecod {
+namespace dataset {
+
+/**
+ * Write an image as binary PGM; pixel values are clamped to [0, 1]
+ * and quantized to 8 bits.
+ *
+ * @return false on I/O failure.
+ */
+bool writePgm(const std::string &path, const Image &img);
+
+/**
+ * Read a binary PGM written by writePgm().
+ *
+ * @param[out] img destination image.
+ * @return false on I/O or format failure.
+ */
+bool readPgm(const std::string &path, Image *img);
+
+/**
+ * Write a segmentation mask as binary PPM with the conventional
+ * OpenEDS class colours: background black, sclera red, iris green,
+ * pupil blue.
+ */
+bool writeMaskPpm(const std::string &path, const SegMask &mask);
+
+} // namespace dataset
+} // namespace eyecod
+
+#endif // EYECOD_DATASET_EXPORT_H

@@ -1,0 +1,53 @@
+#include "dataset/gaze_math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eyecod {
+namespace dataset {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+} // namespace
+
+GazeVec
+anglesToVector(double yaw_deg, double pitch_deg)
+{
+    const double yaw = yaw_deg * kDegToRad;
+    const double pitch = pitch_deg * kDegToRad;
+    return GazeVec{std::sin(yaw) * std::cos(pitch), std::sin(pitch),
+                   std::cos(yaw) * std::cos(pitch)};
+}
+
+std::array<double, 2>
+vectorToAngles(const GazeVec &g)
+{
+    const GazeVec n = normalize(g);
+    const double pitch = std::asin(std::clamp(n[1], -1.0, 1.0));
+    const double yaw = std::atan2(n[0], n[2]);
+    return {yaw * kRadToDeg, pitch * kRadToDeg};
+}
+
+GazeVec
+normalize(const GazeVec &g)
+{
+    const double norm =
+        std::sqrt(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
+    if (norm < 1e-12)
+        return GazeVec{0.0, 0.0, 1.0};
+    return GazeVec{g[0] / norm, g[1] / norm, g[2] / norm};
+}
+
+double
+angularErrorDeg(const GazeVec &a, const GazeVec &b)
+{
+    const GazeVec na = normalize(a);
+    const GazeVec nb = normalize(b);
+    const double dot = std::clamp(
+        na[0] * nb[0] + na[1] * nb[1] + na[2] * nb[2], -1.0, 1.0);
+    return std::acos(dot) * kRadToDeg;
+}
+
+} // namespace dataset
+} // namespace eyecod

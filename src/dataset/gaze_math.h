@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Gaze direction math: angle <-> unit-vector conversion and the
+ * arccosine angular error metric used by OpenEDS2020 and the paper's
+ * Tab. 2/4/5 (gaze error in degrees).
+ */
+
+#ifndef EYECOD_DATASET_GAZE_MATH_H
+#define EYECOD_DATASET_GAZE_MATH_H
+
+#include <array>
+
+namespace eyecod {
+namespace dataset {
+
+/** A 3-D gaze direction; unit length by convention. */
+using GazeVec = std::array<double, 3>;
+
+/**
+ * Build a unit gaze vector from yaw/pitch.
+ *
+ * @param yaw_deg horizontal angle, positive to the viewer's right.
+ * @param pitch_deg vertical angle, positive upward.
+ */
+GazeVec anglesToVector(double yaw_deg, double pitch_deg);
+
+/** Recover (yaw, pitch) in degrees from a gaze vector. */
+std::array<double, 2> vectorToAngles(const GazeVec &g);
+
+/** Normalize a vector to unit length (returns +z for near-zero). */
+GazeVec normalize(const GazeVec &g);
+
+/**
+ * Angular error between two gaze directions in degrees:
+ * acos(<a, b> / (|a||b|)).
+ */
+double angularErrorDeg(const GazeVec &a, const GazeVec &b);
+
+} // namespace dataset
+} // namespace eyecod
+
+#endif // EYECOD_DATASET_GAZE_MATH_H

@@ -1,0 +1,71 @@
+#include "dataset/sequence.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace dataset {
+
+std::vector<EyeParams>
+makeTrajectory(const SyntheticEyeRenderer &renderer, uint64_t subject,
+               const TrajectoryConfig &cfg)
+{
+    eyecod_assert(cfg.frames > 0 && cfg.fps > 0.0,
+                  "bad trajectory config");
+    const RenderConfig &rc = renderer.config();
+    // Static per-subject parameters (eye radius, starting position).
+    EyeParams base = renderer.sampleParams(subject * 7919);
+    Rng rng(0xf00d + subject);
+
+    const double dt = 1.0 / cfg.fps;
+    const double saccade_p = cfg.saccade_rate * dt;
+    const double alpha = 1.0 - std::exp(-dt / cfg.pursuit_tau);
+    const double drift_step =
+        cfg.drift_per_second * rc.image_size * dt;
+
+    double yaw = base.yaw_deg;
+    double pitch = base.pitch_deg;
+    double target_yaw = yaw;
+    double target_pitch = pitch;
+    double cy = base.eye_cy;
+    double cx = base.eye_cx;
+    // Slow sinusoidal drift of the eye position (headset slippage).
+    const double drift_freq = rng.uniform(0.2, 0.6); // Hz
+    const double drift_phase = rng.uniform(0.0, 2.0 * M_PI);
+
+    std::vector<EyeParams> out;
+    out.reserve(size_t(cfg.frames));
+    for (int f = 0; f < cfg.frames; ++f) {
+        if (rng.bernoulli(saccade_p)) {
+            const double ry = rc.max_yaw_deg * cfg.gaze_range_scale;
+            const double rp =
+                rc.max_pitch_deg * cfg.gaze_range_scale;
+            target_yaw = rng.uniform(-ry, ry);
+            target_pitch = rng.uniform(-rp, rp);
+        }
+        // Exponential approach to the saccade target (pursuit).
+        yaw += alpha * (target_yaw - yaw) + rng.gaussian(0.0, 0.15);
+        pitch +=
+            alpha * (target_pitch - pitch) + rng.gaussian(0.0, 0.15);
+
+        const double t = f * dt;
+        cy = base.eye_cy + drift_step / dt * 0.5 / drift_freq *
+             std::sin(2.0 * M_PI * drift_freq * t + drift_phase) /
+             (2.0 * M_PI);
+        cx += rng.gaussian(0.0, drift_step * 0.3);
+
+        EyeParams p = base;
+        p.yaw_deg = yaw;
+        p.pitch_deg = pitch;
+        p.eye_cy = cy;
+        p.eye_cx = cx;
+        p.pupil_scale =
+            base.pupil_scale * (1.0 + 0.02 * std::sin(2.0 * t));
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace dataset
+} // namespace eyecod

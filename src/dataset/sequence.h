@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Temporal eye-motion sequences for the ROI refresh-rate experiments
+ * (Tab. 5). The paper exploits that "the movement of eyes [in the
+ * socket] is much slower than the movement of gaze directions": gaze
+ * makes saccades many times per second, while the eye centre drifts
+ * slowly (headset slippage). The trajectory generator reproduces
+ * exactly that separation of time scales.
+ */
+
+#ifndef EYECOD_DATASET_SEQUENCE_H
+#define EYECOD_DATASET_SEQUENCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/synthetic_eye.h"
+
+namespace eyecod {
+namespace dataset {
+
+/** Trajectory generator configuration. */
+struct TrajectoryConfig
+{
+    int frames = 200;        ///< Sequence length.
+    double fps = 240.0;      ///< Frame rate the paper targets.
+    double saccade_rate = 3.0; ///< Expected saccades per second.
+    /** Smooth-pursuit time constant in seconds. */
+    double pursuit_tau = 0.08;
+    /** Eye-centre drift amplitude, fraction of image per second. */
+    double drift_per_second = 0.02;
+    /**
+     * Fraction of the renderer's gaze range that saccade targets
+     * span (in-headset gaze rarely sweeps the full calibration
+     * range).
+     */
+    double gaze_range_scale = 0.7;
+};
+
+/**
+ * Generate a frame-by-frame sequence of scene parameters for one
+ * synthetic subject: fast gaze dynamics over a slowly drifting eye
+ * position.
+ *
+ * @param renderer supplies the static per-subject parameters.
+ * @param subject subject index (deterministic per index).
+ * @param cfg dynamics configuration.
+ */
+std::vector<EyeParams> makeTrajectory(
+    const SyntheticEyeRenderer &renderer, uint64_t subject,
+    const TrajectoryConfig &cfg);
+
+} // namespace dataset
+} // namespace eyecod
+
+#endif // EYECOD_DATASET_SEQUENCE_H

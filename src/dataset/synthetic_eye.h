@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Procedural near-eye image renderer: the OpenEDS dataset substitute
+ * (see DESIGN.md). Each sample is a grayscale eye image with a
+ * 4-class segmentation mask (background/sclera/iris/pupil, matching
+ * OpenEDS2019 semantics) and a ground-truth 3-D gaze vector.
+ *
+ * The renderer models the statistics the pipeline depends on: a dark
+ * circular pupil anchored near the eye centre, a textured iris ring,
+ * a low-contrast sclera, eyelid occlusion, a specular glint, skin
+ * texture, eye-position jitter across subjects/headset placements,
+ * and sensor noise.
+ */
+
+#ifndef EYECOD_DATASET_SYNTHETIC_EYE_H
+#define EYECOD_DATASET_SYNTHETIC_EYE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.h"
+#include "common/rng.h"
+#include "dataset/gaze_math.h"
+
+namespace eyecod {
+namespace dataset {
+
+/** OpenEDS-style segmentation class labels. */
+enum SegClass : uint8_t {
+    kBackground = 0,
+    kSclera = 1,
+    kIris = 2,
+    kPupil = 3,
+};
+
+/** Per-pixel class labels matching an Image's extent. */
+struct SegMask
+{
+    int height = 0;
+    int width = 0;
+    std::vector<uint8_t> labels; ///< Row-major class ids.
+
+    uint8_t
+    at(int y, int x) const
+    {
+        return labels[size_t(y) * width + x];
+    }
+    uint8_t &
+    at(int y, int x)
+    {
+        return labels[size_t(y) * width + x];
+    }
+
+    /** Nearest-neighbour downsample to a new extent. */
+    SegMask resized(int new_height, int new_width) const;
+};
+
+/** Scene-level parameters of one rendered eye. */
+struct EyeParams
+{
+    double yaw_deg = 0.0;    ///< Gaze yaw.
+    double pitch_deg = 0.0;  ///< Gaze pitch.
+    double eye_cy = 0.0;     ///< Eyeball centre (pixels).
+    double eye_cx = 0.0;
+    double eye_radius = 0.0; ///< Eyeball radius (pixels).
+    double pupil_scale = 1.0; ///< Pupil dilation factor.
+    double eyelid_open = 1.0; ///< 1 fully open .. 0 closed.
+};
+
+/** One rendered sample. */
+struct EyeSample
+{
+    Image image;     ///< Grayscale eye image in [0, 1].
+    SegMask mask;    ///< Ground-truth segmentation.
+    GazeVec gaze;    ///< Ground-truth gaze direction.
+    EyeParams params; ///< Scene parameters used.
+    double pupil_cy = 0.0; ///< Ground-truth pupil centre.
+    double pupil_cx = 0.0;
+};
+
+/** Renderer configuration. */
+struct RenderConfig
+{
+    int image_size = 128;   ///< Square output extent.
+    double max_yaw_deg = 30.0;
+    double max_pitch_deg = 25.0;
+    /** Eye-centre jitter as a fraction of the image extent. */
+    double centre_jitter = 0.16;
+    double skin_level = 0.55;   ///< Mean skin intensity.
+    double sclera_level = 0.82; ///< Mean sclera intensity.
+    double iris_level = 0.34;   ///< Mean iris intensity.
+    double pupil_level = 0.06;  ///< Mean pupil intensity.
+    double texture_noise = 0.03; ///< Per-pixel texture noise.
+    double sensor_noise = 0.01;  ///< Additive capture noise.
+    bool draw_glint = true;     ///< Specular reflection.
+};
+
+/**
+ * The procedural renderer. Deterministic given (config, seed, index):
+ * sample(i) always returns the same EyeSample.
+ */
+class SyntheticEyeRenderer
+{
+  public:
+    explicit SyntheticEyeRenderer(RenderConfig cfg = {},
+                                  uint64_t seed = 2019);
+
+    /** Render sample @p index of the virtual dataset. */
+    EyeSample sample(uint64_t index) const;
+
+    /**
+     * Render a sample with explicit scene parameters (used by the
+     * trajectory generator for Tab. 5).
+     */
+    EyeSample render(const EyeParams &params, uint64_t noise_seed)
+        const;
+
+    /** Draw random scene parameters for sample @p index. */
+    EyeParams sampleParams(uint64_t index) const;
+
+    /** Renderer configuration. */
+    const RenderConfig &config() const { return cfg_; }
+
+  private:
+    RenderConfig cfg_;
+    uint64_t seed_;
+};
+
+} // namespace dataset
+} // namespace eyecod
+
+#endif // EYECOD_DATASET_SYNTHETIC_EYE_H

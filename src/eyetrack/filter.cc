@@ -1,0 +1,87 @@
+#include "eyetrack/filter.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+namespace {
+
+/** Exponential smoothing coefficient for a cutoff at the rate. */
+double
+alphaFor(double cutoff_hz, double rate_hz)
+{
+    const double tau = 1.0 / (2.0 * M_PI * cutoff_hz);
+    const double te = 1.0 / rate_hz;
+    return 1.0 / (1.0 + tau / te);
+}
+
+} // namespace
+
+GazeFilter::GazeFilter(GazeFilterConfig cfg) : cfg_(cfg)
+{
+    eyecod_assert(cfg.rate_hz > 0.0 && cfg.min_cutoff_hz > 0.0 &&
+                  cfg.d_cutoff_hz > 0.0,
+                  "bad gaze filter configuration");
+}
+
+double
+GazeFilter::filterChannel(Channel &ch, double value)
+{
+    if (!ch.primed) {
+        ch.primed = true;
+        ch.x = value;
+        ch.dx = 0.0;
+        return value;
+    }
+    // Derivative estimate, low-passed at d_cutoff.
+    const double raw_dx = (value - ch.x) * cfg_.rate_hz;
+    const double a_d = alphaFor(cfg_.d_cutoff_hz, cfg_.rate_hz);
+    ch.dx += a_d * (raw_dx - ch.dx);
+    // Speed-adaptive cutoff.
+    const double cutoff =
+        cfg_.min_cutoff_hz + cfg_.beta * std::fabs(ch.dx);
+    const double a = alphaFor(cutoff, cfg_.rate_hz);
+    ch.x += a * (value - ch.x);
+    return ch.x;
+}
+
+GazeFilter::Output
+GazeFilter::update(const dataset::GazeVec &raw)
+{
+    const auto angles = dataset::vectorToAngles(raw);
+    Output out;
+    if (primed_) {
+        const double dy = angles[0] - last_yaw_;
+        const double dp = angles[1] - last_pitch_;
+        const double raw_vel = std::hypot(dy, dp) * cfg_.rate_hz;
+        const double a_v =
+            alphaFor(cfg_.velocity_cutoff_hz, cfg_.rate_hz);
+        velocity_ += a_v * (raw_vel - velocity_);
+        out.velocity_deg_s = velocity_;
+        out.saccade =
+            out.velocity_deg_s >= cfg_.saccade_velocity_deg_s;
+    }
+    primed_ = true;
+    last_yaw_ = angles[0];
+    last_pitch_ = angles[1];
+
+    const double fy = filterChannel(yaw_, angles[0]);
+    const double fp = filterChannel(pitch_, angles[1]);
+    out.gaze = dataset::anglesToVector(fy, fp);
+    return out;
+}
+
+void
+GazeFilter::reset()
+{
+    yaw_ = Channel{};
+    pitch_ = Channel{};
+    primed_ = false;
+    velocity_ = 0.0;
+}
+
+} // namespace eyetrack
+} // namespace eyecod

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Temporal gaze filtering for the eye tracking output.
+ *
+ * VR/AR consumers (foveated rendering in particular) need a gaze
+ * signal that is stable during fixations but snaps to saccades. The
+ * One-Euro filter provides exactly that trade-off: a low-pass filter
+ * whose cutoff rises with signal speed. The filter operates on the
+ * (yaw, pitch) angles of the gaze vector and additionally flags
+ * saccades via an angular-velocity threshold.
+ */
+
+#ifndef EYECOD_EYETRACK_FILTER_H
+#define EYECOD_EYETRACK_FILTER_H
+
+#include "dataset/gaze_math.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+/** One-Euro filter parameters. */
+struct GazeFilterConfig
+{
+    double rate_hz = 240.0;   ///< Frame rate of the gaze stream.
+    double min_cutoff_hz = 1.5; ///< Cutoff at rest (fixation).
+    double beta = 0.05;       ///< Speed coefficient.
+    double d_cutoff_hz = 1.0; ///< Derivative low-pass cutoff.
+    /**
+     * Low-pass cutoff of the velocity estimate used for saccade
+     * detection. At 240 Hz, frame-to-frame estimator noise aliases
+     * into hundreds of deg/s instantaneous velocity; smoothing at
+     * ~20 Hz keeps fixation noise below the threshold while a real
+     * saccade (thousands of deg/s) still crosses it within a frame
+     * or two.
+     */
+    double velocity_cutoff_hz = 20.0;
+    /** Angular velocity (deg/s) above which a saccade is flagged. */
+    double saccade_velocity_deg_s = 800.0;
+};
+
+/**
+ * One-Euro filter over gaze directions with saccade detection.
+ */
+class GazeFilter
+{
+  public:
+    explicit GazeFilter(GazeFilterConfig cfg = {});
+
+    /** Filtered output of one step. */
+    struct Output
+    {
+        dataset::GazeVec gaze{0, 0, 1}; ///< Filtered direction.
+        double velocity_deg_s = 0.0;    ///< Estimated speed.
+        bool saccade = false;           ///< Velocity above threshold.
+    };
+
+    /** Feed one raw gaze sample; returns the filtered sample. */
+    Output update(const dataset::GazeVec &raw);
+
+    /** Clear the filter state (start of a new sequence). */
+    void reset();
+
+    /** Configuration in use. */
+    const GazeFilterConfig &config() const { return cfg_; }
+
+  private:
+    /** One scalar One-Euro channel. */
+    struct Channel
+    {
+        bool primed = false;
+        double x = 0.0;  ///< Filtered value.
+        double dx = 0.0; ///< Filtered derivative.
+    };
+
+    double filterChannel(Channel &ch, double value);
+
+    GazeFilterConfig cfg_;
+    Channel yaw_;
+    Channel pitch_;
+    bool primed_ = false;
+    double last_yaw_ = 0.0;
+    double last_pitch_ = 0.0;
+    double velocity_ = 0.0; ///< Smoothed speed estimate (deg/s).
+};
+
+} // namespace eyetrack
+} // namespace eyecod
+
+#endif // EYECOD_EYETRACK_FILTER_H

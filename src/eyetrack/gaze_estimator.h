@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trainable gaze estimator: the lightweight stand-in for the CNN gaze
+ * regressor in the accuracy experiments (Tabs. 2, 4, 5; see DESIGN.md
+ * on the trained-checkpoint substitution).
+ *
+ * A ridge regression maps downsampled ROI pixels to a 3-D gaze
+ * vector. Its error responds to exactly the factors the paper
+ * ablates: crop policy (whether the eye is inside the crop), ROI
+ * size, ROI staleness, FlatCam reconstruction noise, and input
+ * quantization — so the relative orderings of the paper's tables
+ * reproduce end-to-end.
+ */
+
+#ifndef EYECOD_EYETRACK_GAZE_ESTIMATOR_H
+#define EYECOD_EYETRACK_GAZE_ESTIMATOR_H
+
+#include <vector>
+
+#include "common/image.h"
+#include "dataset/gaze_math.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+/** Estimator configuration. */
+struct GazeEstimatorConfig
+{
+    int feat_height = 16;  ///< Feature-map rows after downsampling.
+    int feat_width = 26;   ///< Feature-map columns.
+    double lambda = 3.0;   ///< Ridge regularization weight.
+    int quant_bits = 0;    ///< 0 float; 8 emulates int8 deployment.
+};
+
+/**
+ * Ridge regression from ROI pixels to gaze vectors.
+ */
+class RidgeGazeEstimator
+{
+  public:
+    explicit RidgeGazeEstimator(GazeEstimatorConfig cfg = {});
+
+    /**
+     * Fit the regressor on ROI crops with ground-truth gazes.
+     * Solves (X^T X + lambda I) W = X^T Y per output via Cholesky.
+     */
+    void train(const std::vector<Image> &rois,
+               const std::vector<dataset::GazeVec> &gazes);
+
+    /** Predict a unit gaze vector for one ROI crop. */
+    dataset::GazeVec predict(const Image &roi) const;
+
+    /** True after train(). */
+    bool trained() const { return !weights_.empty(); }
+
+    /**
+     * Mean angular error in degrees over an evaluation set.
+     */
+    double evaluate(const std::vector<Image> &rois,
+                    const std::vector<dataset::GazeVec> &gazes) const;
+
+    /** Per-frame multiply-accumulates of inference. */
+    long long macsPerFrame() const;
+
+    /** Configuration in use. */
+    const GazeEstimatorConfig &config() const { return cfg_; }
+
+  private:
+    std::vector<double> features(const Image &roi) const;
+
+    GazeEstimatorConfig cfg_;
+    int dim_; ///< Feature dimension including bias.
+    std::vector<double> weights_; ///< dim_ x 3, row-major.
+};
+
+} // namespace eyetrack
+} // namespace eyecod
+
+#endif // EYECOD_EYETRACK_GAZE_ESTIMATOR_H

@@ -1,0 +1,132 @@
+#include "eyetrack/pipeline.h"
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+PredictThenFocusPipeline::PredictThenFocusPipeline(PipelineConfig cfg)
+    : cfg_(cfg), segmenter_(cfg.segmenter),
+      roi_(cfg.roi_height, cfg.roi_width), gaze_(cfg.gaze)
+{
+    eyecod_assert(cfg_.roi_refresh > 0, "roi_refresh must be > 0");
+    if (cfg_.camera == CameraKind::FlatCam) {
+        flatcam::MaskConfig mc;
+        mc.scene_rows = cfg_.scene_size;
+        mc.scene_cols = cfg_.scene_size;
+        mc.sensor_rows = cfg_.scene_size + cfg_.flatcam_sensor_margin;
+        mc.sensor_cols = cfg_.scene_size + cfg_.flatcam_sensor_margin;
+        mc.seed = cfg_.mask_seed;
+        // The MLS must span the scene extent.
+        mc.mls_order = 3;
+        while ((1 << mc.mls_order) - 1 < mc.sensor_rows)
+            ++mc.mls_order;
+        sensor_ = std::make_unique<flatcam::FlatCamSensor>(
+            flatcam::makeSeparableMask(mc), cfg_.sensor_noise);
+        recon_ = std::make_unique<flatcam::FlatCamReconstructor>(
+            sensor_->mask(), cfg_.recon_epsilon);
+    }
+}
+
+PredictThenFocusPipeline::~PredictThenFocusPipeline() = default;
+
+Image
+PredictThenFocusPipeline::acquire(const Image &scene) const
+{
+    eyecod_assert(scene.height() == cfg_.scene_size &&
+                  scene.width() == cfg_.scene_size,
+                  "scene %dx%d != configured extent %d",
+                  scene.height(), scene.width(), cfg_.scene_size);
+    if (cfg_.camera == CameraKind::Lens)
+        return scene;
+    return recon_->reconstruct(sensor_->capture(scene));
+}
+
+void
+PredictThenFocusPipeline::trainGaze(
+    const dataset::SyntheticEyeRenderer &renderer, int train_count)
+{
+    eyecod_assert(renderer.config().image_size == cfg_.scene_size,
+                  "renderer extent %d != pipeline extent %d",
+                  renderer.config().image_size, cfg_.scene_size);
+    std::vector<Image> rois;
+    std::vector<dataset::GazeVec> gazes;
+    rois.reserve(size_t(train_count));
+    gazes.reserve(size_t(train_count));
+    uint64_t crop_rng = 0x7ea1;
+    Rng jitter_rng(0x177e4);
+    for (int i = 0; i < train_count; ++i) {
+        const dataset::EyeSample s = renderer.sample(uint64_t(i));
+        const Image view = acquire(s.image);
+        const dataset::SegMask mask = segmenter_.segment(view);
+        Rect r = roi_.predict(mask, cfg_.policy, &crop_rng);
+        if (cfg_.train_anchor_jitter > 0) {
+            // Staleness augmentation: the deployed ROI anchor lags
+            // the pupil by up to two refresh windows.
+            const int j = cfg_.train_anchor_jitter;
+            r.y += int(jitter_rng.uniformInt(-j, j));
+            r.x += int(jitter_rng.uniformInt(-j, j));
+        }
+        rois.push_back(view.cropped(r));
+        gazes.push_back(s.gaze);
+    }
+    gaze_.train(rois, gazes);
+}
+
+PredictThenFocusPipeline::FrameResult
+PredictThenFocusPipeline::processFrame(const Image &scene)
+{
+    eyecod_assert(gaze_.trained(),
+                  "processFrame() before trainGaze()");
+    const Image view = acquire(scene);
+
+    FrameResult result;
+    if (frame_index_ % cfg_.roi_refresh == 0) {
+        // Segmentation runs this frame; its ROI becomes active at the
+        // *next* refresh boundary, so gaze always consumes an ROI
+        // extracted N..2N frames ago (Sec. 4.3).
+        const dataset::SegMask mask = segmenter_.segment(view);
+        if (next_roi_)
+            current_roi_ = next_roi_;
+        next_roi_ = roi_.predict(mask, cfg_.policy, &crop_rng_);
+        if (!current_roi_)
+            current_roi_ = next_roi_;
+        result.roi_refreshed = true;
+    }
+
+    result.roi = *current_roi_;
+    result.gaze = gaze_.predict(view.cropped(result.roi));
+    result.view = view;
+    ++frame_index_;
+    return result;
+}
+
+void
+PredictThenFocusPipeline::reset()
+{
+    frame_index_ = 0;
+    current_roi_.reset();
+    next_roi_.reset();
+    crop_rng_ = 0x5eed;
+}
+
+long long
+PredictThenFocusPipeline::gazeMacsPerFrame() const
+{
+    return gaze_.macsPerFrame();
+}
+
+double
+PredictThenFocusPipeline::segmentationRatePerFrame() const
+{
+    return 1.0 / double(cfg_.roi_refresh);
+}
+
+long long
+PredictThenFocusPipeline::reconMacsPerFrame() const
+{
+    return recon_ ? recon_->macsPerFrame() : 0;
+}
+
+} // namespace eyetrack
+} // namespace eyecod

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The predict-then-focus processing pipeline (Fig. 3): image
+ * acquisition (lens pass-through or FlatCam capture + Tikhonov
+ * reconstruction), periodic ROI prediction via segmentation, and
+ * per-frame gaze estimation on the (possibly stale) ROI.
+ *
+ * As in the paper, ROI prediction runs once every `roi_refresh`
+ * frames and the gaze stage consumes the ROI computed during the
+ * *previous* refresh window, i.e. an ROI extracted N..2N frames ago.
+ */
+
+#ifndef EYECOD_EYETRACK_PIPELINE_H
+#define EYECOD_EYETRACK_PIPELINE_H
+
+#include <memory>
+#include <optional>
+
+#include "dataset/sequence.h"
+#include "dataset/synthetic_eye.h"
+#include "eyetrack/gaze_estimator.h"
+#include "eyetrack/roi.h"
+#include "eyetrack/segmentation.h"
+#include "flatcam/imaging.h"
+#include "flatcam/reconstruction.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+/** Camera front-end flavours. */
+enum class CameraKind { Lens, FlatCam };
+
+/** End-to-end pipeline configuration. */
+struct PipelineConfig
+{
+    CameraKind camera = CameraKind::FlatCam;
+    int scene_size = 128;  ///< Scene / reconstruction extent.
+    int roi_height = 48;   ///< ROI crop extent at scene scale
+    int roi_width = 80;    ///  (96x160 at the paper's 256 scale).
+    int roi_refresh = 50;  ///< Frames between ROI predictions.
+    CropPolicy policy = CropPolicy::Roi;
+    SegmenterConfig segmenter;
+    GazeEstimatorConfig gaze;
+    flatcam::SensorNoise sensor_noise;
+    double recon_epsilon = 2e-3; ///< Tikhonov weight.
+    int flatcam_sensor_margin = 32; ///< Sensor extent - scene extent.
+    uint64_t mask_seed = 0x71a7ca;
+    /**
+     * Training-time ROI anchor jitter in pixels: augments the gaze
+     * training crops with random offsets so the estimator tolerates
+     * the N..2N-frame ROI staleness of the deployed pipeline.
+     */
+    int train_anchor_jitter = 6;
+};
+
+/**
+ * The composed predict-then-focus pipeline.
+ */
+class PredictThenFocusPipeline
+{
+  public:
+    explicit PredictThenFocusPipeline(PipelineConfig cfg);
+    ~PredictThenFocusPipeline();
+
+    /**
+     * Acquire a scene through the configured camera: identity for a
+     * lens camera, FlatCam capture + reconstruction otherwise.
+     */
+    Image acquire(const Image &scene) const;
+
+    /**
+     * Fit the gaze stage: renders @p train_count samples, pushes
+     * them through acquisition + segmentation + the configured crop
+     * policy, and trains the ridge regressor on the crops.
+     */
+    void trainGaze(const dataset::SyntheticEyeRenderer &renderer,
+                   int train_count);
+
+    /** Result of one frame. */
+    struct FrameResult
+    {
+        dataset::GazeVec gaze{0, 0, 1};
+        bool roi_refreshed = false; ///< Segmentation ran this frame.
+        Rect roi;                   ///< Crop used for gaze.
+        Image view;                 ///< Acquired (reconstructed)
+                                    ///  image the stages consumed.
+    };
+
+    /** Process one frame; maintains the ROI refresh state. */
+    FrameResult processFrame(const Image &scene);
+
+    /** Reset the per-sequence ROI state. */
+    void reset();
+
+    /** Mean gaze MACs per frame (stand-in estimator). */
+    long long gazeMacsPerFrame() const;
+
+    /** Amortized segmentation-stage invocations per frame (1/N). */
+    double segmentationRatePerFrame() const;
+
+    /** FlatCam reconstruction MACs per frame (0 for lens). */
+    long long reconMacsPerFrame() const;
+
+    /** Configuration in use. */
+    const PipelineConfig &config() const { return cfg_; }
+
+    /** Direct access to the stages (for experiments). */
+    const ClassicalSegmenter &segmenter() const { return segmenter_; }
+    const RoiPredictor &roiPredictor() const { return roi_; }
+    RidgeGazeEstimator &gazeEstimator() { return gaze_; }
+
+  private:
+    PipelineConfig cfg_;
+    ClassicalSegmenter segmenter_;
+    RoiPredictor roi_;
+    RidgeGazeEstimator gaze_;
+    std::unique_ptr<flatcam::FlatCamSensor> sensor_;
+    std::unique_ptr<flatcam::FlatCamReconstructor> recon_;
+
+    // Per-sequence state.
+    long frame_index_ = 0;
+    std::optional<Rect> current_roi_;
+    std::optional<Rect> next_roi_;
+    uint64_t crop_rng_ = 0x5eed;
+};
+
+} // namespace eyetrack
+} // namespace eyecod
+
+#endif // EYECOD_EYETRACK_PIPELINE_H

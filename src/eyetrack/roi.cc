@@ -1,0 +1,141 @@
+#include "eyetrack/roi.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+using dataset::SegMask;
+
+MaskStats
+computeMaskStats(const SegMask &mask)
+{
+    MaskStats s;
+    long sum_y = 0, sum_x = 0;
+    int min_y = mask.height, max_y = -1;
+    int min_x = mask.width, max_x = -1;
+    for (int y = 0; y < mask.height; ++y) {
+        for (int x = 0; x < mask.width; ++x) {
+            const uint8_t c = mask.at(y, x);
+            if (c == dataset::kPupil) {
+                sum_y += y;
+                sum_x += x;
+                ++s.pupil_area;
+            }
+            if (c != dataset::kBackground) {
+                min_y = std::min(min_y, y);
+                max_y = std::max(max_y, y);
+                min_x = std::min(min_x, x);
+                max_x = std::max(max_x, x);
+            }
+        }
+    }
+    if (s.pupil_area > 0) {
+        s.has_pupil = true;
+        s.pupil_cy = double(sum_y) / double(s.pupil_area);
+        s.pupil_cx = double(sum_x) / double(s.pupil_area);
+    }
+    if (max_y >= 0) {
+        s.eye_height = max_y - min_y + 1;
+        s.eye_width = max_x - min_x + 1;
+    }
+    return s;
+}
+
+RoiPredictor::RoiPredictor(int roi_height, int roi_width)
+    : roi_h_(roi_height), roi_w_(roi_width)
+{
+    eyecod_assert(roi_height > 0 && roi_width > 0,
+                  "ROI extent must be positive, got %dx%d",
+                  roi_height, roi_width);
+}
+
+std::pair<int, int>
+RoiPredictor::calibrateSize(const std::vector<SegMask> &train_masks,
+                            double factor)
+{
+    eyecod_assert(!train_masks.empty(), "calibrateSize on empty set");
+    double sum_h = 0.0, sum_w = 0.0;
+    long count = 0;
+    for (const SegMask &m : train_masks) {
+        const MaskStats s = computeMaskStats(m);
+        if (s.eye_height > 0) {
+            sum_h += s.eye_height;
+            sum_w += s.eye_width;
+            ++count;
+        }
+    }
+    if (count == 0)
+        fatal("ROI calibration found no eye pixels in training set");
+    const int h = int(factor * sum_h / double(count));
+    const int w = int(factor * sum_w / double(count));
+    return {h, w};
+}
+
+namespace {
+
+/** xorshift64 step for the Random crop policy. */
+uint64_t
+xorshift(uint64_t *state)
+{
+    uint64_t x = *state ? *state : 0x1234567ULL;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    return x;
+}
+
+} // namespace
+
+Rect
+RoiPredictor::predict(const SegMask &mask, CropPolicy policy,
+                      uint64_t *rng_state) const
+{
+    const int h = mask.height;
+    const int w = mask.width;
+    double cy = h / 2.0;
+    double cx = w / 2.0;
+
+    switch (policy) {
+      case CropPolicy::Roi: {
+        const MaskStats s = computeMaskStats(mask);
+        // Fallback to the central crop when segmentation found no
+        // pupil (e.g. a blink).
+        if (s.has_pupil) {
+            cy = s.pupil_cy;
+            cx = s.pupil_cx;
+        }
+        break;
+      }
+      case CropPolicy::Central:
+        break;
+      case CropPolicy::Random: {
+        eyecod_assert(rng_state != nullptr,
+                      "Random crop policy needs rng state");
+        cy = roi_h_ / 2.0 +
+             double(xorshift(rng_state) % 10000) / 10000.0 *
+                 std::max(0, h - roi_h_);
+        cx = roi_w_ / 2.0 +
+             double(xorshift(rng_state) % 10000) / 10000.0 *
+                 std::max(0, w - roi_w_);
+        break;
+      }
+    }
+
+    Rect r;
+    r.height = roi_h_;
+    r.width = roi_w_;
+    r.y = int(cy - roi_h_ / 2.0);
+    r.x = int(cx - roi_w_ / 2.0);
+    // Keep the crop inside the frame where possible (clamped border
+    // replication handles any residual overhang).
+    r.y = std::clamp(r.y, -roi_h_ / 4, h - 3 * roi_h_ / 4);
+    r.x = std::clamp(r.x, -roi_w_ / 4, w - 3 * roi_w_ / 4);
+    return r;
+}
+
+} // namespace eyetrack
+} // namespace eyecod

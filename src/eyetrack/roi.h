@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ROI prediction (Sec. 4.3): the pupil-anchored crop that the focus
+ * stage consumes. The pupil centroid of the segmentation mask anchors
+ * a fixed-size rectangle whose extent is calibrated to 1.5x the
+ * average segmented-sclera extent of the training set.
+ */
+
+#ifndef EYECOD_EYETRACK_ROI_H
+#define EYECOD_EYETRACK_ROI_H
+
+#include <cstdint>
+
+#include "common/image.h"
+#include "dataset/synthetic_eye.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+/** Crop policies compared in the Tab. 4 ablation. */
+enum class CropPolicy {
+    Roi,     ///< Pupil-anchored ROI (the paper's method).
+    Central, ///< Fixed central crop of the same size.
+    Random,  ///< Uniformly random crop of the same size.
+};
+
+/** Summary of a segmentation mask used for ROI derivation. */
+struct MaskStats
+{
+    bool has_pupil = false;
+    double pupil_cy = 0.0; ///< Pupil centroid.
+    double pupil_cx = 0.0;
+    long pupil_area = 0;
+    /** Bounding-box extent of the core eye area (sclera+iris+pupil). */
+    int eye_height = 0;
+    int eye_width = 0;
+};
+
+/** Compute pupil centroid and core-eye extent from a mask. */
+MaskStats computeMaskStats(const dataset::SegMask &mask);
+
+/**
+ * The ROI predictor: holds the calibrated crop size and derives the
+ * per-frame crop rectangle from the latest segmentation.
+ */
+class RoiPredictor
+{
+  public:
+    /**
+     * @param roi_height,roi_width calibrated crop extent in pixels
+     *        (96x160 at the paper's 256x256 scene scale).
+     */
+    RoiPredictor(int roi_height, int roi_width);
+
+    /**
+     * Calibrate the crop extent as 1.5x the average core-eye extent
+     * over a set of training masks (the paper's sizing rule).
+     *
+     * @return the calibrated (height, width).
+     */
+    static std::pair<int, int> calibrateSize(
+        const std::vector<dataset::SegMask> &train_masks,
+        double factor = 1.5);
+
+    /**
+     * Predict the crop rectangle for a frame.
+     *
+     * @param mask latest segmentation (possibly stale by up to the
+     *        refresh period).
+     * @param policy Roi uses the pupil anchor; Central/Random are the
+     *        Tab. 4 ablation baselines.
+     * @param rng_state in/out state for the Random policy.
+     */
+    Rect predict(const dataset::SegMask &mask, CropPolicy policy,
+                 uint64_t *rng_state = nullptr) const;
+
+    /** Calibrated crop height. */
+    int roiHeight() const { return roi_h_; }
+    /** Calibrated crop width. */
+    int roiWidth() const { return roi_w_; }
+
+  private:
+    int roi_h_;
+    int roi_w_;
+};
+
+} // namespace eyetrack
+} // namespace eyecod
+
+#endif // EYECOD_EYETRACK_ROI_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Eye semantic segmentation: the functional stand-in for RITNet's
+ * role in the predict stage (see DESIGN.md on the trained-checkpoint
+ * substitution), plus the mIOU metric of Tab. 3.
+ *
+ * The classical segmenter exploits the same image statistics the
+ * paper's Sec. 4.3 relies on: "pupils have a significantly different
+ * feature than the other parts in the image, as the pupil is usually
+ * a circle with a darker color than its surrounding", while the
+ * low-contrast sclera is the hard class — especially on noisy FlatCam
+ * reconstructions.
+ */
+
+#ifndef EYECOD_EYETRACK_SEGMENTATION_H
+#define EYECOD_EYETRACK_SEGMENTATION_H
+
+#include <array>
+
+#include "common/image.h"
+#include "dataset/synthetic_eye.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+/** Segmenter configuration (intensity-band thresholds). */
+struct SegmenterConfig
+{
+    float pupil_max = 0.20f;   ///< Pupil: darkest band.
+    float iris_max = 0.48f;    ///< Iris: mid band.
+    float sclera_min = 0.66f;  ///< Sclera: bright band.
+    /** Smoothing box-filter radius applied before thresholding. */
+    int smooth_radius = 1;
+    /**
+     * Quantization bits emulated on the input (0 = float); the 8-bit
+     * rows of Tab. 3 snap the input to a 256-level grid first.
+     */
+    int quant_bits = 0;
+    /**
+     * Extra fraction of pixels randomly mislabelled near class
+     * boundaries, emulating the residual error of the trained model;
+     * 0 disables.
+     */
+    double boundary_noise = 0.0;
+};
+
+/**
+ * Threshold-and-region based eye segmenter.
+ */
+class ClassicalSegmenter
+{
+  public:
+    explicit ClassicalSegmenter(SegmenterConfig cfg = {});
+
+    /**
+     * Segment an eye image into the four OpenEDS classes.
+     *
+     * The pupil is detected as the largest dark connected component;
+     * iris and sclera bands are kept only when connected to the
+     * pupil region, which suppresses dark/bright clutter elsewhere.
+     */
+    dataset::SegMask segment(const Image &eye) const;
+
+    /** Configuration in use. */
+    const SegmenterConfig &config() const { return cfg_; }
+
+  private:
+    SegmenterConfig cfg_;
+};
+
+/**
+ * Per-class intersection-over-union and their mean (mIOU, percent).
+ *
+ * @return {iou_bg, iou_sclera, iou_iris, iou_pupil, mean} in percent.
+ */
+std::array<double, 5> segmentationIou(const dataset::SegMask &pred,
+                                      const dataset::SegMask &truth);
+
+} // namespace eyetrack
+} // namespace eyecod
+
+#endif // EYECOD_EYETRACK_SEGMENTATION_H

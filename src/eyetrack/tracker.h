@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Session-level eye tracker: the deployment wrapper a VR/AR runtime
+ * would integrate. Combines the predict-then-focus pipeline with
+ * One-Euro gaze filtering, per-frame blink detection (the
+ * segmentation stage only runs every N frames, so blinks must be
+ * caught from the ROI intensity statistics), gaze hold-over during
+ * blinks, and a per-frame confidence estimate.
+ */
+
+#ifndef EYECOD_EYETRACK_TRACKER_H
+#define EYECOD_EYETRACK_TRACKER_H
+
+#include "eyetrack/filter.h"
+#include "eyetrack/pipeline.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+/** Tracker configuration. */
+struct TrackerConfig
+{
+    PipelineConfig pipeline;
+    GazeFilterConfig filter;
+    /**
+     * Minimum fraction of dark (pupil-band) pixels inside the ROI
+     * for the eye to count as open; below it the frame is a blink.
+     */
+    double min_pupil_fraction = 0.025;
+    /** Intensity below which an ROI pixel counts as pupil-dark. */
+    float pupil_dark_level = 0.22f;
+};
+
+/** Per-frame tracker output. */
+struct TrackerOutput
+{
+    dataset::GazeVec gaze{0, 0, 1}; ///< Filtered gaze (held during
+                                    ///  blinks).
+    dataset::GazeVec raw_gaze{0, 0, 1}; ///< Unfiltered estimate.
+    bool blink = false;     ///< Eye closed this frame.
+    bool saccade = false;   ///< Rapid gaze motion detected.
+    double confidence = 0.0; ///< 0 (blink) .. 1 (clean fixation).
+    Rect roi;               ///< Crop used.
+};
+
+/**
+ * The composed tracker.
+ */
+class EyeTracker
+{
+  public:
+    explicit EyeTracker(TrackerConfig cfg = {});
+
+    /** Train the underlying gaze stage. */
+    void train(const dataset::SyntheticEyeRenderer &renderer,
+               int train_count);
+
+    /** Process one frame of a continuous sequence. */
+    TrackerOutput processFrame(const Image &scene);
+
+    /** Reset all per-sequence state. */
+    void reset();
+
+    /** Fraction of processed frames flagged as blinks. */
+    double blinkRate() const;
+
+    /** Underlying pipeline (for experiments). */
+    PredictThenFocusPipeline &pipeline() { return pipeline_; }
+
+  private:
+    TrackerConfig cfg_;
+    PredictThenFocusPipeline pipeline_;
+    GazeFilter filter_;
+    dataset::GazeVec held_gaze_{0, 0, 1};
+    bool has_gaze_ = false;
+    long frames_ = 0;
+    long blinks_ = 0;
+};
+
+} // namespace eyetrack
+} // namespace eyecod
+
+#endif // EYECOD_EYETRACK_TRACKER_H

@@ -1,0 +1,92 @@
+#include "eyetrack/user_calibration.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+std::vector<dataset::GazeVec>
+UserCalibration::standardTargets(double yaw_range_deg,
+                                 double pitch_range_deg)
+{
+    std::vector<dataset::GazeVec> targets;
+    for (int py = -1; py <= 1; ++py)
+        for (int px = -1; px <= 1; ++px)
+            targets.push_back(dataset::anglesToVector(
+                px * yaw_range_deg, py * pitch_range_deg));
+    return targets;
+}
+
+double
+UserCalibration::fit(const std::vector<CalibrationSample> &samples)
+{
+    eyecod_assert(samples.size() >= 3,
+                  "user calibration needs >= 3 samples, got %zu",
+                  samples.size());
+    // Least squares: for each sample, features f = (yaw, pitch, 1)
+    // of the *estimate*, targets the true angles.
+    Matrix xtx(3, 3);
+    Matrix xty(3, 2);
+    for (const CalibrationSample &s : samples) {
+        const auto est = dataset::vectorToAngles(s.estimated);
+        const auto tgt = dataset::vectorToAngles(s.target);
+        const double f[3] = {est[0], est[1], 1.0};
+        for (int a = 0; a < 3; ++a) {
+            for (int b = 0; b < 3; ++b)
+                xtx(size_t(a), size_t(b)) += f[a] * f[b];
+            xty(size_t(a), 0) += f[a] * tgt[0];
+            xty(size_t(a), 1) += f[a] * tgt[1];
+        }
+    }
+    // Tiny ridge for numerical safety with near-collinear grids.
+    for (int a = 0; a < 3; ++a)
+        xtx(size_t(a), size_t(a)) += 1e-9;
+    const Matrix w = solveSpd(xtx, xty);
+    coef_[0] = w(0, 0);
+    coef_[1] = w(1, 0);
+    coef_[2] = w(2, 0);
+    coef_[3] = w(0, 1);
+    coef_[4] = w(1, 1);
+    coef_[5] = w(2, 1);
+    fitted_ = true;
+
+    double acc = 0.0;
+    for (const CalibrationSample &s : samples) {
+        const double err =
+            dataset::angularErrorDeg(apply(s.estimated), s.target);
+        acc += err * err;
+    }
+    return std::sqrt(acc / double(samples.size()));
+}
+
+dataset::GazeVec
+UserCalibration::apply(const dataset::GazeVec &raw) const
+{
+    if (!fitted_)
+        return raw;
+    const auto a = dataset::vectorToAngles(raw);
+    const double yaw = coef_[0] * a[0] + coef_[1] * a[1] + coef_[2];
+    const double pitch =
+        coef_[3] * a[0] + coef_[4] * a[1] + coef_[5];
+    return dataset::anglesToVector(yaw, pitch);
+}
+
+double
+UserCalibration::improvementDeg(
+    const std::vector<CalibrationSample> &eval) const
+{
+    eyecod_assert(!eval.empty(), "empty calibration eval set");
+    double before = 0.0, after = 0.0;
+    for (const CalibrationSample &s : eval) {
+        before += dataset::angularErrorDeg(s.estimated, s.target);
+        after +=
+            dataset::angularErrorDeg(apply(s.estimated), s.target);
+    }
+    return (before - after) / double(eval.size());
+}
+
+} // namespace eyetrack
+} // namespace eyecod

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-user gaze calibration — the 9-point procedure a VR runtime
+ * runs when a new user puts on the headset. The tracker's raw gaze
+ * carries user-specific systematic error (eye geometry and headset
+ * fit differ from the training population); showing targets at
+ * known directions and fitting an affine correction in (yaw, pitch)
+ * space removes the bias.
+ */
+
+#ifndef EYECOD_EYETRACK_USER_CALIBRATION_H
+#define EYECOD_EYETRACK_USER_CALIBRATION_H
+
+#include <vector>
+
+#include "dataset/gaze_math.h"
+
+namespace eyecod {
+namespace eyetrack {
+
+/** One calibration observation. */
+struct CalibrationSample
+{
+    dataset::GazeVec target;    ///< Where the user was told to look.
+    dataset::GazeVec estimated; ///< What the tracker reported.
+};
+
+/**
+ * Affine gaze correction fitted from calibration samples:
+ * corrected = A * (yaw, pitch) + b, least squares over the targets.
+ */
+class UserCalibration
+{
+  public:
+    /** The standard 3x3 target grid over the given angular range. */
+    static std::vector<dataset::GazeVec> standardTargets(
+        double yaw_range_deg = 20.0, double pitch_range_deg = 15.0);
+
+    /**
+     * Fit the correction; needs >= 3 non-collinear samples.
+     * Returns the RMS residual in degrees.
+     */
+    double fit(const std::vector<CalibrationSample> &samples);
+
+    /** True after a successful fit(). */
+    bool fitted() const { return fitted_; }
+
+    /** Apply the correction (identity before fit()). */
+    dataset::GazeVec apply(const dataset::GazeVec &raw) const;
+
+    /** Mean angular improvement on a labelled evaluation set. */
+    double improvementDeg(
+        const std::vector<CalibrationSample> &eval) const;
+
+  private:
+    bool fitted_ = false;
+    // Row-major 2x3: [a00 a01 b0; a10 a11 b1].
+    double coef_[6] = {1, 0, 0, 0, 1, 0};
+};
+
+} // namespace eyetrack
+} // namespace eyecod
+
+#endif // EYECOD_EYETRACK_USER_CALIBRATION_H

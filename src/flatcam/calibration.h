@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Separable FlatCam calibration.
+ *
+ * A physical FlatCam never knows its transfer matrices exactly (mask
+ * fabrication and alignment perturb them); they are estimated by
+ * displaying known calibration patterns and recording the sensor
+ * measurements, as in Asif et al. For a separable system
+ * y = PhiL x PhiR^T + e, line patterns make every measurement
+ * rank-1:
+ *
+ *   full-on scene  X = 1 1^T     ->  Y = (PhiL 1)(PhiR 1)^T
+ *   row impulse    X = e_i 1^T   ->  Y = (PhiL e_i)(PhiR 1)^T
+ *   column impulse X = 1 e_j^T   ->  Y = (PhiL 1)(PhiR e_j)^T
+ *
+ * The full-on capture anchors the rank-1 factors; each line capture
+ * then yields one column of PhiL or PhiR by projection. The estimate
+ * carries the usual alpha / 1/alpha scale split between PhiL and
+ * PhiR, which leaves the product — and therefore reconstruction —
+ * unchanged.
+ */
+
+#ifndef EYECOD_FLATCAM_CALIBRATION_H
+#define EYECOD_FLATCAM_CALIBRATION_H
+
+#include "flatcam/imaging.h"
+
+namespace eyecod {
+namespace flatcam {
+
+/** Result of a calibration run. */
+struct CalibrationResult
+{
+    SeparableMask mask;      ///< Estimated transfer matrices.
+    int captures_used = 0;   ///< Calibration frames recorded.
+    /**
+     * Relative product error ||PhiL_hat X PhiR_hat^T - PhiL X
+     * PhiR^T|| / ||PhiL X PhiR^T|| on a random probe scene
+     * (scale-split invariant).
+     */
+    double product_error = 0.0;
+};
+
+/**
+ * Calibrate a FlatCam by capturing line patterns through it.
+ *
+ * @param sensor the device under calibration (treated as a black
+ *        box; its noise is part of the calibration error).
+ * @param truth optional ground-truth mask used only to compute
+ *        product_error (pass the sensor's mask; never used in the
+ *        estimation itself).
+ */
+CalibrationResult calibrateSeparable(const FlatCamSensor &sensor,
+                                     const SeparableMask *truth
+                                     = nullptr);
+
+} // namespace flatcam
+} // namespace eyecod
+
+#endif // EYECOD_FLATCAM_CALIBRATION_H

@@ -1,0 +1,64 @@
+#include "flatcam/imaging.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace flatcam {
+
+FlatCamSensor::FlatCamSensor(SeparableMask mask, SensorNoise noise)
+    : mask_(std::move(mask)), noise_(noise), rng_(noise.seed)
+{
+}
+
+Image
+FlatCamSensor::capture(const Image &scene) const
+{
+    eyecod_assert(scene.height() == sceneRows() &&
+                  scene.width() == sceneCols(),
+                  "scene shape %dx%d != mask scene extent %dx%d",
+                  scene.height(), scene.width(),
+                  sceneRows(), sceneCols());
+
+    const Matrix x = imageToMatrix(scene);
+    Matrix y = mask_.phiL.multiply(x).multiply(mask_.phiR.transposed());
+
+    // Shot noise: model each measurement as a scaled Poisson count.
+    if (noise_.shot_noise_scale > 0.0) {
+        const double scale = noise_.shot_noise_scale;
+        for (double &v : y.data()) {
+            const double photons = std::max(0.0, v) * scale;
+            v = double(rng_.poisson(photons)) / scale;
+        }
+    }
+    // Additive Gaussian read noise.
+    if (noise_.read_noise > 0.0) {
+        for (double &v : y.data())
+            v += rng_.gaussian(0.0, noise_.read_noise);
+    }
+    return matrixToImage(y);
+}
+
+Matrix
+imageToMatrix(const Image &img)
+{
+    Matrix m(size_t(img.height()), size_t(img.width()));
+    for (int y = 0; y < img.height(); ++y)
+        for (int x = 0; x < img.width(); ++x)
+            m(size_t(y), size_t(x)) = img.at(y, x);
+    return m;
+}
+
+Image
+matrixToImage(const Matrix &m)
+{
+    Image img(int(m.rows()), int(m.cols()));
+    for (size_t y = 0; y < m.rows(); ++y)
+        for (size_t x = 0; x < m.cols(); ++x)
+            img.at(int(y), int(x)) = float(m(y, x));
+    return img;
+}
+
+} // namespace flatcam
+} // namespace eyecod

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Forward imaging model of the FlatCam: applies the separable transfer
+ * matrices of Eq. (1) to a scene and adds sensor noise (Gaussian read
+ * noise plus optional Poisson shot noise), producing the multiplexed
+ * measurement a real FlatCam sensor would record.
+ */
+
+#ifndef EYECOD_FLATCAM_IMAGING_H
+#define EYECOD_FLATCAM_IMAGING_H
+
+#include <cstdint>
+
+#include "common/image.h"
+#include "flatcam/mask.h"
+
+namespace eyecod {
+namespace flatcam {
+
+/** Sensor noise configuration. */
+struct SensorNoise
+{
+    double read_noise = 0.002;   ///< Gaussian read-noise std-dev.
+    double shot_noise_scale = 0.0; ///< Photon count scale (0 = off).
+    uint64_t seed = 0xcafe;      ///< Noise RNG seed.
+};
+
+/**
+ * The FlatCam forward model y = PhiL * x * PhiR^T + e.
+ */
+class FlatCamSensor
+{
+  public:
+    /**
+     * @param mask separable mask (copied).
+     * @param noise sensor noise parameters.
+     */
+    FlatCamSensor(SeparableMask mask, SensorNoise noise = {});
+
+    /**
+     * Capture a scene: the scene image must match the mask's scene
+     * extent; returns the sensor measurement (sensor extent).
+     */
+    Image capture(const Image &scene) const;
+
+    /** The mask in use. */
+    const SeparableMask &mask() const { return mask_; }
+
+    /** Sensor measurement shape. */
+    int sensorRows() const { return int(mask_.phiL.rows()); }
+    int sensorCols() const { return int(mask_.phiR.rows()); }
+
+    /** Scene shape expected by capture(). */
+    int sceneRows() const { return int(mask_.phiL.cols()); }
+    int sceneCols() const { return int(mask_.phiR.cols()); }
+
+  private:
+    SeparableMask mask_;
+    SensorNoise noise_;
+    mutable Rng rng_;
+};
+
+/** Convert an Image to a Matrix (double). */
+Matrix imageToMatrix(const Image &img);
+
+/** Convert a Matrix to an Image (float), without rescaling. */
+Image matrixToImage(const Matrix &m);
+
+} // namespace flatcam
+} // namespace eyecod
+
+#endif // EYECOD_FLATCAM_IMAGING_H

@@ -1,0 +1,98 @@
+#include "flatcam/mask.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace flatcam {
+
+namespace {
+
+/**
+ * Primitive Galois feedback masks for right-shift LFSRs of width
+ * 3..16. Index [order - 3].
+ */
+const uint32_t kPrimitiveTaps[] = {
+    0x6,    // 3: x^3 + x^2 + 1
+    0xC,    // 4: x^4 + x^3 + 1
+    0x14,   // 5: x^5 + x^3 + 1
+    0x30,   // 6: x^6 + x^5 + 1
+    0x60,   // 7: x^7 + x^6 + 1
+    0xB8,   // 8: x^8 + x^6 + x^5 + x^4 + 1
+    0x110,  // 9: x^9 + x^5 + 1
+    0x240,  // 10: x^10 + x^7 + 1
+    0x500,  // 11: x^11 + x^9 + 1
+    0xE08,  // 12
+    0x1C80, // 13
+    0x3802, // 14
+    0x6000, // 15
+    0xD008, // 16
+};
+
+} // namespace
+
+std::vector<int>
+mlsSequence(int order)
+{
+    if (order < 3 || order > 16)
+        fatal("MLS order %d unsupported (must be in [3, 16])", order);
+    const uint32_t taps = kPrimitiveTaps[order - 3];
+    const size_t len = (size_t(1) << order) - 1;
+    std::vector<int> seq(len);
+    // Right-shift Galois LFSR; kPrimitiveTaps holds the standard
+    // Galois feedback masks, so a maximal period of 2^order - 1 is
+    // guaranteed from any non-zero start state.
+    uint32_t state = 1;
+    for (size_t i = 0; i < len; ++i) {
+        const uint32_t lsb = state & 1;
+        seq[i] = lsb ? 1 : -1;
+        state >>= 1;
+        if (lsb)
+            state ^= taps;
+    }
+    return seq;
+}
+
+SeparableMask
+makeSeparableMask(const MaskConfig &cfg)
+{
+    eyecod_assert(cfg.sensor_rows > 0 && cfg.sensor_cols > 0 &&
+                  cfg.scene_rows > 0 && cfg.scene_cols > 0,
+                  "mask config has non-positive dimensions");
+    const std::vector<int> seq = mlsSequence(cfg.mls_order);
+    const size_t len = seq.size();
+    if (len < size_t(cfg.scene_rows) || len < size_t(cfg.scene_cols)) {
+        fatal("MLS length %zu shorter than scene extent %dx%d; "
+              "raise mls_order", len, cfg.scene_rows, cfg.scene_cols);
+    }
+
+    Rng rng(cfg.seed);
+    auto build = [&](int rows, int cols) {
+        Matrix phi(static_cast<size_t>(rows),
+                   static_cast<size_t>(cols));
+        // Normalization keeps ||Phi x|| roughly on the scale of x so
+        // a single Tikhonov epsilon works across configurations.
+        const double norm = 1.0 / std::sqrt(double(cols));
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                // {0, 1} amplitude transmission from the +/-1 MLS,
+                // cyclically shifted per sensor row.
+                const int bit = seq[(size_t(r) + size_t(c)) % len];
+                double v = (bit > 0) ? 1.0 : 0.0;
+                if (cfg.fabrication_noise > 0.0)
+                    v *= 1.0 + rng.gaussian(0.0, cfg.fabrication_noise);
+                phi(size_t(r), size_t(c)) = v * norm;
+            }
+        }
+        return phi;
+    };
+
+    SeparableMask mask;
+    mask.phiL = build(cfg.sensor_rows, cfg.scene_rows);
+    mask.phiR = build(cfg.sensor_cols, cfg.scene_cols);
+    return mask;
+}
+
+} // namespace flatcam
+} // namespace eyecod

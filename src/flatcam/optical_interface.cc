@@ -1,0 +1,98 @@
+#include "flatcam/optical_interface.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace flatcam {
+
+OpticalFirstLayer::OpticalFirstLayer(OpticalLayerConfig cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.out_channels <= 0 || cfg_.stride <= 0 || cfg_.kernel <= 0)
+        fatal("invalid optical layer config");
+    Rng rng(cfg_.seed);
+    const int k = cfg_.kernel;
+    kernels_.resize(size_t(cfg_.out_channels));
+    // A fixed bank of oriented edge / centre-surround responses, the
+    // kind of point-spread functions the co-designed masks realize.
+    for (int c = 0; c < cfg_.out_channels; ++c) {
+        std::vector<float> ker(size_t(k) * size_t(k), 0.0f);
+        const double theta = M_PI * c / cfg_.out_channels;
+        const double gx = std::cos(theta);
+        const double gy = std::sin(theta);
+        for (int y = 0; y < k; ++y) {
+            for (int x = 0; x < k; ++x) {
+                const double dy = y - (k - 1) / 2.0;
+                const double dx = x - (k - 1) / 2.0;
+                double v;
+                if (c % 4 == 3) {
+                    // Centre-surround (Laplacian-like).
+                    v = (dy == 0.0 && dx == 0.0)
+                        ? double(k * k - 1) : -1.0;
+                    v /= double(k * k);
+                } else {
+                    // Oriented first-derivative response.
+                    v = (gx * dx + gy * dy) / double(k);
+                }
+                v *= 1.0 + rng.gaussian(0.0, cfg_.response_noise);
+                ker[size_t(y) * k + x] = float(v);
+            }
+        }
+        kernels_[size_t(c)] = std::move(ker);
+    }
+}
+
+std::vector<Image>
+OpticalFirstLayer::apply(const Image &scene) const
+{
+    const int k = cfg_.kernel;
+    const int s = cfg_.stride;
+    const int oh = scene.height() / s;
+    const int ow = scene.width() / s;
+    std::vector<Image> out;
+    out.reserve(kernels_.size());
+    for (const auto &ker : kernels_) {
+        Image fm(oh, ow);
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                double acc = 0.0;
+                for (int ky = 0; ky < k; ++ky)
+                    for (int kx = 0; kx < k; ++kx)
+                        acc += ker[size_t(ky) * k + kx] *
+                               scene.atClamped(oy * s + ky - k / 2,
+                                               ox * s + kx - k / 2);
+                fm.at(oy, ox) = float(acc);
+            }
+        }
+        out.push_back(std::move(fm));
+    }
+    return out;
+}
+
+long long
+OpticalFirstLayer::rawBytes(int height, int width)
+{
+    return (long long)height * width; // 8-bit raw pixels
+}
+
+long long
+OpticalFirstLayer::featureBytes(int height, int width) const
+{
+    const long long oh = height / cfg_.stride;
+    const long long ow = width / cfg_.stride;
+    return oh * ow * cfg_.out_channels; // 8-bit feature maps
+}
+
+long long
+OpticalFirstLayer::removedMacs(int height, int width) const
+{
+    const long long oh = height / cfg_.stride;
+    const long long ow = width / cfg_.stride;
+    return oh * ow * cfg_.out_channels *
+           (long long)cfg_.kernel * cfg_.kernel;
+}
+
+} // namespace flatcam
+} // namespace eyecod

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * EyeCoD's sensing-processing interface (Sec. 4.2 of the paper): the
+ * first convolution layer of the eye tracking model is folded into the
+ * FlatCam's coded masks, so the sensor transmits first-layer *feature
+ * maps* rather than raw pixels.
+ *
+ * The physical device realizes this with per-channel optical mask
+ * responses; this module emulates the optical computation functionally
+ * (fixed edge/difference kernels applied at the sensor, with sensor
+ * noise) and accounts the two benefits the paper claims: the removed
+ * first-layer FLOPs and the reduced sensor-to-processor traffic.
+ */
+
+#ifndef EYECOD_FLATCAM_OPTICAL_INTERFACE_H
+#define EYECOD_FLATCAM_OPTICAL_INTERFACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.h"
+#include "common/rng.h"
+
+namespace eyecod {
+namespace flatcam {
+
+/** Configuration of the optical first layer. */
+struct OpticalLayerConfig
+{
+    int out_channels = 4;  ///< Optical feature channels.
+    int stride = 4;        ///< Optical downsampling stride.
+    int kernel = 5;        ///< Emulated optical kernel size.
+    double response_noise = 0.01; ///< Optical response mismatch noise.
+    uint64_t seed = 0x0071ca1;    ///< Perturbation seed.
+};
+
+/**
+ * Emulated optical computation of a first convolution layer.
+ */
+class OpticalFirstLayer
+{
+  public:
+    explicit OpticalFirstLayer(OpticalLayerConfig cfg = {});
+
+    /**
+     * Apply the optical layer to a scene, producing out_channels
+     * feature maps at the downsampled resolution.
+     */
+    std::vector<Image> apply(const Image &scene) const;
+
+    /** Configuration in use. */
+    const OpticalLayerConfig &config() const { return cfg_; }
+
+    /**
+     * Bytes a lens-based camera would transmit per frame for the given
+     * scene shape (one raw 8-bit pixel per site).
+     */
+    static long long rawBytes(int height, int width);
+
+    /**
+     * Bytes this interface transmits per frame for the given scene
+     * shape: out_channels maps at 1/stride^2 the resolution, 8-bit.
+     */
+    long long featureBytes(int height, int width) const;
+
+    /**
+     * MACs of the emulated first conv layer, i.e. the compute the
+     * optical masks remove from the electronic accelerator.
+     */
+    long long removedMacs(int height, int width) const;
+
+  private:
+    OpticalLayerConfig cfg_;
+    /// Fixed per-channel kernels (kernel x kernel each).
+    std::vector<std::vector<float>> kernels_;
+};
+
+} // namespace flatcam
+} // namespace eyecod
+
+#endif // EYECOD_FLATCAM_OPTICAL_INTERFACE_H

@@ -1,0 +1,67 @@
+#include "flatcam/reconstruction.h"
+
+#include "common/logging.h"
+#include "flatcam/imaging.h"
+
+namespace eyecod {
+namespace flatcam {
+
+FlatCamReconstructor::FlatCamReconstructor(const SeparableMask &mask,
+                                           double epsilon)
+    : epsilon_(epsilon)
+{
+    if (epsilon <= 0.0)
+        fatal("Tikhonov epsilon must be positive, got %g", epsilon);
+    Svd left = computeSvd(mask.phiL);
+    Svd right = computeSvd(mask.phiR);
+    ul_t_ = left.u.transposed();
+    vl_ = std::move(left.v);
+    sl_ = std::move(left.s);
+    ur_ = std::move(right.u);
+    vr_ = std::move(right.v);
+    sr_ = std::move(right.s);
+}
+
+Image
+FlatCamReconstructor::reconstruct(const Image &measurement) const
+{
+    eyecod_assert(size_t(measurement.height()) == ul_t_.cols() &&
+                  size_t(measurement.width()) == ur_.rows(),
+                  "measurement shape %dx%d != sensor extent %zux%zu",
+                  measurement.height(), measurement.width(),
+                  ul_t_.cols(), ur_.rows());
+
+    const Matrix y = imageToMatrix(measurement);
+    // Yhat = Ul^T y Ur.
+    Matrix yhat = ul_t_.multiply(y).multiply(ur_);
+    // Element-wise Tikhonov filter.
+    for (size_t i = 0; i < yhat.rows(); ++i) {
+        for (size_t j = 0; j < yhat.cols(); ++j) {
+            const double sl = sl_[i];
+            const double sr = sr_[j];
+            yhat(i, j) *= sl * sr / (sl * sl * sr * sr + epsilon_);
+        }
+    }
+    // X = Vl Xhat Vr^T.
+    Matrix x = vl_.multiply(yhat).multiply(vr_.transposed());
+    Image out = matrixToImage(x);
+    out.clamp(0.0f, 1.0f);
+    return out;
+}
+
+long long
+FlatCamReconstructor::macsPerFrame() const
+{
+    const long long kl = (long long)sl_.size();
+    const long long kr = (long long)sr_.size();
+    const long long sr_rows = (long long)ul_t_.cols();
+    const long long sc_cols = (long long)ur_.rows();
+    const long long scene_r = (long long)vl_.rows();
+    const long long scene_c = (long long)vr_.rows();
+    // Ul^T * y, (.) * Ur, element-wise filter, Vl * Xhat, (.) * Vr^T.
+    return kl * sr_rows * sc_cols + kl * sc_cols * kr + kl * kr +
+           scene_r * kl * kr + scene_r * kr * scene_c;
+}
+
+} // namespace flatcam
+} // namespace eyecod

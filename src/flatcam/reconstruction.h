@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tikhonov-regularized separable reconstruction of FlatCam
+ * measurements (Eq. (2) of the paper).
+ *
+ * Minimizing ||PhiL X PhiR^T - y||_2^2 + eps ||X||_2^2 has the closed
+ * form, via the SVDs PhiL = Ul Sl Vl^T and PhiR = Ur Sr Vr^T:
+ *
+ *   Yhat   = Ul^T y Ur
+ *   Xhat_ij = sl_i * sr_j * Yhat_ij / (sl_i^2 * sr_j^2 + eps)
+ *   X      = Vl Xhat Vr^T
+ *
+ * The SVDs depend only on the (calibrated) mask, so they are computed
+ * once at construction and each frame costs three small dense products
+ * plus an element-wise filter — this is the "reconstruction" workload
+ * whose weights live in the accelerator's weight GB.
+ */
+
+#ifndef EYECOD_FLATCAM_RECONSTRUCTION_H
+#define EYECOD_FLATCAM_RECONSTRUCTION_H
+
+#include "common/image.h"
+#include "common/matrix.h"
+#include "flatcam/mask.h"
+
+namespace eyecod {
+namespace flatcam {
+
+/**
+ * Precomputed separable Tikhonov inverse of a FlatCam mask.
+ */
+class FlatCamReconstructor
+{
+  public:
+    /**
+     * @param mask the calibrated separable mask.
+     * @param epsilon Tikhonov regularization weight (> 0).
+     */
+    FlatCamReconstructor(const SeparableMask &mask,
+                         double epsilon = 1e-4);
+
+    /**
+     * Reconstruct the scene estimate from a sensor measurement.
+     *
+     * @param measurement sensor-extent image from FlatCamSensor.
+     * @return scene-extent reconstructed image, clamped to [0, 1].
+     */
+    Image reconstruct(const Image &measurement) const;
+
+    /** Regularization weight in use. */
+    double epsilon() const { return epsilon_; }
+
+    /** Scene shape produced by reconstruct(). */
+    int sceneRows() const { return int(vl_.rows()); }
+    int sceneCols() const { return int(vr_.rows()); }
+
+    /**
+     * Multiply-accumulate count of one reconstruction, used by the
+     * accelerator workload compiler (three dense products).
+     */
+    long long macsPerFrame() const;
+
+  private:
+    double epsilon_;
+    Matrix ul_t_; ///< Ul^T (k_l x sensor_rows).
+    Matrix ur_;   ///< Ur (sensor_cols x k_r).
+    Matrix vl_;   ///< Vl (scene_rows x k_l).
+    Matrix vr_;   ///< Vr (scene_cols x k_r).
+    std::vector<double> sl_; ///< Left singular values.
+    std::vector<double> sr_; ///< Right singular values.
+};
+
+} // namespace flatcam
+} // namespace eyecod
+
+#endif // EYECOD_FLATCAM_RECONSTRUCTION_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FBNet-C builder ("FBNet-C100" in EyeCoD): the differentiable-NAS
+ * mobile architecture of Wu et al., re-headed as a 3-D gaze
+ * regressor. Block table follows the published FBNet-C search result
+ * (kernel, expansion, channels, stride per block).
+ */
+
+#include "models/model_zoo.h"
+
+#include "common/logging.h"
+#include "models/mbconv.h"
+#include "nn/basic_layers.h"
+#include "nn/conv.h"
+
+namespace eyecod {
+namespace models {
+
+namespace {
+
+/** One searched FBNet block: kernel, expansion, out channels, stride. */
+struct BlockCfg
+{
+    int kernel;
+    int expansion;
+    int channels;
+    int stride;
+};
+
+/** FBNet-C block table (skip-blocks of the search are elided). */
+const BlockCfg kFbnetC[] = {
+    {3, 1, 16, 1},
+    {3, 6, 24, 2}, {3, 1, 24, 1}, {3, 1, 24, 1}, {3, 1, 24, 1},
+    {5, 6, 32, 2}, {5, 3, 32, 1}, {5, 6, 32, 1}, {3, 6, 32, 1},
+    {5, 6, 64, 2}, {5, 3, 64, 1}, {5, 6, 64, 1}, {5, 6, 64, 1},
+    {5, 6, 112, 1}, {5, 3, 112, 1}, {5, 6, 112, 1}, {5, 6, 112, 1},
+    {5, 6, 184, 2}, {5, 6, 184, 1}, {5, 6, 184, 1}, {5, 6, 184, 1},
+    {3, 6, 352, 1},
+};
+
+} // namespace
+
+nn::Graph
+buildFBNetC100(int height, int width, int quant_bits)
+{
+    eyecod_assert(height % 32 == 0 && width % 32 == 0,
+                  "FBNet input must be divisible by 32, got %dx%d",
+                  height, width);
+    nn::Graph g("fbnet-c100-" + std::to_string(height) + "x" +
+                std::to_string(width));
+    MbCtx ctx{&g, quant_bits, 300, 0};
+
+    const int input = g.addInput(nn::Shape{1, height, width}, "roi");
+
+    // Stem: 3x3 stride-2 conv to 16 channels.
+    int x = mbConvLayer(ctx, input, nn::Shape{1, height, width}, 16,
+                        3, 2, true);
+    nn::Shape shape{16, height / 2, width / 2};
+
+    for (const BlockCfg &b : kFbnetC) {
+        x = mbConvBlock(ctx, x, shape, b.channels, b.kernel, b.stride,
+                        b.expansion);
+        shape = nn::Shape{b.channels,
+                          (shape.h + b.stride - 1) / b.stride,
+                          (shape.w + b.stride - 1) / b.stride};
+    }
+
+    // Head: 1x1 conv to 1504 features, global average pool, and the
+    // gaze-normal regression FC producing the 3-D gaze vector.
+    x = mbConvLayer(ctx, x, shape, 1504, 1, 1, true);
+    shape.c = 1504;
+    x = g.emplace<nn::Pool>({x}, "gap", shape,
+                            nn::PoolMode::GlobalAverage);
+    g.emplace<nn::FullyConnected>({x}, "gaze_fc",
+                                  nn::Shape{1504, 1, 1}, kGazeOutputs,
+                                  false, quant_bits, 399);
+    return g;
+}
+
+nn::Graph
+buildMobileNetV2(int height, int width, int quant_bits)
+{
+    eyecod_assert(height % 32 == 0 && width % 32 == 0,
+                  "MobileNetV2 input must be divisible by 32, got "
+                  "%dx%d", height, width);
+    nn::Graph g("mobilenetv2-" + std::to_string(height) + "x" +
+                std::to_string(width));
+    MbCtx ctx{&g, quant_bits, 400, 0};
+
+    const int input = g.addInput(nn::Shape{1, height, width}, "roi");
+
+    int x = mbConvLayer(ctx, input, nn::Shape{1, height, width}, 32,
+                        3, 2, true);
+    nn::Shape shape{32, height / 2, width / 2};
+
+    // (expansion, channels, repeats, first stride) per MobileNetV2.
+    const int cfg[][4] = {
+        {1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+    for (const auto &c : cfg) {
+        for (int i = 0; i < c[2]; ++i) {
+            const int stride = i == 0 ? c[3] : 1;
+            x = mbConvBlock(ctx, x, shape, c[1], 3, stride, c[0]);
+            shape = nn::Shape{c[1], (shape.h + stride - 1) / stride,
+                              (shape.w + stride - 1) / stride};
+        }
+    }
+
+    x = mbConvLayer(ctx, x, shape, 1280, 1, 1, true);
+    shape.c = 1280;
+    x = g.emplace<nn::Pool>({x}, "gap", shape,
+                            nn::PoolMode::GlobalAverage);
+    g.emplace<nn::FullyConnected>({x}, "gaze_fc",
+                                  nn::Shape{1280, 1, 1}, kGazeOutputs,
+                                  false, quant_bits, 499);
+    return g;
+}
+
+} // namespace models
+} // namespace eyecod

@@ -1,0 +1,55 @@
+#include "models/mbconv.h"
+
+#include "nn/basic_layers.h"
+#include "nn/conv.h"
+
+namespace eyecod {
+namespace models {
+
+int
+mbConvLayer(MbCtx &ctx, int input, nn::Shape in, int out_c, int kernel,
+            int stride, bool relu, bool depthwise)
+{
+    nn::ConvSpec spec;
+    spec.in = in;
+    spec.out_channels = out_c;
+    spec.kernel = kernel;
+    spec.stride = stride;
+    spec.depthwise = depthwise;
+    spec.relu = relu;
+    spec.quant_bits = ctx.quant_bits;
+    spec.seed = ctx.seed + uint64_t(++ctx.counter);
+    return ctx.g->emplace<nn::Conv2d>(
+        {input}, "conv" + std::to_string(ctx.counter), spec);
+}
+
+int
+mbConvBlock(MbCtx &ctx, int input, nn::Shape in, int out_c, int kernel,
+            int stride, int expansion)
+{
+    int x = input;
+    nn::Shape shape = in;
+    const int expanded = in.c * expansion;
+
+    if (expansion != 1) {
+        x = mbConvLayer(ctx, x, shape, expanded, 1, 1, true);
+        shape.c = expanded;
+    }
+    x = mbConvLayer(ctx, x, shape, expanded, kernel, stride, true,
+                    true);
+    shape = nn::Shape{expanded, (shape.h + stride - 1) / stride,
+                      (shape.w + stride - 1) / stride};
+    // Linear (no ReLU) projection.
+    x = mbConvLayer(ctx, x, shape, out_c, 1, 1, false);
+    shape.c = out_c;
+
+    if (stride == 1 && in.c == out_c) {
+        x = ctx.g->emplace<nn::Add>(
+            {input, x}, "add" + std::to_string(++ctx.counter), shape,
+            false);
+    }
+    return x;
+}
+
+} // namespace models
+} // namespace eyecod

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared inverted-residual (MBConv) block builder used by the
+ * FBNet-C100 and MobileNetV2 gaze models: 1x1 expansion, KxK
+ * depth-wise, 1x1 linear projection, residual add when shapes allow.
+ */
+
+#ifndef EYECOD_MODELS_MBCONV_H
+#define EYECOD_MODELS_MBCONV_H
+
+#include <cstdint>
+
+#include "nn/graph.h"
+
+namespace eyecod {
+namespace models {
+
+/** Builder state threaded through block construction. */
+struct MbCtx
+{
+    nn::Graph *g;       ///< Target graph.
+    int quant_bits = 0; ///< Conv quantization bits.
+    uint64_t seed = 1;  ///< Seed base for weight init.
+    int counter = 0;    ///< Unique-name counter.
+};
+
+/**
+ * Append a plain convolution (+ fused ReLU) to the graph.
+ *
+ * @return the new node id.
+ */
+int mbConvLayer(MbCtx &ctx, int input, nn::Shape in, int out_c,
+                int kernel, int stride, bool relu,
+                bool depthwise = false);
+
+/**
+ * Append an MBConv block. expansion == 1 skips the expansion conv.
+ *
+ * @param in input shape; the block outputs (out_c, ceil(h/s),
+ *        ceil(w/s)).
+ * @return the output node id.
+ */
+int mbConvBlock(MbCtx &ctx, int input, nn::Shape in, int out_c,
+                int kernel, int stride, int expansion);
+
+} // namespace models
+} // namespace eyecod
+
+#endif // EYECOD_MODELS_MBCONV_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Builders for every network in the paper's evaluation:
+ *
+ *  - RITNet (Chaudhary et al. 2019) — eye segmentation backbone of the
+ *    predict stage (Tab. 3);
+ *  - U-Net — segmentation baseline row of Tab. 3;
+ *  - FBNet-C100 (Wu et al. 2019) — gaze estimation backbone of the
+ *    focus stage (Tab. 2);
+ *  - ResNet18 — the OpenEDS2020-winner gaze baseline (Tab. 2);
+ *  - MobileNetV2 — gaze alternative row of Tab. 2.
+ *
+ * All builders produce functional nn::Graph instances whose layer
+ * shapes — and therefore FLOPs, parameter counts, and accelerator
+ * workloads — match the published architectures. Weights are
+ * deterministic seeded He initializations (see DESIGN.md on the
+ * trained-checkpoint substitution).
+ */
+
+#ifndef EYECOD_MODELS_MODEL_ZOO_H
+#define EYECOD_MODELS_MODEL_ZOO_H
+
+#include "nn/graph.h"
+
+namespace eyecod {
+namespace models {
+
+/** Gaze-model output width: a 3-D gaze vector. */
+constexpr int kGazeOutputs = 3;
+
+/** Segmentation classes: background, sclera, iris, pupil. */
+constexpr int kSegClasses = 4;
+
+/**
+ * RITNet eye segmentation network: five dense down-blocks, four
+ * dense up-blocks with skip concatenations, 4-class per-pixel output.
+ *
+ * @param height,width input resolution (paper sweeps 512/256/128).
+ * @param quant_bits 0 for float, 8 for the deployed int8 variant.
+ */
+nn::Graph buildRitNet(int height, int width, int quant_bits = 0);
+
+/**
+ * U-Net segmentation baseline (slim variant sized per Tab. 3).
+ */
+nn::Graph buildUNet(int height, int width, int quant_bits = 0);
+
+/**
+ * FBNet-C gaze estimation network ("FBNet-C100" in the paper),
+ * ending in a 3-D gaze regression head.
+ *
+ * @param height,width input ROI resolution (96x160 in EyeCoD).
+ */
+nn::Graph buildFBNetC100(int height, int width, int quant_bits = 0);
+
+/**
+ * ResNet18 gaze baseline (OpenEDS2020 winner backbone).
+ */
+nn::Graph buildResNet18(int height, int width, int quant_bits = 0);
+
+/**
+ * MobileNetV2 gaze alternative.
+ */
+nn::Graph buildMobileNetV2(int height, int width, int quant_bits = 0);
+
+} // namespace models
+} // namespace eyecod
+
+#endif // EYECOD_MODELS_MODEL_ZOO_H

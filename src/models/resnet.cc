@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ResNet18 builder: the OpenEDS2020-winner gaze backbone used as the
+ * baseline row of Tab. 2, re-headed as a 3-D gaze regressor.
+ */
+
+#include "models/model_zoo.h"
+
+#include "common/logging.h"
+#include "nn/basic_layers.h"
+#include "nn/conv.h"
+
+namespace eyecod {
+namespace models {
+
+namespace {
+
+struct RnCtx
+{
+    nn::Graph *g;
+    int quant_bits;
+    int counter = 0;
+
+    int
+    conv(int input, nn::Shape in, int out_c, int kernel, int stride,
+         bool relu)
+    {
+        nn::ConvSpec spec;
+        spec.in = in;
+        spec.out_channels = out_c;
+        spec.kernel = kernel;
+        spec.stride = stride;
+        spec.relu = relu;
+        spec.quant_bits = quant_bits;
+        spec.seed = 500 + uint64_t(++counter);
+        return g->emplace<nn::Conv2d>(
+            {input}, "conv" + std::to_string(counter), spec);
+    }
+};
+
+/** A BasicBlock: two 3x3 convs plus the (possibly projected) skip. */
+int
+basicBlock(RnCtx &ctx, int input, nn::Shape in, int out_c, int stride)
+{
+    const nn::Shape mid{out_c, (in.h + stride - 1) / stride,
+                        (in.w + stride - 1) / stride};
+    int x = ctx.conv(input, in, out_c, 3, stride, true);
+    x = ctx.conv(x, mid, out_c, 3, 1, false);
+
+    int skip = input;
+    if (stride != 1 || in.c != out_c)
+        skip = ctx.conv(input, in, out_c, 1, stride, false);
+    return ctx.g->emplace<nn::Add>(
+        {skip, x}, "add" + std::to_string(++ctx.counter), mid, true);
+}
+
+} // namespace
+
+nn::Graph
+buildResNet18(int height, int width, int quant_bits)
+{
+    eyecod_assert(height % 32 == 0 && width % 32 == 0,
+                  "ResNet18 input must be divisible by 32, got %dx%d",
+                  height, width);
+    nn::Graph g("resnet18-" + std::to_string(height) + "x" +
+                std::to_string(width));
+    RnCtx ctx{&g, quant_bits};
+
+    const int input = g.addInput(nn::Shape{1, height, width}, "roi");
+
+    // Stem: 7x7 stride-2 conv then 3x3 stride-2 max pool.
+    int x = ctx.conv(input, nn::Shape{1, height, width}, 64, 7, 2,
+                     true);
+    nn::Shape shape{64, height / 2, width / 2};
+    x = g.emplace<nn::Pool>({x}, "stem_pool", shape,
+                            nn::PoolMode::Max, 3, 2);
+    shape = nn::Shape{64, (shape.h + 1) / 2, (shape.w + 1) / 2};
+
+    const int stage_channels[] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        const int out_c = stage_channels[stage];
+        for (int block = 0; block < 2; ++block) {
+            const int stride = (stage > 0 && block == 0) ? 2 : 1;
+            x = basicBlock(ctx, x, shape, out_c, stride);
+            shape = nn::Shape{out_c,
+                              (shape.h + stride - 1) / stride,
+                              (shape.w + stride - 1) / stride};
+        }
+    }
+
+    x = g.emplace<nn::Pool>({x}, "gap", shape,
+                            nn::PoolMode::GlobalAverage);
+    g.emplace<nn::FullyConnected>({x}, "gaze_fc",
+                                  nn::Shape{512, 1, 1}, kGazeOutputs,
+                                  false, quant_bits, 599);
+    return g;
+}
+
+} // namespace models
+} // namespace eyecod

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * RITNet builder: the DenseNet2D-style segmentation network of
+ * Chaudhary et al. used by EyeCoD's predict stage. Five down-blocks
+ * with dense intra-block concatenation, four up-blocks with skip
+ * concatenations, and a 1x1 4-class head.
+ */
+
+#include "models/model_zoo.h"
+
+#include "common/logging.h"
+#include "nn/basic_layers.h"
+#include "nn/conv.h"
+
+namespace eyecod {
+namespace models {
+
+namespace {
+
+using nn::Conv2d;
+using nn::ConvSpec;
+using nn::Shape;
+
+/** Base channel width; sized so 512x512 lands near the paper's 17G. */
+constexpr int kRitChannels = 20;
+
+struct Ctx
+{
+    nn::Graph *g;
+    int quant_bits;
+    uint64_t seed = 100;
+    int counter = 0;
+
+    int
+    conv(int input, Shape in, int out_c, int kernel, bool relu = true)
+    {
+        ConvSpec spec;
+        spec.in = in;
+        spec.out_channels = out_c;
+        spec.kernel = kernel;
+        spec.stride = 1;
+        spec.relu = relu;
+        spec.quant_bits = quant_bits;
+        spec.seed = seed + uint64_t(++counter);
+        return g->emplace<Conv2d>({input},
+                                  "conv" + std::to_string(counter),
+                                  spec);
+    }
+};
+
+/**
+ * A dense block: three 3x3 convs, each consuming the concatenation of
+ * the block input and all previous conv outputs.
+ */
+int
+denseBlock(Ctx &ctx, int input, Shape in, int m)
+{
+    nn::Graph &g = *ctx.g;
+    const int c1 = ctx.conv(input, in, m, 3);
+    const int cat1 = g.emplace<nn::Concat>(
+        {input, c1}, "cat" + std::to_string(ctx.counter), in,
+        Shape{m, in.h, in.w});
+    const int c2 = ctx.conv(cat1, Shape{in.c + m, in.h, in.w}, m, 3);
+    const int cat2 = g.emplace<nn::Concat>(
+        {cat1, c2}, "cat" + std::to_string(ctx.counter),
+        Shape{in.c + m, in.h, in.w}, Shape{m, in.h, in.w});
+    const int c3 =
+        ctx.conv(cat2, Shape{in.c + 2 * m, in.h, in.w}, m, 3);
+    return c3;
+}
+
+} // namespace
+
+nn::Graph
+buildRitNet(int height, int width, int quant_bits)
+{
+    eyecod_assert(height % 16 == 0 && width % 16 == 0,
+                  "RITNet input must be divisible by 16, got %dx%d",
+                  height, width);
+    nn::Graph g("ritnet-" + std::to_string(height) + "x" +
+                std::to_string(width));
+    Ctx ctx{&g, quant_bits};
+    const int m = kRitChannels;
+
+    const int input = g.addInput(Shape{1, height, width}, "eye");
+
+    // Encoder: dense block then 2x average pool, four times down.
+    int x = input;
+    Shape shape{1, height, width};
+    std::vector<int> skips;
+    std::vector<Shape> skip_shapes;
+    for (int level = 0; level < 4; ++level) {
+        x = denseBlock(ctx, x, shape, m);
+        shape = Shape{m, shape.h, shape.w};
+        skips.push_back(x);
+        skip_shapes.push_back(shape);
+        x = g.emplace<nn::Pool>({x},
+                                "pool" + std::to_string(level), shape,
+                                nn::PoolMode::Average, 2, 2);
+        shape = Shape{m, shape.h / 2, shape.w / 2};
+    }
+    // Bottleneck block.
+    x = denseBlock(ctx, x, shape, m);
+    shape = Shape{m, shape.h, shape.w};
+
+    // Decoder: upsample, concat skip, dense block, four times up.
+    for (int level = 3; level >= 0; --level) {
+        x = g.emplace<nn::Upsample>({x},
+                                    "up" + std::to_string(level),
+                                    shape, 2, false);
+        shape = Shape{m, shape.h * 2, shape.w * 2};
+        x = g.emplace<nn::Concat>({x, skips[size_t(level)]},
+                                  "skipcat" + std::to_string(level),
+                                  shape, skip_shapes[size_t(level)]);
+        shape = Shape{2 * m, shape.h, shape.w};
+        x = denseBlock(ctx, x, shape, m);
+        shape = Shape{m, shape.h, shape.w};
+    }
+
+    // 4-class per-pixel head (logits; no activation).
+    ctx.conv(x, shape, kSegClasses, 1, false);
+    return g;
+}
+
+nn::Graph
+buildUNet(int height, int width, int quant_bits)
+{
+    eyecod_assert(height % 16 == 0 && width % 16 == 0,
+                  "U-Net input must be divisible by 16, got %dx%d",
+                  height, width);
+    nn::Graph g("unet-" + std::to_string(height) + "x" +
+                std::to_string(width));
+    Ctx ctx{&g, quant_bits, 200};
+    // Slim U-Net sized to the paper's 14.1G @ 512x512 baseline row.
+    const int base = 18;
+
+    const int input = g.addInput(Shape{1, height, width}, "eye");
+
+    int x = input;
+    Shape shape{1, height, width};
+    std::vector<int> skips;
+    std::vector<Shape> skip_shapes;
+    int ch = base;
+    for (int level = 0; level < 4; ++level) {
+        x = ctx.conv(x, shape, ch, 3);
+        shape.c = ch;
+        x = ctx.conv(x, shape, ch, 3);
+        skips.push_back(x);
+        skip_shapes.push_back(shape);
+        x = g.emplace<nn::Pool>({x},
+                                "pool" + std::to_string(level), shape,
+                                nn::PoolMode::Max, 2, 2);
+        shape = Shape{ch, shape.h / 2, shape.w / 2};
+        ch *= 2;
+    }
+    // Bottleneck.
+    x = ctx.conv(x, shape, ch, 3);
+    shape.c = ch;
+    x = ctx.conv(x, shape, ch, 3);
+
+    for (int level = 3; level >= 0; --level) {
+        ch /= 2;
+        x = g.emplace<nn::Upsample>({x},
+                                    "up" + std::to_string(level),
+                                    shape, 2, false);
+        shape = Shape{shape.c, shape.h * 2, shape.w * 2};
+        // 1x1 projection halves channels before the skip concat.
+        x = ctx.conv(x, shape, ch, 1);
+        shape.c = ch;
+        x = g.emplace<nn::Concat>({x, skips[size_t(level)]},
+                                  "skipcat" + std::to_string(level),
+                                  shape, skip_shapes[size_t(level)]);
+        shape.c = 2 * ch;
+        x = ctx.conv(x, shape, ch, 3);
+        shape.c = ch;
+        x = ctx.conv(x, shape, ch, 3);
+    }
+
+    ctx.conv(x, shape, kSegClasses, 1, false);
+    return g;
+}
+
+} // namespace models
+} // namespace eyecod

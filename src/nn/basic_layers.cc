@@ -1,0 +1,286 @@
+#include "nn/basic_layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace eyecod {
+namespace nn {
+
+Pool::Pool(std::string name, Shape in, PoolMode mode, int kernel,
+           int stride)
+    : Layer(std::move(name)), in_(in), mode_(mode), kernel_(kernel),
+      stride_(stride > 0 ? stride : kernel)
+{
+    eyecod_assert(kernel_ > 0 && stride_ > 0,
+                  "pool %s bad kernel/stride", this->name().c_str());
+}
+
+Shape
+Pool::outputShape() const
+{
+    if (mode_ == PoolMode::GlobalAverage)
+        return Shape{in_.c, 1, 1};
+    return Shape{in_.c, (in_.h + stride_ - 1) / stride_,
+                 (in_.w + stride_ - 1) / stride_};
+}
+
+LayerWorkload
+Pool::workload() const
+{
+    LayerWorkload w = Layer::workload();
+    w.c_in = in_.c;
+    w.h_in = in_.h;
+    w.w_in = in_.w;
+    w.kernel = mode_ == PoolMode::GlobalAverage ? in_.h : kernel_;
+    w.stride = stride_;
+    return w;
+}
+
+Tensor
+Pool::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
+                  "pool %s input mismatch", name().c_str());
+    const Tensor &x = *in[0];
+    const Shape out_shape = outputShape();
+    Tensor out(out_shape);
+
+    if (mode_ == PoolMode::GlobalAverage) {
+        const double inv = 1.0 / (double(in_.h) * in_.w);
+        for (int c = 0; c < in_.c; ++c) {
+            double acc = 0.0;
+            for (int y = 0; y < in_.h; ++y)
+                for (int xx = 0; xx < in_.w; ++xx)
+                    acc += x.at(c, y, xx);
+            out.at(c, 0, 0) = float(acc * inv);
+        }
+        return out;
+    }
+
+    for (int c = 0; c < in_.c; ++c) {
+        for (int oy = 0; oy < out_shape.h; ++oy) {
+            for (int ox = 0; ox < out_shape.w; ++ox) {
+                double acc = mode_ == PoolMode::Max
+                    ? -1e30 : 0.0;
+                int count = 0;
+                for (int ky = 0; ky < kernel_; ++ky) {
+                    const int iy = oy * stride_ + ky;
+                    if (iy >= in_.h)
+                        continue;
+                    for (int kx = 0; kx < kernel_; ++kx) {
+                        const int ix = ox * stride_ + kx;
+                        if (ix >= in_.w)
+                            continue;
+                        const double v = x.at(c, iy, ix);
+                        if (mode_ == PoolMode::Max)
+                            acc = std::max(acc, v);
+                        else
+                            acc += v;
+                        ++count;
+                    }
+                }
+                if (mode_ == PoolMode::Average && count > 0)
+                    acc /= count;
+                out.at(c, oy, ox) = float(acc);
+            }
+        }
+    }
+    return out;
+}
+
+Upsample::Upsample(std::string name, Shape in, int factor,
+                   bool zero_insert)
+    : Layer(std::move(name)), in_(in), factor_(factor),
+      zero_insert_(zero_insert)
+{
+    eyecod_assert(factor_ >= 2, "upsample %s factor must be >= 2",
+                  this->name().c_str());
+}
+
+Shape
+Upsample::outputShape() const
+{
+    return Shape{in_.c, in_.h * factor_, in_.w * factor_};
+}
+
+LayerWorkload
+Upsample::workload() const
+{
+    LayerWorkload w = Layer::workload();
+    w.c_in = in_.c;
+    w.h_in = in_.h;
+    w.w_in = in_.w;
+    w.stride = factor_;
+    return w;
+}
+
+Tensor
+Upsample::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
+                  "upsample %s input mismatch", name().c_str());
+    const Tensor &x = *in[0];
+    Tensor out(outputShape());
+    for (int c = 0; c < in_.c; ++c) {
+        for (int y = 0; y < in_.h * factor_; ++y) {
+            for (int xx = 0; xx < in_.w * factor_; ++xx) {
+                if (zero_insert_ &&
+                    (y % factor_ != 0 || xx % factor_ != 0)) {
+                    out.at(c, y, xx) = 0.0f;
+                } else {
+                    out.at(c, y, xx) =
+                        x.at(c, y / factor_, xx / factor_);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Concat::Concat(std::string name, Shape in_a, Shape in_b)
+    : Layer(std::move(name)), a_(in_a), b_(in_b)
+{
+    eyecod_assert(in_a.h == in_b.h && in_a.w == in_b.w,
+                  "concat %s spatial mismatch", this->name().c_str());
+}
+
+Shape
+Concat::outputShape() const
+{
+    return Shape{a_.c + b_.c, a_.h, a_.w};
+}
+
+LayerWorkload
+Concat::workload() const
+{
+    LayerWorkload w = Layer::workload();
+    w.c_in = a_.c + b_.c;
+    w.h_in = a_.h;
+    w.w_in = a_.w;
+    return w;
+}
+
+Tensor
+Concat::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 2 && in[0]->shape() == a_ &&
+                  in[1]->shape() == b_,
+                  "concat %s input mismatch", name().c_str());
+    Tensor out(outputShape());
+    std::copy(in[0]->data().begin(), in[0]->data().end(),
+              out.data().begin());
+    std::copy(in[1]->data().begin(), in[1]->data().end(),
+              out.data().begin() + in[0]->size());
+    return out;
+}
+
+Add::Add(std::string name, Shape in, bool relu)
+    : Layer(std::move(name)), in_(in), relu_(relu)
+{
+}
+
+Tensor
+Add::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 2 && in[0]->shape() == in_ &&
+                  in[1]->shape() == in_,
+                  "add %s input mismatch", name().c_str());
+    Tensor out(in_);
+    for (size_t i = 0; i < out.size(); ++i) {
+        float v = in[0]->data()[i] + in[1]->data()[i];
+        if (relu_ && v < 0.0f)
+            v = 0.0f;
+        out.data()[i] = v;
+    }
+    return out;
+}
+
+Activation::Activation(std::string name, Shape in, ActFn fn,
+                       float slope)
+    : Layer(std::move(name)), in_(in), fn_(fn), slope_(slope)
+{
+}
+
+Tensor
+Activation::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
+                  "activation %s input mismatch", name().c_str());
+    Tensor out(in_);
+    for (size_t i = 0; i < out.size(); ++i) {
+        const float v = in[0]->data()[i];
+        switch (fn_) {
+          case ActFn::Relu:
+            out.data()[i] = v > 0.0f ? v : 0.0f;
+            break;
+          case ActFn::LeakyRelu:
+            out.data()[i] = v > 0.0f ? v : slope_ * v;
+            break;
+          case ActFn::Tanh:
+            out.data()[i] = std::tanh(v);
+            break;
+          case ActFn::Sigmoid:
+            out.data()[i] = 1.0f / (1.0f + std::exp(-v));
+            break;
+        }
+    }
+    return out;
+}
+
+BatchNorm::BatchNorm(std::string name, Shape in, uint64_t seed)
+    : Layer(std::move(name)), in_(in)
+{
+    Rng rng(seed);
+    scale_.resize(size_t(in_.c));
+    shift_.resize(size_t(in_.c));
+    for (int c = 0; c < in_.c; ++c) {
+        scale_[size_t(c)] = float(1.0 + rng.gaussian(0.0, 0.05));
+        shift_[size_t(c)] = float(rng.gaussian(0.0, 0.05));
+    }
+}
+
+Tensor
+BatchNorm::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
+                  "batchnorm %s input mismatch", name().c_str());
+    Tensor out(in_);
+    const size_t plane = size_t(in_.h) * in_.w;
+    for (int c = 0; c < in_.c; ++c) {
+        const float s = scale_[size_t(c)];
+        const float b = shift_[size_t(c)];
+        const float *src = in[0]->data().data() + size_t(c) * plane;
+        float *dst = out.data().data() + size_t(c) * plane;
+        for (size_t i = 0; i < plane; ++i)
+            dst[i] = s * src[i] + b;
+    }
+    return out;
+}
+
+std::vector<int>
+channelArgmax(const Tensor &t)
+{
+    const Shape s = t.shape();
+    std::vector<int> out(size_t(s.h) * s.w, 0);
+    for (int y = 0; y < s.h; ++y) {
+        for (int x = 0; x < s.w; ++x) {
+            int best = 0;
+            float best_v = t.at(0, y, x);
+            for (int c = 1; c < s.c; ++c) {
+                const float v = t.at(c, y, x);
+                if (v > best_v) {
+                    best_v = v;
+                    best = c;
+                }
+            }
+            out[size_t(y) * s.w + x] = best;
+        }
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace eyecod

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Non-MAC layers: pooling, nearest-neighbour upsampling, channel
+ * concatenation, element-wise residual addition, standalone
+ * activations, and batch normalization.
+ */
+
+#ifndef EYECOD_NN_BASIC_LAYERS_H
+#define EYECOD_NN_BASIC_LAYERS_H
+
+#include "nn/layer.h"
+
+namespace eyecod {
+namespace nn {
+
+/** Pooling flavours. */
+enum class PoolMode { Max, Average, GlobalAverage };
+
+/**
+ * Spatial pooling.
+ */
+class Pool : public Layer
+{
+  public:
+    /**
+     * @param in input shape.
+     * @param mode pooling flavour; GlobalAverage ignores kernel/stride.
+     * @param kernel pooling window.
+     * @param stride pooling stride (defaults to kernel).
+     */
+    Pool(std::string name, Shape in, PoolMode mode, int kernel = 2,
+         int stride = 0);
+
+    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    Shape outputShape() const override;
+    LayerKind kind() const override { return LayerKind::Pool; }
+    LayerWorkload workload() const override;
+
+  private:
+    Shape in_;
+    PoolMode mode_;
+    int kernel_;
+    int stride_;
+};
+
+/**
+ * Nearest-neighbour 2x upsampling (the paper's up-sampling reshaping
+ * operation duplicates activations; zero-insertion is also supported
+ * for transposed-convolution style upsampling).
+ */
+class Upsample : public Layer
+{
+  public:
+    /** @param zero_insert insert zeros instead of duplicating. */
+    Upsample(std::string name, Shape in, int factor = 2,
+             bool zero_insert = false);
+
+    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    Shape outputShape() const override;
+    LayerKind kind() const override { return LayerKind::Upsample; }
+    LayerWorkload workload() const override;
+
+  private:
+    Shape in_;
+    int factor_;
+    bool zero_insert_;
+};
+
+/**
+ * Channel concatenation of two inputs with equal spatial extent.
+ */
+class Concat : public Layer
+{
+  public:
+    Concat(std::string name, Shape in_a, Shape in_b);
+
+    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    Shape outputShape() const override;
+    LayerKind kind() const override { return LayerKind::Concat; }
+    LayerWorkload workload() const override;
+
+  private:
+    Shape a_, b_;
+};
+
+/**
+ * Element-wise addition of two same-shaped inputs (residual skip).
+ */
+class Add : public Layer
+{
+  public:
+    Add(std::string name, Shape in, bool relu = false);
+
+    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    Shape outputShape() const override { return in_; }
+    LayerKind kind() const override { return LayerKind::Add; }
+
+  private:
+    Shape in_;
+    bool relu_;
+};
+
+/** Standalone activation functions. */
+enum class ActFn { Relu, LeakyRelu, Tanh, Sigmoid };
+
+/**
+ * A standalone activation layer.
+ */
+class Activation : public Layer
+{
+  public:
+    Activation(std::string name, Shape in, ActFn fn,
+               float slope = 0.01f);
+
+    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    Shape outputShape() const override { return in_; }
+    LayerKind kind() const override { return LayerKind::Activation; }
+
+  private:
+    Shape in_;
+    ActFn fn_;
+    float slope_;
+};
+
+/**
+ * Standalone batch normalization with learned (seeded) scale/shift;
+ * provided for graphs that keep BN unfolded.
+ */
+class BatchNorm : public Layer
+{
+  public:
+    BatchNorm(std::string name, Shape in, uint64_t seed = 1);
+
+    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    Shape outputShape() const override { return in_; }
+    LayerKind kind() const override { return LayerKind::BatchNorm; }
+    long long paramCount() const override { return 2LL * in_.c; }
+
+  private:
+    Shape in_;
+    std::vector<float> scale_;
+    std::vector<float> shift_;
+};
+
+/** Per-pixel argmax over channels (segmentation decode helper). */
+std::vector<int> channelArgmax(const Tensor &t);
+
+} // namespace nn
+} // namespace eyecod
+
+#endif // EYECOD_NN_BASIC_LAYERS_H

@@ -1,0 +1,283 @@
+#include "nn/conv.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace nn {
+
+namespace {
+
+/** He-initialize a weight buffer and optionally fake-quantize it. */
+void
+initWeights(std::vector<float> &w, double fan_in, uint64_t seed,
+            int quant_bits)
+{
+    Rng rng(seed);
+    const double stddev = std::sqrt(2.0 / std::max(1.0, fan_in));
+    for (float &v : w)
+        v = float(rng.gaussian(0.0, stddev));
+    if (quant_bits > 0) {
+        const QuantParams qp = chooseQuantParams(w, quant_bits);
+        fakeQuantize(w, qp);
+    }
+}
+
+} // namespace
+
+Conv2d::Conv2d(std::string name, const ConvSpec &spec)
+    : Layer(std::move(name)), spec_(spec)
+{
+    eyecod_assert(spec_.in.c > 0 && spec_.out_channels > 0 &&
+                  spec_.kernel > 0 && spec_.stride > 0,
+                  "invalid conv spec for %s", this->name().c_str());
+    if (spec_.depthwise) {
+        eyecod_assert(spec_.out_channels == spec_.in.c,
+                      "depthwise conv %s must keep channel count "
+                      "(%d != %d)", this->name().c_str(),
+                      spec_.out_channels, spec_.in.c);
+        group_channels_ = 1;
+    } else {
+        group_channels_ = spec_.in.c;
+    }
+    weights_.resize(size_t(spec_.out_channels) * group_channels_ *
+                    spec_.kernel * spec_.kernel);
+    bias_.resize(size_t(spec_.out_channels), 0.0f);
+    initWeights(weights_,
+                double(group_channels_) * spec_.kernel * spec_.kernel,
+                spec_.seed, spec_.quant_bits);
+}
+
+Shape
+Conv2d::outputShape() const
+{
+    // 'Same' padding: out = ceil(in / stride).
+    return Shape{spec_.out_channels,
+                 (spec_.in.h + spec_.stride - 1) / spec_.stride,
+                 (spec_.in.w + spec_.stride - 1) / spec_.stride};
+}
+
+LayerKind
+Conv2d::kind() const
+{
+    if (spec_.depthwise)
+        return LayerKind::ConvDepthwise;
+    if (spec_.kernel == 1)
+        return LayerKind::ConvPointwise;
+    return LayerKind::ConvGeneric;
+}
+
+long long
+Conv2d::macs() const
+{
+    const Shape out = outputShape();
+    return (long long)out.c * out.h * out.w * group_channels_ *
+           spec_.kernel * spec_.kernel;
+}
+
+long long
+Conv2d::paramCount() const
+{
+    return (long long)weights_.size() + (long long)bias_.size();
+}
+
+LayerWorkload
+Conv2d::workload() const
+{
+    LayerWorkload w = Layer::workload();
+    w.c_in = spec_.in.c;
+    w.kernel = spec_.kernel;
+    w.stride = spec_.stride;
+    w.h_in = spec_.in.h;
+    w.w_in = spec_.in.w;
+    return w;
+}
+
+Tensor
+Conv2d::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 1, "conv %s expects one input",
+                  name().c_str());
+    const Tensor &x = *in[0];
+    eyecod_assert(x.shape() == spec_.in,
+                  "conv %s input shape mismatch", name().c_str());
+
+    Tensor input = x;
+    if (spec_.quant_bits > 0)
+        fakeQuantizeTensor(input, spec_.quant_bits);
+
+    const Shape out_shape = outputShape();
+    Tensor out(out_shape);
+    const int k = spec_.kernel;
+    const int s = spec_.stride;
+    const int pad = k / 2;
+    const int kk = k * k;
+
+    for (int oc = 0; oc < out_shape.c; ++oc) {
+        const int ic_begin = spec_.depthwise ? oc : 0;
+        const int ic_count = group_channels_;
+        const float *wbase =
+            &weights_[size_t(oc) * ic_count * kk];
+        for (int oy = 0; oy < out_shape.h; ++oy) {
+            for (int ox = 0; ox < out_shape.w; ++ox) {
+                double acc = bias_[size_t(oc)];
+                for (int g = 0; g < ic_count; ++g) {
+                    const int ic = ic_begin + g;
+                    const float *wk = wbase + size_t(g) * kk;
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = oy * s + ky - pad;
+                        if (iy < 0 || iy >= spec_.in.h)
+                            continue;
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix = ox * s + kx - pad;
+                            if (ix < 0 || ix >= spec_.in.w)
+                                continue;
+                            acc += wk[ky * k + kx] *
+                                   input.at(ic, iy, ix);
+                        }
+                    }
+                }
+                if (spec_.relu && acc < 0.0)
+                    acc = 0.0;
+                out.at(oc, oy, ox) = float(acc);
+            }
+        }
+    }
+    return out;
+}
+
+FullyConnected::FullyConnected(std::string name, Shape in,
+                               int out_features, bool relu,
+                               int quant_bits, uint64_t seed)
+    : Layer(std::move(name)), in_(in),
+      in_features_(int(in.size())), out_features_(out_features),
+      relu_(relu), quant_bits_(quant_bits)
+{
+    eyecod_assert(out_features > 0, "fc %s needs positive width",
+                  this->name().c_str());
+    weights_.resize(size_t(out_features_) * in_features_);
+    bias_.resize(size_t(out_features_), 0.0f);
+    initWeights(weights_, double(in_features_), seed, quant_bits);
+}
+
+Shape
+FullyConnected::outputShape() const
+{
+    return Shape{1, 1, out_features_};
+}
+
+long long
+FullyConnected::macs() const
+{
+    return (long long)in_features_ * out_features_;
+}
+
+long long
+FullyConnected::paramCount() const
+{
+    return (long long)weights_.size() + (long long)bias_.size();
+}
+
+LayerWorkload
+FullyConnected::workload() const
+{
+    LayerWorkload w = Layer::workload();
+    w.c_in = in_features_;
+    w.h_in = 1;
+    w.w_in = 1;
+    w.kernel = 1;
+    return w;
+}
+
+Tensor
+FullyConnected::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 1, "fc %s expects one input",
+                  name().c_str());
+    const Tensor &x = *in[0];
+    eyecod_assert(int(x.size()) == in_features_,
+                  "fc %s input size %zu != %d", name().c_str(),
+                  x.size(), in_features_);
+
+    std::vector<float> input = x.data();
+    if (quant_bits_ > 0) {
+        const QuantParams qp = chooseQuantParams(input, quant_bits_);
+        fakeQuantize(input, qp);
+    }
+
+    Tensor out(outputShape());
+    for (int o = 0; o < out_features_; ++o) {
+        double acc = bias_[size_t(o)];
+        const float *wrow = &weights_[size_t(o) * in_features_];
+        for (int i = 0; i < in_features_; ++i)
+            acc += wrow[i] * input[size_t(i)];
+        if (relu_ && acc < 0.0)
+            acc = 0.0;
+        out.at(0, 0, o) = float(acc);
+    }
+    return out;
+}
+
+MatMul::MatMul(std::string name, int rows, int k, int cols,
+               uint64_t seed)
+    : Layer(std::move(name)), rows_(rows), k_(k), cols_(cols)
+{
+    eyecod_assert(rows > 0 && k > 0 && cols > 0,
+                  "matmul %s needs positive dims", this->name().c_str());
+    weights_.resize(size_t(k_) * cols_);
+    initWeights(weights_, double(k_), seed, 0);
+}
+
+Shape
+MatMul::outputShape() const
+{
+    return Shape{rows_, 1, cols_};
+}
+
+long long
+MatMul::macs() const
+{
+    return (long long)rows_ * k_ * cols_;
+}
+
+long long
+MatMul::paramCount() const
+{
+    return (long long)weights_.size();
+}
+
+LayerWorkload
+MatMul::workload() const
+{
+    LayerWorkload w = Layer::workload();
+    w.c_in = k_;
+    w.h_in = rows_;
+    w.w_in = 1;
+    w.kernel = 1;
+    return w;
+}
+
+Tensor
+MatMul::forward(const std::vector<const Tensor *> &in) const
+{
+    eyecod_assert(in.size() == 1, "matmul %s expects one input",
+                  name().c_str());
+    const Tensor &x = *in[0];
+    eyecod_assert(x.shape().c == rows_ && x.shape().w == k_ &&
+                  x.shape().h == 1,
+                  "matmul %s input shape mismatch", name().c_str());
+    Tensor out(outputShape());
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            double acc = 0.0;
+            for (int i = 0; i < k_; ++i)
+                acc += x.at(r, 0, i) * weights_[size_t(i) * cols_ + c];
+            out.at(r, 0, c) = float(acc);
+        }
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace eyecod

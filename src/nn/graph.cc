@@ -1,0 +1,145 @@
+#include "nn/graph.h"
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace nn {
+
+int
+Graph::addInput(Shape shape, std::string name)
+{
+    Node node;
+    node.shape = shape;
+    node.input_name = std::move(name);
+    nodes_.push_back(std::move(node));
+    const int id = int(nodes_.size()) - 1;
+    input_ids_.push_back(id);
+    return id;
+}
+
+int
+Graph::add(LayerPtr layer, std::vector<int> inputs)
+{
+    eyecod_assert(layer != nullptr, "null layer added to %s",
+                  name_.c_str());
+    for (int id : inputs) {
+        eyecod_assert(id >= 0 && size_t(id) < nodes_.size(),
+                      "graph %s: layer %s consumes unknown node %d",
+                      name_.c_str(), layer->name().c_str(), id);
+    }
+    Node node;
+    node.shape = layer->outputShape();
+    node.layer = std::move(layer);
+    node.inputs = std::move(inputs);
+    nodes_.push_back(std::move(node));
+    return int(nodes_.size()) - 1;
+}
+
+Tensor
+Graph::forward(const std::vector<Tensor> &inputs) const
+{
+    eyecod_assert(inputs.size() == input_ids_.size(),
+                  "graph %s expects %zu inputs, got %zu",
+                  name_.c_str(), input_ids_.size(), inputs.size());
+    eyecod_assert(!nodes_.empty(), "empty graph %s", name_.c_str());
+
+    std::vector<Tensor> values(nodes_.size());
+    for (size_t i = 0; i < input_ids_.size(); ++i) {
+        eyecod_assert(inputs[i].shape() ==
+                      nodes_[size_t(input_ids_[i])].shape,
+                      "graph %s input %zu shape mismatch",
+                      name_.c_str(), i);
+        values[size_t(input_ids_[i])] = inputs[i];
+    }
+
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &node = nodes_[i];
+        if (!node.layer)
+            continue;
+        std::vector<const Tensor *> args;
+        args.reserve(node.inputs.size());
+        for (int id : node.inputs)
+            args.push_back(&values[size_t(id)]);
+        values[i] = node.layer->forward(args);
+    }
+    return values.back();
+}
+
+Shape
+Graph::outputShape() const
+{
+    eyecod_assert(!nodes_.empty(), "empty graph %s", name_.c_str());
+    return nodes_.back().shape;
+}
+
+Shape
+Graph::nodeShape(int id) const
+{
+    eyecod_assert(id >= 0 && size_t(id) < nodes_.size(),
+                  "nodeShape: unknown node %d", id);
+    return nodes_[size_t(id)].shape;
+}
+
+long long
+Graph::totalMacs() const
+{
+    long long acc = 0;
+    for (const Node &node : nodes_)
+        if (node.layer)
+            acc += node.layer->macs();
+    return acc;
+}
+
+long long
+Graph::totalParams() const
+{
+    long long acc = 0;
+    for (const Node &node : nodes_)
+        if (node.layer)
+            acc += node.layer->paramCount();
+    return acc;
+}
+
+std::map<LayerKind, long long>
+Graph::macsByKind() const
+{
+    std::map<LayerKind, long long> out;
+    for (const Node &node : nodes_)
+        if (node.layer)
+            out[node.layer->kind()] += node.layer->macs();
+    return out;
+}
+
+std::vector<LayerWorkload>
+Graph::workloads() const
+{
+    std::vector<LayerWorkload> out;
+    for (const Node &node : nodes_) {
+        if (!node.layer)
+            continue;
+        LayerWorkload w = node.layer->workload();
+        // Fill input extent from the first producer when the layer
+        // did not set it.
+        if (w.h_in == 0 && !node.inputs.empty()) {
+            const Shape in = nodes_[size_t(node.inputs[0])].shape;
+            w.c_in = in.c;
+            w.h_in = in.h;
+            w.w_in = in.w;
+        }
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+size_t
+Graph::numLayers() const
+{
+    size_t n = 0;
+    for (const Node &node : nodes_)
+        if (node.layer)
+            ++n;
+    return n;
+}
+
+} // namespace nn
+} // namespace eyecod

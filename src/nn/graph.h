@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A DAG of layers with topological execution, FLOPs/params accounting,
+ * and workload extraction for the accelerator compiler.
+ */
+
+#ifndef EYECOD_NN_GRAPH_H
+#define EYECOD_NN_GRAPH_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace eyecod {
+namespace nn {
+
+/**
+ * A feed-forward DAG. Nodes are appended in topological order; node 0
+ * onwards may be graph inputs; the last added node is the graph
+ * output.
+ */
+class Graph
+{
+  public:
+    explicit Graph(std::string name) : name_(std::move(name)) {}
+
+    /** Declare a graph input; returns its node id. */
+    int addInput(Shape shape, std::string name = "input");
+
+    /**
+     * Append a layer consuming the given producer nodes; returns the
+     * new node id. Producer ids must already exist.
+     */
+    int add(LayerPtr layer, std::vector<int> inputs);
+
+    /** Construct-and-append convenience. */
+    template <typename L, typename... Args>
+    int
+    emplace(std::vector<int> inputs, Args &&...args)
+    {
+        return add(std::make_unique<L>(std::forward<Args>(args)...),
+                   std::move(inputs));
+    }
+
+    /**
+     * Execute the graph; @p inputs must match the declared input
+     * nodes in order. Returns the output of the last node.
+     */
+    Tensor forward(const std::vector<Tensor> &inputs) const;
+
+    /** Shape of the graph output. */
+    Shape outputShape() const;
+
+    /** Shape of node @p id. */
+    Shape nodeShape(int id) const;
+
+    /** Total multiply-accumulates of one inference. */
+    long long totalMacs() const;
+
+    /** Total trainable parameters. */
+    long long totalParams() const;
+
+    /** MACs grouped by layer kind. */
+    std::map<LayerKind, long long> macsByKind() const;
+
+    /**
+     * Per-layer workload records in execution order (all layers,
+     * including non-MAC ones; the compiler filters).
+     */
+    std::vector<LayerWorkload> workloads() const;
+
+    /** Number of nodes (inputs + layers). */
+    size_t numNodes() const { return nodes_.size(); }
+
+    /** Number of layer nodes (excluding inputs). */
+    size_t numLayers() const;
+
+    /** Graph name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Node
+    {
+        LayerPtr layer;       ///< Null for input nodes.
+        Shape shape;          ///< Output shape of the node.
+        std::vector<int> inputs;
+        std::string input_name; ///< Name for input nodes.
+    };
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<int> input_ids_;
+};
+
+} // namespace nn
+} // namespace eyecod
+
+#endif // EYECOD_NN_GRAPH_H

@@ -1,0 +1,56 @@
+#include "nn/layer.h"
+
+namespace eyecod {
+namespace nn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::ConvGeneric:   return "conv-generic";
+      case LayerKind::ConvPointwise: return "conv-pointwise";
+      case LayerKind::ConvDepthwise: return "conv-depthwise";
+      case LayerKind::FullyConnected: return "fc";
+      case LayerKind::MatMul:        return "matmul";
+      case LayerKind::Pool:          return "pool";
+      case LayerKind::Upsample:      return "upsample";
+      case LayerKind::Concat:        return "concat";
+      case LayerKind::Add:           return "add";
+      case LayerKind::BatchNorm:     return "batchnorm";
+      case LayerKind::Activation:    return "activation";
+    }
+    return "unknown";
+}
+
+bool
+isMacKind(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::ConvGeneric:
+      case LayerKind::ConvPointwise:
+      case LayerKind::ConvDepthwise:
+      case LayerKind::FullyConnected:
+      case LayerKind::MatMul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+LayerWorkload
+Layer::workload() const
+{
+    LayerWorkload w;
+    w.name = name_;
+    w.kind = kind();
+    const Shape out = outputShape();
+    w.c_out = out.c;
+    w.h_out = out.h;
+    w.w_out = out.w;
+    w.macs = macs();
+    w.params = paramCount();
+    return w;
+}
+
+} // namespace nn
+} // namespace eyecod

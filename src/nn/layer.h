@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Layer abstraction of the functional DNN engine plus the workload
+ * descriptor consumed by the accelerator compiler.
+ *
+ * FLOPs convention: following the paper (and the common convention in
+ * the efficient-DNN literature it cites), "FLOPs" counts one
+ * multiply-accumulate as one operation, so ResNet18 at 224x224 is
+ * 1.82 GFLOPs.
+ */
+
+#ifndef EYECOD_NN_LAYER_H
+#define EYECOD_NN_LAYER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace eyecod {
+namespace nn {
+
+/** The layer taxonomy of Sec. 5.1 Challenge #II. */
+enum class LayerKind {
+    ConvGeneric,   ///< KxK convolution, K > 1, groups == 1.
+    ConvPointwise, ///< 1x1 convolution.
+    ConvDepthwise, ///< KxK convolution with groups == channels.
+    FullyConnected,
+    MatMul,        ///< Matrix-matrix multiplication (batched 1x1).
+    Pool,
+    Upsample,
+    Concat,
+    Add,
+    BatchNorm,
+    Activation,
+};
+
+/** Human-readable name of a LayerKind. */
+const char *layerKindName(LayerKind kind);
+
+/** True for the three kinds executed on the MAC array. */
+bool isMacKind(LayerKind kind);
+
+/**
+ * Per-layer workload record handed to the accelerator compiler; all
+ * byte counts assume the 8-bit deployment datatype.
+ */
+struct LayerWorkload
+{
+    std::string name;      ///< Layer name within its graph.
+    LayerKind kind = LayerKind::ConvGeneric;
+    int c_in = 0;          ///< Input channels.
+    int c_out = 0;         ///< Output channels.
+    int kernel = 1;        ///< Kernel size (square).
+    int stride = 1;        ///< Spatial stride.
+    int h_in = 0, w_in = 0;   ///< Input feature map extent.
+    int h_out = 0, w_out = 0; ///< Output feature map extent.
+    long long macs = 0;    ///< Multiply-accumulate count.
+    long long params = 0;  ///< Weight element count.
+
+    /** Input activation bytes (8-bit). */
+    long long inActBytes() const
+    {
+        return (long long)c_in * h_in * w_in;
+    }
+    /** Output activation bytes (8-bit). */
+    long long outActBytes() const
+    {
+        return (long long)c_out * h_out * w_out;
+    }
+    /** Weight bytes (8-bit). */
+    long long weightBytes() const { return params; }
+};
+
+/**
+ * Base class for all functional layers.
+ */
+class Layer
+{
+  public:
+    /** @param name unique layer name within its graph. */
+    explicit Layer(std::string name) : name_(std::move(name)) {}
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** Execute the layer on its inputs. */
+    virtual Tensor forward(const std::vector<const Tensor *> &in) const
+        = 0;
+
+    /** Output shape given the construction-time input shapes. */
+    virtual Shape outputShape() const = 0;
+
+    /** Layer taxonomy bucket. */
+    virtual LayerKind kind() const = 0;
+
+    /** Multiply-accumulate count of one inference. */
+    virtual long long macs() const { return 0; }
+
+    /** Trainable parameter count. */
+    virtual long long paramCount() const { return 0; }
+
+    /** Workload record for the accelerator compiler. */
+    virtual LayerWorkload workload() const;
+
+    /** Layer name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace nn
+} // namespace eyecod
+
+#endif // EYECOD_NN_LAYER_H

@@ -1,0 +1,64 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace nn {
+
+QuantParams
+chooseQuantParams(const std::vector<float> &values, int bits)
+{
+    eyecod_assert(bits >= 2 && bits <= 16, "bad quant bits %d", bits);
+    float max_abs = 0.0f;
+    for (float v : values)
+        max_abs = std::max(max_abs, std::fabs(v));
+    QuantParams qp;
+    qp.bits = bits;
+    const int qmax = (1 << (bits - 1)) - 1;
+    qp.scale = max_abs > 0.0f ? max_abs / float(qmax) : 1.0f;
+    return qp;
+}
+
+float
+fakeQuantize(float v, const QuantParams &qp)
+{
+    const int qmax = (1 << (qp.bits - 1)) - 1;
+    const int qmin = -qmax - 1;
+    const float q = std::round(v / qp.scale);
+    const float clamped = std::clamp(q, float(qmin), float(qmax));
+    return clamped * qp.scale;
+}
+
+void
+fakeQuantize(std::vector<float> &values, const QuantParams &qp)
+{
+    for (float &v : values)
+        v = fakeQuantize(v, qp);
+}
+
+QuantParams
+fakeQuantizeTensor(Tensor &t, int bits)
+{
+    QuantParams qp = chooseQuantParams(t.data(), bits);
+    fakeQuantize(t.data(), qp);
+    return qp;
+}
+
+double
+quantizationMse(const std::vector<float> &values, const QuantParams &qp)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (float v : values) {
+        const double d = double(v) - double(fakeQuantize(v, qp));
+        acc += d * d;
+    }
+    return acc / double(values.size());
+}
+
+} // namespace nn
+} // namespace eyecod

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Post-training symmetric quantization helpers.
+ *
+ * The paper deploys both RITNet and FBNet-C100 in 8-bit; the engine
+ * models this with symmetric per-tensor fake quantization (values are
+ * snapped to the int grid but kept in float storage), which reproduces
+ * the numerical error of int8 deployment while keeping a single
+ * execution path.
+ */
+
+#ifndef EYECOD_NN_QUANTIZE_H
+#define EYECOD_NN_QUANTIZE_H
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace eyecod {
+namespace nn {
+
+/** Symmetric per-tensor quantization parameters. */
+struct QuantParams
+{
+    float scale = 1.0f; ///< Step size; value = q * scale.
+    int bits = 8;       ///< Bit width.
+
+    /** Largest representable magnitude. */
+    float maxValue() const { return scale * ((1 << (bits - 1)) - 1); }
+};
+
+/**
+ * Choose a symmetric scale covering the max-abs of @p values.
+ */
+QuantParams chooseQuantParams(const std::vector<float> &values,
+                              int bits);
+
+/** Snap one value to the quantization grid. */
+float fakeQuantize(float v, const QuantParams &qp);
+
+/** Snap a buffer in place to the quantization grid. */
+void fakeQuantize(std::vector<float> &values, const QuantParams &qp);
+
+/**
+ * Quantize-dequantize a whole tensor in place with a fresh per-tensor
+ * scale; returns the parameters used.
+ */
+QuantParams fakeQuantizeTensor(Tensor &t, int bits);
+
+/** Mean squared quantization error of snapping @p values to @p qp. */
+double quantizationMse(const std::vector<float> &values,
+                       const QuantParams &qp);
+
+} // namespace nn
+} // namespace eyecod
+
+#endif // EYECOD_NN_QUANTIZE_H

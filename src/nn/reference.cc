@@ -1,0 +1,82 @@
+#include "nn/reference.h"
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace eyecod {
+namespace nn {
+
+Tensor
+referenceConvForward(const Conv2d &conv, const Tensor &input)
+{
+    const ConvSpec &spec = conv.spec();
+    eyecod_assert(input.shape() == spec.in,
+                  "reference conv input shape mismatch");
+
+    Tensor x = input;
+    if (spec.quant_bits > 0)
+        fakeQuantizeTensor(x, spec.quant_bits);
+
+    const Shape out_shape = conv.outputShape();
+    const int k = spec.kernel;
+    const int s = spec.stride;
+    const int pad = k / 2;
+    const int groups = spec.depthwise ? spec.in.c : 1;
+    const int cin_g = spec.in.c / groups;
+    const int cout_g = out_shape.c / groups;
+    const int pixels = out_shape.h * out_shape.w;
+
+    Tensor out(out_shape);
+    for (int g = 0; g < groups; ++g) {
+        // im2col: one row per output pixel, one column per
+        // (in-channel, ky, kx) tap of this group.
+        const size_t cols = size_t(cin_g) * k * k;
+        Matrix im(size_t(pixels), cols);
+        for (int oy = 0; oy < out_shape.h; ++oy) {
+            for (int ox = 0; ox < out_shape.w; ++ox) {
+                const size_t row = size_t(oy) * out_shape.w + ox;
+                size_t col = 0;
+                for (int c = 0; c < cin_g; ++c) {
+                    const int ic = g * cin_g + c;
+                    for (int ky = 0; ky < k; ++ky) {
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int iy = oy * s + ky - pad;
+                            const int ix = ox * s + kx - pad;
+                            double v = 0.0;
+                            if (iy >= 0 && iy < spec.in.h &&
+                                ix >= 0 && ix < spec.in.w)
+                                v = x.at(ic, iy, ix);
+                            im(row, col++) = v;
+                        }
+                    }
+                }
+            }
+        }
+        // Weight matrix: (taps) x (group output channels).
+        Matrix wm(cols, size_t(cout_g));
+        const std::vector<float> &weights = conv.weights();
+        for (int oc = 0; oc < cout_g; ++oc) {
+            const size_t base =
+                (size_t(g) * cout_g + oc) * cols;
+            for (size_t t = 0; t < cols; ++t)
+                wm(t, size_t(oc)) = weights[base + t];
+        }
+        const Matrix prod = im.multiply(wm);
+        const std::vector<float> &bias = conv.bias();
+        for (int oc = 0; oc < cout_g; ++oc) {
+            const int o = g * cout_g + oc;
+            for (int p = 0; p < pixels; ++p) {
+                double v = prod(size_t(p), size_t(oc)) +
+                           bias[size_t(o)];
+                if (spec.relu && v < 0.0)
+                    v = 0.0;
+                out.at(o, p / out_shape.w, p % out_shape.w) =
+                    float(v);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace eyecod

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Independent reference implementation of convolution via
+ * im2col + dense matrix multiplication. It shares no code with the
+ * direct loop nest in Conv2d::forward, so agreement between the two
+ * is a strong correctness check (used by the property tests).
+ */
+
+#ifndef EYECOD_NN_REFERENCE_H
+#define EYECOD_NN_REFERENCE_H
+
+#include "nn/conv.h"
+
+namespace eyecod {
+namespace nn {
+
+/**
+ * Execute @p conv on @p input by lowering to im2col + GEMM.
+ * Supports the full ConvSpec feature set (stride, depthwise, fused
+ * ReLU, quantization emulation).
+ */
+Tensor referenceConvForward(const Conv2d &conv, const Tensor &input);
+
+} // namespace nn
+} // namespace eyecod
+
+#endif // EYECOD_NN_REFERENCE_H

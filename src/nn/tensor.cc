@@ -1,0 +1,73 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace nn {
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(shape), data_(shape.size(), fill)
+{
+    eyecod_assert(shape.c > 0 && shape.h > 0 && shape.w > 0,
+                  "tensor shape must be positive, got %dx%dx%d",
+                  shape.c, shape.h, shape.w);
+}
+
+float
+Tensor::atClamped(int c, int y, int x) const
+{
+    y = std::clamp(y, 0, shape_.h - 1);
+    x = std::clamp(x, 0, shape_.w - 1);
+    return at(c, y, x);
+}
+
+Tensor
+Tensor::fromImage(const Image &img)
+{
+    Tensor t(Shape{1, img.height(), img.width()});
+    std::copy(img.data().begin(), img.data().end(), t.data().begin());
+    return t;
+}
+
+Tensor
+Tensor::fromImages(const std::vector<Image> &channels)
+{
+    eyecod_assert(!channels.empty(), "fromImages with no channels");
+    const int h = channels[0].height();
+    const int w = channels[0].width();
+    Tensor t(Shape{int(channels.size()), h, w});
+    for (size_t c = 0; c < channels.size(); ++c) {
+        eyecod_assert(channels[c].height() == h &&
+                      channels[c].width() == w,
+                      "fromImages channel shape mismatch");
+        std::copy(channels[c].data().begin(), channels[c].data().end(),
+                  t.data().begin() + c * size_t(h) * size_t(w));
+    }
+    return t;
+}
+
+Image
+Tensor::toImage(int channel) const
+{
+    eyecod_assert(channel >= 0 && channel < shape_.c,
+                  "toImage channel %d out of range", channel);
+    Image img(shape_.h, shape_.w);
+    const size_t off = size_t(channel) * shape_.h * shape_.w;
+    std::copy(data_.begin() + off,
+              data_.begin() + off + img.size(), img.data().begin());
+    return img;
+}
+
+void
+Tensor::randomInit(Rng &rng, double fan_in)
+{
+    const double stddev = std::sqrt(2.0 / std::max(1.0, fan_in));
+    for (float &v : data_)
+        v = float(rng.gaussian(0.0, stddev));
+}
+
+} // namespace nn
+} // namespace eyecod

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * CHW float tensor used by the functional DNN inference engine.
+ *
+ * The engine processes single frames (batch 1), so a rank-3
+ * channels x height x width layout covers every layer in the paper's
+ * two networks; fully-connected and matrix-matrix layers view the
+ * tensor as (1 x 1 x features) or (rows x 1 x cols).
+ */
+
+#ifndef EYECOD_NN_TENSOR_H
+#define EYECOD_NN_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/image.h"
+#include "common/rng.h"
+
+namespace eyecod {
+namespace nn {
+
+/** Shape of a CHW tensor. */
+struct Shape
+{
+    int c = 1; ///< Channels.
+    int h = 1; ///< Height.
+    int w = 1; ///< Width.
+
+    /** Total element count. */
+    size_t size() const { return size_t(c) * size_t(h) * size_t(w); }
+
+    bool
+    operator==(const Shape &o) const
+    {
+        return c == o.c && h == o.h && w == o.w;
+    }
+};
+
+/**
+ * A dense CHW float tensor.
+ */
+class Tensor
+{
+  public:
+    /** An empty tensor. */
+    Tensor() = default;
+
+    /** A zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape, float fill = 0.0f);
+
+    /** Shape accessor. */
+    const Shape &shape() const { return shape_; }
+    /** Total element count. */
+    size_t size() const { return data_.size(); }
+
+    /** Mutable element access (no bounds check). */
+    float &
+    at(int c, int y, int x)
+    {
+        return data_[(size_t(c) * shape_.h + y) * shape_.w + x];
+    }
+    /** Const element access (no bounds check). */
+    float
+    at(int c, int y, int x) const
+    {
+        return data_[(size_t(c) * shape_.h + y) * shape_.w + x];
+    }
+
+    /** Element access with spatial border clamping (for conv edges). */
+    float atClamped(int c, int y, int x) const;
+
+    /** Raw storage. */
+    std::vector<float> &data() { return data_; }
+    /** Raw storage (const). */
+    const std::vector<float> &data() const { return data_; }
+
+    /** Build a 1-channel tensor from an Image. */
+    static Tensor fromImage(const Image &img);
+
+    /** Build a multi-channel tensor from per-channel Images. */
+    static Tensor fromImages(const std::vector<Image> &channels);
+
+    /** Extract one channel as an Image. */
+    Image toImage(int channel = 0) const;
+
+    /** Fill with He-initialized Gaussian values (seeded). */
+    void randomInit(Rng &rng, double fan_in);
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace nn
+} // namespace eyecod
+
+#endif // EYECOD_NN_TENSOR_H

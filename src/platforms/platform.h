@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Analytical models of the baseline platforms of Fig. 14 — EdgeCPU
+ * (Raspberry Pi), CPU (AMD EPYC 7742), EdgeGPU (Jetson TX2), GPU
+ * (RTX 2080 Ti), and the CIS-GEP eye tracking ASIC — plus the
+ * camera-to-processor communication model that separates the paper's
+ * end-to-end system speedups (abstract: 10.95x / 3.21x / 12.85x)
+ * from its compute-only throughput ratios (Sec. 6.2: 12.75x / 2.61x
+ * / 12.86x).
+ *
+ * Each platform is characterized by its sustained batch-1 DNN
+ * throughput (MAC/s), a fixed per-frame overhead (kernel launch /
+ * scheduling), a power envelope, and its camera link. Constants are
+ * documented estimates from public specifications; Fig. 14 reports
+ * ratios, which these models are built to preserve (see DESIGN.md).
+ */
+
+#ifndef EYECOD_PLATFORMS_PLATFORM_H
+#define EYECOD_PLATFORMS_PLATFORM_H
+
+#include <string>
+#include <vector>
+
+namespace eyecod {
+namespace platforms {
+
+/** Camera-to-processor link. */
+struct CommLink
+{
+    double bandwidth_bytes_per_s = 100e6;
+    double fixed_latency_s = 1e-3;
+
+    /** Transfer latency of one frame of @p bytes. */
+    double
+    latency(long long bytes) const
+    {
+        return fixed_latency_s +
+               double(bytes) / bandwidth_bytes_per_s;
+    }
+};
+
+/** A general-purpose platform model. */
+struct PlatformSpec
+{
+    std::string name;
+    /** Sustained batch-1 MAC/s on the eye tracking DNNs. */
+    double effective_mac_per_s = 1e9;
+    /** Fixed per-frame software overhead (seconds). */
+    double frame_overhead_s = 0.0;
+    /** Board / system power during inference (watts). */
+    double power_w = 1.0;
+    /** Camera link to the processor. */
+    CommLink link;
+    /**
+     * Fixed-function throughput: when > 0 the platform is a
+     * dedicated processor (CIS-GEP) whose FPS is taken from its own
+     * publication instead of the MAC model.
+     */
+    double fixed_fps = 0.0;
+};
+
+/** Per-platform evaluation result. */
+struct PlatformPerf
+{
+    std::string name;
+    double compute_s = 0.0;  ///< Per-frame compute latency.
+    double comm_s = 0.0;     ///< Per-frame camera-link latency.
+    double fps = 0.0;        ///< Compute-only throughput.
+    double system_fps = 0.0; ///< End-to-end (comm + compute).
+    double fps_per_watt = 0.0;
+    double energy_per_frame_j = 0.0;
+};
+
+/**
+ * Evaluate a platform on a per-frame workload.
+ *
+ * @param spec platform model.
+ * @param macs_per_frame amortized MACs per frame.
+ * @param frame_bytes camera-to-processor bytes per frame.
+ */
+PlatformPerf evaluatePlatform(const PlatformSpec &spec,
+                              double macs_per_frame,
+                              long long frame_bytes);
+
+/** The five Fig. 14 baselines with documented constants. */
+std::vector<PlatformSpec> baselinePlatforms();
+
+/** The EyeCoD sensor-attached FlatCam link (Sec. 4.2). */
+CommLink eyecodAttachedLink();
+
+} // namespace platforms
+} // namespace eyecod
+
+#endif // EYECOD_PLATFORMS_PLATFORM_H

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the banked activation-GB storage arrangement and the four
+ * reshaping operations of Fig. 11 — all pure address arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/act_gb.h"
+
+namespace eyecod {
+namespace accel {
+namespace {
+
+nn::Tensor
+patternTensor(int c, int h, int w)
+{
+    nn::Tensor t(nn::Shape{c, h, w});
+    for (int cc = 0; cc < c; ++cc)
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                t.at(cc, y, x) =
+                    float(((cc * 7 + y * 3 + x) % 100) - 50) / 127.0f;
+    return t;
+}
+
+/** int8 the store() quantization would produce. */
+int8_t
+q(float v)
+{
+    return int8_t(std::clamp(std::lround(v * 127.0f), -128L, 127L));
+}
+
+TEST(ActGb, StoreReadRoundTrip)
+{
+    ActGbModel gb(4, 16, 4096);
+    const nn::Tensor t = patternTensor(24, 6, 6);
+    const ActView v = gb.store(t);
+    for (int c = 0; c < 24; ++c)
+        for (int y = 0; y < 6; ++y)
+            for (int x = 0; x < 6; ++x)
+                EXPECT_EQ(v.read(gb, c, y, x), q(t.at(c, y, x)));
+}
+
+TEST(ActGb, TilesInterleaveAcrossBanks)
+{
+    ActGbModel gb(4, 16, 4096);
+    const ActView v = gb.store(patternTensor(16, 4, 4));
+    // Consecutive spatial pixels of a 16-channel tensor land in
+    // consecutive banks.
+    const TileAddress a = v.tileOf(gb, 0, 0, 0);
+    const TileAddress b = v.tileOf(gb, 0, 0, 1);
+    EXPECT_EQ((a.bank + 1) % 4, b.bank);
+}
+
+TEST(ActGb, PartitionViewsStripe)
+{
+    // Fig. 11(b): tiling along feature-map dimensions.
+    ActGbModel gb(4, 16, 4096);
+    const nn::Tensor t = patternTensor(16, 8, 8);
+    const ActView v = gb.store(t);
+    const ActView stripe = gb.partition(v, 2, 4, 4, 4);
+    EXPECT_EQ(stripe.height(), 4);
+    EXPECT_EQ(stripe.width(), 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_EQ(stripe.read(gb, 3, y, x),
+                      q(t.at(3, y + 2, x + 4)));
+}
+
+TEST(ActGb, ConcatIsAddressArithmetic)
+{
+    // Fig. 11(c): concatenation along channels without moving data.
+    ActGbModel gb(4, 16, 4096);
+    const nn::Tensor ta = patternTensor(16, 5, 5);
+    const nn::Tensor tb = patternTensor(32, 5, 5);
+    const ActView va = gb.store(ta);
+    const long tiles_before = gb.tilesAllocated();
+    const ActView vb = gb.store(tb);
+    const ActView cat = gb.concat(va, vb);
+    // No new tiles were allocated by the concat itself.
+    EXPECT_EQ(gb.tilesAllocated(),
+              tiles_before + 5 * 5 * 2 /* tb tiles */);
+    EXPECT_EQ(cat.channels(), 48);
+    EXPECT_EQ(cat.read(gb, 10, 2, 3), q(ta.at(10, 2, 3)));
+    EXPECT_EQ(cat.read(gb, 16 + 20, 2, 3), q(tb.at(20, 2, 3)));
+}
+
+TEST(ActGb, DownsampleSkipsPixels)
+{
+    // Fig. 11(d).
+    ActGbModel gb(4, 16, 4096);
+    const nn::Tensor t = patternTensor(16, 8, 8);
+    const ActView v = gb.store(t);
+    const ActView down = gb.downsample(v, 2);
+    EXPECT_EQ(down.height(), 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_EQ(down.read(gb, 5, y, x),
+                      q(t.at(5, 2 * y, 2 * x)));
+}
+
+TEST(ActGb, UpsampleDuplicates)
+{
+    // Fig. 11(e), duplication flavour.
+    ActGbModel gb(4, 16, 4096);
+    const nn::Tensor t = patternTensor(16, 4, 4);
+    const ActView v = gb.store(t);
+    const ActView up = gb.upsample(v, 2, false);
+    EXPECT_EQ(up.height(), 8);
+    EXPECT_EQ(up.read(gb, 2, 5, 7), q(t.at(2, 2, 3)));
+    EXPECT_EQ(up.read(gb, 2, 4, 6), q(t.at(2, 2, 3)));
+}
+
+TEST(ActGb, UpsampleZeroInsertion)
+{
+    // Fig. 11(e), zero-insertion flavour.
+    ActGbModel gb(4, 16, 4096);
+    const nn::Tensor t = patternTensor(16, 4, 4);
+    const ActView v = gb.store(t);
+    const ActView up = gb.upsample(v, 2, true);
+    EXPECT_EQ(up.read(gb, 1, 0, 0), q(t.at(1, 0, 0)));
+    EXPECT_EQ(up.read(gb, 1, 0, 1), 0);
+    EXPECT_EQ(up.read(gb, 1, 1, 0), 0);
+}
+
+TEST(ActGb, ComposedViewsResolve)
+{
+    // Partition of a concat of an upsample — the pipeline chains
+    // reshaping ops, so views must compose.
+    ActGbModel gb(4, 16, 8192);
+    const nn::Tensor ta = patternTensor(16, 4, 4);
+    const nn::Tensor tb = patternTensor(16, 8, 8);
+    const ActView va = gb.store(ta);
+    const ActView vb = gb.store(tb);
+    const ActView up = gb.upsample(va, 2, false);
+    const ActView cat = gb.concat(up, vb);
+    const ActView stripe = gb.partition(cat, 0, 0, 8, 4);
+    EXPECT_EQ(stripe.channels(), 32);
+    EXPECT_EQ(stripe.read(gb, 0, 3, 3), q(ta.at(0, 1, 1)));
+    EXPECT_EQ(stripe.read(gb, 16 + 4, 3, 3), q(tb.at(4, 3, 3)));
+}
+
+TEST(ActGb, ParallelTileFetchConflicts)
+{
+    ActGbModel gb(4, 16, 4096);
+    const ActView v = gb.store(patternTensor(16, 8, 8));
+    // Four consecutive pixels: conflict-free across 4 banks.
+    std::vector<TileAddress> row;
+    for (int x = 0; x < 4; ++x)
+        row.push_back(v.tileOf(gb, 0, 0, x));
+    EXPECT_EQ(gb.conflictsFor(row), 0);
+    // The same pixel four times: fully serialized.
+    std::vector<TileAddress> same(4, v.tileOf(gb, 0, 0, 0));
+    EXPECT_EQ(gb.conflictsFor(same), 3);
+}
+
+TEST(ActGb, CapacityIsEnforced)
+{
+    ActGbModel gb(4, 16, 8);
+    gb.alloc(16, 4, 4); // 16 tiles < 32 capacity
+    EXPECT_DEATH(gb.alloc(16, 8, 8), "capacity");
+}
+
+} // namespace
+} // namespace accel
+} // namespace eyecod

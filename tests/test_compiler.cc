@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the instruction compiler: streams are well-formed, honour
+ * the ping-pong weight buffer capacity, stay within the Tab. 1
+ * instruction / index SRAM budgets for the full pipeline, and use
+ * loop encoding (not unrolling) to get there.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/isa.h"
+
+namespace eyecod {
+namespace accel {
+namespace {
+
+ModelWorkload
+gazeModel()
+{
+    PipelineWorkloadConfig cfg;
+    return buildPipelineWorkload(cfg)[1]; // FBNet-C100
+}
+
+ModelWorkload
+segModel()
+{
+    PipelineWorkloadConfig cfg;
+    return buildPipelineWorkload(cfg)[2]; // RITNet
+}
+
+TEST(Compiler, StreamIsWellFormed)
+{
+    const HwConfig hw;
+    for (const ModelWorkload &m : {gazeModel(), segModel()}) {
+        const InstructionStream s = compileModel(m, hw, 4);
+        EXPECT_EQ(validateStream(s), "") << m.name;
+    }
+}
+
+TEST(Compiler, PipelineFitsInstructionSram)
+{
+    // The whole point of loop encoding: the full predict-then-focus
+    // pipeline fits the 4 KB instruction SRAM of Tab. 1.
+    const HwConfig hw;
+    PipelineWorkloadConfig cfg;
+    long long total_bytes = 0;
+    long long total_index = 0;
+    for (const ModelWorkload &m : buildPipelineWorkload(cfg)) {
+        // Deployment partitioning: only the segmentation model needs
+        // feature-wise partition (its activations exceed the GBs).
+        const int stripes = m.name.find("ritnet") == 0 ? 4 : 1;
+        const InstructionStream s = compileModel(m, hw, stripes);
+        total_bytes += s.encodedBytes();
+        total_index += s.index_bytes;
+        EXPECT_TRUE(s.fitsOnChip(hw)) << m.name;
+    }
+    EXPECT_LE(total_bytes, hw.instr_sram_bytes);
+    EXPECT_LE(total_index, hw.index_sram_bytes);
+}
+
+TEST(Compiler, LoopsBoundInstructionCount)
+{
+    // Instruction count must scale with layer count, not with waves
+    // (a wave-unrolled encoding would need hundreds of KB).
+    const HwConfig hw;
+    const ModelWorkload m = segModel();
+    const InstructionStream s = compileModel(m, hw, 4);
+    EXPECT_LT(s.instructions.size(), 12 * m.layers.size() + 8);
+}
+
+TEST(Compiler, WeightsChunkedToPingPongBuffer)
+{
+    const HwConfig hw;
+    const InstructionStream s = compileModel(gazeModel(), hw, 1);
+    for (const Instruction &i : s.instructions) {
+        if (i.op == Opcode::LoadWeights)
+            EXPECT_LE(i.arg0, hw.weight_buf_bytes);
+    }
+}
+
+TEST(Compiler, ReshapeDescriptorsForConcatAndUpsample)
+{
+    const HwConfig hw;
+    const InstructionStream s = compileModel(segModel(), hw, 2);
+    const auto hist = s.histogram();
+    // RITNet is full of concats and upsamples.
+    EXPECT_GT(hist.at(Opcode::Reshape), 10);
+    EXPECT_GT(s.index_bytes, 0);
+}
+
+TEST(Compiler, HistogramCountsEveryInstruction)
+{
+    const HwConfig hw;
+    const InstructionStream s = compileModel(gazeModel(), hw, 2);
+    const auto hist = s.histogram();
+    size_t total = 0;
+    for (const auto &[op, count] : hist)
+        total += size_t(count);
+    EXPECT_EQ(total, s.instructions.size());
+    EXPECT_EQ(hist.at(Opcode::Barrier), 1);
+}
+
+TEST(Compiler, MorePartitionsMoreIndexBytes)
+{
+    const HwConfig hw;
+    const ModelWorkload m = segModel();
+    const InstructionStream s1 = compileModel(m, hw, 1);
+    const InstructionStream s4 = compileModel(m, hw, 4);
+    EXPECT_GT(s4.index_bytes, s1.index_bytes);
+}
+
+TEST(Compiler, ValidatorCatchesCorruption)
+{
+    const HwConfig hw;
+    InstructionStream s = compileModel(gazeModel(), hw, 1);
+    // Drop the final barrier.
+    InstructionStream no_barrier = s;
+    no_barrier.instructions.pop_back();
+    EXPECT_NE(validateStream(no_barrier), "");
+    // Unbalance a loop.
+    InstructionStream bad_loop = s;
+    bad_loop.instructions.push_back(
+        {Opcode::LoopEnd, 0, 0, 0});
+    std::swap(bad_loop.instructions.back(),
+              bad_loop.instructions[bad_loop.instructions.size()
+                                    - 2]);
+    EXPECT_NE(validateStream(bad_loop), "");
+}
+
+TEST(Compiler, OpcodeNamesAreStable)
+{
+    EXPECT_STREQ(opcodeName(Opcode::Compute), "compute");
+    EXPECT_STREQ(opcodeName(Opcode::LoadWeights), "load-weights");
+    EXPECT_STREQ(opcodeName(Opcode::Reshape), "reshape");
+}
+
+} // namespace
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests of the per-layer dataflow cost model: utilization bounds,
+ * wave quantization, the depth-wise pathology and its intra-channel
+ * reuse fix (Sec. 5.1 #II), and the stall model (Sec. 5.1 #IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dataflow.h"
+
+namespace eyecod {
+namespace accel {
+namespace {
+
+using nn::LayerKind;
+using nn::LayerWorkload;
+
+LayerWorkload
+convLayer(LayerKind kind, int c_in, int c_out, int k, int stride,
+          int h, int w)
+{
+    LayerWorkload l;
+    l.name = "test";
+    l.kind = kind;
+    l.c_in = c_in;
+    l.c_out = c_out;
+    l.kernel = k;
+    l.stride = stride;
+    l.h_in = h;
+    l.w_in = w;
+    l.h_out = (h + stride - 1) / stride;
+    l.w_out = (w + stride - 1) / stride;
+    const long long group = kind == LayerKind::ConvDepthwise ? 1
+                                                             : c_in;
+    l.macs = (long long)l.c_out * l.h_out * l.w_out * group * k * k;
+    l.params = (long long)l.c_out * group * k * k;
+    return l;
+}
+
+HwConfig
+baseHw()
+{
+    HwConfig hw;
+    hw.swpr_input_buffer = true;
+    hw.depthwise_optimization = true;
+    return hw;
+}
+
+TEST(Dataflow, UtilizationNeverExceedsOne)
+{
+    const HwConfig hw = baseHw();
+    for (int c : {1, 3, 16, 64, 256}) {
+        const LayerCost cost = costLayer(
+            convLayer(LayerKind::ConvGeneric, c, 2 * c, 3, 1, 32,
+                      32),
+            hw, hw.mac_lanes);
+        EXPECT_LE(cost.utilization, 1.0 + 1e-9) << "c=" << c;
+        EXPECT_GT(cost.utilization, 0.0);
+    }
+}
+
+TEST(Dataflow, CyclesAtLeastIdeal)
+{
+    const HwConfig hw = baseHw();
+    const LayerCost cost = costLayer(
+        convLayer(LayerKind::ConvPointwise, 64, 64, 1, 1, 48, 80),
+        hw, hw.mac_lanes);
+    EXPECT_GE(cost.compute_cycles,
+              cost.ideal_macs / hw.totalMacs());
+}
+
+TEST(Dataflow, PointwiseWellUtilized)
+{
+    const HwConfig hw = baseHw();
+    const LayerCost cost = costLayer(
+        convLayer(LayerKind::ConvPointwise, 16, 96, 1, 1, 48, 80),
+        hw, hw.mac_lanes);
+    EXPECT_GT(cost.utilization, 0.75);
+}
+
+TEST(Dataflow, DepthwiseNaiveIsPoorlyUtilized)
+{
+    // Challenge #II: without intra-channel reuse, only 1 of 8 MACs
+    // per lane can be fed.
+    HwConfig hw = baseHw();
+    hw.depthwise_optimization = false;
+    const LayerCost cost = costLayer(
+        convLayer(LayerKind::ConvDepthwise, 96, 96, 3, 1, 48, 80),
+        hw, hw.mac_lanes);
+    EXPECT_LE(cost.utilization, 0.13);
+}
+
+TEST(Dataflow, IntraChannelReuseCutsDepthwiseTime)
+{
+    // Principle #II: column-wise + deeper row-wise reuse should cut
+    // depth-wise processing time by roughly the paper's 71%.
+    HwConfig naive = baseHw();
+    naive.depthwise_optimization = false;
+    HwConfig opt = baseHw();
+    const LayerWorkload dw =
+        convLayer(LayerKind::ConvDepthwise, 96, 96, 3, 1, 48, 80);
+    const long long t_naive =
+        costLayer(dw, naive, naive.mac_lanes).totalCycles();
+    const long long t_opt =
+        costLayer(dw, opt, opt.mac_lanes).totalCycles();
+    const double reduction = 1.0 - double(t_opt) / double(t_naive);
+    EXPECT_GT(reduction, 0.55);
+    EXPECT_LT(reduction, 0.90);
+}
+
+TEST(Dataflow, LargerKernelReusesMore)
+{
+    // Column-wise reuse scales with the kernel size (3 vs 5).
+    const HwConfig hw = baseHw();
+    const LayerCost k3 = costLayer(
+        convLayer(LayerKind::ConvDepthwise, 64, 64, 3, 1, 48, 80),
+        hw, hw.mac_lanes);
+    const LayerCost k5 = costLayer(
+        convLayer(LayerKind::ConvDepthwise, 64, 64, 5, 1, 48, 80),
+        hw, hw.mac_lanes);
+    EXPECT_GT(k5.utilization, k3.utilization);
+}
+
+TEST(Dataflow, StrideTwoLimitsReuse)
+{
+    // Sec. 5.1: intra-channel reuses are limited for stride-2
+    // layers.
+    const HwConfig hw = baseHw();
+    const LayerCost s1 = costLayer(
+        convLayer(LayerKind::ConvDepthwise, 64, 64, 5, 1, 48, 80),
+        hw, hw.mac_lanes);
+    const LayerCost s2 = costLayer(
+        convLayer(LayerKind::ConvDepthwise, 64, 64, 5, 2, 48, 80),
+        hw, hw.mac_lanes);
+    EXPECT_LT(s2.utilization, s1.utilization);
+}
+
+TEST(Dataflow, SmallFeatureMapsLimitUtilization)
+{
+    // Sec. 5.1: the last layers with 7x7-ish maps cannot fill the
+    // array.
+    const HwConfig hw = baseHw();
+    const LayerCost small = costLayer(
+        convLayer(LayerKind::ConvDepthwise, 352, 352, 3, 1, 3, 5),
+        hw, hw.mac_lanes);
+    const LayerCost big = costLayer(
+        convLayer(LayerKind::ConvDepthwise, 32, 32, 3, 1, 48, 80),
+        hw, hw.mac_lanes);
+    EXPECT_LT(small.utilization, big.utilization);
+}
+
+TEST(Dataflow, SwprBufferRemovesStalls)
+{
+    // A bandwidth-hungry layer stalls without the SWPR buffer.
+    HwConfig with = baseHw();
+    HwConfig without = baseHw();
+    without.swpr_input_buffer = false;
+    without.depthwise_optimization = with.depthwise_optimization =
+        false;
+    const LayerWorkload dw =
+        convLayer(LayerKind::ConvDepthwise, 96, 96, 3, 1, 48, 80);
+    const LayerCost c_with = costLayer(dw, with, with.mac_lanes);
+    const LayerCost c_without =
+        costLayer(dw, without, without.mac_lanes);
+    EXPECT_LT(c_with.stall_cycles, c_without.stall_cycles);
+}
+
+TEST(Dataflow, FewerLanesMoreWaves)
+{
+    const HwConfig hw = baseHw();
+    const LayerWorkload l =
+        convLayer(LayerKind::ConvPointwise, 32, 128, 1, 1, 48, 80);
+    const LayerCost full = costLayer(l, hw, hw.mac_lanes);
+    const LayerCost half = costLayer(l, hw, hw.mac_lanes / 2);
+    EXPECT_GE(half.waves, 2 * full.waves - 1);
+    EXPECT_GE(half.compute_cycles, full.compute_cycles);
+}
+
+TEST(Dataflow, FcIsCheapButInefficient)
+{
+    const HwConfig hw = baseHw();
+    nn::LayerWorkload fc;
+    fc.kind = LayerKind::FullyConnected;
+    fc.c_in = 1504;
+    fc.c_out = 3;
+    fc.h_out = fc.w_out = 1;
+    fc.h_in = fc.w_in = 1;
+    fc.kernel = 1;
+    fc.macs = 1504 * 3;
+    fc.params = fc.macs;
+    const LayerCost cost = costLayer(fc, hw, hw.mac_lanes);
+    EXPECT_LE(cost.compute_cycles, 2000);
+    EXPECT_LT(cost.utilization, 0.01);
+}
+
+TEST(Dataflow, MatMulWellUtilized)
+{
+    const HwConfig hw = baseHw();
+    nn::LayerWorkload mm;
+    mm.kind = LayerKind::MatMul;
+    mm.c_out = 256; // rows
+    mm.w_out = 256; // cols
+    mm.c_in = 512;  // k
+    mm.h_out = 1;
+    mm.h_in = 256;
+    mm.w_in = 1;
+    mm.kernel = 1;
+    mm.macs = 256LL * 512 * 256;
+    mm.params = 512LL * 256;
+    const LayerCost cost = costLayer(mm, hw, hw.mac_lanes);
+    EXPECT_GT(cost.utilization, 0.7);
+}
+
+TEST(Dataflow, ConcatIsFree)
+{
+    const HwConfig hw = baseHw();
+    nn::LayerWorkload cat;
+    cat.kind = LayerKind::Concat;
+    cat.c_in = 64;
+    cat.c_out = 64;
+    cat.h_in = cat.h_out = 32;
+    cat.w_in = cat.w_out = 32;
+    const LayerCost cost = costLayer(cat, hw, hw.mac_lanes);
+    EXPECT_EQ(cost.compute_cycles, 0);
+    EXPECT_EQ(cost.activity.act_gb_bytes, 0);
+}
+
+TEST(Dataflow, PoolCostsDataMovement)
+{
+    const HwConfig hw = baseHw();
+    nn::LayerWorkload pool;
+    pool.kind = LayerKind::Pool;
+    pool.c_in = pool.c_out = 32;
+    pool.h_in = pool.w_in = 64;
+    pool.h_out = pool.w_out = 32;
+    const LayerCost cost = costLayer(pool, hw, hw.mac_lanes);
+    EXPECT_GT(cost.compute_cycles, 0);
+    EXPECT_EQ(cost.ideal_macs, 0);
+}
+
+TEST(Dataflow, ActivityCountsArePopulated)
+{
+    const HwConfig hw = baseHw();
+    const LayerWorkload l =
+        convLayer(LayerKind::ConvGeneric, 16, 32, 3, 1, 32, 32);
+    const LayerCost cost = costLayer(l, hw, hw.mac_lanes);
+    EXPECT_EQ(cost.activity.mac_ops, l.macs);
+    EXPECT_GT(cost.activity.act_gb_bytes, 0);
+    EXPECT_EQ(cost.activity.dram_bytes, l.params);
+    EXPECT_EQ(cost.activity.cycles, cost.totalCycles());
+}
+
+TEST(Dataflow, CostModelSumsLayers)
+{
+    const HwConfig hw = baseHw();
+    std::vector<LayerWorkload> layers = {
+        convLayer(LayerKind::ConvGeneric, 1, 16, 3, 2, 96, 160),
+        convLayer(LayerKind::ConvPointwise, 16, 96, 1, 1, 48, 80),
+        convLayer(LayerKind::ConvDepthwise, 96, 96, 3, 1, 48, 80),
+    };
+    const LayerCost total = costModel(layers, hw, hw.mac_lanes);
+    long long cycles = 0, ideal = 0;
+    for (const auto &l : layers) {
+        const LayerCost c = costLayer(l, hw, hw.mac_lanes);
+        cycles += c.totalCycles();
+        ideal += c.ideal_macs;
+    }
+    EXPECT_EQ(total.totalCycles(), cycles);
+    EXPECT_EQ(total.ideal_macs, ideal);
+}
+
+TEST(Dataflow, SingleLaneStillCorrect)
+{
+    const HwConfig hw = baseHw();
+    const LayerWorkload l =
+        convLayer(LayerKind::ConvPointwise, 8, 16, 1, 1, 8, 8);
+    const LayerCost c = costLayer(l, hw, 1);
+    EXPECT_EQ(c.lanes_used, 1);
+    EXPECT_GT(c.compute_cycles, 0);
+    EXPECT_EQ(c.ideal_macs, l.macs);
+}
+
+TEST(Dataflow, TinyLayerUsesOneWave)
+{
+    const HwConfig hw = baseHw();
+    const LayerWorkload l =
+        convLayer(LayerKind::ConvGeneric, 1, 8, 3, 1, 4, 4);
+    const LayerCost c = costLayer(l, hw, hw.mac_lanes);
+    EXPECT_EQ(c.waves, 1);
+    EXPECT_EQ(c.lanes_used, 4); // h_out * ceil(8/8)
+}
+
+TEST(Dataflow, TotalCyclesIsComputePlusStalls)
+{
+    HwConfig hw = baseHw();
+    hw.swpr_input_buffer = false;
+    hw.depthwise_optimization = false;
+    const LayerWorkload dw =
+        convLayer(LayerKind::ConvDepthwise, 96, 96, 3, 1, 48, 80);
+    const LayerCost c = costLayer(dw, hw, hw.mac_lanes);
+    EXPECT_EQ(c.totalCycles(), c.compute_cycles + c.stall_cycles);
+}
+
+/** Parameterized sweep: the cost model is sane over many shapes. */
+class DataflowShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(DataflowShapes, InvariantsHold)
+{
+    const auto [c_in, c_out, k, stride] = GetParam();
+    const HwConfig hw = baseHw();
+    for (LayerKind kind :
+         {LayerKind::ConvGeneric, LayerKind::ConvPointwise}) {
+        const int kk = kind == LayerKind::ConvPointwise ? 1 : k;
+        const LayerCost cost = costLayer(
+            convLayer(kind, c_in, c_out, kk, stride, 48, 80), hw,
+            hw.mac_lanes);
+        EXPECT_GT(cost.compute_cycles, 0);
+        EXPECT_LE(cost.utilization, 1.0 + 1e-9);
+        EXPECT_GE(cost.stall_cycles, 0);
+        EXPECT_GE(cost.lanes_used, 1);
+        EXPECT_LE(cost.lanes_used, hw.mac_lanes);
+    }
+    // Depth-wise requires c_in == c_out.
+    const LayerCost dw = costLayer(
+        convLayer(LayerKind::ConvDepthwise, c_in, c_in, k, stride,
+                  48, 80),
+        hw, hw.mac_lanes);
+    EXPECT_LE(dw.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DataflowShapes,
+    ::testing::Combine(::testing::Values(8, 32, 96),
+                       ::testing::Values(16, 64),
+                       ::testing::Values(3, 5),
+                       ::testing::Values(1, 2)));
+
+} // namespace
+} // namespace accel
+} // namespace eyecod

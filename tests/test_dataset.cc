@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests of the synthetic eye dataset substrate: gaze math, the
+ * procedural renderer, and the temporal trajectory generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "dataset/sequence.h"
+#include "dataset/synthetic_eye.h"
+
+namespace eyecod {
+namespace dataset {
+namespace {
+
+TEST(GazeMath, AnglesVectorRoundTrip)
+{
+    for (double yaw : {-25.0, -5.0, 0.0, 10.0, 30.0}) {
+        for (double pitch : {-20.0, 0.0, 15.0}) {
+            const GazeVec g = anglesToVector(yaw, pitch);
+            const auto back = vectorToAngles(g);
+            EXPECT_NEAR(back[0], yaw, 1e-9);
+            EXPECT_NEAR(back[1], pitch, 1e-9);
+        }
+    }
+}
+
+TEST(GazeMath, VectorsAreUnit)
+{
+    const GazeVec g = anglesToVector(17.0, -9.0);
+    EXPECT_NEAR(g[0] * g[0] + g[1] * g[1] + g[2] * g[2], 1.0, 1e-12);
+}
+
+TEST(GazeMath, ErrorIsZeroForIdentical)
+{
+    const GazeVec g = anglesToVector(12.0, 4.0);
+    EXPECT_NEAR(angularErrorDeg(g, g), 0.0, 1e-6);
+}
+
+TEST(GazeMath, ErrorMatchesConstructedAngle)
+{
+    const GazeVec a = anglesToVector(0.0, 0.0);
+    const GazeVec b = anglesToVector(10.0, 0.0);
+    EXPECT_NEAR(angularErrorDeg(a, b), 10.0, 1e-9);
+}
+
+TEST(GazeMath, ErrorIsSymmetric)
+{
+    const GazeVec a = anglesToVector(-8.0, 3.0);
+    const GazeVec b = anglesToVector(14.0, -11.0);
+    EXPECT_NEAR(angularErrorDeg(a, b), angularErrorDeg(b, a), 1e-12);
+}
+
+TEST(GazeMath, ErrorScaleInvariant)
+{
+    const GazeVec a = anglesToVector(5.0, 5.0);
+    const GazeVec b{a[0] * 3.0, a[1] * 3.0, a[2] * 3.0};
+    EXPECT_NEAR(angularErrorDeg(a, b), 0.0, 1e-6);
+}
+
+TEST(GazeMath, NormalizeDegenerateVector)
+{
+    const GazeVec z = normalize(GazeVec{0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(z[2], 1.0);
+}
+
+TEST(Renderer, DeterministicPerIndex)
+{
+    const SyntheticEyeRenderer ren({}, 99);
+    const EyeSample a = ren.sample(5);
+    const EyeSample b = ren.sample(5);
+    EXPECT_DOUBLE_EQ(imageMse(a.image, b.image), 0.0);
+    EXPECT_EQ(a.mask.labels, b.mask.labels);
+}
+
+TEST(Renderer, DifferentIndicesDiffer)
+{
+    const SyntheticEyeRenderer ren({}, 99);
+    const EyeSample a = ren.sample(1);
+    const EyeSample b = ren.sample(2);
+    EXPECT_GT(imageMse(a.image, b.image), 1e-4);
+}
+
+TEST(Renderer, AllFourClassesPresent)
+{
+    const SyntheticEyeRenderer ren({}, 7);
+    const EyeSample s = ren.sample(0);
+    long counts[4] = {0, 0, 0, 0};
+    for (uint8_t c : s.mask.labels)
+        ++counts[c];
+    EXPECT_GT(counts[kBackground], 0);
+    EXPECT_GT(counts[kSclera], 0);
+    EXPECT_GT(counts[kIris], 0);
+    EXPECT_GT(counts[kPupil], 0);
+    // Skin dominates, pupil is the smallest eye class.
+    EXPECT_GT(counts[kBackground], counts[kSclera]);
+    EXPECT_GT(counts[kIris], counts[kPupil]);
+}
+
+TEST(Renderer, PupilIsDarkerThanSurroundings)
+{
+    const SyntheticEyeRenderer ren({}, 7);
+    const EyeSample s = ren.sample(3);
+    double pupil_sum = 0.0, sclera_sum = 0.0;
+    long pupil_n = 0, sclera_n = 0;
+    for (int y = 0; y < s.mask.height; ++y) {
+        for (int x = 0; x < s.mask.width; ++x) {
+            if (s.mask.at(y, x) == kPupil) {
+                pupil_sum += s.image.at(y, x);
+                ++pupil_n;
+            } else if (s.mask.at(y, x) == kSclera) {
+                sclera_sum += s.image.at(y, x);
+                ++sclera_n;
+            }
+        }
+    }
+    ASSERT_GT(pupil_n, 0);
+    ASSERT_GT(sclera_n, 0);
+    EXPECT_LT(pupil_sum / pupil_n + 0.3, sclera_sum / sclera_n);
+}
+
+TEST(Renderer, PupilCentreMatchesMaskCentroid)
+{
+    const SyntheticEyeRenderer ren({}, 12);
+    const EyeSample s = ren.sample(8);
+    double cy = 0.0, cx = 0.0;
+    long n = 0;
+    for (int y = 0; y < s.mask.height; ++y) {
+        for (int x = 0; x < s.mask.width; ++x) {
+            if (s.mask.at(y, x) == kPupil) {
+                cy += y;
+                cx += x;
+                ++n;
+            }
+        }
+    }
+    ASSERT_GT(n, 0);
+    EXPECT_NEAR(cy / n, s.pupil_cy, 2.0);
+    EXPECT_NEAR(cx / n, s.pupil_cx, 2.0);
+}
+
+TEST(Renderer, GazeDisplacesIris)
+{
+    RenderConfig rc;
+    rc.centre_jitter = 0.0;
+    const SyntheticEyeRenderer ren(rc, 1);
+    EyeParams p = ren.sampleParams(0);
+    p.eye_cy = rc.image_size / 2.0;
+    p.eye_cx = rc.image_size / 2.0;
+    p.yaw_deg = 25.0;
+    p.pitch_deg = 0.0;
+    const EyeSample right = ren.render(p, 1);
+    p.yaw_deg = -25.0;
+    const EyeSample left = ren.render(p, 1);
+    EXPECT_GT(right.pupil_cx, left.pupil_cx + 5.0);
+}
+
+TEST(Renderer, EyelidClosureShrinksEyeArea)
+{
+    const SyntheticEyeRenderer ren({}, 3);
+    EyeParams p = ren.sampleParams(0);
+    p.eyelid_open = 1.0;
+    const EyeSample open = ren.render(p, 2);
+    p.eyelid_open = 0.5;
+    const EyeSample half = ren.render(p, 2);
+    auto eye_area = [](const SegMask &m) {
+        long n = 0;
+        for (uint8_t c : m.labels)
+            n += c != kBackground;
+        return n;
+    };
+    EXPECT_LT(eye_area(half.mask), eye_area(open.mask));
+}
+
+TEST(Renderer, ImagesStayInUnitRange)
+{
+    const SyntheticEyeRenderer ren({}, 4);
+    const EyeSample s = ren.sample(11);
+    EXPECT_GE(s.image.minValue(), 0.0f);
+    EXPECT_LE(s.image.maxValue(), 1.0f);
+}
+
+TEST(SegMask, ResizePreservesClasses)
+{
+    const SyntheticEyeRenderer ren({}, 5);
+    const EyeSample s = ren.sample(2);
+    const SegMask half = s.mask.resized(64, 64);
+    EXPECT_EQ(half.height, 64);
+    long pupil = 0;
+    for (uint8_t c : half.labels)
+        pupil += c == kPupil;
+    EXPECT_GT(pupil, 0);
+}
+
+TEST(Trajectory, ProducesRequestedFrames)
+{
+    const SyntheticEyeRenderer ren({}, 6);
+    TrajectoryConfig tc;
+    tc.frames = 120;
+    const auto traj = makeTrajectory(ren, 1, tc);
+    EXPECT_EQ(traj.size(), 120u);
+}
+
+TEST(Trajectory, GazeMovesFasterThanEyeCentre)
+{
+    // The separation of time scales the ROI refresh rate exploits
+    // (Sec. 4.3): gaze variance across frames >> eye-centre variance.
+    const SyntheticEyeRenderer ren({}, 6);
+    TrajectoryConfig tc;
+    tc.frames = 400;
+    const auto traj = makeTrajectory(ren, 2, tc);
+    RunningStat yaw, centre;
+    for (size_t i = 1; i < traj.size(); ++i) {
+        yaw.add(std::fabs(traj[i].yaw_deg - traj[i - 1].yaw_deg));
+        centre.add(std::hypot(traj[i].eye_cy - traj[i - 1].eye_cy,
+                              traj[i].eye_cx - traj[i - 1].eye_cx));
+    }
+    // Per-frame gaze motion (degrees) dominates per-frame eye-centre
+    // motion (pixels) by an order of magnitude.
+    EXPECT_GT(yaw.mean(), 5.0 * centre.mean());
+}
+
+TEST(Trajectory, GazeStaysWithinRendererRange)
+{
+    RenderConfig rc;
+    const SyntheticEyeRenderer ren(rc, 8);
+    TrajectoryConfig tc;
+    tc.frames = 300;
+    const auto traj = makeTrajectory(ren, 3, tc);
+    for (const EyeParams &p : traj) {
+        EXPECT_LE(std::fabs(p.yaw_deg), rc.max_yaw_deg + 8.0);
+        EXPECT_LE(std::fabs(p.pitch_deg), rc.max_pitch_deg + 8.0);
+    }
+}
+
+TEST(Trajectory, DeterministicPerSubject)
+{
+    const SyntheticEyeRenderer ren({}, 6);
+    TrajectoryConfig tc;
+    tc.frames = 50;
+    const auto a = makeTrajectory(ren, 4, tc);
+    const auto b = makeTrajectory(ren, 4, tc);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].yaw_deg, b[i].yaw_deg);
+}
+
+} // namespace
+} // namespace dataset
+} // namespace eyecod

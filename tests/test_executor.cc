@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the instruction executor and the ping-pong weight-buffer
+ * timing model, including the compiler/dataflow cross-check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dataflow.h"
+#include "accel/executor.h"
+#include "accel/weight_buffer.h"
+
+namespace eyecod {
+namespace accel {
+namespace {
+
+ModelWorkload
+gazeModel()
+{
+    PipelineWorkloadConfig cfg;
+    return buildPipelineWorkload(cfg)[1];
+}
+
+TEST(Executor, CyclesMatchDataflowModel)
+{
+    // The executor walking the compiled stream must reproduce the
+    // analytical compute-cycle total of costModel (no stripes).
+    const HwConfig hw;
+    const ModelWorkload m = gazeModel();
+    const InstructionStream s = compileModel(m, hw, 1);
+    const ExecStats stats = executeStream(s, m, hw);
+
+    long long expected = 0;
+    for (const auto &w : m.layers) {
+        if (!nn::isMacKind(w.kind))
+            continue;
+        const LayerCost c = costLayer(w, hw, hw.mac_lanes);
+        // The encoding quantizes to whole waves.
+        expected += (c.compute_cycles / std::max(1, c.waves)) *
+                    c.waves;
+    }
+    EXPECT_EQ(stats.compute_cycles, expected);
+}
+
+TEST(Executor, WeightTrafficMatchesParams)
+{
+    const HwConfig hw;
+    const ModelWorkload m = gazeModel();
+    const InstructionStream s = compileModel(m, hw, 1);
+    const ExecStats stats = executeStream(s, m, hw);
+    long long params = 0;
+    for (const auto &w : m.layers)
+        if (nn::isMacKind(w.kind))
+            params += w.weightBytes();
+    // Chunked loads round up to buffer-size multiples per layer.
+    EXPECT_GE(stats.weight_bytes, params);
+    EXPECT_LE(stats.weight_bytes, params + 64LL * 1024 *
+                                                (long long)m.layers
+                                                    .size());
+}
+
+TEST(Executor, DynamicExceedsStaticThroughLoops)
+{
+    const HwConfig hw;
+    const ModelWorkload m = gazeModel();
+    const InstructionStream s = compileModel(m, hw, 4);
+    const ExecStats stats = executeStream(s, m, hw);
+    EXPECT_GT(stats.dynamic_instructions,
+              (long long)s.instructions.size());
+    EXPECT_GE(stats.max_loop_depth, 1);
+}
+
+TEST(Executor, PeakChunkFitsBuffer)
+{
+    const HwConfig hw;
+    const ModelWorkload m = gazeModel();
+    const InstructionStream s = compileModel(m, hw, 1);
+    const ExecStats stats = executeStream(s, m, hw);
+    EXPECT_LE(stats.peak_weight_chunk, hw.weight_buf_bytes);
+}
+
+TEST(Executor, CountsReshapeViews)
+{
+    const HwConfig hw;
+    PipelineWorkloadConfig cfg;
+    const ModelWorkload seg = buildPipelineWorkload(cfg)[2];
+    const InstructionStream s = compileModel(seg, hw, 2);
+    const ExecStats stats = executeStream(s, seg, hw);
+    EXPECT_GT(stats.reshape_views, 0);
+}
+
+TEST(WeightBuffer, DoubleBufferingHidesLoads)
+{
+    WeightStreamConfig c;
+    c.weight_bytes = 256 * 1024; // 4 chunks
+    c.compute_cycles = 400000;   // ample compute to hide loads
+    WeightStreamConfig serial = c;
+    serial.double_buffered = false;
+    const WeightStreamTiming pp = simulateWeightStream(c);
+    const WeightStreamTiming nopp = simulateWeightStream(serial);
+    EXPECT_LT(pp.stall_cycles, nopp.stall_cycles);
+    // Only the priming load is exposed.
+    EXPECT_EQ(pp.stall_cycles, pp.load_cycles / pp.chunks);
+}
+
+TEST(WeightBuffer, FcLikeLayersStall)
+{
+    // FC layers: big weights, tiny compute — loads dominate even
+    // with the ping-pong buffers.
+    WeightStreamConfig c;
+    c.weight_bytes = 512 * 1024;
+    c.compute_cycles = 600; // ~1504*3/8 MAC-lane cycles
+    const WeightStreamTiming t = simulateWeightStream(c);
+    EXPECT_GT(t.stall_cycles, c.compute_cycles);
+}
+
+TEST(WeightBuffer, NoWeightsNoStalls)
+{
+    WeightStreamConfig c;
+    c.weight_bytes = 0;
+    c.compute_cycles = 1000;
+    const WeightStreamTiming t = simulateWeightStream(c);
+    EXPECT_EQ(t.stall_cycles, 0);
+    EXPECT_EQ(t.total_cycles, 1000);
+}
+
+TEST(WeightBuffer, ChunkCountRoundsUp)
+{
+    WeightStreamConfig c;
+    c.weight_bytes = 65 * 1024;
+    c.compute_cycles = 100000;
+    EXPECT_EQ(simulateWeightStream(c).chunks, 2);
+}
+
+} // namespace
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests of the PGM/PPM export helpers: round-trips, clamping, and
+ * mask colouring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dataset/export.h"
+
+namespace eyecod {
+namespace dataset {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Export, PgmRoundTrip)
+{
+    Image img(13, 17);
+    for (int y = 0; y < 13; ++y)
+        for (int x = 0; x < 17; ++x)
+            img.at(y, x) = float((y * 17 + x) % 256) / 255.0f;
+    const std::string path = tempPath("roundtrip.pgm");
+    ASSERT_TRUE(writePgm(path, img));
+    Image back;
+    ASSERT_TRUE(readPgm(path, &back));
+    ASSERT_EQ(back.height(), 13);
+    ASSERT_EQ(back.width(), 17);
+    // 8-bit quantization: within half a step.
+    for (size_t i = 0; i < img.size(); ++i)
+        EXPECT_NEAR(back.data()[i], img.data()[i], 0.5f / 255.0f);
+    std::remove(path.c_str());
+}
+
+TEST(Export, PgmClampsOutOfRange)
+{
+    Image img(2, 2);
+    img.at(0, 0) = -3.0f;
+    img.at(1, 1) = 7.0f;
+    const std::string path = tempPath("clamp.pgm");
+    ASSERT_TRUE(writePgm(path, img));
+    Image back;
+    ASSERT_TRUE(readPgm(path, &back));
+    EXPECT_FLOAT_EQ(back.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(back.at(1, 1), 1.0f);
+    std::remove(path.c_str());
+}
+
+TEST(Export, RendererImageExports)
+{
+    const SyntheticEyeRenderer ren({}, 1);
+    const EyeSample s = ren.sample(0);
+    const std::string img_path = tempPath("eye.pgm");
+    const std::string mask_path = tempPath("mask.ppm");
+    EXPECT_TRUE(writePgm(img_path, s.image));
+    EXPECT_TRUE(writeMaskPpm(mask_path, s.mask));
+    // Files exist and have plausible sizes.
+    std::FILE *f = std::fopen(mask_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    EXPECT_GT(size, long(s.mask.labels.size()) * 3);
+    std::remove(img_path.c_str());
+    std::remove(mask_path.c_str());
+}
+
+TEST(Export, FailsOnBadPath)
+{
+    const Image img(4, 4, 0.5f);
+    EXPECT_FALSE(writePgm("/nonexistent-dir/x.pgm", img));
+    Image back;
+    EXPECT_FALSE(readPgm("/nonexistent-dir/x.pgm", &back));
+}
+
+TEST(Export, ReadRejectsGarbage)
+{
+    const std::string path = tempPath("garbage.pgm");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a pgm at all", f);
+    std::fclose(f);
+    Image back;
+    EXPECT_FALSE(readPgm(path, &back));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dataset
+} // namespace eyecod

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the One-Euro gaze filter: noise suppression during
+ * fixations, low lag through saccades, and saccade detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "eyetrack/filter.h"
+
+namespace eyecod {
+namespace eyetrack {
+namespace {
+
+using dataset::anglesToVector;
+using dataset::angularErrorDeg;
+
+TEST(GazeFilter, FirstSampleIsPassedThrough)
+{
+    GazeFilter f;
+    const auto g = anglesToVector(10.0, -5.0);
+    const auto out = f.update(g);
+    EXPECT_LT(angularErrorDeg(out.gaze, g), 1e-9);
+    EXPECT_FALSE(out.saccade);
+}
+
+TEST(GazeFilter, SuppressesFixationNoise)
+{
+    GazeFilter f;
+    Rng rng(3);
+    const auto truth = anglesToVector(8.0, 4.0);
+    double raw_err = 0.0, filt_err = 0.0;
+    // Prime, then measure on a noisy fixation.
+    for (int i = 0; i < 200; ++i) {
+        const auto noisy = anglesToVector(
+            8.0 + rng.gaussian(0.0, 0.8),
+            4.0 + rng.gaussian(0.0, 0.8));
+        const auto out = f.update(noisy);
+        if (i >= 50) {
+            raw_err += angularErrorDeg(noisy, truth);
+            filt_err += angularErrorDeg(out.gaze, truth);
+        }
+    }
+    EXPECT_LT(filt_err, 0.5 * raw_err);
+}
+
+TEST(GazeFilter, TracksSaccadesWithBoundedLag)
+{
+    GazeFilter f;
+    // Fixate at 0, then jump to 20 degrees.
+    for (int i = 0; i < 100; ++i)
+        f.update(anglesToVector(0.0, 0.0));
+    GazeFilter::Output out;
+    int frames_to_converge = 0;
+    for (int i = 0; i < 100; ++i) {
+        out = f.update(anglesToVector(20.0, 0.0));
+        ++frames_to_converge;
+        if (angularErrorDeg(out.gaze,
+                            anglesToVector(20.0, 0.0)) < 1.0)
+            break;
+    }
+    // Converges within ~40 ms at 240 Hz (the speed-adaptive cutoff).
+    EXPECT_LE(frames_to_converge, 10);
+}
+
+TEST(GazeFilter, DetectsSaccade)
+{
+    GazeFilter f;
+    f.update(anglesToVector(0.0, 0.0));
+    // A 20-degree jump in one 240 Hz frame = 4800 deg/s raw; the
+    // smoothed velocity crosses the threshold immediately.
+    const auto out = f.update(anglesToVector(20.0, 0.0));
+    EXPECT_TRUE(out.saccade);
+    EXPECT_GT(out.velocity_deg_s, 800.0);
+}
+
+TEST(GazeFilter, FixationNoiseDoesNotTriggerSaccades)
+{
+    GazeFilter f;
+    Rng rng(21);
+    int flagged = 0;
+    for (int i = 0; i < 300; ++i) {
+        const auto out = f.update(anglesToVector(
+            5.0 + rng.gaussian(0.0, 1.0),
+            -3.0 + rng.gaussian(0.0, 1.0)));
+        flagged += out.saccade;
+    }
+    // 1-degree-sigma estimator noise at 240 Hz must stay below the
+    // smoothed-velocity threshold almost always.
+    EXPECT_LT(flagged, 10);
+}
+
+TEST(GazeFilter, NoSaccadeDuringSlowDrift)
+{
+    GazeFilter f;
+    f.update(anglesToVector(0.0, 0.0));
+    bool any = false;
+    for (int i = 1; i <= 100; ++i) {
+        // 0.05 deg/frame = 12 deg/s drift.
+        const auto out =
+            f.update(anglesToVector(0.05 * i, 0.0));
+        any |= out.saccade;
+    }
+    EXPECT_FALSE(any);
+}
+
+TEST(GazeFilter, ResetClearsState)
+{
+    GazeFilter f;
+    for (int i = 0; i < 50; ++i)
+        f.update(anglesToVector(15.0, 0.0));
+    f.reset();
+    const auto out = f.update(anglesToVector(-15.0, 0.0));
+    // After reset the first sample passes through unfiltered.
+    EXPECT_LT(angularErrorDeg(out.gaze, anglesToVector(-15.0, 0.0)),
+              1e-9);
+    EXPECT_FALSE(out.saccade);
+}
+
+TEST(GazeFilter, OutputsAreUnitVectors)
+{
+    GazeFilter f;
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        const auto out = f.update(anglesToVector(
+            rng.uniform(-30, 30), rng.uniform(-20, 20)));
+        const auto &g = out.gaze;
+        EXPECT_NEAR(g[0] * g[0] + g[1] * g[1] + g[2] * g[2], 1.0,
+                    1e-9);
+    }
+}
+
+} // namespace
+} // namespace eyetrack
+} // namespace eyecod

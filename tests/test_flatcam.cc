@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests of the FlatCam optical substrate: MLS mask generation (Eq. 1
+ * transfer matrices), the forward imaging model, the Tikhonov
+ * reconstruction (Eq. 2), the visual-privacy property, and the
+ * sensing-processing interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flatcam/imaging.h"
+#include "flatcam/mask.h"
+#include "flatcam/optical_interface.h"
+#include "flatcam/reconstruction.h"
+
+namespace eyecod {
+namespace flatcam {
+namespace {
+
+MaskConfig
+smallMask()
+{
+    MaskConfig mc;
+    mc.scene_rows = mc.scene_cols = 32;
+    mc.sensor_rows = mc.sensor_cols = 48;
+    mc.mls_order = 6;
+    mc.fabrication_noise = 0.0;
+    return mc;
+}
+
+/** A test scene with structure (gradient + bright square). */
+Image
+testScene(int n)
+{
+    Image img(n, n);
+    for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n; ++x)
+            img.at(y, x) = 0.2f + 0.5f * float(x) / n;
+    for (int y = n / 4; y < n / 2; ++y)
+        for (int x = n / 4; x < n / 2; ++x)
+            img.at(y, x) = 0.9f;
+    return img;
+}
+
+/** Parameterized MLS properties over LFSR orders. */
+class MlsOrders : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MlsOrders, HasMaximalLength)
+{
+    const int order = GetParam();
+    const std::vector<int> seq = mlsSequence(order);
+    EXPECT_EQ(seq.size(), (size_t(1) << order) - 1);
+}
+
+TEST_P(MlsOrders, IsBalanced)
+{
+    // A maximal-length sequence has exactly 2^(n-1) ones.
+    const int order = GetParam();
+    const std::vector<int> seq = mlsSequence(order);
+    long ones = 0;
+    for (int v : seq)
+        ones += v > 0 ? 1 : 0;
+    EXPECT_EQ(ones, long(1) << (order - 1));
+}
+
+TEST_P(MlsOrders, AutocorrelationIsFlat)
+{
+    // MLS autocorrelation: len at lag 0, -1 at every other lag.
+    const int order = GetParam();
+    const std::vector<int> seq = mlsSequence(order);
+    const long n = long(seq.size());
+    for (long lag : {1L, 2L, n / 2, n - 1}) {
+        long acc = 0;
+        for (long i = 0; i < n; ++i)
+            acc += seq[size_t(i)] * seq[size_t((i + lag) % n)];
+        EXPECT_EQ(acc, -1) << "order " << order << " lag " << lag;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MlsOrders,
+                         ::testing::Values(3, 5, 6, 8, 9, 10, 12));
+
+TEST(Mask, TransferMatrixShapes)
+{
+    const SeparableMask m = makeSeparableMask(smallMask());
+    EXPECT_EQ(m.phiL.rows(), 48u);
+    EXPECT_EQ(m.phiL.cols(), 32u);
+    EXPECT_EQ(m.phiR.rows(), 48u);
+    EXPECT_EQ(m.phiR.cols(), 32u);
+}
+
+TEST(Mask, WellConditionedForTikhonov)
+{
+    const SeparableMask m = makeSeparableMask(smallMask());
+    const Svd s = computeSvd(m.phiL);
+    EXPECT_GT(s.s.back(), 1e-3);
+    EXPECT_LT(s.s.front() / s.s.back(), 500.0);
+}
+
+TEST(Mask, FabricationNoisePerturbsEntries)
+{
+    MaskConfig mc = smallMask();
+    const SeparableMask clean = makeSeparableMask(mc);
+    mc.fabrication_noise = 0.02;
+    const SeparableMask noisy = makeSeparableMask(mc);
+    const double diff =
+        clean.phiL.sub(noisy.phiL).frobeniusNorm();
+    EXPECT_GT(diff, 0.0);
+    EXPECT_LT(diff, 0.1 * clean.phiL.frobeniusNorm());
+}
+
+TEST(Imaging, ForwardModelIsLinear)
+{
+    SensorNoise nz;
+    nz.read_noise = 0.0;
+    const FlatCamSensor cam(makeSeparableMask(smallMask()), nz);
+    const Image a = testScene(32);
+    Image b(32, 32, 0.25f);
+    Image sum(32, 32);
+    for (size_t i = 0; i < sum.size(); ++i)
+        sum.data()[i] = a.data()[i] + b.data()[i];
+    const Image ya = cam.capture(a);
+    const Image yb = cam.capture(b);
+    const Image ysum = cam.capture(sum);
+    for (size_t i = 0; i < ysum.size(); ++i)
+        EXPECT_NEAR(ysum.data()[i], ya.data()[i] + yb.data()[i],
+                    1e-4);
+}
+
+TEST(Imaging, NoiseChangesMeasurement)
+{
+    SensorNoise nz;
+    nz.read_noise = 0.01;
+    const FlatCamSensor cam(makeSeparableMask(smallMask()), nz);
+    const Image scene = testScene(32);
+    const Image y1 = cam.capture(scene);
+    const Image y2 = cam.capture(scene);
+    EXPECT_GT(imageMse(y1, y2), 0.0);
+}
+
+TEST(Imaging, MeasurementDoesNotResembleScene)
+{
+    // The visual-privacy property: raw FlatCam measurements carry
+    // almost no spatial resemblance to the scene.
+    SensorNoise nz;
+    nz.read_noise = 0.0;
+    const FlatCamSensor cam(makeSeparableMask(smallMask()), nz);
+    const Image scene = testScene(32);
+    const Image y = cam.capture(scene);
+    const Image y_crop = y.cropped(Rect{0, 0, 32, 32});
+    EXPECT_LT(std::fabs(imageNcc(scene, y_crop)), 0.5);
+}
+
+TEST(Reconstruction, NearExactWithoutNoise)
+{
+    const SeparableMask mask = makeSeparableMask(smallMask());
+    SensorNoise nz;
+    nz.read_noise = 0.0;
+    const FlatCamSensor cam(mask, nz);
+    const FlatCamReconstructor rec(mask, 1e-6);
+    const Image scene = testScene(32);
+    const Image out = rec.reconstruct(cam.capture(scene));
+    EXPECT_GT(imagePsnr(out, scene), 40.0);
+}
+
+TEST(Reconstruction, ToleratesSensorNoise)
+{
+    const SeparableMask mask = makeSeparableMask(smallMask());
+    SensorNoise nz;
+    nz.read_noise = 0.005;
+    const FlatCamSensor cam(mask, nz);
+    const FlatCamReconstructor rec(mask, 1e-3);
+    const Image scene = testScene(32);
+    const Image out = rec.reconstruct(cam.capture(scene));
+    EXPECT_GT(imagePsnr(out, scene), 20.0);
+}
+
+TEST(Reconstruction, NoisierThanLens)
+{
+    // The property Tab. 3 depends on: FlatCam reconstructions are a
+    // degraded version of the scene, not a perfect copy.
+    const SeparableMask mask = makeSeparableMask(smallMask());
+    SensorNoise nz;
+    nz.read_noise = 0.01;
+    const FlatCamSensor cam(mask, nz);
+    const FlatCamReconstructor rec(mask, 1e-3);
+    const Image scene = testScene(32);
+    const Image out = rec.reconstruct(cam.capture(scene));
+    EXPECT_GT(imageMse(out, scene), 0.0);
+    EXPECT_GT(imageNcc(out, scene), 0.8); // but still recognizable
+}
+
+TEST(Reconstruction, MacsAccountingPositive)
+{
+    const SeparableMask mask = makeSeparableMask(smallMask());
+    const FlatCamReconstructor rec(mask, 1e-4);
+    EXPECT_GT(rec.macsPerFrame(), 0);
+    EXPECT_EQ(rec.sceneRows(), 32);
+    EXPECT_EQ(rec.sceneCols(), 32);
+}
+
+TEST(OpticalInterface, ReducesCommunication)
+{
+    const OpticalFirstLayer layer;
+    const long long raw = OpticalFirstLayer::rawBytes(256, 256);
+    const long long feat = layer.featureBytes(256, 256);
+    EXPECT_LT(feat, raw);
+}
+
+TEST(OpticalInterface, RemovesFirstLayerCompute)
+{
+    const OpticalFirstLayer layer;
+    EXPECT_GT(layer.removedMacs(256, 256), 0);
+}
+
+TEST(OpticalInterface, DerivativeChannelsIgnoreConstants)
+{
+    OpticalLayerConfig cfg;
+    cfg.response_noise = 0.0;
+    const OpticalFirstLayer layer(cfg);
+    const Image flat(64, 64, 0.5f);
+    const auto maps = layer.apply(flat);
+    ASSERT_EQ(int(maps.size()), cfg.out_channels);
+    // Oriented-derivative channels respond ~0 to a constant scene.
+    for (int c = 0; c < cfg.out_channels; ++c) {
+        if (c % 4 == 3)
+            continue; // centre-surround channel
+        // Interior pixels (away from the clamped border).
+        EXPECT_NEAR(maps[size_t(c)].at(8, 8), 0.0f, 1e-4);
+    }
+}
+
+TEST(OpticalInterface, OutputShapeFollowsStride)
+{
+    OpticalLayerConfig cfg;
+    cfg.stride = 4;
+    const OpticalFirstLayer layer(cfg);
+    const auto maps = layer.apply(Image(64, 64, 0.1f));
+    EXPECT_EQ(maps[0].height(), 16);
+    EXPECT_EQ(maps[0].width(), 16);
+}
+
+} // namespace
+} // namespace flatcam
+} // namespace eyecod

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the ridge gaze estimator: learning behaviour, the Tab. 2
+ * quantization property, and the Tab. 4 crop-policy ordering it must
+ * expose end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eyetrack/gaze_estimator.h"
+#include "eyetrack/roi.h"
+#include "eyetrack/segmentation.h"
+
+namespace eyecod {
+namespace eyetrack {
+namespace {
+
+struct TrainEval
+{
+    std::vector<Image> train_rois, eval_rois;
+    std::vector<dataset::GazeVec> train_gazes, eval_gazes;
+};
+
+/** Build ROI-cropped train/eval sets under a given crop policy. */
+TrainEval
+makeSets(CropPolicy policy, int train_n = 250, int eval_n = 60)
+{
+    dataset::RenderConfig rc;
+    rc.image_size = 128;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+    const ClassicalSegmenter seg;
+    const RoiPredictor roi(48, 80);
+    TrainEval te;
+    uint64_t rng_state = 9;
+    auto push = [&](uint64_t idx, std::vector<Image> &rois,
+                    std::vector<dataset::GazeVec> &gazes) {
+        const auto s = ren.sample(idx);
+        const Rect r =
+            roi.predict(seg.segment(s.image), policy, &rng_state);
+        rois.push_back(s.image.cropped(r));
+        gazes.push_back(s.gaze);
+    };
+    for (int i = 0; i < train_n; ++i)
+        push(uint64_t(i), te.train_rois, te.train_gazes);
+    for (int i = 0; i < eval_n; ++i)
+        push(uint64_t(100000 + i), te.eval_rois, te.eval_gazes);
+    return te;
+}
+
+TEST(GazeEstimator, LearnsOnRoiCrops)
+{
+    const TrainEval te = makeSets(CropPolicy::Roi);
+    RidgeGazeEstimator est;
+    est.train(te.train_rois, te.train_gazes);
+    EXPECT_TRUE(est.trained());
+    const double err = est.evaluate(te.eval_rois, te.eval_gazes);
+    EXPECT_LT(err, 6.0); // paper-scale: ~3 degrees
+}
+
+TEST(GazeEstimator, BeatsConstantPredictor)
+{
+    const TrainEval te = makeSets(CropPolicy::Roi);
+    RidgeGazeEstimator est;
+    est.train(te.train_rois, te.train_gazes);
+    // A constant forward-gaze predictor's error on the same set.
+    double const_err = 0.0;
+    for (const auto &g : te.eval_gazes)
+        const_err +=
+            dataset::angularErrorDeg({0.0, 0.0, 1.0}, g);
+    const_err /= double(te.eval_gazes.size());
+    EXPECT_LT(est.evaluate(te.eval_rois, te.eval_gazes),
+              0.5 * const_err);
+}
+
+TEST(GazeEstimator, PredictionsAreUnitVectors)
+{
+    const TrainEval te = makeSets(CropPolicy::Roi, 120, 5);
+    RidgeGazeEstimator est;
+    est.train(te.train_rois, te.train_gazes);
+    for (const Image &roi : te.eval_rois) {
+        const dataset::GazeVec g = est.predict(roi);
+        EXPECT_NEAR(g[0] * g[0] + g[1] * g[1] + g[2] * g[2], 1.0,
+                    1e-9);
+    }
+}
+
+TEST(GazeEstimator, RoiBeatsCentralBeatsRandom)
+{
+    // The Tab. 4 ordering: ROI << central < random crop error.
+    const TrainEval roi_sets = makeSets(CropPolicy::Roi);
+    const TrainEval central_sets = makeSets(CropPolicy::Central);
+    const TrainEval random_sets = makeSets(CropPolicy::Random);
+
+    auto err_of = [](const TrainEval &te) {
+        RidgeGazeEstimator est;
+        est.train(te.train_rois, te.train_gazes);
+        return est.evaluate(te.eval_rois, te.eval_gazes);
+    };
+    const double e_roi = err_of(roi_sets);
+    const double e_central = err_of(central_sets);
+    const double e_random = err_of(random_sets);
+    EXPECT_LT(e_roi, e_central);
+    EXPECT_LT(e_central, e_random + 1.0);
+    EXPECT_LT(2.0 * e_roi, e_central); // ROI is much better
+}
+
+TEST(GazeEstimator, QuantizationCostsLittle)
+{
+    // Tab. 2: the 8-bit model matches the float model's error.
+    const TrainEval te = makeSets(CropPolicy::Roi);
+    RidgeGazeEstimator f;
+    GazeEstimatorConfig qc;
+    qc.quant_bits = 8;
+    RidgeGazeEstimator q(qc);
+    f.train(te.train_rois, te.train_gazes);
+    q.train(te.train_rois, te.train_gazes);
+    const double ef = f.evaluate(te.eval_rois, te.eval_gazes);
+    const double eq = q.evaluate(te.eval_rois, te.eval_gazes);
+    EXPECT_LT(eq - ef, 0.5); // degrees
+}
+
+TEST(GazeEstimator, CapacitySweepChangesError)
+{
+    // Smaller feature maps (the MobileNet-class stand-in) do not
+    // beat larger ones (the FBNet/ResNet-class stand-ins).
+    const TrainEval te = makeSets(CropPolicy::Roi);
+    GazeEstimatorConfig small;
+    small.feat_height = 6;
+    small.feat_width = 10;
+    GazeEstimatorConfig large;
+    large.feat_height = 18;
+    large.feat_width = 30;
+    RidgeGazeEstimator s(small), l(large);
+    s.train(te.train_rois, te.train_gazes);
+    l.train(te.train_rois, te.train_gazes);
+    EXPECT_LE(l.evaluate(te.eval_rois, te.eval_gazes),
+              s.evaluate(te.eval_rois, te.eval_gazes) + 0.5);
+}
+
+TEST(GazeEstimator, MacsAccounting)
+{
+    GazeEstimatorConfig cfg;
+    cfg.feat_height = 10;
+    cfg.feat_width = 20;
+    const RidgeGazeEstimator est(cfg);
+    EXPECT_EQ(est.macsPerFrame(), (10 * 20 + 1) * 3);
+}
+
+TEST(GazeEstimator, DeterministicTraining)
+{
+    const TrainEval te = makeSets(CropPolicy::Roi, 100, 10);
+    RidgeGazeEstimator a, b;
+    a.train(te.train_rois, te.train_gazes);
+    b.train(te.train_rois, te.train_gazes);
+    for (const Image &roi : te.eval_rois) {
+        const auto ga = a.predict(roi);
+        const auto gb = b.predict(roi);
+        EXPECT_DOUBLE_EQ(ga[0], gb[0]);
+        EXPECT_DOUBLE_EQ(ga[1], gb[1]);
+    }
+}
+
+} // namespace
+} // namespace eyetrack
+} // namespace eyecod

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests of the Image container: geometry, sampling, drawing, and the
+ * MSE / PSNR / NCC comparison metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/image.h"
+
+namespace eyecod {
+namespace {
+
+TEST(Image, ConstructionAndFill)
+{
+    const Image img(4, 6, 0.5f);
+    EXPECT_EQ(img.height(), 4);
+    EXPECT_EQ(img.width(), 6);
+    EXPECT_EQ(img.size(), 24u);
+    EXPECT_FLOAT_EQ(img.at(3, 5), 0.5f);
+    EXPECT_FLOAT_EQ(img.mean(), 0.5f);
+}
+
+TEST(Image, ClampedAccessReplicatesBorder)
+{
+    Image img(2, 2);
+    img.at(0, 0) = 1.0f;
+    img.at(1, 1) = 4.0f;
+    EXPECT_FLOAT_EQ(img.atClamped(-3, -3), 1.0f);
+    EXPECT_FLOAT_EQ(img.atClamped(10, 10), 4.0f);
+}
+
+TEST(Image, ResizeIdentity)
+{
+    Image img(8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            img.at(y, x) = float(y * 8 + x);
+    const Image same = img.resized(8, 8);
+    EXPECT_NEAR(imageMse(img, same), 0.0, 1e-10);
+}
+
+TEST(Image, ResizePreservesConstant)
+{
+    const Image img(16, 16, 0.75f);
+    const Image up = img.resized(33, 47);
+    EXPECT_EQ(up.height(), 33);
+    EXPECT_EQ(up.width(), 47);
+    for (float v : up.data())
+        EXPECT_NEAR(v, 0.75f, 1e-6);
+}
+
+TEST(Image, ResizeDownPreservesMeanApprox)
+{
+    Image img(32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            img.at(y, x) = (x + y) % 2 ? 1.0f : 0.0f;
+    const Image down = img.resized(16, 16);
+    EXPECT_NEAR(down.mean(), img.mean(), 0.05);
+}
+
+TEST(Image, CropInterior)
+{
+    Image img(10, 10);
+    img.at(4, 5) = 9.0f;
+    const Image c = img.cropped(Rect{4, 3, 4, 4});
+    EXPECT_EQ(c.height(), 4);
+    EXPECT_EQ(c.width(), 4);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 9.0f); // (y=3+1, x=4+1)
+}
+
+TEST(Image, CropBeyondBorderReplicates)
+{
+    Image img(4, 4, 2.0f);
+    img.at(0, 0) = 7.0f;
+    const Image c = img.cropped(Rect{-2, -2, 3, 3});
+    EXPECT_FLOAT_EQ(c.at(0, 0), 7.0f); // clamped to (0, 0)
+}
+
+TEST(Image, NormalizeMapsToUnitRange)
+{
+    Image img(3, 3, 5.0f);
+    img.at(0, 0) = -1.0f;
+    img.at(2, 2) = 11.0f;
+    img.normalize();
+    EXPECT_FLOAT_EQ(img.minValue(), 0.0f);
+    EXPECT_FLOAT_EQ(img.maxValue(), 1.0f);
+}
+
+TEST(Image, NormalizeConstantImageGoesToZero)
+{
+    Image img(3, 3, 4.0f);
+    img.normalize();
+    EXPECT_FLOAT_EQ(img.maxValue(), 0.0f);
+}
+
+TEST(Image, ClampBounds)
+{
+    Image img(2, 2);
+    img.at(0, 0) = -3.0f;
+    img.at(1, 1) = 3.0f;
+    img.clamp(0.0f, 1.0f);
+    EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(img.at(1, 1), 1.0f);
+}
+
+TEST(Image, FillDiskArea)
+{
+    Image img(64, 64, 0.0f);
+    img.fillDisk(32, 32, 10.0, 1.0f);
+    double area = 0.0;
+    for (float v : img.data())
+        area += v;
+    // Within 5% of pi r^2.
+    EXPECT_NEAR(area, M_PI * 100.0, 0.05 * M_PI * 100.0);
+}
+
+TEST(Image, FillEllipseStaysInBounds)
+{
+    Image img(16, 16, 0.0f);
+    img.fillEllipse(0, 0, 40.0, 40.0, 1.0f); // centre off-image
+    EXPECT_FLOAT_EQ(img.at(0, 0), 1.0f);     // no crash, clipped
+}
+
+TEST(Metrics, MseZeroForIdentical)
+{
+    const Image a(5, 5, 0.3f);
+    EXPECT_DOUBLE_EQ(imageMse(a, a), 0.0);
+    EXPECT_GE(imagePsnr(a, a), 99.0);
+}
+
+TEST(Metrics, PsnrDecreasesWithError)
+{
+    const Image a(8, 8, 0.5f);
+    Image b = a;
+    b.at(0, 0) += 0.1f;
+    Image c = a;
+    for (float &v : c.data())
+        v += 0.1f;
+    EXPECT_GT(imagePsnr(a, b), imagePsnr(a, c));
+}
+
+TEST(Metrics, NccInvariantToAffineIntensity)
+{
+    Image a(8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            a.at(y, x) = float(y * x);
+    Image b = a;
+    for (float &v : b.data())
+        v = 3.0f * v + 10.0f;
+    EXPECT_NEAR(imageNcc(a, b), 1.0, 1e-9);
+}
+
+TEST(Metrics, NccNegativeForInverted)
+{
+    Image a(8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            a.at(y, x) = float(x);
+    Image b = a;
+    for (float &v : b.data())
+        v = -v;
+    EXPECT_NEAR(imageNcc(a, b), -1.0, 1e-9);
+}
+
+} // namespace
+} // namespace eyecod

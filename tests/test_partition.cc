@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the input feature-wise partition analysis (Sec. 5.1 #III):
+ * the activation-memory saving and its halo overhead.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/partition.h"
+#include "accel/workload.h"
+#include "models/model_zoo.h"
+
+namespace eyecod {
+namespace accel {
+namespace {
+
+std::vector<nn::LayerWorkload>
+ritnetLayers()
+{
+    return models::buildRitNet(128, 128, 8).workloads();
+}
+
+TEST(Partition, PeakIsLargestWorkingSet)
+{
+    nn::LayerWorkload a;
+    a.kind = nn::LayerKind::ConvGeneric;
+    a.c_in = 4;
+    a.c_out = 8;
+    a.h_in = a.w_in = 16;
+    a.h_out = a.w_out = 16;
+    a.kernel = 3;
+    nn::LayerWorkload b = a;
+    b.c_in = 64;
+    b.c_out = 64;
+    const long long peak = peakActivationBytes({a, b});
+    EXPECT_EQ(peak, b.inActBytes() + b.outActBytes());
+}
+
+TEST(Partition, StripesShrinkResidency)
+{
+    const auto layers = ritnetLayers();
+    const long long full = partitionedActivationBytes(layers, 1);
+    const long long quarters = partitionedActivationBytes(layers, 4);
+    EXPECT_LT(quarters, full / 2);
+    EXPECT_GT(quarters, full / 8); // halo keeps it above 1/P
+}
+
+TEST(Partition, SavingNearPaperRatio)
+{
+    // Paper: partitioned activations are ~36% of the unpartitioned
+    // requirement.
+    const auto layers = ritnetLayers();
+    const long long full = peakActivationBytes(layers);
+    const long long part = partitionedActivationBytes(layers, 4);
+    const double ratio = double(part) / double(full);
+    EXPECT_GT(ratio, 0.2);
+    EXPECT_LT(ratio, 0.5);
+}
+
+TEST(Partition, MonotoneInStripes)
+{
+    const auto layers = ritnetLayers();
+    long long prev = partitionedActivationBytes(layers, 1);
+    for (int p : {2, 4, 8}) {
+        const long long cur = partitionedActivationBytes(layers, p);
+        EXPECT_LE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(Partition, AnalyzerFindsFittingFactor)
+{
+    const auto layers = ritnetLayers();
+    const long long budget = 1024 * 1024; // the two Act GBs
+    const PartitionAnalysis a = analyzePartition(layers, budget);
+    EXPECT_TRUE(a.fits);
+    EXPECT_LE(a.partitioned_bytes, budget);
+    EXPECT_GE(a.partition_factor, 2);
+}
+
+TEST(Partition, NoPartitionNeededForSmallModel)
+{
+    const auto gaze =
+        models::buildFBNetC100(96, 160, 8).workloads();
+    const PartitionAnalysis a =
+        analyzePartition(gaze, 1024 * 1024);
+    EXPECT_TRUE(a.fits);
+    EXPECT_EQ(a.partition_factor, 1);
+}
+
+TEST(Partition, UnfittableBudgetReported)
+{
+    const auto layers = ritnetLayers();
+    const PartitionAnalysis a =
+        analyzePartition(layers, 1024 /* 1 KB */, 4);
+    EXPECT_FALSE(a.fits);
+}
+
+TEST(Partition, SegmentationNeedsMoreThanGaze)
+{
+    // Challenge #III: the segmentation model dominates activation
+    // memory (2.08 MB vs 0.70 MB in the paper's accounting).
+    const long long seg = peakActivationBytes(ritnetLayers());
+    const long long gaze = peakActivationBytes(
+        models::buildFBNetC100(96, 160, 8).workloads());
+    EXPECT_GT(seg, gaze);
+}
+
+} // namespace
+} // namespace accel
+} // namespace eyecod

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the baseline platform models and the camera-link
+ * communication model behind Fig. 14 and the abstract's end-to-end
+ * speedups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platforms/platform.h"
+
+namespace eyecod {
+namespace platforms {
+namespace {
+
+constexpr double kWorkload = 300e6; // MACs/frame
+constexpr long long kFrameBytes = 256 * 256;
+
+TEST(CommLink, LatencyComposesFixedAndBandwidth)
+{
+    const CommLink link{100e6, 2e-3};
+    EXPECT_NEAR(link.latency(100000000LL), 2e-3 + 1.0, 1e-9);
+    EXPECT_NEAR(link.latency(0), 2e-3, 1e-12);
+}
+
+TEST(Platform, MoreComputeMoreFps)
+{
+    PlatformSpec slow;
+    slow.effective_mac_per_s = 1e9;
+    PlatformSpec fast = slow;
+    fast.effective_mac_per_s = 10e9;
+    EXPECT_GT(evaluatePlatform(fast, kWorkload, kFrameBytes).fps,
+              evaluatePlatform(slow, kWorkload, kFrameBytes).fps);
+}
+
+TEST(Platform, OverheadCapsThroughput)
+{
+    PlatformSpec spec;
+    spec.effective_mac_per_s = 1e15; // compute is free
+    spec.frame_overhead_s = 1e-3;
+    const PlatformPerf p =
+        evaluatePlatform(spec, kWorkload, kFrameBytes);
+    EXPECT_NEAR(p.fps, 1000.0, 1.0);
+}
+
+TEST(Platform, CommReducesSystemFps)
+{
+    PlatformSpec spec;
+    spec.effective_mac_per_s = 10e9;
+    spec.link = CommLink{10e6, 5e-3};
+    const PlatformPerf p =
+        evaluatePlatform(spec, kWorkload, kFrameBytes);
+    EXPECT_LT(p.system_fps, p.fps);
+}
+
+TEST(Platform, FixedFpsDeviceIgnoresWorkload)
+{
+    PlatformSpec cis;
+    cis.fixed_fps = 30.0;
+    const PlatformPerf a =
+        evaluatePlatform(cis, kWorkload, kFrameBytes);
+    const PlatformPerf b =
+        evaluatePlatform(cis, 10 * kWorkload, kFrameBytes);
+    EXPECT_NEAR(a.fps, 30.0, 1e-9);
+    EXPECT_NEAR(b.fps, 30.0, 1e-9);
+}
+
+TEST(Baselines, AllFivePresent)
+{
+    const auto specs = baselinePlatforms();
+    ASSERT_EQ(specs.size(), 5u);
+    EXPECT_EQ(specs[0].name, "EdgeCPU");
+    EXPECT_EQ(specs[4].name, "CIS-GEP");
+}
+
+TEST(Baselines, Fig14ThroughputOrdering)
+{
+    // The paper's Fig. 14 ordering on the same workload:
+    // GPU > CPU ~ EdgeGPU > CIS-GEP > EdgeCPU.
+    const auto specs = baselinePlatforms();
+    std::map<std::string, double> fps;
+    for (const auto &s : specs)
+        fps[s.name] =
+            evaluatePlatform(s, kWorkload, kFrameBytes).fps;
+    EXPECT_GT(fps["GPU"], fps["CPU"]);
+    EXPECT_GT(fps["GPU"], fps["EdgeGPU"]);
+    EXPECT_GT(fps["CPU"], fps["CIS-GEP"]);
+    EXPECT_GT(fps["CIS-GEP"], fps["EdgeCPU"]);
+}
+
+TEST(Baselines, EdgeDevicesMoreEfficientThanServers)
+{
+    // FPS/W: the 4 W Pi-class device cannot beat the TX2, but both
+    // server parts burn far more energy per frame than the edge GPU.
+    const auto specs = baselinePlatforms();
+    std::map<std::string, PlatformPerf> perf;
+    for (const auto &s : specs)
+        perf[s.name] = evaluatePlatform(s, kWorkload, kFrameBytes);
+    EXPECT_GT(perf["EdgeGPU"].fps_per_watt,
+              perf["CPU"].fps_per_watt);
+    EXPECT_GT(perf["EdgeGPU"].fps_per_watt,
+              perf["GPU"].fps_per_watt);
+}
+
+TEST(Baselines, AttachedLinkIsFast)
+{
+    // The FlatCam-attached link must be far cheaper than any
+    // baseline camera link for the same traffic.
+    const CommLink attached = eyecodAttachedLink();
+    for (const auto &s : baselinePlatforms())
+        EXPECT_LT(attached.latency(kFrameBytes),
+                  s.link.latency(kFrameBytes));
+}
+
+TEST(Baselines, EnergyPerFrameAccounting)
+{
+    PlatformSpec spec;
+    spec.effective_mac_per_s = 10e9;
+    spec.power_w = 10.0;
+    spec.link = CommLink{1e9, 0.0};
+    const PlatformPerf p =
+        evaluatePlatform(spec, kWorkload, kFrameBytes);
+    EXPECT_NEAR(p.energy_per_frame_j,
+                10.0 * (p.compute_s + p.comm_s), 1e-12);
+}
+
+} // namespace
+} // namespace platforms
+} // namespace eyecod

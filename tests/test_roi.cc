@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the ROI predictor: mask statistics, the 1.5x sizing rule,
+ * the pupil anchor, and the Tab. 4 crop-policy baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eyetrack/roi.h"
+#include "eyetrack/segmentation.h"
+
+namespace eyecod {
+namespace eyetrack {
+namespace {
+
+using dataset::SegMask;
+
+SegMask
+eyeMask(int h, int w, int pupil_cy, int pupil_cx, int eye_h,
+        int eye_w)
+{
+    SegMask m;
+    m.height = h;
+    m.width = w;
+    m.labels.assign(size_t(h) * w, dataset::kBackground);
+    // Core-eye rectangle with a small pupil square at its centre.
+    for (int y = pupil_cy - eye_h / 2; y < pupil_cy + eye_h / 2; ++y)
+        for (int x = pupil_cx - eye_w / 2; x < pupil_cx + eye_w / 2;
+             ++x)
+            if (y >= 0 && y < h && x >= 0 && x < w)
+                m.at(y, x) = dataset::kSclera;
+    for (int y = pupil_cy - 2; y <= pupil_cy + 2; ++y)
+        for (int x = pupil_cx - 2; x <= pupil_cx + 2; ++x)
+            if (y >= 0 && y < h && x >= 0 && x < w)
+                m.at(y, x) = dataset::kPupil;
+    return m;
+}
+
+TEST(MaskStats, FindsPupilCentroid)
+{
+    const SegMask m = eyeMask(64, 64, 30, 40, 20, 32);
+    const MaskStats s = computeMaskStats(m);
+    EXPECT_TRUE(s.has_pupil);
+    EXPECT_NEAR(s.pupil_cy, 30.0, 0.5);
+    EXPECT_NEAR(s.pupil_cx, 40.0, 0.5);
+    EXPECT_EQ(s.pupil_area, 25);
+}
+
+TEST(MaskStats, MeasuresEyeExtent)
+{
+    const SegMask m = eyeMask(64, 64, 32, 32, 20, 32);
+    const MaskStats s = computeMaskStats(m);
+    EXPECT_EQ(s.eye_height, 20);
+    EXPECT_EQ(s.eye_width, 32);
+}
+
+TEST(MaskStats, NoPupilHandled)
+{
+    SegMask m;
+    m.height = 8;
+    m.width = 8;
+    m.labels.assign(64, dataset::kBackground);
+    const MaskStats s = computeMaskStats(m);
+    EXPECT_FALSE(s.has_pupil);
+    EXPECT_EQ(s.eye_height, 0);
+}
+
+TEST(RoiPredictor, CalibratesToOnePointFiveTimesExtent)
+{
+    std::vector<SegMask> masks;
+    for (int i = 0; i < 5; ++i)
+        masks.push_back(eyeMask(128, 128, 64, 64, 20, 40));
+    const auto [h, w] = RoiPredictor::calibrateSize(masks, 1.5);
+    EXPECT_EQ(h, 30); // 1.5 * 20
+    EXPECT_EQ(w, 60); // 1.5 * 40
+}
+
+TEST(RoiPredictor, RoiCentersOnPupil)
+{
+    const RoiPredictor roi(24, 40);
+    const SegMask m = eyeMask(128, 128, 50, 70, 20, 32);
+    const Rect r = roi.predict(m, CropPolicy::Roi);
+    EXPECT_NEAR(r.cy(), 50.0, 2.0);
+    EXPECT_NEAR(r.cx(), 70.0, 2.0);
+    EXPECT_EQ(r.height, 24);
+    EXPECT_EQ(r.width, 40);
+}
+
+TEST(RoiPredictor, RoiFollowsPupilMovement)
+{
+    const RoiPredictor roi(24, 40);
+    const Rect a =
+        roi.predict(eyeMask(128, 128, 40, 40, 20, 32),
+                    CropPolicy::Roi);
+    const Rect b =
+        roi.predict(eyeMask(128, 128, 80, 90, 20, 32),
+                    CropPolicy::Roi);
+    EXPECT_GT(b.cy(), a.cy() + 20.0);
+    EXPECT_GT(b.cx(), a.cx() + 20.0);
+}
+
+TEST(RoiPredictor, CentralCropIgnoresMask)
+{
+    const RoiPredictor roi(24, 40);
+    const Rect a =
+        roi.predict(eyeMask(128, 128, 30, 30, 20, 32),
+                    CropPolicy::Central);
+    const Rect b =
+        roi.predict(eyeMask(128, 128, 90, 90, 20, 32),
+                    CropPolicy::Central);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_NEAR(a.cy(), 64.0, 1.0);
+}
+
+TEST(RoiPredictor, RandomCropVaries)
+{
+    const RoiPredictor roi(24, 40);
+    const SegMask m = eyeMask(128, 128, 64, 64, 20, 32);
+    uint64_t state = 1;
+    const Rect a = roi.predict(m, CropPolicy::Random, &state);
+    const Rect b = roi.predict(m, CropPolicy::Random, &state);
+    EXPECT_TRUE(a.x != b.x || a.y != b.y);
+}
+
+TEST(RoiPredictor, FallsBackToCentreWithoutPupil)
+{
+    const RoiPredictor roi(24, 40);
+    SegMask m;
+    m.height = 128;
+    m.width = 128;
+    m.labels.assign(size_t(128) * 128, dataset::kBackground);
+    const Rect r = roi.predict(m, CropPolicy::Roi);
+    EXPECT_NEAR(r.cy(), 64.0, 1.0);
+    EXPECT_NEAR(r.cx(), 64.0, 1.0);
+}
+
+TEST(RoiPredictor, ClampsNearImageBorder)
+{
+    const RoiPredictor roi(64, 100);
+    const SegMask m = eyeMask(128, 128, 2, 2, 10, 10);
+    const Rect r = roi.predict(m, CropPolicy::Roi);
+    // The crop may overhang a little (border replication covers it),
+    // but must keep most of its area inside the frame.
+    EXPECT_GE(r.y, -roi.roiHeight() / 4);
+    EXPECT_GE(r.x, -roi.roiWidth() / 4);
+    EXPECT_LE(r.y + r.height, 128 + roi.roiHeight() / 4 + 1);
+}
+
+TEST(RoiPredictor, EndToEndWithSegmenter)
+{
+    // Integration: renderer -> segmenter -> ROI lands on the pupil.
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    const ClassicalSegmenter seg;
+    const RoiPredictor roi(48, 80);
+    for (int i = 0; i < 5; ++i) {
+        const auto s = ren.sample(400 + i);
+        const Rect r =
+            roi.predict(seg.segment(s.image), CropPolicy::Roi);
+        EXPECT_NEAR(r.cy(), s.pupil_cy, 8.0) << "sample " << i;
+        EXPECT_NEAR(r.cx(), s.pupil_cx, 8.0) << "sample " << i;
+    }
+}
+
+} // namespace
+} // namespace eyetrack
+} // namespace eyecod

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests of the eye segmenter and the mIOU metric, including the
+ * Tab. 3 trend properties: resolution and FlatCam degradation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eyetrack/pipeline.h"
+#include "eyetrack/segmentation.h"
+
+namespace eyecod {
+namespace eyetrack {
+namespace {
+
+using dataset::SegMask;
+
+SegMask
+maskOf(int h, int w, uint8_t cls)
+{
+    SegMask m;
+    m.height = h;
+    m.width = w;
+    m.labels.assign(size_t(h) * w, cls);
+    return m;
+}
+
+TEST(Iou, PerfectPredictionIs100)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 1);
+    const auto s = ren.sample(0);
+    const auto iou = segmentationIou(s.mask, s.mask);
+    for (int c = 0; c < 5; ++c)
+        EXPECT_DOUBLE_EQ(iou[size_t(c)], 100.0);
+}
+
+TEST(Iou, DisjointPredictionIsZeroForThatClass)
+{
+    SegMask truth = maskOf(4, 4, dataset::kPupil);
+    SegMask pred = maskOf(4, 4, dataset::kIris);
+    const auto iou = segmentationIou(pred, truth);
+    EXPECT_DOUBLE_EQ(iou[dataset::kPupil], 0.0);
+    EXPECT_DOUBLE_EQ(iou[dataset::kIris], 0.0);
+    // Classes absent from both count as perfect.
+    EXPECT_DOUBLE_EQ(iou[dataset::kBackground], 100.0);
+}
+
+TEST(Iou, HalfOverlap)
+{
+    SegMask truth = maskOf(2, 2, dataset::kBackground);
+    truth.at(0, 0) = dataset::kPupil;
+    truth.at(0, 1) = dataset::kPupil;
+    SegMask pred = maskOf(2, 2, dataset::kBackground);
+    pred.at(0, 1) = dataset::kPupil;
+    pred.at(1, 1) = dataset::kPupil;
+    const auto iou = segmentationIou(pred, truth);
+    // Pupil: intersection 1, union 3.
+    EXPECT_NEAR(iou[dataset::kPupil], 100.0 / 3.0, 1e-9);
+}
+
+TEST(Segmenter, HighMiouOnCleanImages)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    const ClassicalSegmenter seg;
+    double miou = 0.0;
+    const int n = 8;
+    for (int i = 0; i < n; ++i) {
+        const auto s = ren.sample(100 + i);
+        miou += segmentationIou(seg.segment(s.image), s.mask)[4];
+    }
+    EXPECT_GT(miou / n, 88.0);
+}
+
+TEST(Segmenter, PupilDetectedNearTruth)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    const ClassicalSegmenter seg;
+    const auto s = ren.sample(7);
+    const auto mask = seg.segment(s.image);
+    double cy = 0.0, cx = 0.0;
+    long n = 0;
+    for (int y = 0; y < mask.height; ++y) {
+        for (int x = 0; x < mask.width; ++x) {
+            if (mask.at(y, x) == dataset::kPupil) {
+                cy += y;
+                cx += x;
+                ++n;
+            }
+        }
+    }
+    ASSERT_GT(n, 0);
+    EXPECT_NEAR(cy / n, s.pupil_cy, 4.0);
+    EXPECT_NEAR(cx / n, s.pupil_cx, 4.0);
+}
+
+TEST(Segmenter, MiouImprovesWithResolution)
+{
+    // Tab. 3 trend: higher input resolution segments better.
+    const ClassicalSegmenter seg;
+    double miou[2] = {0.0, 0.0};
+    const int sizes[2] = {64, 256};
+    for (int k = 0; k < 2; ++k) {
+        dataset::RenderConfig rc;
+        rc.image_size = sizes[k];
+        const dataset::SyntheticEyeRenderer ren(rc, 2019);
+        for (int i = 0; i < 6; ++i) {
+            const auto s = ren.sample(10 + i);
+            miou[k] +=
+                segmentationIou(seg.segment(s.image), s.mask)[4];
+        }
+    }
+    EXPECT_GT(miou[1], miou[0]);
+}
+
+TEST(Segmenter, FlatCamDegradesMiou)
+{
+    // Tab. 3 trend: FlatCam reconstructions segment slightly worse.
+    dataset::RenderConfig rc;
+    rc.image_size = 128;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+    const ClassicalSegmenter seg;
+
+    PipelineConfig pc;
+    pc.camera = CameraKind::FlatCam;
+    pc.scene_size = 128;
+    const PredictThenFocusPipeline pipe(pc);
+
+    double lens = 0.0, flat = 0.0;
+    const int n = 6;
+    for (int i = 0; i < n; ++i) {
+        const auto s = ren.sample(200 + i);
+        lens += segmentationIou(seg.segment(s.image), s.mask)[4];
+        flat += segmentationIou(
+            seg.segment(pipe.acquire(s.image)), s.mask)[4];
+    }
+    EXPECT_LT(flat, lens);
+    EXPECT_GT(flat / n, lens / n - 6.0); // but not catastrophically
+}
+
+TEST(Segmenter, QuantizationCostsLittle)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    SegmenterConfig qcfg;
+    qcfg.quant_bits = 8;
+    const ClassicalSegmenter seg_f, seg_q(qcfg);
+    double f = 0.0, q = 0.0;
+    for (int i = 0; i < 6; ++i) {
+        const auto s = ren.sample(300 + i);
+        f += segmentationIou(seg_f.segment(s.image), s.mask)[4];
+        q += segmentationIou(seg_q.segment(s.image), s.mask)[4];
+    }
+    EXPECT_NEAR(q, f, 6.0 * 2.0); // within ~2 mIOU points per image
+}
+
+TEST(Segmenter, BoundaryNoiseReducesMiou)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    SegmenterConfig ncfg;
+    ncfg.boundary_noise = 0.5;
+    const ClassicalSegmenter clean, noisy(ncfg);
+    const auto s = ren.sample(9);
+    const double miou_clean =
+        segmentationIou(clean.segment(s.image), s.mask)[4];
+    const double miou_noisy =
+        segmentationIou(noisy.segment(s.image), s.mask)[4];
+    EXPECT_LT(miou_noisy, miou_clean);
+}
+
+TEST(Segmenter, SegmentationIsDeterministic)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    const ClassicalSegmenter seg;
+    const auto s = ren.sample(13);
+    const auto a = seg.segment(s.image);
+    const auto b = seg.segment(s.image);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+} // namespace
+} // namespace eyetrack
+} // namespace eyecod

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests of the top-level accelerator simulator: the Tab. 6 ablation
+ * ladder, real-time throughput, silicon-envelope power, and the
+ * workload assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/simulator.h"
+
+namespace eyecod {
+namespace accel {
+namespace {
+
+PerfReport
+run(std::vector<ModelWorkload> w, HwConfig hw)
+{
+    return simulate(w, hw, EnergyModel{});
+}
+
+HwConfig
+ladderBase()
+{
+    // Tab. 6's starting point: time-multiplexing, plain input
+    // buffer, naive depth-wise; feature partition always on.
+    HwConfig hw;
+    hw.orchestration = OrchestrationMode::TimeMultiplex;
+    hw.swpr_input_buffer = false;
+    hw.depthwise_optimization = false;
+    return hw;
+}
+
+TEST(Workload, PipelineAssembly)
+{
+    PipelineWorkloadConfig cfg;
+    const auto w = buildPipelineWorkload(cfg);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0].name, "flatcam-recon");
+    EXPECT_EQ(w[0].period, 1);
+    EXPECT_EQ(w[2].period, cfg.roi_refresh);
+    for (const auto &m : w)
+        EXPECT_GT(m.totalMacs(), 0);
+}
+
+TEST(Workload, LensBaselineHasNoRecon)
+{
+    PipelineWorkloadConfig cfg;
+    const auto w = buildLensBaselineWorkload(cfg);
+    ASSERT_EQ(w.size(), 2u);
+    for (const auto &m : w)
+        EXPECT_EQ(m.name.find("recon"), std::string::npos);
+}
+
+TEST(Workload, LensGazeCostsMore)
+{
+    // No ROI focus: gaze runs on the full frame.
+    PipelineWorkloadConfig cfg;
+    const auto eyecod_w = buildPipelineWorkload(cfg);
+    const auto lens_w = buildLensBaselineWorkload(cfg);
+    EXPECT_GT(lens_w[0].totalMacs(), 3 * eyecod_w[1].totalMacs());
+}
+
+TEST(Workload, ReconMacsFormula)
+{
+    const ModelWorkload r = reconstructionWorkload(256, 512);
+    const long long expect = 256LL * 512 * 512 + 256LL * 512 * 256 +
+                             256LL * 256 * 256 + 256LL * 256 * 256;
+    EXPECT_EQ(r.totalMacs(), expect);
+    for (const auto &l : r.layers)
+        EXPECT_EQ(l.kind, nn::LayerKind::MatMul);
+}
+
+TEST(Workload, OpticalFirstLayerDropsOneLayer)
+{
+    PipelineWorkloadConfig with;
+    with.optical_first_layer = true;
+    PipelineWorkloadConfig without;
+    const auto a = buildPipelineWorkload(with);
+    const auto b = buildPipelineWorkload(without);
+    EXPECT_EQ(a[2].layers.size() + 1, b[2].layers.size());
+    EXPECT_LT(a[2].totalMacs(), b[2].totalMacs());
+}
+
+TEST(Simulator, Tab6LadderIsMonotone)
+{
+    // Each added feature must improve steady-state throughput.
+    PipelineWorkloadConfig pc;
+    const auto eyecod_w = buildPipelineWorkload(pc);
+    const auto lens_w = buildLensBaselineWorkload(pc);
+
+    const HwConfig a = ladderBase();
+    HwConfig c = a;
+    c.swpr_input_buffer = true;
+    HwConfig d = c;
+    d.orchestration = OrchestrationMode::PartialTimeMultiplex;
+    HwConfig e = d;
+    e.depthwise_optimization = true;
+
+    const double fps_a = run(lens_w, a).fps;
+    const double fps_b = run(eyecod_w, a).fps;
+    const double fps_c = run(eyecod_w, c).fps;
+    const double fps_d = run(eyecod_w, d).fps;
+    const double fps_e = run(eyecod_w, e).fps;
+    EXPECT_GT(fps_b, fps_a);
+    EXPECT_GT(fps_c, fps_b);
+    EXPECT_GT(fps_d, fps_c);
+    EXPECT_GT(fps_e, fps_d);
+    // Overall gain in the paper's ballpark (4.00x reported).
+    EXPECT_GT(fps_e / fps_a, 2.5);
+    EXPECT_LT(fps_e / fps_a, 8.0);
+}
+
+TEST(Simulator, FinalConfigExceedsRealTimeTarget)
+{
+    // The headline requirement: > 240 FPS.
+    PipelineWorkloadConfig pc;
+    const PerfReport r = run(buildPipelineWorkload(pc), HwConfig{});
+    EXPECT_GT(r.fps, 240.0);
+    EXPECT_GT(r.fps_peak, 240.0);
+}
+
+TEST(Simulator, PowerWithinSiliconEnvelope)
+{
+    // Fig. 13 / Tab. 1: 154.32 mW (chip) to 335 mW (simulated
+    // configuration); our average power must land in that decade.
+    PipelineWorkloadConfig pc;
+    const PerfReport r = run(buildPipelineWorkload(pc), HwConfig{});
+    EXPECT_GT(r.power_w, 0.05);
+    EXPECT_LT(r.power_w, 0.50);
+}
+
+TEST(Simulator, ActivationMemoryFitsWithPartition)
+{
+    PipelineWorkloadConfig pc;
+    const PerfReport r = run(buildPipelineWorkload(pc), HwConfig{});
+    EXPECT_TRUE(r.act_mem_fits);
+    EXPECT_LE(r.act_mem_bytes, 2LL * 512 * 1024);
+    EXPECT_LT(r.act_mem_bytes, r.act_mem_unpartitioned);
+}
+
+TEST(Simulator, WithoutPartitionMemoryBlowsUp)
+{
+    PipelineWorkloadConfig pc;
+    HwConfig hw;
+    hw.feature_partition = false;
+    const PerfReport r = run(buildPipelineWorkload(pc), hw);
+    EXPECT_GT(r.act_mem_bytes, 1024 * 1024);
+}
+
+TEST(Simulator, UtilizationHighOnFinalConfig)
+{
+    // Fig. 7: partial time-multiplexing lifts overall utilization
+    // toward the >90% the paper reports during gaze execution.
+    PipelineWorkloadConfig pc;
+    const PerfReport r = run(buildPipelineWorkload(pc), HwConfig{});
+    EXPECT_GT(r.utilization, 0.6);
+}
+
+TEST(Simulator, EnergyScalesWithWork)
+{
+    PipelineWorkloadConfig pc;
+    const PerfReport small =
+        run(buildPipelineWorkload(pc), HwConfig{});
+    pc.roi_height = 192;
+    pc.roi_width = 320;
+    const PerfReport big =
+        run(buildPipelineWorkload(pc), HwConfig{});
+    EXPECT_GT(big.energy_per_frame_j, small.energy_per_frame_j);
+    EXPECT_LT(big.fps, small.fps);
+}
+
+TEST(EnergyModel, CountsCompose)
+{
+    EnergyModel em;
+    ActivityCounts a;
+    a.mac_ops = 1000000;
+    a.cycles = 1000;
+    ActivityCounts b = a;
+    b += a;
+    EXPECT_EQ(b.mac_ops, 2000000);
+    EXPECT_NEAR(em.energyJoules(b), 2.0 * em.energyJoules(a), 1e-12);
+}
+
+TEST(EnergyModel, StaticPowerDominatesIdle)
+{
+    EnergyModel em;
+    ActivityCounts idle;
+    idle.cycles = 370000; // 1 ms
+    EXPECT_NEAR(em.averagePowerWatts(idle),
+                em.leakage_w + em.clock_tree_w, 1e-9);
+}
+
+} // namespace
+} // namespace accel
+} // namespace eyecod

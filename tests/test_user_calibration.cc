@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests of the per-user gaze calibration: bias removal, identity
+ * behaviour, and the end-to-end improvement on a biased tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eyetrack/pipeline.h"
+#include "eyetrack/user_calibration.h"
+
+namespace eyecod {
+namespace eyetrack {
+namespace {
+
+using dataset::anglesToVector;
+using dataset::angularErrorDeg;
+using dataset::GazeVec;
+using dataset::vectorToAngles;
+
+/** Apply a synthetic user-specific distortion to a gaze. */
+GazeVec
+distort(const GazeVec &g, double gain_y, double gain_p,
+        double bias_y, double bias_p)
+{
+    const auto a = vectorToAngles(g);
+    return anglesToVector(gain_y * a[0] + bias_y,
+                          gain_p * a[1] + bias_p);
+}
+
+TEST(UserCalibration, StandardGridHasNinePoints)
+{
+    const auto targets = UserCalibration::standardTargets();
+    EXPECT_EQ(targets.size(), 9u);
+    // Centre target looks straight ahead.
+    EXPECT_NEAR(angularErrorDeg(targets[4], {0, 0, 1}), 0.0, 1e-9);
+}
+
+TEST(UserCalibration, RecoversAffineDistortionExactly)
+{
+    UserCalibration cal;
+    std::vector<CalibrationSample> samples;
+    for (const GazeVec &t : UserCalibration::standardTargets()) {
+        samples.push_back(
+            {t, distort(t, 1.15, 0.9, 2.0, -1.5)});
+    }
+    const double rms = cal.fit(samples);
+    EXPECT_LT(rms, 0.15); // affine in angles; small-angle residue
+    // Unseen direction corrected too.
+    const GazeVec unseen = anglesToVector(7.0, -4.0);
+    const GazeVec corrected =
+        cal.apply(distort(unseen, 1.15, 0.9, 2.0, -1.5));
+    EXPECT_LT(angularErrorDeg(corrected, unseen), 0.3);
+}
+
+TEST(UserCalibration, IdentityBeforeFit)
+{
+    const UserCalibration cal;
+    const GazeVec g = anglesToVector(12.0, 3.0);
+    EXPECT_LT(angularErrorDeg(cal.apply(g), g), 1e-12);
+}
+
+TEST(UserCalibration, NearIdentityForUnbiasedUser)
+{
+    UserCalibration cal;
+    Rng rng(4);
+    std::vector<CalibrationSample> samples;
+    for (const GazeVec &t : UserCalibration::standardTargets()) {
+        // Unbiased, slightly noisy estimates.
+        const auto a = vectorToAngles(t);
+        samples.push_back(
+            {t, anglesToVector(a[0] + rng.gaussian(0, 0.3),
+                               a[1] + rng.gaussian(0, 0.3))});
+    }
+    cal.fit(samples);
+    const GazeVec g = anglesToVector(10.0, 5.0);
+    EXPECT_LT(angularErrorDeg(cal.apply(g), g), 1.0);
+}
+
+TEST(UserCalibration, ImprovesBiasedEstimates)
+{
+    UserCalibration cal;
+    Rng rng(6);
+    std::vector<CalibrationSample> fit_set, eval_set;
+    auto make = [&](double yaw, double pitch) {
+        const GazeVec t = anglesToVector(yaw, pitch);
+        return CalibrationSample{
+            t, distort(t, 1.1, 1.05, 3.0 + rng.gaussian(0, 0.2),
+                       -2.0 + rng.gaussian(0, 0.2))};
+    };
+    for (const GazeVec &t : UserCalibration::standardTargets()) {
+        const auto a = vectorToAngles(t);
+        fit_set.push_back(make(a[0], a[1]));
+    }
+    for (int i = 0; i < 30; ++i)
+        eval_set.push_back(make(rng.uniform(-18, 18),
+                                rng.uniform(-12, 12)));
+    cal.fit(fit_set);
+    EXPECT_GT(cal.improvementDeg(eval_set), 2.0);
+}
+
+TEST(UserCalibration, EndToEndWithTrackerBias)
+{
+    // A user whose eye geometry differs from the training
+    // population: the pipeline's estimates carry a systematic bias
+    // the 9-point procedure must largely remove.
+    dataset::RenderConfig rc;
+    rc.image_size = 128;
+    const dataset::SyntheticEyeRenderer train_pop(rc, 2019);
+    PipelineConfig pc;
+    pc.camera = CameraKind::Lens;
+    PredictThenFocusPipeline pipe(pc);
+    pipe.trainGaze(train_pop, 300);
+
+    // The new user: different renderer seed -> different geometry
+    // statistics (eye radius, levels), same model.
+    dataset::RenderConfig user_rc = rc;
+    user_rc.iris_level = 0.30;
+    user_rc.sclera_level = 0.78;
+    const dataset::SyntheticEyeRenderer user(user_rc, 777);
+
+    UserCalibration cal;
+    std::vector<CalibrationSample> fit_set;
+    dataset::EyeParams base = user.sampleParams(0);
+    for (const GazeVec &t : UserCalibration::standardTargets(15,
+                                                             10)) {
+        const auto a = vectorToAngles(t);
+        dataset::EyeParams p = base;
+        p.yaw_deg = a[0];
+        p.pitch_deg = a[1];
+        pipe.reset();
+        const auto frame =
+            pipe.processFrame(user.render(p, 99).image);
+        fit_set.push_back({t, frame.gaze});
+    }
+    cal.fit(fit_set);
+
+    // Evaluate on fresh directions for the same user.
+    Rng rng(11);
+    double before = 0.0, after = 0.0;
+    const int n = 25;
+    for (int i = 0; i < n; ++i) {
+        dataset::EyeParams p = base;
+        p.yaw_deg = rng.uniform(-14, 14);
+        p.pitch_deg = rng.uniform(-9, 9);
+        const GazeVec truth =
+            anglesToVector(p.yaw_deg, p.pitch_deg);
+        pipe.reset();
+        const auto frame =
+            pipe.processFrame(user.render(p, 55).image);
+        before += angularErrorDeg(frame.gaze, truth);
+        after += angularErrorDeg(cal.apply(frame.gaze), truth);
+    }
+    EXPECT_LE(after, before);
+}
+
+} // namespace
+} // namespace eyetrack
+} // namespace eyecod
