@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hw.dir/bench_ablation_hw.cc.o"
+  "CMakeFiles/bench_ablation_hw.dir/bench_ablation_hw.cc.o.d"
+  "bench_ablation_hw"
+  "bench_ablation_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optics.dir/bench_ablation_optics.cc.o"
+  "CMakeFiles/bench_ablation_optics.dir/bench_ablation_optics.cc.o.d"
+  "bench_ablation_optics"
+  "bench_ablation_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

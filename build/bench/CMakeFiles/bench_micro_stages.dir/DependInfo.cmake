@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_stages.cc" "bench/CMakeFiles/bench_micro_stages.dir/bench_micro_stages.cc.o" "gcc" "bench/CMakeFiles/bench_micro_stages.dir/bench_micro_stages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eyecod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/eyecod_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/eyecod_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/eyecod_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eyecod_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/eyecod_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatcam/CMakeFiles/eyecod_flatcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_stages.dir/bench_micro_stages.cc.o"
+  "CMakeFiles/bench_micro_stages.dir/bench_micro_stages.cc.o.d"
+  "bench_micro_stages"
+  "bench_micro_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

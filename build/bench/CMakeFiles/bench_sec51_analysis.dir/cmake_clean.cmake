@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_analysis.dir/bench_sec51_analysis.cc.o"
+  "CMakeFiles/bench_sec51_analysis.dir/bench_sec51_analysis.cc.o.d"
+  "bench_sec51_analysis"
+  "bench_sec51_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

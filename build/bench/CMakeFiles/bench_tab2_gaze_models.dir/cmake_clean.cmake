@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_gaze_models.dir/bench_tab2_gaze_models.cc.o"
+  "CMakeFiles/bench_tab2_gaze_models.dir/bench_tab2_gaze_models.cc.o.d"
+  "bench_tab2_gaze_models"
+  "bench_tab2_gaze_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_gaze_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_segmentation.dir/bench_tab3_segmentation.cc.o"
+  "CMakeFiles/bench_tab3_segmentation.dir/bench_tab3_segmentation.cc.o.d"
+  "bench_tab3_segmentation"
+  "bench_tab3_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_roi_sweep.dir/bench_tab5_roi_sweep.cc.o"
+  "CMakeFiles/bench_tab5_roi_sweep.dir/bench_tab5_roi_sweep.cc.o.d"
+  "bench_tab5_roi_sweep"
+  "bench_tab5_roi_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_roi_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foveated_rendering.dir/foveated_rendering.cpp.o"
+  "CMakeFiles/foveated_rendering.dir/foveated_rendering.cpp.o.d"
+  "foveated_rendering"
+  "foveated_rendering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foveated_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

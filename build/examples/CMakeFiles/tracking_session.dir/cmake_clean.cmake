@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracking_session.dir/tracking_session.cpp.o"
+  "CMakeFiles/tracking_session.dir/tracking_session.cpp.o.d"
+  "tracking_session"
+  "tracking_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

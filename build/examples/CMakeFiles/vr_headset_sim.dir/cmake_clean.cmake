@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_headset_sim.dir/vr_headset_sim.cpp.o"
+  "CMakeFiles/vr_headset_sim.dir/vr_headset_sim.cpp.o.d"
+  "vr_headset_sim"
+  "vr_headset_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_headset_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/act_gb.cc" "src/accel/CMakeFiles/eyecod_accel.dir/act_gb.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/act_gb.cc.o.d"
+  "/root/repo/src/accel/compiler.cc" "src/accel/CMakeFiles/eyecod_accel.dir/compiler.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/compiler.cc.o.d"
+  "/root/repo/src/accel/dataflow.cc" "src/accel/CMakeFiles/eyecod_accel.dir/dataflow.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/dataflow.cc.o.d"
+  "/root/repo/src/accel/executor.cc" "src/accel/CMakeFiles/eyecod_accel.dir/executor.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/executor.cc.o.d"
+  "/root/repo/src/accel/input_buffer.cc" "src/accel/CMakeFiles/eyecod_accel.dir/input_buffer.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/input_buffer.cc.o.d"
+  "/root/repo/src/accel/orchestrator.cc" "src/accel/CMakeFiles/eyecod_accel.dir/orchestrator.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/orchestrator.cc.o.d"
+  "/root/repo/src/accel/partition.cc" "src/accel/CMakeFiles/eyecod_accel.dir/partition.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/partition.cc.o.d"
+  "/root/repo/src/accel/roofline.cc" "src/accel/CMakeFiles/eyecod_accel.dir/roofline.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/roofline.cc.o.d"
+  "/root/repo/src/accel/simulator.cc" "src/accel/CMakeFiles/eyecod_accel.dir/simulator.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/simulator.cc.o.d"
+  "/root/repo/src/accel/weight_buffer.cc" "src/accel/CMakeFiles/eyecod_accel.dir/weight_buffer.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/weight_buffer.cc.o.d"
+  "/root/repo/src/accel/workload.cc" "src/accel/CMakeFiles/eyecod_accel.dir/workload.cc.o" "gcc" "src/accel/CMakeFiles/eyecod_accel.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/eyecod_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/eyecod_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

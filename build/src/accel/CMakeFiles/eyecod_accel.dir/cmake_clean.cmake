@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_accel.dir/act_gb.cc.o"
+  "CMakeFiles/eyecod_accel.dir/act_gb.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/compiler.cc.o"
+  "CMakeFiles/eyecod_accel.dir/compiler.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/dataflow.cc.o"
+  "CMakeFiles/eyecod_accel.dir/dataflow.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/executor.cc.o"
+  "CMakeFiles/eyecod_accel.dir/executor.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/input_buffer.cc.o"
+  "CMakeFiles/eyecod_accel.dir/input_buffer.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/orchestrator.cc.o"
+  "CMakeFiles/eyecod_accel.dir/orchestrator.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/partition.cc.o"
+  "CMakeFiles/eyecod_accel.dir/partition.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/roofline.cc.o"
+  "CMakeFiles/eyecod_accel.dir/roofline.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/simulator.cc.o"
+  "CMakeFiles/eyecod_accel.dir/simulator.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/weight_buffer.cc.o"
+  "CMakeFiles/eyecod_accel.dir/weight_buffer.cc.o.d"
+  "CMakeFiles/eyecod_accel.dir/workload.cc.o"
+  "CMakeFiles/eyecod_accel.dir/workload.cc.o.d"
+  "libeyecod_accel.a"
+  "libeyecod_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_common.dir/image.cc.o"
+  "CMakeFiles/eyecod_common.dir/image.cc.o.d"
+  "CMakeFiles/eyecod_common.dir/logging.cc.o"
+  "CMakeFiles/eyecod_common.dir/logging.cc.o.d"
+  "CMakeFiles/eyecod_common.dir/matrix.cc.o"
+  "CMakeFiles/eyecod_common.dir/matrix.cc.o.d"
+  "CMakeFiles/eyecod_common.dir/stats.cc.o"
+  "CMakeFiles/eyecod_common.dir/stats.cc.o.d"
+  "libeyecod_common.a"
+  "libeyecod_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

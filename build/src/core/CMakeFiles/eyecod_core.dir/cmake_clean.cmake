@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_core.dir/eyecod.cc.o"
+  "CMakeFiles/eyecod_core.dir/eyecod.cc.o.d"
+  "libeyecod_core.a"
+  "libeyecod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

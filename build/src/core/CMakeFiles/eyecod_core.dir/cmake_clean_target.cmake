@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeyecod_core.a"
+)

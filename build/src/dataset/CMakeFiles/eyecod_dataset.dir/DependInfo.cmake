@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/export.cc" "src/dataset/CMakeFiles/eyecod_dataset.dir/export.cc.o" "gcc" "src/dataset/CMakeFiles/eyecod_dataset.dir/export.cc.o.d"
+  "/root/repo/src/dataset/gaze_math.cc" "src/dataset/CMakeFiles/eyecod_dataset.dir/gaze_math.cc.o" "gcc" "src/dataset/CMakeFiles/eyecod_dataset.dir/gaze_math.cc.o.d"
+  "/root/repo/src/dataset/sequence.cc" "src/dataset/CMakeFiles/eyecod_dataset.dir/sequence.cc.o" "gcc" "src/dataset/CMakeFiles/eyecod_dataset.dir/sequence.cc.o.d"
+  "/root/repo/src/dataset/synthetic_eye.cc" "src/dataset/CMakeFiles/eyecod_dataset.dir/synthetic_eye.cc.o" "gcc" "src/dataset/CMakeFiles/eyecod_dataset.dir/synthetic_eye.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_dataset.dir/export.cc.o"
+  "CMakeFiles/eyecod_dataset.dir/export.cc.o.d"
+  "CMakeFiles/eyecod_dataset.dir/gaze_math.cc.o"
+  "CMakeFiles/eyecod_dataset.dir/gaze_math.cc.o.d"
+  "CMakeFiles/eyecod_dataset.dir/sequence.cc.o"
+  "CMakeFiles/eyecod_dataset.dir/sequence.cc.o.d"
+  "CMakeFiles/eyecod_dataset.dir/synthetic_eye.cc.o"
+  "CMakeFiles/eyecod_dataset.dir/synthetic_eye.cc.o.d"
+  "libeyecod_dataset.a"
+  "libeyecod_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eyetrack/filter.cc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/filter.cc.o" "gcc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/filter.cc.o.d"
+  "/root/repo/src/eyetrack/gaze_estimator.cc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/gaze_estimator.cc.o" "gcc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/gaze_estimator.cc.o.d"
+  "/root/repo/src/eyetrack/pipeline.cc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/pipeline.cc.o" "gcc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/pipeline.cc.o.d"
+  "/root/repo/src/eyetrack/roi.cc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/roi.cc.o" "gcc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/roi.cc.o.d"
+  "/root/repo/src/eyetrack/segmentation.cc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/segmentation.cc.o" "gcc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/segmentation.cc.o.d"
+  "/root/repo/src/eyetrack/tracker.cc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/tracker.cc.o" "gcc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/tracker.cc.o.d"
+  "/root/repo/src/eyetrack/user_calibration.cc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/user_calibration.cc.o" "gcc" "src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/user_calibration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/eyecod_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatcam/CMakeFiles/eyecod_flatcam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_eyetrack.dir/filter.cc.o"
+  "CMakeFiles/eyecod_eyetrack.dir/filter.cc.o.d"
+  "CMakeFiles/eyecod_eyetrack.dir/gaze_estimator.cc.o"
+  "CMakeFiles/eyecod_eyetrack.dir/gaze_estimator.cc.o.d"
+  "CMakeFiles/eyecod_eyetrack.dir/pipeline.cc.o"
+  "CMakeFiles/eyecod_eyetrack.dir/pipeline.cc.o.d"
+  "CMakeFiles/eyecod_eyetrack.dir/roi.cc.o"
+  "CMakeFiles/eyecod_eyetrack.dir/roi.cc.o.d"
+  "CMakeFiles/eyecod_eyetrack.dir/segmentation.cc.o"
+  "CMakeFiles/eyecod_eyetrack.dir/segmentation.cc.o.d"
+  "CMakeFiles/eyecod_eyetrack.dir/tracker.cc.o"
+  "CMakeFiles/eyecod_eyetrack.dir/tracker.cc.o.d"
+  "CMakeFiles/eyecod_eyetrack.dir/user_calibration.cc.o"
+  "CMakeFiles/eyecod_eyetrack.dir/user_calibration.cc.o.d"
+  "libeyecod_eyetrack.a"
+  "libeyecod_eyetrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_eyetrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

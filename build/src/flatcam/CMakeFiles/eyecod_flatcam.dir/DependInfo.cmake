@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flatcam/calibration.cc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/calibration.cc.o" "gcc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/calibration.cc.o.d"
+  "/root/repo/src/flatcam/imaging.cc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/imaging.cc.o" "gcc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/imaging.cc.o.d"
+  "/root/repo/src/flatcam/mask.cc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/mask.cc.o" "gcc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/mask.cc.o.d"
+  "/root/repo/src/flatcam/optical_interface.cc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/optical_interface.cc.o" "gcc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/optical_interface.cc.o.d"
+  "/root/repo/src/flatcam/reconstruction.cc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/reconstruction.cc.o" "gcc" "src/flatcam/CMakeFiles/eyecod_flatcam.dir/reconstruction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_flatcam.dir/calibration.cc.o"
+  "CMakeFiles/eyecod_flatcam.dir/calibration.cc.o.d"
+  "CMakeFiles/eyecod_flatcam.dir/imaging.cc.o"
+  "CMakeFiles/eyecod_flatcam.dir/imaging.cc.o.d"
+  "CMakeFiles/eyecod_flatcam.dir/mask.cc.o"
+  "CMakeFiles/eyecod_flatcam.dir/mask.cc.o.d"
+  "CMakeFiles/eyecod_flatcam.dir/optical_interface.cc.o"
+  "CMakeFiles/eyecod_flatcam.dir/optical_interface.cc.o.d"
+  "CMakeFiles/eyecod_flatcam.dir/reconstruction.cc.o"
+  "CMakeFiles/eyecod_flatcam.dir/reconstruction.cc.o.d"
+  "libeyecod_flatcam.a"
+  "libeyecod_flatcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_flatcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/fbnet.cc" "src/models/CMakeFiles/eyecod_models.dir/fbnet.cc.o" "gcc" "src/models/CMakeFiles/eyecod_models.dir/fbnet.cc.o.d"
+  "/root/repo/src/models/mbconv.cc" "src/models/CMakeFiles/eyecod_models.dir/mbconv.cc.o" "gcc" "src/models/CMakeFiles/eyecod_models.dir/mbconv.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/eyecod_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/eyecod_models.dir/resnet.cc.o.d"
+  "/root/repo/src/models/ritnet.cc" "src/models/CMakeFiles/eyecod_models.dir/ritnet.cc.o" "gcc" "src/models/CMakeFiles/eyecod_models.dir/ritnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/eyecod_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

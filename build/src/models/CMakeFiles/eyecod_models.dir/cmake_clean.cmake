@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_models.dir/fbnet.cc.o"
+  "CMakeFiles/eyecod_models.dir/fbnet.cc.o.d"
+  "CMakeFiles/eyecod_models.dir/mbconv.cc.o"
+  "CMakeFiles/eyecod_models.dir/mbconv.cc.o.d"
+  "CMakeFiles/eyecod_models.dir/resnet.cc.o"
+  "CMakeFiles/eyecod_models.dir/resnet.cc.o.d"
+  "CMakeFiles/eyecod_models.dir/ritnet.cc.o"
+  "CMakeFiles/eyecod_models.dir/ritnet.cc.o.d"
+  "libeyecod_models.a"
+  "libeyecod_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/basic_layers.cc" "src/nn/CMakeFiles/eyecod_nn.dir/basic_layers.cc.o" "gcc" "src/nn/CMakeFiles/eyecod_nn.dir/basic_layers.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/eyecod_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/eyecod_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/graph.cc" "src/nn/CMakeFiles/eyecod_nn.dir/graph.cc.o" "gcc" "src/nn/CMakeFiles/eyecod_nn.dir/graph.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/eyecod_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/eyecod_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/quantize.cc" "src/nn/CMakeFiles/eyecod_nn.dir/quantize.cc.o" "gcc" "src/nn/CMakeFiles/eyecod_nn.dir/quantize.cc.o.d"
+  "/root/repo/src/nn/reference.cc" "src/nn/CMakeFiles/eyecod_nn.dir/reference.cc.o" "gcc" "src/nn/CMakeFiles/eyecod_nn.dir/reference.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/eyecod_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/eyecod_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

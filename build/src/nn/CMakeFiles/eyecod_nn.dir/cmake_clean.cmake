@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_nn.dir/basic_layers.cc.o"
+  "CMakeFiles/eyecod_nn.dir/basic_layers.cc.o.d"
+  "CMakeFiles/eyecod_nn.dir/conv.cc.o"
+  "CMakeFiles/eyecod_nn.dir/conv.cc.o.d"
+  "CMakeFiles/eyecod_nn.dir/graph.cc.o"
+  "CMakeFiles/eyecod_nn.dir/graph.cc.o.d"
+  "CMakeFiles/eyecod_nn.dir/layer.cc.o"
+  "CMakeFiles/eyecod_nn.dir/layer.cc.o.d"
+  "CMakeFiles/eyecod_nn.dir/quantize.cc.o"
+  "CMakeFiles/eyecod_nn.dir/quantize.cc.o.d"
+  "CMakeFiles/eyecod_nn.dir/reference.cc.o"
+  "CMakeFiles/eyecod_nn.dir/reference.cc.o.d"
+  "CMakeFiles/eyecod_nn.dir/tensor.cc.o"
+  "CMakeFiles/eyecod_nn.dir/tensor.cc.o.d"
+  "libeyecod_nn.a"
+  "libeyecod_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyecod_platforms.dir/platform.cc.o"
+  "CMakeFiles/eyecod_platforms.dir/platform.cc.o.d"
+  "libeyecod_platforms.a"
+  "libeyecod_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyecod_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

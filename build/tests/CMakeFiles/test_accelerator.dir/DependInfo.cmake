@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_act_gb.cc" "tests/CMakeFiles/test_accelerator.dir/test_act_gb.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_act_gb.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/test_accelerator.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_dataflow.cc" "tests/CMakeFiles/test_accelerator.dir/test_dataflow.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_dataflow.cc.o.d"
+  "/root/repo/tests/test_executor.cc" "tests/CMakeFiles/test_accelerator.dir/test_executor.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_executor.cc.o.d"
+  "/root/repo/tests/test_input_buffer.cc" "tests/CMakeFiles/test_accelerator.dir/test_input_buffer.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_input_buffer.cc.o.d"
+  "/root/repo/tests/test_orchestrator.cc" "tests/CMakeFiles/test_accelerator.dir/test_orchestrator.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_orchestrator.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/test_accelerator.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/test_accelerator.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/test_accelerator.dir/test_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eyecod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/eyecod_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/eyecod_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/eyetrack/CMakeFiles/eyecod_eyetrack.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/eyecod_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eyecod_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/eyecod_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatcam/CMakeFiles/eyecod_flatcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eyecod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerator.dir/test_act_gb.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_act_gb.cc.o.d"
+  "CMakeFiles/test_accelerator.dir/test_compiler.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_compiler.cc.o.d"
+  "CMakeFiles/test_accelerator.dir/test_dataflow.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_dataflow.cc.o.d"
+  "CMakeFiles/test_accelerator.dir/test_executor.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_executor.cc.o.d"
+  "CMakeFiles/test_accelerator.dir/test_input_buffer.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_input_buffer.cc.o.d"
+  "CMakeFiles/test_accelerator.dir/test_orchestrator.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_orchestrator.cc.o.d"
+  "CMakeFiles/test_accelerator.dir/test_partition.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_partition.cc.o.d"
+  "CMakeFiles/test_accelerator.dir/test_simulator.cc.o"
+  "CMakeFiles/test_accelerator.dir/test_simulator.cc.o.d"
+  "test_accelerator"
+  "test_accelerator.pdb"
+  "test_accelerator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

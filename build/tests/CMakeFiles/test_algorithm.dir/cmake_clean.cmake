@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm.dir/test_filter.cc.o"
+  "CMakeFiles/test_algorithm.dir/test_filter.cc.o.d"
+  "CMakeFiles/test_algorithm.dir/test_gaze_estimator.cc.o"
+  "CMakeFiles/test_algorithm.dir/test_gaze_estimator.cc.o.d"
+  "CMakeFiles/test_algorithm.dir/test_pipeline.cc.o"
+  "CMakeFiles/test_algorithm.dir/test_pipeline.cc.o.d"
+  "CMakeFiles/test_algorithm.dir/test_roi.cc.o"
+  "CMakeFiles/test_algorithm.dir/test_roi.cc.o.d"
+  "CMakeFiles/test_algorithm.dir/test_segmentation.cc.o"
+  "CMakeFiles/test_algorithm.dir/test_segmentation.cc.o.d"
+  "CMakeFiles/test_algorithm.dir/test_tracker.cc.o"
+  "CMakeFiles/test_algorithm.dir/test_tracker.cc.o.d"
+  "CMakeFiles/test_algorithm.dir/test_user_calibration.cc.o"
+  "CMakeFiles/test_algorithm.dir/test_user_calibration.cc.o.d"
+  "test_algorithm"
+  "test_algorithm.pdb"
+  "test_algorithm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

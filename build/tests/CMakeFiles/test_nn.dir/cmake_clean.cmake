@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/test_models.cc.o"
+  "CMakeFiles/test_nn.dir/test_models.cc.o.d"
+  "CMakeFiles/test_nn.dir/test_nn_graph.cc.o"
+  "CMakeFiles/test_nn.dir/test_nn_graph.cc.o.d"
+  "CMakeFiles/test_nn.dir/test_nn_layers.cc.o"
+  "CMakeFiles/test_nn.dir/test_nn_layers.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

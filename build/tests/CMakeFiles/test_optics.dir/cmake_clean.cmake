@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optics.dir/test_calibration.cc.o"
+  "CMakeFiles/test_optics.dir/test_calibration.cc.o.d"
+  "CMakeFiles/test_optics.dir/test_dataset.cc.o"
+  "CMakeFiles/test_optics.dir/test_dataset.cc.o.d"
+  "CMakeFiles/test_optics.dir/test_export.cc.o"
+  "CMakeFiles/test_optics.dir/test_export.cc.o.d"
+  "CMakeFiles/test_optics.dir/test_flatcam.cc.o"
+  "CMakeFiles/test_optics.dir/test_flatcam.cc.o.d"
+  "test_optics"
+  "test_optics.pdb"
+  "test_optics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
