@@ -5,10 +5,19 @@
  * ROI prediction, and gaze inference. These time the host-side
  * reference implementations (the deployment latency numbers come
  * from the cycle-level simulator, not from these).
+ *
+ * Besides the console table, per-stage latencies are merged into
+ * BENCH_runtime.json (section "micro_stages", milliseconds per
+ * iteration) — the same machine-readable store bench_runtime writes
+ * its backend comparison into.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+
+#include "common/perf_json.h"
 #include "eyetrack/pipeline.h"
 
 using namespace eyecod;
@@ -115,6 +124,50 @@ BM_FullFrame(benchmark::State &state)
 }
 BENCHMARK(BM_FullFrame);
 
+/**
+ * Console reporter that additionally captures per-benchmark real
+ * time (milliseconds per iteration) for the JSON perf store.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred || run.iterations <= 0)
+                continue;
+            const double ms = 1e3 * run.real_accumulated_time /
+                              double(run.iterations);
+            captured_[run.benchmark_name()] = ms;
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::map<std::string, double> &
+    captured() const
+    {
+        return captured_;
+    }
+
+  private:
+    std::map<std::string, double> captured_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    for (const auto &[name, ms] : reporter.captured())
+        PerfJson::update("BENCH_runtime.json", "micro_stages", name,
+                         ms);
+    return 0;
+}

@@ -1,0 +1,136 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace eyecod {
+
+thread_local bool ThreadPool::in_pool_body_ = false;
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = int(std::thread::hardware_concurrency());
+    if (threads < 1)
+        threads = 1;
+    workers_.reserve(size_t(threads - 1));
+    for (int i = 0; i < threads - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        const long chunk = job.next_chunk.fetch_add(1);
+        if (chunk >= job.num_chunks)
+            return;
+        const long begin = chunk * job.grain;
+        const long end = std::min(job.n, begin + job.grain);
+        try {
+            in_pool_body_ = true;
+            (*job.body)(begin, end);
+            in_pool_body_ = false;
+        } catch (...) {
+            in_pool_body_ = false;
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (++job.chunks_done == job.num_chunks)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return stop_ || (job_ && generation_ != seen_generation);
+        });
+        if (stop_)
+            return;
+        seen_generation = generation_;
+        Job *job = job_;
+        ++job->active;
+        lock.unlock();
+        runChunks(*job);
+        lock.lock();
+        if (--job->active == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(long n, long grain,
+                        const std::function<void(long, long)> &body)
+{
+    if (n <= 0)
+        return;
+    if (grain < 1)
+        grain = 1;
+    const long num_chunks = (n + grain - 1) / grain;
+    // Run inline when there is nothing to distribute, no workers
+    // exist, or this is a nested call from inside a pool body.
+    if (num_chunks == 1 || workers_.empty() || in_pool_body_) {
+        const bool was_in_body = in_pool_body_;
+        for (long begin = 0; begin < n; begin += grain)
+            body(begin, std::min(n, begin + grain));
+        in_pool_body_ = was_in_body;
+        return;
+    }
+
+    Job job;
+    job.body = &body;
+    job.n = n;
+    job.grain = grain;
+    job.num_chunks = num_chunks;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++generation_;
+        job.active = 1; // the calling thread
+    }
+    wake_.notify_all();
+
+    runChunks(job);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --job.active;
+        // The job is stack-allocated: wait until every worker that
+        // entered it has left before letting it go out of scope.
+        done_.wait(lock, [&] {
+            return job.active == 0 && job.chunks_done == job.num_chunks;
+        });
+        job_ = nullptr;
+        error = job.error;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::parallelFor(long n,
+                        const std::function<void(long, long)> &body)
+{
+    const long threads = threadCount();
+    parallelFor(n, (n + threads - 1) / threads, body);
+}
+
+} // namespace eyecod

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A persistent worker-thread pool with a deterministic parallel-for.
+ *
+ * Work is split into fixed, caller-visible index ranges and every
+ * output index is processed by exactly one chunk, so any computation
+ * whose chunks touch disjoint outputs produces bitwise-identical
+ * results regardless of the number of worker threads. This is the
+ * substrate of the threaded NN backend (nn::ThreadedBackend), which
+ * relies on that property for its thread-count-independence guarantee.
+ */
+
+#ifndef EYECOD_COMMON_THREAD_POOL_H
+#define EYECOD_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eyecod {
+
+/**
+ * Fixed-size pool of worker threads executing chunked index ranges.
+ *
+ * The calling thread participates in every parallelFor, so a pool
+ * constructed with N threads applies N-way parallelism using N - 1
+ * workers; a pool of one thread runs everything inline and spawns no
+ * workers at all.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total concurrency including the caller; 0 picks
+     *        std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + the calling thread). */
+    int threadCount() const { return int(workers_.size()) + 1; }
+
+    /**
+     * Execute @p body over [0, n) split into chunks of at most
+     * @p grain indices. Chunk boundaries depend only on n and grain —
+     * never on the thread count — and chunks are disjoint, so writes
+     * to per-index outputs are race-free and deterministic.
+     *
+     * Blocks until every chunk has run. The first exception thrown by
+     * a chunk is rethrown on the calling thread (remaining chunks
+     * still run). Reentrant calls from inside a body execute inline.
+     */
+    void parallelFor(long n, long grain,
+                     const std::function<void(long, long)> &body);
+
+    /** parallelFor with an automatic grain of ceil(n / threads). */
+    void parallelFor(long n,
+                     const std::function<void(long, long)> &body);
+
+  private:
+    struct Job
+    {
+        const std::function<void(long, long)> *body = nullptr;
+        long n = 0;
+        long grain = 1;
+        long num_chunks = 0;
+        std::atomic<long> next_chunk{0};
+        long chunks_done = 0;     ///< Guarded by pool mutex_.
+        int active = 0;           ///< Threads inside the job (mutex_).
+        std::exception_ptr error; ///< First failure (mutex_).
+    };
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    Job *job_ = nullptr;         ///< Current job, guarded by mutex_.
+    uint64_t generation_ = 0;    ///< Bumped per job, guarded by mutex_.
+    bool stop_ = false;
+    static thread_local bool in_pool_body_;
+};
+
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_THREAD_POOL_H

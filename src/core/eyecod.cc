@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "flatcam/optical_interface.h"
+#include "models/model_zoo.h"
 
 namespace eyecod {
 namespace core {
@@ -37,6 +38,25 @@ EyeCoDSystem::simulatePerformance() const
 {
     const auto workloads = accel::buildPipelineWorkload(cfg_.workload);
     return accel::simulate(workloads, cfg_.hw, cfg_.energy);
+}
+
+RuntimeProfile
+EyeCoDSystem::runtimeProfile() const
+{
+    RuntimeProfile profile;
+    profile.backend =
+        nn::makeBackend(cfg_.nn_backend, cfg_.nn_threads)->name();
+
+    const nn::Graph seg = models::buildRitNet(
+        cfg_.workload.seg_input, cfg_.workload.seg_input,
+        cfg_.workload.quant_bits);
+    profile.segmentation = nn::ExecutionPlan(seg).stats();
+
+    const nn::Graph gaze = models::buildFBNetC100(
+        cfg_.workload.roi_height, cfg_.workload.roi_width,
+        cfg_.workload.quant_bits);
+    profile.gaze = nn::ExecutionPlan(gaze).stats();
+    return profile;
 }
 
 long long

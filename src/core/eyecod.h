@@ -30,6 +30,7 @@
 
 #include "accel/simulator.h"
 #include "eyetrack/pipeline.h"
+#include "nn/runtime.h"
 #include "platforms/platform.h"
 
 namespace eyecod {
@@ -52,6 +53,26 @@ struct SystemConfig
      * camera-processor traffic.
      */
     bool optical_interface = true;
+    /**
+     * CPU execution backend for the planned NN runtime (the
+     * functional neural path; the simulated accelerator is
+     * unaffected).
+     */
+    nn::BackendKind nn_backend = nn::BackendKind::Serial;
+    /** Threaded backend concurrency; 0 = hardware concurrency. */
+    int nn_threads = 0;
+};
+
+/**
+ * Plan/arena accounting of the deployment graphs on the planned NN
+ * runtime (see nn/runtime.h).
+ */
+struct RuntimeProfile
+{
+    std::string backend;          ///< Backend name in use.
+    nn::PlanStats segmentation;   ///< RITNet at the workload's
+                                  ///< seg_input resolution.
+    nn::PlanStats gaze;           ///< FBNet-C100 at the ROI extent.
 };
 
 /** One row of the Fig. 14 style cross-platform comparison. */
@@ -85,6 +106,12 @@ class EyeCoDSystem
 
     /** Simulate the accelerator on the deployment workload. */
     accel::PerfReport simulatePerformance() const;
+
+    /**
+     * Plan the deployment graphs on the configured NN backend and
+     * report their arena/liveness statistics.
+     */
+    RuntimeProfile runtimeProfile() const;
 
     /**
      * Fig. 14: EyeCoD (simulated) against the baseline platforms on

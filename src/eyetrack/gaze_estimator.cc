@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/matrix.h"
+#include "models/model_zoo.h"
 
 namespace eyecod {
 namespace eyetrack {
@@ -112,6 +115,35 @@ long long
 RidgeGazeEstimator::macsPerFrame() const
 {
     return (long long)dim_ * 3;
+}
+
+NeuralGazeEstimator::NeuralGazeEstimator(NeuralGazeConfig cfg)
+    : cfg_(cfg),
+      graph_(models::buildFBNetC100(cfg.height, cfg.width,
+                                    cfg.quant_bits)),
+      plan_(graph_),
+      backend_(nn::makeBackend(cfg.backend, cfg.threads))
+{
+}
+
+dataset::GazeVec
+NeuralGazeEstimator::predict(const Image &roi)
+{
+    const Image sized = (roi.height() == cfg_.height &&
+                         roi.width() == cfg_.width)
+                            ? roi
+                            : roi.resized(cfg_.height, cfg_.width);
+    nn::Tensor input(nn::Shape{1, cfg_.height, cfg_.width});
+    std::copy(sized.data().begin(), sized.data().end(),
+              input.data().begin());
+
+    const nn::Tensor out = backend_->run(plan_, {input});
+    eyecod_assert(out.size() == 3,
+                  "gaze head must emit 3 values, got %zu",
+                  out.size());
+    dataset::GazeVec g{double(out.data()[0]), double(out.data()[1]),
+                       double(out.data()[2])};
+    return dataset::normalize(g);
 }
 
 } // namespace eyetrack

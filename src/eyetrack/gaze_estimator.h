@@ -15,10 +15,12 @@
 #ifndef EYECOD_EYETRACK_GAZE_ESTIMATOR_H
 #define EYECOD_EYETRACK_GAZE_ESTIMATOR_H
 
+#include <memory>
 #include <vector>
 
 #include "common/image.h"
 #include "dataset/gaze_math.h"
+#include "nn/runtime.h"
 
 namespace eyecod {
 namespace eyetrack {
@@ -71,6 +73,45 @@ class RidgeGazeEstimator
     GazeEstimatorConfig cfg_;
     int dim_; ///< Feature dimension including bias.
     std::vector<double> weights_; ///< dim_ x 3, row-major.
+};
+
+/** Neural gaze estimator configuration. */
+struct NeuralGazeConfig
+{
+    int height = 32;  ///< Network ROI rows (deployment uses 96).
+    int width = 64;   ///< Network ROI columns (deployment uses 160).
+    int quant_bits = 0;
+    /** Execution backend for the planned runtime. */
+    nn::BackendKind backend = nn::BackendKind::Serial;
+    int threads = 0;  ///< Threaded backend only; 0 = hardware.
+};
+
+/**
+ * FBNet-C100-based gaze regressor on the planned NN runtime. The
+ * graph is planned once; predict() reuses the backend arena.
+ */
+class NeuralGazeEstimator
+{
+  public:
+    explicit NeuralGazeEstimator(NeuralGazeConfig cfg = {});
+
+    /** Predict a unit gaze vector for one ROI crop. */
+    dataset::GazeVec predict(const Image &roi);
+
+    /** Arena/liveness accounting of the underlying plan. */
+    const nn::PlanStats &planStats() const { return plan_.stats(); }
+
+    /** Name of the backend in use ("serial", "threaded-N"). */
+    std::string backendName() const { return backend_->name(); }
+
+    /** Configuration in use. */
+    const NeuralGazeConfig &config() const { return cfg_; }
+
+  private:
+    NeuralGazeConfig cfg_;
+    nn::Graph graph_;       ///< Must outlive plan_.
+    nn::ExecutionPlan plan_;
+    std::unique_ptr<nn::Backend> backend_;
 };
 
 } // namespace eyetrack

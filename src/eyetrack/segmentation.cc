@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "models/model_zoo.h"
+#include "nn/basic_layers.h"
 
 namespace eyecod {
 namespace eyetrack {
@@ -293,6 +295,38 @@ ClassicalSegmenter::segment(const Image &eye) const
         }
         mask = std::move(noisy);
     }
+    return mask;
+}
+
+NeuralSegmenter::NeuralSegmenter(NeuralSegmenterConfig cfg)
+    : cfg_(cfg),
+      graph_(models::buildRitNet(cfg.height, cfg.width,
+                                 cfg.quant_bits)),
+      plan_(graph_),
+      backend_(nn::makeBackend(cfg.backend, cfg.threads))
+{
+}
+
+SegMask
+NeuralSegmenter::segment(const Image &eye)
+{
+    const Image sized = (eye.height() == cfg_.height &&
+                         eye.width() == cfg_.width)
+                            ? eye
+                            : eye.resized(cfg_.height, cfg_.width);
+    nn::Tensor input(nn::Shape{1, cfg_.height, cfg_.width});
+    std::copy(sized.data().begin(), sized.data().end(),
+              input.data().begin());
+
+    const nn::Tensor logits = backend_->run(plan_, {input});
+    const std::vector<int> classes = nn::channelArgmax(logits);
+
+    SegMask mask;
+    mask.height = cfg_.height;
+    mask.width = cfg_.width;
+    mask.labels.resize(classes.size());
+    for (size_t i = 0; i < classes.size(); ++i)
+        mask.labels[i] = uint8_t(classes[i]);
     return mask;
 }
 

@@ -16,9 +16,11 @@
 #define EYECOD_EYETRACK_SEGMENTATION_H
 
 #include <array>
+#include <memory>
 
 #include "common/image.h"
 #include "dataset/synthetic_eye.h"
+#include "nn/runtime.h"
 
 namespace eyecod {
 namespace eyetrack {
@@ -66,6 +68,52 @@ class ClassicalSegmenter
 
   private:
     SegmenterConfig cfg_;
+};
+
+/** Neural segmenter configuration. */
+struct NeuralSegmenterConfig
+{
+    int height = 64;  ///< Network input rows (deployment uses 256).
+    int width = 64;   ///< Network input columns.
+    int quant_bits = 0; ///< 0 float, 8 for the int8 deployment rows.
+    /** Execution backend for the planned runtime. */
+    nn::BackendKind backend = nn::BackendKind::Serial;
+    int threads = 0;  ///< Threaded backend only; 0 = hardware.
+};
+
+/**
+ * RITNet-based eye segmenter on the planned NN runtime.
+ *
+ * The graph is planned once at construction; every segment() call
+ * reuses the same ExecutionPlan and backend arena, so steady-state
+ * inference performs zero tensor allocation.
+ */
+class NeuralSegmenter
+{
+  public:
+    explicit NeuralSegmenter(NeuralSegmenterConfig cfg = {});
+
+    /**
+     * Segment an eye image into the four OpenEDS classes. The input
+     * is resized to the network resolution and the per-pixel argmax
+     * over the 4-class logits becomes the mask.
+     */
+    dataset::SegMask segment(const Image &eye);
+
+    /** Arena/liveness accounting of the underlying plan. */
+    const nn::PlanStats &planStats() const { return plan_.stats(); }
+
+    /** Name of the backend in use ("serial", "threaded-N"). */
+    std::string backendName() const { return backend_->name(); }
+
+    /** Configuration in use. */
+    const NeuralSegmenterConfig &config() const { return cfg_; }
+
+  private:
+    NeuralSegmenterConfig cfg_;
+    nn::Graph graph_;       ///< Must outlive plan_.
+    nn::ExecutionPlan plan_;
+    std::unique_ptr<nn::Backend> backend_;
 };
 
 /**

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The model registry: a stable, iterable list of every builder in the
+ * zoo with its deployment and minimum-test resolutions. Runtime
+ * parity tests, the runtime benchmark, and tooling enumerate this
+ * instead of hard-coding builder calls.
+ */
+
+#include "models/model_zoo.h"
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace models {
+
+const std::vector<ZooEntry> &
+modelZoo()
+{
+    static const std::vector<ZooEntry> zoo = {
+        {"ritnet", &buildRitNet, 256, 256, 32, 32},
+        {"unet", &buildUNet, 256, 256, 32, 32},
+        {"fbnet", &buildFBNetC100, 96, 160, 32, 64},
+        {"resnet18", &buildResNet18, 96, 160, 32, 64},
+        {"mobilenetv2", &buildMobileNetV2, 96, 160, 32, 64},
+    };
+    return zoo;
+}
+
+const ZooEntry &
+findModel(const std::string &name)
+{
+    for (const ZooEntry &entry : modelZoo())
+        if (entry.name == name)
+            return entry;
+    eyecod_assert(false, "unknown model '%s'", name.c_str());
+    return modelZoo().front(); // unreachable
+}
+
+} // namespace models
+} // namespace eyecod

@@ -20,6 +20,9 @@
 #ifndef EYECOD_MODELS_MODEL_ZOO_H
 #define EYECOD_MODELS_MODEL_ZOO_H
 
+#include <string>
+#include <vector>
+
 #include "nn/graph.h"
 
 namespace eyecod {
@@ -62,6 +65,27 @@ nn::Graph buildResNet18(int height, int width, int quant_bits = 0);
  * MobileNetV2 gaze alternative.
  */
 nn::Graph buildMobileNetV2(int height, int width, int quant_bits = 0);
+
+/** One registered model builder. */
+struct ZooEntry
+{
+    std::string name; ///< Stable registry key ("ritnet", "fbnet", …).
+    nn::Graph (*build)(int height, int width, int quant_bits);
+    int deploy_height; ///< EyeCoD deployment input resolution.
+    int deploy_width;
+    int test_height; ///< Smallest resolution the builder accepts —
+    int test_width;  ///< what parity tests and fuzzers should use.
+};
+
+/**
+ * Every network in the zoo, in a stable order. Runtime parity tests
+ * and benchmarks iterate this instead of hard-coding builders, so a
+ * model added here is automatically covered.
+ */
+const std::vector<ZooEntry> &modelZoo();
+
+/** Registry lookup by name; asserts when @p name is unknown. */
+const ZooEntry &findModel(const std::string &name);
 
 } // namespace models
 } // namespace eyecod

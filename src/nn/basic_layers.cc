@@ -39,14 +39,16 @@ Pool::workload() const
     return w;
 }
 
-Tensor
-Pool::forward(const std::vector<const Tensor *> &in) const
+void
+Pool::forward(const std::vector<const Tensor *> &in, Tensor &out,
+              const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
                   "pool %s input mismatch", name().c_str());
     const Tensor &x = *in[0];
     const Shape out_shape = outputShape();
-    Tensor out(out_shape);
+    eyecod_assert(out.shape() == out_shape,
+                  "pool %s output shape mismatch", name().c_str());
 
     if (mode_ == PoolMode::GlobalAverage) {
         const double inv = 1.0 / (double(in_.h) * in_.w);
@@ -57,38 +59,39 @@ Pool::forward(const std::vector<const Tensor *> &in) const
                     acc += x.at(c, y, xx);
             out.at(c, 0, 0) = float(acc * inv);
         }
-        return out;
+        return;
     }
 
-    for (int c = 0; c < in_.c; ++c) {
-        for (int oy = 0; oy < out_shape.h; ++oy) {
-            for (int ox = 0; ox < out_shape.w; ++ox) {
-                double acc = mode_ == PoolMode::Max
-                    ? -1e30 : 0.0;
-                int count = 0;
-                for (int ky = 0; ky < kernel_; ++ky) {
-                    const int iy = oy * stride_ + ky;
-                    if (iy >= in_.h)
-                        continue;
-                    for (int kx = 0; kx < kernel_; ++kx) {
-                        const int ix = ox * stride_ + kx;
-                        if (ix >= in_.w)
+    ctx.parallelFor(in_.c, 1, [&](long c_begin, long c_end) {
+        for (int c = int(c_begin); c < int(c_end); ++c) {
+            for (int oy = 0; oy < out_shape.h; ++oy) {
+                for (int ox = 0; ox < out_shape.w; ++ox) {
+                    double acc = mode_ == PoolMode::Max
+                        ? -1e30 : 0.0;
+                    int count = 0;
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        const int iy = oy * stride_ + ky;
+                        if (iy >= in_.h)
                             continue;
-                        const double v = x.at(c, iy, ix);
-                        if (mode_ == PoolMode::Max)
-                            acc = std::max(acc, v);
-                        else
-                            acc += v;
-                        ++count;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            const int ix = ox * stride_ + kx;
+                            if (ix >= in_.w)
+                                continue;
+                            const double v = x.at(c, iy, ix);
+                            if (mode_ == PoolMode::Max)
+                                acc = std::max(acc, v);
+                            else
+                                acc += v;
+                            ++count;
+                        }
                     }
+                    if (mode_ == PoolMode::Average && count > 0)
+                        acc /= count;
+                    out.at(c, oy, ox) = float(acc);
                 }
-                if (mode_ == PoolMode::Average && count > 0)
-                    acc /= count;
-                out.at(c, oy, ox) = float(acc);
             }
         }
-    }
-    return out;
+    });
 }
 
 Upsample::Upsample(std::string name, Shape in, int factor,
@@ -117,27 +120,30 @@ Upsample::workload() const
     return w;
 }
 
-Tensor
-Upsample::forward(const std::vector<const Tensor *> &in) const
+void
+Upsample::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                  const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
                   "upsample %s input mismatch", name().c_str());
     const Tensor &x = *in[0];
-    Tensor out(outputShape());
-    for (int c = 0; c < in_.c; ++c) {
-        for (int y = 0; y < in_.h * factor_; ++y) {
-            for (int xx = 0; xx < in_.w * factor_; ++xx) {
-                if (zero_insert_ &&
-                    (y % factor_ != 0 || xx % factor_ != 0)) {
-                    out.at(c, y, xx) = 0.0f;
-                } else {
-                    out.at(c, y, xx) =
-                        x.at(c, y / factor_, xx / factor_);
+    eyecod_assert(out.shape() == outputShape(),
+                  "upsample %s output shape mismatch", name().c_str());
+    ctx.parallelFor(in_.c, 1, [&](long c_begin, long c_end) {
+        for (int c = int(c_begin); c < int(c_end); ++c) {
+            for (int y = 0; y < in_.h * factor_; ++y) {
+                for (int xx = 0; xx < in_.w * factor_; ++xx) {
+                    if (zero_insert_ &&
+                        (y % factor_ != 0 || xx % factor_ != 0)) {
+                        out.at(c, y, xx) = 0.0f;
+                    } else {
+                        out.at(c, y, xx) =
+                            x.at(c, y / factor_, xx / factor_);
+                    }
                 }
             }
         }
-    }
-    return out;
+    });
 }
 
 Concat::Concat(std::string name, Shape in_a, Shape in_b)
@@ -163,18 +169,19 @@ Concat::workload() const
     return w;
 }
 
-Tensor
-Concat::forward(const std::vector<const Tensor *> &in) const
+void
+Concat::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                const ExecContext &) const
 {
     eyecod_assert(in.size() == 2 && in[0]->shape() == a_ &&
                   in[1]->shape() == b_,
                   "concat %s input mismatch", name().c_str());
-    Tensor out(outputShape());
+    eyecod_assert(out.shape() == outputShape(),
+                  "concat %s output shape mismatch", name().c_str());
     std::copy(in[0]->data().begin(), in[0]->data().end(),
               out.data().begin());
     std::copy(in[1]->data().begin(), in[1]->data().end(),
               out.data().begin() + in[0]->size());
-    return out;
 }
 
 Add::Add(std::string name, Shape in, bool relu)
@@ -182,20 +189,26 @@ Add::Add(std::string name, Shape in, bool relu)
 {
 }
 
-Tensor
-Add::forward(const std::vector<const Tensor *> &in) const
+void
+Add::forward(const std::vector<const Tensor *> &in, Tensor &out,
+             const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 2 && in[0]->shape() == in_ &&
                   in[1]->shape() == in_,
                   "add %s input mismatch", name().c_str());
-    Tensor out(in_);
-    for (size_t i = 0; i < out.size(); ++i) {
-        float v = in[0]->data()[i] + in[1]->data()[i];
-        if (relu_ && v < 0.0f)
-            v = 0.0f;
-        out.data()[i] = v;
-    }
-    return out;
+    eyecod_assert(out.shape() == in_,
+                  "add %s output shape mismatch", name().c_str());
+    const long n = long(out.size());
+    ctx.parallelFor(n, std::max(1L, n / (ctx.concurrency() * 2L)),
+                    [&](long begin, long end) {
+        for (long i = begin; i < end; ++i) {
+            float v = in[0]->data()[size_t(i)] +
+                      in[1]->data()[size_t(i)];
+            if (relu_ && v < 0.0f)
+                v = 0.0f;
+            out.data()[size_t(i)] = v;
+        }
+    });
 }
 
 Activation::Activation(std::string name, Shape in, ActFn fn,
@@ -204,30 +217,36 @@ Activation::Activation(std::string name, Shape in, ActFn fn,
 {
 }
 
-Tensor
-Activation::forward(const std::vector<const Tensor *> &in) const
+void
+Activation::forward(const std::vector<const Tensor *> &in,
+                    Tensor &out, const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
                   "activation %s input mismatch", name().c_str());
-    Tensor out(in_);
-    for (size_t i = 0; i < out.size(); ++i) {
-        const float v = in[0]->data()[i];
-        switch (fn_) {
-          case ActFn::Relu:
-            out.data()[i] = v > 0.0f ? v : 0.0f;
-            break;
-          case ActFn::LeakyRelu:
-            out.data()[i] = v > 0.0f ? v : slope_ * v;
-            break;
-          case ActFn::Tanh:
-            out.data()[i] = std::tanh(v);
-            break;
-          case ActFn::Sigmoid:
-            out.data()[i] = 1.0f / (1.0f + std::exp(-v));
-            break;
+    eyecod_assert(out.shape() == in_,
+                  "activation %s output shape mismatch",
+                  name().c_str());
+    const long n = long(out.size());
+    ctx.parallelFor(n, std::max(1L, n / (ctx.concurrency() * 2L)),
+                    [&](long begin, long end) {
+        for (long i = begin; i < end; ++i) {
+            const float v = in[0]->data()[size_t(i)];
+            switch (fn_) {
+              case ActFn::Relu:
+                out.data()[size_t(i)] = v > 0.0f ? v : 0.0f;
+                break;
+              case ActFn::LeakyRelu:
+                out.data()[size_t(i)] = v > 0.0f ? v : slope_ * v;
+                break;
+              case ActFn::Tanh:
+                out.data()[size_t(i)] = std::tanh(v);
+                break;
+              case ActFn::Sigmoid:
+                out.data()[size_t(i)] = 1.0f / (1.0f + std::exp(-v));
+                break;
+            }
         }
-    }
-    return out;
+    });
 }
 
 BatchNorm::BatchNorm(std::string name, Shape in, uint64_t seed)
@@ -242,22 +261,27 @@ BatchNorm::BatchNorm(std::string name, Shape in, uint64_t seed)
     }
 }
 
-Tensor
-BatchNorm::forward(const std::vector<const Tensor *> &in) const
+void
+BatchNorm::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                   const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 1 && in[0]->shape() == in_,
                   "batchnorm %s input mismatch", name().c_str());
-    Tensor out(in_);
+    eyecod_assert(out.shape() == in_,
+                  "batchnorm %s output shape mismatch",
+                  name().c_str());
     const size_t plane = size_t(in_.h) * in_.w;
-    for (int c = 0; c < in_.c; ++c) {
-        const float s = scale_[size_t(c)];
-        const float b = shift_[size_t(c)];
-        const float *src = in[0]->data().data() + size_t(c) * plane;
-        float *dst = out.data().data() + size_t(c) * plane;
-        for (size_t i = 0; i < plane; ++i)
-            dst[i] = s * src[i] + b;
-    }
-    return out;
+    ctx.parallelFor(in_.c, 1, [&](long c_begin, long c_end) {
+        for (int c = int(c_begin); c < int(c_end); ++c) {
+            const float s = scale_[size_t(c)];
+            const float b = shift_[size_t(c)];
+            const float *src =
+                in[0]->data().data() + size_t(c) * plane;
+            float *dst = out.data().data() + size_t(c) * plane;
+            for (size_t i = 0; i < plane; ++i)
+                dst[i] = s * src[i] + b;
+        }
+    });
 }
 
 std::vector<int>

@@ -31,7 +31,9 @@ class Pool : public Layer
     Pool(std::string name, Shape in, PoolMode mode, int kernel = 2,
          int stride = 0);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override;
     LayerKind kind() const override { return LayerKind::Pool; }
     LayerWorkload workload() const override;
@@ -55,7 +57,9 @@ class Upsample : public Layer
     Upsample(std::string name, Shape in, int factor = 2,
              bool zero_insert = false);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override;
     LayerKind kind() const override { return LayerKind::Upsample; }
     LayerWorkload workload() const override;
@@ -74,7 +78,9 @@ class Concat : public Layer
   public:
     Concat(std::string name, Shape in_a, Shape in_b);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override;
     LayerKind kind() const override { return LayerKind::Concat; }
     LayerWorkload workload() const override;
@@ -91,7 +97,9 @@ class Add : public Layer
   public:
     Add(std::string name, Shape in, bool relu = false);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override { return in_; }
     LayerKind kind() const override { return LayerKind::Add; }
 
@@ -112,7 +120,9 @@ class Activation : public Layer
     Activation(std::string name, Shape in, ActFn fn,
                float slope = 0.01f);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override { return in_; }
     LayerKind kind() const override { return LayerKind::Activation; }
 
@@ -131,7 +141,9 @@ class BatchNorm : public Layer
   public:
     BatchNorm(std::string name, Shape in, uint64_t seed = 1);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override { return in_; }
     LayerKind kind() const override { return LayerKind::BatchNorm; }
     long long paramCount() const override { return 2LL * in_.c; }

@@ -1,6 +1,8 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -94,57 +96,147 @@ Conv2d::workload() const
     return w;
 }
 
-Tensor
-Conv2d::forward(const std::vector<const Tensor *> &in) const
+void
+Conv2d::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 1, "conv %s expects one input",
                   name().c_str());
     const Tensor &x = *in[0];
     eyecod_assert(x.shape() == spec_.in,
                   "conv %s input shape mismatch", name().c_str());
-
-    Tensor input = x;
-    if (spec_.quant_bits > 0)
-        fakeQuantizeTensor(input, spec_.quant_bits);
-
     const Shape out_shape = outputShape();
-    Tensor out(out_shape);
+    eyecod_assert(out.shape() == out_shape,
+                  "conv %s output shape mismatch", name().c_str());
+
+    const Tensor *src = &x;
+    Tensor quantized;
+    if (spec_.quant_bits > 0) {
+        quantized = x;
+        fakeQuantizeTensor(quantized, spec_.quant_bits);
+        src = &quantized;
+    }
+    const float *in_data = src->data().data();
+    float *out_data = out.data().data();
+
     const int k = spec_.kernel;
     const int s = spec_.stride;
     const int pad = k / 2;
     const int kk = k * k;
+    const int in_h = spec_.in.h;
+    const int in_w = spec_.in.w;
+    const size_t in_plane = size_t(in_h) * in_w;
+    const size_t out_plane = size_t(out_shape.h) * out_shape.w;
+    const int ic_count = group_channels_;
+    const bool relu = spec_.relu;
 
-    for (int oc = 0; oc < out_shape.c; ++oc) {
-        const int ic_begin = spec_.depthwise ? oc : 0;
-        const int ic_count = group_channels_;
-        const float *wbase =
-            &weights_[size_t(oc) * ic_count * kk];
-        for (int oy = 0; oy < out_shape.h; ++oy) {
-            for (int ox = 0; ox < out_shape.w; ++ox) {
-                double acc = bias_[size_t(oc)];
-                for (int g = 0; g < ic_count; ++g) {
-                    const int ic = ic_begin + g;
-                    const float *wk = wbase + size_t(g) * kk;
-                    for (int ky = 0; ky < k; ++ky) {
-                        const int iy = oy * s + ky - pad;
-                        if (iy < 0 || iy >= spec_.in.h)
-                            continue;
-                        for (int kx = 0; kx < k; ++kx) {
-                            const int ix = ox * s + kx - pad;
-                            if (ix < 0 || ix >= spec_.in.w)
-                                continue;
-                            acc += wk[ky * k + kx] *
-                                   input.at(ic, iy, ix);
+    if (k == 1 && !spec_.depthwise) {
+        // Point-wise: an ic-major SAXPY into a per-channel double
+        // accumulator plane. The per-element accumulation order
+        // (bias, then ascending ic) matches the generic nest, so the
+        // result is bitwise identical to it.
+        ctx.parallelFor(out_shape.c, 1, [&](long oc_begin,
+                                            long oc_end) {
+            std::vector<double> acc(out_plane);
+            for (long oc = oc_begin; oc < oc_end; ++oc) {
+                std::fill(acc.begin(), acc.end(),
+                          double(bias_[size_t(oc)]));
+                const float *wrow =
+                    &weights_[size_t(oc) * ic_count];
+                for (int ic = 0; ic < ic_count; ++ic) {
+                    const double w = wrow[ic];
+                    const float *iplane = in_data + size_t(ic) *
+                                          in_plane;
+                    if (s == 1) {
+                        for (size_t p = 0; p < out_plane; ++p)
+                            acc[p] += w * iplane[p];
+                    } else {
+                        for (int oy = 0; oy < out_shape.h; ++oy) {
+                            const float *irow =
+                                iplane + size_t(oy) * s * in_w;
+                            double *arow =
+                                acc.data() + size_t(oy) * out_shape.w;
+                            for (int ox = 0; ox < out_shape.w; ++ox)
+                                arow[ox] += w * irow[ox * s];
                         }
                     }
                 }
-                if (spec_.relu && acc < 0.0)
-                    acc = 0.0;
-                out.at(oc, oy, ox) = float(acc);
+                float *oplane = out_data + size_t(oc) * out_plane;
+                for (size_t p = 0; p < out_plane; ++p) {
+                    double v = acc[p];
+                    if (relu && v < 0.0)
+                        v = 0.0;
+                    oplane[p] = float(v);
+                }
+            }
+        });
+        return;
+    }
+
+    // Generic / depth-wise KxK: parallel over (oc, oy) output rows.
+    // Each row keeps a double accumulator over ox; every (g, ky, kx)
+    // tap is applied to its valid ox range as one SAXPY over a
+    // contiguous input row (for stride 1), which vectorizes. Per
+    // output element the taps still arrive in ascending (g, ky, kx)
+    // order over in-bounds positions, so the result is bitwise
+    // identical to the original bounds-checked scalar nest.
+    const long rows = long(out_shape.c) * out_shape.h;
+    const long grain =
+        std::max(1L, rows / (long(ctx.concurrency()) * 8));
+    ctx.parallelFor(rows, grain, [&](long begin, long end) {
+        std::vector<double> acc(size_t(out_shape.w));
+        for (long r = begin; r < end; ++r) {
+            const int oc = int(r / out_shape.h);
+            const int oy = int(r % out_shape.h);
+            const int ic_begin = spec_.depthwise ? oc : 0;
+            const float *wbase =
+                &weights_[size_t(oc) * ic_count * kk];
+            float *orow = out_data + size_t(oc) * out_plane +
+                          size_t(oy) * out_shape.w;
+            const int ky_lo = std::max(0, pad - oy * s);
+            const int ky_hi = std::min(k, in_h + pad - oy * s);
+            std::fill(acc.begin(), acc.end(),
+                      double(bias_[size_t(oc)]));
+            for (int g = 0; g < ic_count; ++g) {
+                const float *iplane =
+                    in_data + size_t(ic_begin + g) * in_plane;
+                const float *wk = wbase + size_t(g) * kk;
+                for (int ky = ky_lo; ky < ky_hi; ++ky) {
+                    const int iy = oy * s + ky - pad;
+                    const float *irow = iplane + size_t(iy) * in_w;
+                    const float *wrow = wk + ky * k;
+                    for (int kx = 0; kx < k; ++kx) {
+                        const double w = wrow[kx];
+                        const int shift = kx - pad;
+                        // ox range with ox*s + shift inside [0,in_w).
+                        const int ox_lo = shift < 0
+                            ? (-shift + s - 1) / s : 0;
+                        const int ox_hi = std::min(
+                            out_shape.w, (in_w - 1 - shift) / s + 1);
+                        if (ox_hi <= ox_lo)
+                            continue;
+                        if (s == 1) {
+                            const float *ir = irow + shift + ox_lo;
+                            double *ar = acc.data() + ox_lo;
+                            const int span = ox_hi - ox_lo;
+                            for (int t = 0; t < span; ++t)
+                                ar[t] += w * ir[t];
+                        } else {
+                            for (int ox = ox_lo; ox < ox_hi; ++ox)
+                                acc[size_t(ox)] +=
+                                    w * irow[ox * s + shift];
+                        }
+                    }
+                }
+            }
+            for (int ox = 0; ox < out_shape.w; ++ox) {
+                double v = acc[size_t(ox)];
+                if (relu && v < 0.0)
+                    v = 0.0;
+                orow[ox] = float(v);
             }
         }
-    }
-    return out;
+    });
 }
 
 FullyConnected::FullyConnected(std::string name, Shape in,
@@ -190,8 +282,9 @@ FullyConnected::workload() const
     return w;
 }
 
-Tensor
-FullyConnected::forward(const std::vector<const Tensor *> &in) const
+void
+FullyConnected::forward(const std::vector<const Tensor *> &in,
+                        Tensor &out, const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 1, "fc %s expects one input",
                   name().c_str());
@@ -199,24 +292,33 @@ FullyConnected::forward(const std::vector<const Tensor *> &in) const
     eyecod_assert(int(x.size()) == in_features_,
                   "fc %s input size %zu != %d", name().c_str(),
                   x.size(), in_features_);
+    eyecod_assert(out.shape() == outputShape(),
+                  "fc %s output shape mismatch", name().c_str());
 
-    std::vector<float> input = x.data();
+    const float *input_data = x.data().data();
+    std::vector<float> quantized;
     if (quant_bits_ > 0) {
-        const QuantParams qp = chooseQuantParams(input, quant_bits_);
-        fakeQuantize(input, qp);
+        quantized = x.data();
+        const QuantParams qp =
+            chooseQuantParams(quantized, quant_bits_);
+        fakeQuantize(quantized, qp);
+        input_data = quantized.data();
     }
 
-    Tensor out(outputShape());
-    for (int o = 0; o < out_features_; ++o) {
-        double acc = bias_[size_t(o)];
-        const float *wrow = &weights_[size_t(o) * in_features_];
-        for (int i = 0; i < in_features_; ++i)
-            acc += wrow[i] * input[size_t(i)];
-        if (relu_ && acc < 0.0)
-            acc = 0.0;
-        out.at(0, 0, o) = float(acc);
-    }
-    return out;
+    const long grain =
+        std::max(1L, long(out_features_) /
+                         (long(ctx.concurrency()) * 4));
+    ctx.parallelFor(out_features_, grain, [&](long begin, long end) {
+        for (long o = begin; o < end; ++o) {
+            double acc = bias_[size_t(o)];
+            const float *wrow = &weights_[size_t(o) * in_features_];
+            for (int i = 0; i < in_features_; ++i)
+                acc += wrow[i] * input_data[size_t(i)];
+            if (relu_ && acc < 0.0)
+                acc = 0.0;
+            out.at(0, 0, int(o)) = float(acc);
+        }
+    });
 }
 
 MatMul::MatMul(std::string name, int rows, int k, int cols,
@@ -258,8 +360,9 @@ MatMul::workload() const
     return w;
 }
 
-Tensor
-MatMul::forward(const std::vector<const Tensor *> &in) const
+void
+MatMul::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                const ExecContext &ctx) const
 {
     eyecod_assert(in.size() == 1, "matmul %s expects one input",
                   name().c_str());
@@ -267,16 +370,23 @@ MatMul::forward(const std::vector<const Tensor *> &in) const
     eyecod_assert(x.shape().c == rows_ && x.shape().w == k_ &&
                   x.shape().h == 1,
                   "matmul %s input shape mismatch", name().c_str());
-    Tensor out(outputShape());
-    for (int r = 0; r < rows_; ++r) {
-        for (int c = 0; c < cols_; ++c) {
-            double acc = 0.0;
-            for (int i = 0; i < k_; ++i)
-                acc += x.at(r, 0, i) * weights_[size_t(i) * cols_ + c];
-            out.at(r, 0, c) = float(acc);
+    eyecod_assert(out.shape() == outputShape(),
+                  "matmul %s output shape mismatch", name().c_str());
+
+    // Row blocks: each output row is one independent dot-product fan.
+    const long grain =
+        std::max(1L, long(rows_) / (long(ctx.concurrency()) * 4));
+    ctx.parallelFor(rows_, grain, [&](long begin, long end) {
+        for (long r = begin; r < end; ++r) {
+            for (int c = 0; c < cols_; ++c) {
+                double acc = 0.0;
+                for (int i = 0; i < k_; ++i)
+                    acc += x.at(int(r), 0, i) *
+                           weights_[size_t(i) * cols_ + c];
+                out.at(int(r), 0, c) = float(acc);
+            }
         }
-    }
-    return out;
+    });
 }
 
 } // namespace nn

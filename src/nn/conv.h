@@ -39,7 +39,9 @@ class Conv2d : public Layer
   public:
     Conv2d(std::string name, const ConvSpec &spec);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override;
     LayerKind kind() const override;
     long long macs() const override;
@@ -79,7 +81,9 @@ class FullyConnected : public Layer
                    bool relu = false, int quant_bits = 0,
                    uint64_t seed = 1);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override;
     LayerKind kind() const override { return LayerKind::FullyConnected; }
     long long macs() const override;
@@ -109,7 +113,9 @@ class MatMul : public Layer
     MatMul(std::string name, int rows, int k, int cols,
            uint64_t seed = 1);
 
-    Tensor forward(const std::vector<const Tensor *> &in) const override;
+    using Layer::forward;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 const ExecContext &ctx) const override;
     Shape outputShape() const override;
     LayerKind kind() const override { return LayerKind::MatMul; }
     long long macs() const override;

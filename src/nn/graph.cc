@@ -1,6 +1,7 @@
 #include "nn/graph.h"
 
 #include "common/logging.h"
+#include "nn/runtime.h"
 
 namespace eyecod {
 namespace nn {
@@ -38,31 +39,9 @@ Graph::add(LayerPtr layer, std::vector<int> inputs)
 Tensor
 Graph::forward(const std::vector<Tensor> &inputs) const
 {
-    eyecod_assert(inputs.size() == input_ids_.size(),
-                  "graph %s expects %zu inputs, got %zu",
-                  name_.c_str(), input_ids_.size(), inputs.size());
-    eyecod_assert(!nodes_.empty(), "empty graph %s", name_.c_str());
-
-    std::vector<Tensor> values(nodes_.size());
-    for (size_t i = 0; i < input_ids_.size(); ++i) {
-        eyecod_assert(inputs[i].shape() ==
-                      nodes_[size_t(input_ids_[i])].shape,
-                      "graph %s input %zu shape mismatch",
-                      name_.c_str(), i);
-        values[size_t(input_ids_[i])] = inputs[i];
-    }
-
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-        const Node &node = nodes_[i];
-        if (!node.layer)
-            continue;
-        std::vector<const Tensor *> args;
-        args.reserve(node.inputs.size());
-        for (int id : node.inputs)
-            args.push_back(&values[size_t(id)]);
-        values[i] = node.layer->forward(args);
-    }
-    return values.back();
+    const ExecutionPlan plan(*this);
+    SerialBackend backend;
+    return backend.run(plan, inputs);
 }
 
 Shape
@@ -139,6 +118,30 @@ Graph::numLayers() const
         if (node.layer)
             ++n;
     return n;
+}
+
+bool
+Graph::isInput(int id) const
+{
+    eyecod_assert(id >= 0 && size_t(id) < nodes_.size(),
+                  "isInput: unknown node %d", id);
+    return nodes_[size_t(id)].layer == nullptr;
+}
+
+const Layer *
+Graph::nodeLayer(int id) const
+{
+    eyecod_assert(id >= 0 && size_t(id) < nodes_.size(),
+                  "nodeLayer: unknown node %d", id);
+    return nodes_[size_t(id)].layer.get();
+}
+
+const std::vector<int> &
+Graph::nodeInputs(int id) const
+{
+    eyecod_assert(id >= 0 && size_t(id) < nodes_.size(),
+                  "nodeInputs: unknown node %d", id);
+    return nodes_[size_t(id)].inputs;
 }
 
 } // namespace nn

@@ -49,6 +49,10 @@ class Graph
     /**
      * Execute the graph; @p inputs must match the declared input
      * nodes in order. Returns the output of the last node.
+     *
+     * Convenience wrapper: plans the graph and runs it on a serial
+     * reference backend. Callers that execute repeatedly should build
+     * an ExecutionPlan + Backend once and reuse them (see runtime.h).
      */
     Tensor forward(const std::vector<Tensor> &inputs) const;
 
@@ -78,6 +82,18 @@ class Graph
 
     /** Number of layer nodes (excluding inputs). */
     size_t numLayers() const;
+
+    /** True when node @p id is a graph input. */
+    bool isInput(int id) const;
+
+    /** Layer of node @p id (null for input nodes). */
+    const Layer *nodeLayer(int id) const;
+
+    /** Producer node ids of node @p id (empty for inputs). */
+    const std::vector<int> &nodeInputs(int id) const;
+
+    /** Node ids of the declared graph inputs, in order. */
+    const std::vector<int> &inputIds() const { return input_ids_; }
 
     /** Graph name. */
     const std::string &name() const { return name_; }

@@ -1,7 +1,40 @@
 #include "nn/layer.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
 namespace eyecod {
 namespace nn {
+
+void
+ExecContext::parallelFor(
+    long n, long grain,
+    const std::function<void(long, long)> &body) const
+{
+    if (pool) {
+        pool->parallelFor(n, grain, body);
+        return;
+    }
+    if (grain < 1)
+        grain = 1;
+    for (long begin = 0; begin < n; begin += grain)
+        body(begin, std::min(n, begin + grain));
+}
+
+int
+ExecContext::concurrency() const
+{
+    return pool ? pool->threadCount() : 1;
+}
+
+Tensor
+Layer::forward(const std::vector<const Tensor *> &in) const
+{
+    Tensor out(outputShape());
+    forward(in, out, ExecContext{});
+    return out;
+}
 
 const char *
 layerKindName(LayerKind kind)

@@ -12,6 +12,7 @@
 #ifndef EYECOD_NN_LAYER_H
 #define EYECOD_NN_LAYER_H
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,7 +20,32 @@
 #include "nn/tensor.h"
 
 namespace eyecod {
+
+class ThreadPool;
+
 namespace nn {
+
+/**
+ * Per-execution context handed to Layer::forward. Carries the
+ * parallel substrate of the executing backend; a null pool (the
+ * default) means serial reference execution.
+ */
+struct ExecContext
+{
+    ThreadPool *pool = nullptr; ///< Null for serial execution.
+
+    /**
+     * Run @p body over [0, n) in chunks of at most @p grain. Serial
+     * (one chunk-at-a-time, in order) when pool is null; otherwise
+     * delegates to the pool, whose chunk boundaries are independent
+     * of thread count. Chunks must write disjoint outputs.
+     */
+    void parallelFor(long n, long grain,
+                     const std::function<void(long, long)> &body) const;
+
+    /** Worker count of the backing pool (1 when serial). */
+    int concurrency() const;
+};
 
 /** The layer taxonomy of Sec. 5.1 Challenge #II. */
 enum class LayerKind {
@@ -86,9 +112,24 @@ class Layer
     Layer(const Layer &) = delete;
     Layer &operator=(const Layer &) = delete;
 
-    /** Execute the layer on its inputs. */
-    virtual Tensor forward(const std::vector<const Tensor *> &in) const
-        = 0;
+    /**
+     * Execute the layer, writing into @p out.
+     *
+     * @p out arrives already reset() to outputShape(); its previous
+     * contents are unspecified (it may be a reused arena slot), so
+     * implementations must write every element. @p out is guaranteed
+     * not to alias any input. @p ctx supplies the backend's parallel
+     * substrate; implementations may ignore it.
+     */
+    virtual void forward(const std::vector<const Tensor *> &in,
+                         Tensor &out, const ExecContext &ctx) const = 0;
+
+    /**
+     * Compatibility shim: allocate-and-return serial execution.
+     * Prefer the planned runtime (nn::ExecutionPlan + nn::Backend)
+     * for whole-graph inference.
+     */
+    Tensor forward(const std::vector<const Tensor *> &in) const;
 
     /** Output shape given the construction-time input shapes. */
     virtual Shape outputShape() const = 0;

@@ -1,0 +1,197 @@
+#include "nn/runtime.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace nn {
+
+ExecutionPlan::ExecutionPlan(const Graph &graph) : graph_(&graph)
+{
+    const size_t n = graph.numNodes();
+    eyecod_assert(n > 0, "planning empty graph %s",
+                  graph.name().c_str());
+
+    value_slot_.assign(n, -1);
+    input_index_.assign(n, -1);
+    const std::vector<int> &input_ids = graph.inputIds();
+    for (size_t i = 0; i < input_ids.size(); ++i)
+        input_index_[size_t(input_ids[i])] = int(i);
+
+    // Liveness: how many consumers of each value remain unscheduled.
+    // A value's slot is recycled the moment its count reaches zero.
+    std::vector<int> remaining(n, 0);
+    for (size_t id = 0; id < n; ++id)
+        for (int p : graph.nodeInputs(int(id)))
+            ++remaining[size_t(p)];
+
+    const int output_node = int(n) - 1;
+    std::vector<int> free_slots;
+    size_t live = 0;
+
+    for (size_t id = 0; id < n; ++id) {
+        if (graph.isInput(int(id)))
+            continue;
+        Step step;
+        step.node = int(id);
+        step.layer = graph.nodeLayer(int(id));
+        step.shape = graph.nodeShape(int(id));
+        step.arg_nodes = graph.nodeInputs(int(id));
+        const size_t need = step.shape.size();
+        stats_.eager_elements += need;
+
+        // Acquire a slot before releasing this step's arguments so an
+        // output never aliases an input of the same step. Best fit
+        // first; otherwise grow the largest free slot; otherwise a
+        // fresh slot.
+        int chosen = -1;
+        size_t best_cap = std::numeric_limits<size_t>::max();
+        int biggest = -1;
+        size_t biggest_cap = 0;
+        for (size_t f = 0; f < free_slots.size(); ++f) {
+            const size_t cap = slot_capacity_[size_t(free_slots[f])];
+            if (cap >= need && cap < best_cap) {
+                best_cap = cap;
+                chosen = int(f);
+            }
+            if (biggest < 0 || cap > biggest_cap) {
+                biggest_cap = cap;
+                biggest = int(f);
+            }
+        }
+        if (chosen < 0 && biggest >= 0)
+            chosen = biggest;
+        int slot;
+        if (chosen >= 0) {
+            slot = free_slots[size_t(chosen)];
+            free_slots.erase(free_slots.begin() + chosen);
+            slot_capacity_[size_t(slot)] =
+                std::max(slot_capacity_[size_t(slot)], need);
+        } else {
+            slot = int(slot_capacity_.size());
+            slot_capacity_.push_back(need);
+        }
+        value_slot_[id] = slot;
+        step.slot = slot;
+        live += need;
+        stats_.peak_live_elements =
+            std::max(stats_.peak_live_elements, live);
+
+        for (int p : step.arg_nodes) {
+            if (--remaining[size_t(p)] == 0 &&
+                !graph.isInput(p) && p != output_node) {
+                free_slots.push_back(value_slot_[size_t(p)]);
+                live -= graph.nodeShape(p).size();
+            }
+        }
+        steps_.push_back(std::move(step));
+    }
+
+    stats_.arena_slots = slot_capacity_.size();
+    for (size_t cap : slot_capacity_)
+        stats_.arena_elements += cap;
+}
+
+Tensor
+Backend::run(const ExecutionPlan &plan,
+             const std::vector<Tensor> &inputs)
+{
+    const Graph &graph = plan.graph();
+    const std::vector<int> &input_ids = graph.inputIds();
+    eyecod_assert(inputs.size() == input_ids.size(),
+                  "graph %s expects %zu inputs, got %zu",
+                  graph.name().c_str(), input_ids.size(),
+                  inputs.size());
+    for (size_t i = 0; i < input_ids.size(); ++i) {
+        eyecod_assert(inputs[i].shape() ==
+                      graph.nodeShape(input_ids[i]),
+                      "graph %s input %zu shape mismatch",
+                      graph.name().c_str(), i);
+    }
+
+    if (arena_plan_ != &plan || arena_.size() != plan.numSlots()) {
+        arena_.assign(plan.numSlots(), Tensor());
+        for (size_t s = 0; s < arena_.size(); ++s)
+            arena_[s].reserve(plan.slotCapacity(int(s)));
+        arena_plan_ = &plan;
+    }
+
+    const ExecContext ctx{pool()};
+    std::vector<const Tensor *> args;
+    for (const ExecutionPlan::Step &step : plan.steps()) {
+        args.clear();
+        args.reserve(step.arg_nodes.size());
+        for (int p : step.arg_nodes) {
+            const int input_idx = plan.inputIndex(p);
+            args.push_back(input_idx >= 0
+                               ? &inputs[size_t(input_idx)]
+                               : &arena_[size_t(plan.valueSlot(p))]);
+        }
+        Tensor &out = arena_[size_t(step.slot)];
+        out.reset(step.shape);
+        step.layer->forward(args, out, ctx);
+    }
+
+    if (plan.steps().empty()) {
+        // Degenerate graph of inputs only: echo the last node.
+        const int last = int(graph.numNodes()) - 1;
+        return inputs[size_t(plan.inputIndex(last))];
+    }
+    return arena_[size_t(plan.steps().back().slot)];
+}
+
+std::string
+ThreadedBackend::name() const
+{
+    return "threaded-" + std::to_string(pool_.threadCount());
+}
+
+std::unique_ptr<Backend>
+makeBackend(BackendKind kind, int threads)
+{
+    switch (kind) {
+      case BackendKind::Serial:
+        return std::make_unique<SerialBackend>();
+      case BackendKind::Threaded:
+        return std::make_unique<ThreadedBackend>(threads);
+    }
+    return std::make_unique<SerialBackend>();
+}
+
+Tensor
+runEager(const Graph &graph, const std::vector<Tensor> &inputs)
+{
+    const std::vector<int> &input_ids = graph.inputIds();
+    eyecod_assert(inputs.size() == input_ids.size(),
+                  "graph %s expects %zu inputs, got %zu",
+                  graph.name().c_str(), input_ids.size(),
+                  inputs.size());
+    eyecod_assert(graph.numNodes() > 0, "empty graph %s",
+                  graph.name().c_str());
+
+    std::vector<Tensor> values(graph.numNodes());
+    for (size_t i = 0; i < input_ids.size(); ++i) {
+        eyecod_assert(inputs[i].shape() ==
+                      graph.nodeShape(input_ids[i]),
+                      "graph %s input %zu shape mismatch",
+                      graph.name().c_str(), i);
+        values[size_t(input_ids[i])] = inputs[i];
+    }
+
+    for (size_t i = 0; i < graph.numNodes(); ++i) {
+        const Layer *layer = graph.nodeLayer(int(i));
+        if (!layer)
+            continue;
+        std::vector<const Tensor *> args;
+        args.reserve(graph.nodeInputs(int(i)).size());
+        for (int id : graph.nodeInputs(int(i)))
+            args.push_back(&values[size_t(id)]);
+        values[i] = layer->forward(args);
+    }
+    return values.back();
+}
+
+} // namespace nn
+} // namespace eyecod

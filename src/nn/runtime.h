@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Planned NN execution runtime: the plan/execute split for the
+ * functional CPU path, mirroring what the accelerator compiler in
+ * src/accel does for the simulated hardware.
+ *
+ * An ExecutionPlan topologically schedules a Graph once, computes
+ * per-node liveness (the step index of each value's last consumer),
+ * and assigns every node output into a reusable tensor arena slot —
+ * a slot is recycled as soon as the value it holds has been consumed
+ * for the last time, so the arena footprint of a U-Net style graph is
+ * far below the sum of all intermediate sizes.
+ *
+ * A Backend executes a plan. Two implementations ship here:
+ *
+ *  - SerialBackend: single-threaded reference, semantically identical
+ *    to the historical eager Graph::forward;
+ *  - ThreadedBackend: multithreaded CPU execution on a ThreadPool,
+ *    parallelizing conv output channels/rows, depth-wise channels,
+ *    and matmul row blocks inside each layer. Work is chunked over
+ *    disjoint output ranges, so results are bitwise identical to the
+ *    serial backend and independent of the thread count.
+ *
+ * Later backends (batched, sharded, accelerator-offloaded) plug into
+ * the same ExecutionPlan/Backend seam instead of rewriting layers.
+ */
+
+#ifndef EYECOD_NN_RUNTIME_H
+#define EYECOD_NN_RUNTIME_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/graph.h"
+
+namespace eyecod {
+namespace nn {
+
+/** Memory accounting of a plan (element counts, not bytes). */
+struct PlanStats
+{
+    size_t arena_slots = 0;     ///< Physical arena slots allocated.
+    size_t arena_elements = 0;  ///< Sum of slot capacities.
+    size_t peak_live_elements = 0; ///< Max simultaneously-live values.
+    size_t eager_elements = 0;  ///< Sum of every node output size —
+                                ///< what the eager executor held.
+};
+
+/**
+ * A topologically scheduled Graph with liveness-derived arena slot
+ * assignments. Planning is done once; the plan is immutable and
+ * shareable across backends. The Graph must outlive the plan.
+ */
+class ExecutionPlan
+{
+  public:
+    /** One scheduled layer execution. */
+    struct Step
+    {
+        int node = -1;              ///< Node id in the graph.
+        const Layer *layer = nullptr;
+        Shape shape;                ///< Output shape.
+        int slot = -1;              ///< Arena slot for the output.
+        std::vector<int> arg_nodes; ///< Producer node ids.
+    };
+
+    explicit ExecutionPlan(const Graph &graph);
+
+    /** The planned graph. */
+    const Graph &graph() const { return *graph_; }
+
+    /** Scheduled layer executions, in order. */
+    const std::vector<Step> &steps() const { return steps_; }
+
+    /** Number of physical arena slots. */
+    size_t numSlots() const { return slot_capacity_.size(); }
+
+    /** Element capacity of @p slot. */
+    size_t slotCapacity(int slot) const
+    {
+        return slot_capacity_[size_t(slot)];
+    }
+
+    /** Arena slot of node @p id's value (-1 for graph inputs). */
+    int valueSlot(int node) const { return value_slot_[size_t(node)]; }
+
+    /**
+     * Index into the caller-provided input vector when node @p id is
+     * a graph input, -1 otherwise.
+     */
+    int inputIndex(int node) const
+    {
+        return input_index_[size_t(node)];
+    }
+
+    /** Memory accounting (slot reuse vs eager materialization). */
+    const PlanStats &stats() const { return stats_; }
+
+  private:
+    const Graph *graph_;
+    std::vector<Step> steps_;
+    std::vector<int> value_slot_;      ///< Per node; -1 for inputs.
+    std::vector<int> input_index_;     ///< Per node; -1 for layers.
+    std::vector<size_t> slot_capacity_;
+    PlanStats stats_;
+};
+
+/**
+ * Executes ExecutionPlans. A backend owns its arena (sized lazily per
+ * plan and reused across run() calls), so a long-lived backend incurs
+ * zero steady-state tensor allocation.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    Backend(const Backend &) = delete;
+    Backend &operator=(const Backend &) = delete;
+
+    /** Human-readable backend name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute @p plan on @p inputs (one tensor per declared graph
+     * input, in order); returns the output of the final node.
+     */
+    Tensor run(const ExecutionPlan &plan,
+               const std::vector<Tensor> &inputs);
+
+  protected:
+    Backend() = default;
+
+    /** Parallel substrate handed to layers (null = serial). */
+    virtual ThreadPool *pool() { return nullptr; }
+
+  private:
+    /** Arena reused across run() calls; rebuilt when the plan
+     *  changes. */
+    std::vector<Tensor> arena_;
+    const ExecutionPlan *arena_plan_ = nullptr;
+};
+
+/** Single-threaded reference backend. */
+class SerialBackend : public Backend
+{
+  public:
+    SerialBackend() = default;
+    std::string name() const override { return "serial"; }
+};
+
+/**
+ * Multithreaded CPU backend. Results are bitwise identical to
+ * SerialBackend for every layer in this engine, independent of
+ * @p threads (see ThreadPool's determinism contract).
+ */
+class ThreadedBackend : public Backend
+{
+  public:
+    /** @param threads total concurrency; 0 = hardware concurrency. */
+    explicit ThreadedBackend(int threads = 0) : pool_(threads) {}
+
+    std::string name() const override;
+
+    /** Total concurrency in use. */
+    int threadCount() const { return pool_.threadCount(); }
+
+  protected:
+    ThreadPool *pool() override { return &pool_; }
+
+  private:
+    ThreadPool pool_;
+};
+
+/** Backend selector for configuration surfaces. */
+enum class BackendKind {
+    Serial,   ///< Reference single-thread execution.
+    Threaded, ///< ThreadPool-backed CPU execution.
+};
+
+/** Construct a backend. @p threads only applies to Threaded. */
+std::unique_ptr<Backend> makeBackend(BackendKind kind,
+                                     int threads = 0);
+
+/**
+ * The historical eager executor: one freshly allocated tensor per
+ * node, all intermediates kept live for the whole pass. Retained as
+ * the baseline for runtime benchmarks and parity tests.
+ */
+Tensor runEager(const Graph &graph, const std::vector<Tensor> &inputs);
+
+} // namespace nn
+} // namespace eyecod
+
+#endif // EYECOD_NN_RUNTIME_H

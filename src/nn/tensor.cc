@@ -16,6 +16,16 @@ Tensor::Tensor(Shape shape, float fill)
                   shape.c, shape.h, shape.w);
 }
 
+void
+Tensor::reset(Shape shape)
+{
+    eyecod_assert(shape.c > 0 && shape.h > 0 && shape.w > 0,
+                  "tensor reset shape must be positive, got %dx%dx%d",
+                  shape.c, shape.h, shape.w);
+    shape_ = shape;
+    data_.resize(shape.size());
+}
+
 float
 Tensor::atClamped(int c, int y, int x) const
 {

@@ -54,6 +54,18 @@ class Tensor
     /** Total element count. */
     size_t size() const { return data_.size(); }
 
+    /**
+     * Rebind this tensor to @p shape for arena reuse. Storage shrinks
+     * or grows to shape.size() but never releases capacity, so a slot
+     * cycled through shapes no larger than its reserve() never
+     * reallocates. Element contents are unspecified afterwards; every
+     * layer writes its full output, which is what makes this safe.
+     */
+    void reset(Shape shape);
+
+    /** Pre-allocate capacity for @p elements without changing shape. */
+    void reserve(size_t elements) { data_.reserve(elements); }
+
     /** Mutable element access (no bounds check). */
     float &
     at(int c, int y, int x)

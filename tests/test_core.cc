@@ -130,6 +130,23 @@ TEST(EyeCoDSystem, SystemSpeedupOrderingVsGpu)
     EXPECT_GT(system_ratio, compute_ratio);
 }
 
+
+TEST(EyeCoDSystem, RuntimeProfileReportsArenaSavings)
+{
+    SystemConfig cfg;
+    cfg.nn_backend = nn::BackendKind::Threaded;
+    cfg.nn_threads = 2;
+    const EyeCoDSystem sys{cfg};
+    const RuntimeProfile profile = sys.runtimeProfile();
+    EXPECT_EQ(profile.backend, "threaded-2");
+    for (const nn::PlanStats *stats :
+         {&profile.segmentation, &profile.gaze}) {
+        EXPECT_GT(stats->arena_slots, 0u);
+        EXPECT_LT(stats->arena_elements, stats->eager_elements);
+        EXPECT_LE(stats->peak_live_elements, stats->arena_elements);
+    }
+}
+
 } // namespace
 } // namespace core
 } // namespace eyecod

@@ -160,6 +160,31 @@ TEST(GazeEstimator, DeterministicTraining)
     }
 }
 
+
+TEST(NeuralGazeEstimator, PredictsUnitVectorsDeterministically)
+{
+    NeuralGazeConfig cfg; // 32x64 FBNet
+    NeuralGazeEstimator serial(cfg);
+    NeuralGazeConfig tcfg = cfg;
+    tcfg.backend = nn::BackendKind::Threaded;
+    tcfg.threads = 2;
+    NeuralGazeEstimator threaded(tcfg);
+
+    const TrainEval te = makeSets(CropPolicy::Roi, 4, 4);
+    for (const Image &roi : te.eval_rois) {
+        const auto a = serial.predict(roi);
+        const auto b = threaded.predict(roi);
+        const double norm =
+            std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]);
+        EXPECT_NEAR(norm, 1.0, 1e-9);
+        EXPECT_DOUBLE_EQ(a[0], b[0]);
+        EXPECT_DOUBLE_EQ(a[1], b[1]);
+        EXPECT_DOUBLE_EQ(a[2], b[2]);
+    }
+    EXPECT_LT(serial.planStats().arena_elements,
+              serial.planStats().eager_elements);
+}
+
 } // namespace
 } // namespace eyetrack
 } // namespace eyecod

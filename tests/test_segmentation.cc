@@ -176,6 +176,42 @@ TEST(Segmenter, SegmentationIsDeterministic)
     EXPECT_EQ(a.labels, b.labels);
 }
 
+
+TEST(NeuralSegmenter, ProducesValidMaskOnPlannedRuntime)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    NeuralSegmenterConfig cfg;
+    cfg.height = 32;
+    cfg.width = 32;
+    NeuralSegmenter seg(cfg);
+    const auto s = ren.sample(3);
+    const dataset::SegMask mask = seg.segment(s.image);
+    EXPECT_EQ(mask.height, 32);
+    EXPECT_EQ(mask.width, 32);
+    ASSERT_EQ(mask.labels.size(), size_t(32 * 32));
+    for (uint8_t label : mask.labels)
+        EXPECT_LT(label, 4);
+    // The plan must actually recycle memory.
+    EXPECT_LT(seg.planStats().arena_elements,
+              seg.planStats().eager_elements);
+    EXPECT_EQ(seg.backendName(), "serial");
+}
+
+TEST(NeuralSegmenter, SerialAndThreadedBackendsAgree)
+{
+    const dataset::SyntheticEyeRenderer ren({}, 2019);
+    NeuralSegmenterConfig serial_cfg;
+    serial_cfg.height = 32;
+    serial_cfg.width = 32;
+    NeuralSegmenterConfig threaded_cfg = serial_cfg;
+    threaded_cfg.backend = nn::BackendKind::Threaded;
+    threaded_cfg.threads = 4;
+    NeuralSegmenter serial(serial_cfg), threaded(threaded_cfg);
+    const auto s = ren.sample(5);
+    EXPECT_EQ(serial.segment(s.image).labels,
+              threaded.segment(s.image).labels);
+}
+
 } // namespace
 } // namespace eyetrack
 } // namespace eyecod

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ThreadPool unit tests: chunk coverage, determinism of chunk
+ * boundaries across thread counts, nested-call inlining, exception
+ * propagation, and reuse across many parallelFor invocations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+using eyecod::ThreadPool;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const long n = 1237;
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+    pool.parallelFor(n, 10, [&](long begin, long end) {
+        for (long i = begin; i < end; ++i)
+            hits[size_t(i)].fetch_add(1);
+    });
+    for (long i = 0; i < n; ++i)
+        EXPECT_EQ(hits[size_t(i)].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount)
+{
+    // The chunk set depends only on (n, grain): collect the begin/end
+    // pairs with 1, 2, and 8 threads and compare as sorted sets.
+    auto chunksOf = [](int threads) {
+        ThreadPool pool(threads);
+        std::vector<std::pair<long, long>> chunks;
+        std::mutex m;
+        pool.parallelFor(101, 7, [&](long begin, long end) {
+            std::lock_guard<std::mutex> lock(m);
+            chunks.emplace_back(begin, end);
+        });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    const auto one = chunksOf(1);
+    const auto two = chunksOf(2);
+    const auto eight = chunksOf(8);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+    EXPECT_EQ(one.size(), size_t((101 + 6) / 7));
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    const std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(100, 10, [&](long, long) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, NestedCallsExecuteInline)
+{
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    pool.parallelFor(8, 1, [&](long begin, long end) {
+        for (long i = begin; i < end; ++i) {
+            // A nested parallelFor from a pool body must not
+            // deadlock; it runs inline on the calling worker.
+            pool.parallelFor(10, 2, [&](long b, long e) {
+                total.fetch_add(e - b);
+            });
+        }
+    });
+    EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, PropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100, 1,
+                         [&](long begin, long) {
+                             if (begin == 50)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool stays usable after a failed job.
+    std::atomic<long> count{0};
+    pool.parallelFor(10, 1, [&](long, long) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ManySmallJobsReuseWorkers)
+{
+    ThreadPool pool(3);
+    std::vector<double> data(256, 1.0);
+    for (int iter = 0; iter < 200; ++iter) {
+        pool.parallelFor(long(data.size()), 16,
+                         [&](long begin, long end) {
+                             for (long i = begin; i < end; ++i)
+                                 data[size_t(i)] += 0.5;
+                         });
+    }
+    const double sum =
+        std::accumulate(data.begin(), data.end(), 0.0);
+    EXPECT_DOUBLE_EQ(sum, 256.0 * (1.0 + 0.5 * 200));
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoops)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, 1, [&](long, long) { ++calls; });
+    pool.parallelFor(-5, 1, [&](long, long) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
