@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 namespace eyecod {
 
@@ -13,6 +15,59 @@ vreport(const char *tag, const char *fmt, va_list ap)
 {
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+/** Per-key occurrence counts behind warn()'s rate limiting. */
+struct WarnEntry
+{
+    long occurrences = 0;
+    long suppressed = 0;
+    long suppressed_since_emit = 0;
+};
+
+std::mutex g_warn_mutex;
+WarnRateLimit g_warn_limit;
+std::map<std::string, WarnEntry> g_warn_entries;
+
+/**
+ * Record one occurrence of @p key; returns the number of messages
+ * suppressed since the last emission in @p summary when this
+ * occurrence should be printed, or -1 when it must be suppressed.
+ */
+long
+warnAdmit(const char *key)
+{
+    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    WarnEntry &e = g_warn_entries[key];
+    ++e.occurrences;
+    const bool in_head = g_warn_limit.first_n < 0 ||
+                         e.occurrences <= g_warn_limit.first_n;
+    const bool periodic =
+        g_warn_limit.period > 0 &&
+        e.occurrences % g_warn_limit.period == 0;
+    if (in_head || periodic) {
+        const long summary = e.suppressed_since_emit;
+        e.suppressed_since_emit = 0;
+        return summary;
+    }
+    ++e.suppressed;
+    ++e.suppressed_since_emit;
+    return -1;
+}
+
+void
+vwarnLimited(const char *key, const char *fmt, va_list ap)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    const long summary = warnAdmit(key);
+    if (summary < 0)
+        return;
+    std::fprintf(stderr, "warn: ");
+    std::vfprintf(stderr, fmt, ap);
+    if (summary > 0)
+        std::fprintf(stderr, " (%ld similar suppressed)", summary);
     std::fprintf(stderr, "\n");
 }
 } // namespace
@@ -52,12 +107,51 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
-        return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("warn", fmt, ap);
+    // The format string is the rate-limit key: each call site gets
+    // its own budget.
+    vwarnLimited(fmt, fmt, ap);
     va_end(ap);
+}
+
+void
+setWarnRateLimit(const WarnRateLimit &limit)
+{
+    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    g_warn_limit = limit;
+}
+
+void
+warnLimited(const char *key, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vwarnLimited(key, fmt, ap);
+    va_end(ap);
+}
+
+long
+warnOccurrences(const char *key)
+{
+    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    const auto it = g_warn_entries.find(key);
+    return it == g_warn_entries.end() ? 0 : it->second.occurrences;
+}
+
+long
+warnSuppressed(const char *key)
+{
+    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    const auto it = g_warn_entries.find(key);
+    return it == g_warn_entries.end() ? 0 : it->second.suppressed;
+}
+
+void
+resetWarnRateLimiter()
+{
+    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    g_warn_entries.clear();
 }
 
 void

@@ -44,8 +44,43 @@ LogLevel logLevel();
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Report a condition that might indicate a problem but is survivable. */
+/**
+ * Report a condition that might indicate a problem but is survivable.
+ *
+ * warn() is rate-limited per call site (keyed by the format string):
+ * the first `first_n` occurrences of a key are emitted verbatim, then
+ * only every `period`-th occurrence, annotated with the number of
+ * messages suppressed since the last emission. This keeps per-frame
+ * fault warnings from flooding stderr at streaming rates while still
+ * surfacing that the condition persists.
+ */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Rate-limit policy applied by warn() to each distinct key. */
+struct WarnRateLimit
+{
+    long first_n = 10;  ///< Emit this many leading occurrences.
+    long period = 1000; ///< Then emit every period-th with a summary.
+};
+
+/** Replace the global warn() rate-limit policy. */
+void setWarnRateLimit(const WarnRateLimit &limit);
+
+/**
+ * Rate-limited warn with an explicit key, for messages whose format
+ * string is not a stable identity (e.g. composed at runtime).
+ */
+void warnLimited(const char *key, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Total occurrences recorded for a warn key (emitted + suppressed). */
+long warnOccurrences(const char *key);
+
+/** Occurrences of a warn key that were suppressed (never printed). */
+long warnSuppressed(const char *key);
+
+/** Drop all warn rate-limiter state (counts and keys). */
+void resetWarnRateLimiter();
 
 /** Report a normal status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

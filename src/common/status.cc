@@ -1,0 +1,62 @@
+#include "common/status.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace eyecod {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::InvalidArgument: return "invalid-argument";
+      case ErrorCode::ShapeMismatch: return "shape-mismatch";
+      case ErrorCode::FrameDropped: return "frame-dropped";
+      case ErrorCode::SensorFault: return "sensor-fault";
+      case ErrorCode::NonFinite: return "non-finite";
+      case ErrorCode::SegmentationFailed: return "segmentation-failed";
+      case ErrorCode::RoiRejected: return "roi-rejected";
+      case ErrorCode::NotTrained: return "not-trained";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+Status
+Status::error(ErrorCode code, const char *fmt, ...)
+{
+    eyecod_assert(code != ErrorCode::Ok,
+                  "Status::error with ErrorCode::Ok");
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return Status(code, std::string(buf));
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+void
+resultBadAccessPanic(const Status &status)
+{
+    panic("Result::value() on failed result (%s)",
+          status.toString().c_str());
+}
+
+void
+resultOkStatusPanic()
+{
+    panic("Result constructed from an OK status");
+}
+
+} // namespace eyecod

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Typed recoverable errors for the serving path.
+ *
+ * The logging layer (panic/fatal) is for conditions that end the
+ * process: internal invariant violations and unrecoverable user
+ * configuration errors. Everything *input-dependent* — a corrupted
+ * sensor frame, a mis-sized measurement, a segmentation that found no
+ * eye, a NaN-poisoned tensor — must instead surface as a value the
+ * caller can branch on, because a production tracker serving a
+ * headset at 240 FPS cannot abort on the first bad frame.
+ *
+ * Status is a cheap (code, message) pair; Result<T> is the
+ * expected-style carrier of either a value or a non-OK Status. No
+ * exceptions are thrown on the hot path.
+ */
+
+#ifndef EYECOD_COMMON_STATUS_H
+#define EYECOD_COMMON_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace eyecod {
+
+/** Taxonomy of recoverable failures. */
+enum class ErrorCode {
+    Ok = 0,
+    InvalidArgument,     ///< Caller passed a bad value.
+    ShapeMismatch,       ///< Image/tensor extent differs from expected.
+    FrameDropped,        ///< Sensor delivered no frame this tick.
+    SensorFault,         ///< Frame delivered but known-corrupted.
+    NonFinite,           ///< NaN/Inf detected in a numeric result.
+    SegmentationFailed,  ///< Segmenter produced no usable eye regions.
+    RoiRejected,         ///< Predicted ROI failed sanity gating.
+    NotTrained,          ///< Inference requested before fitting.
+    Internal,            ///< Unclassified recoverable failure.
+};
+
+/** Human-readable name of an ErrorCode. */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * A (code, message) error value. Default-constructed Status is OK.
+ */
+class Status
+{
+  public:
+    Status() = default;
+
+    /** The OK status (no error). */
+    static Status ok() { return Status(); }
+
+    /** Build a non-OK status with a printf-style message. */
+    static Status error(ErrorCode code, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** True when no error is carried. */
+    bool isOk() const { return code_ == ErrorCode::Ok; }
+
+    /** The error code (Ok when isOk()). */
+    ErrorCode code() const { return code_; }
+
+    /** The message (empty when isOk()). */
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code-name>: <message>". */
+    std::string toString() const;
+
+  private:
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Either a T or a non-OK Status. The value accessors panic on a
+ * failed Result, so callers must branch on ok() first (or use
+ * valueOr for a fallback).
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Success. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failure; @p status must be non-OK. */
+    Result(Status status) : status_(std::move(status))
+    {
+        if (status_.isOk())
+            detail_failOkResult();
+    }
+
+    /** True when a value is carried. */
+    bool ok() const { return value_.has_value(); }
+
+    /** The status (OK when ok()). */
+    const Status &status() const { return status_; }
+
+    /** The value; panics when !ok(). */
+    const T &
+    value() const
+    {
+        if (!ok())
+            detail_failBadAccess(status_);
+        return *value_;
+    }
+
+    /** Mutable value; panics when !ok(). */
+    T &
+    value()
+    {
+        if (!ok())
+            detail_failBadAccess(status_);
+        return *value_;
+    }
+
+    /** Move the value out; panics when !ok(). */
+    T &&
+    take()
+    {
+        if (!ok())
+            detail_failBadAccess(status_);
+        return std::move(*value_);
+    }
+
+    /** The value, or @p fallback when failed. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    static void detail_failOkResult();
+    [[noreturn]] static void detail_failBadAccess(const Status &s);
+
+    std::optional<T> value_;
+    Status status_;
+};
+
+/** Out-of-line panic helpers shared by all Result instantiations. */
+[[noreturn]] void resultBadAccessPanic(const Status &status);
+void resultOkStatusPanic();
+
+template <typename T>
+void
+Result<T>::detail_failOkResult()
+{
+    resultOkStatusPanic();
+}
+
+template <typename T>
+void
+Result<T>::detail_failBadAccess(const Status &s)
+{
+    resultBadAccessPanic(s);
+}
+
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_STATUS_H

@@ -33,6 +33,24 @@ EyeCoDSystem::reset()
     pipe_->reset();
 }
 
+HealthReport
+EyeCoDSystem::healthReport() const
+{
+    HealthReport report;
+    report.stats = pipe_->healthStats();
+    report.degraded_mode = pipe_->inDegradedMode();
+    if (report.stats.frames > 0) {
+        const double n = double(report.stats.frames);
+        report.degraded_fraction =
+            double(report.stats.degraded_frames) / n;
+        report.drop_fraction =
+            double(report.stats.dropped_frames) / n;
+    }
+    report.mean_recovery_latency_frames =
+        report.stats.meanRecoveryLatency();
+    return report;
+}
+
 accel::PerfReport
 EyeCoDSystem::simulatePerformance() const
 {

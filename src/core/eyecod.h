@@ -75,6 +75,25 @@ struct RuntimeProfile
     nn::PlanStats gaze;           ///< FBNet-C100 at the ROI extent.
 };
 
+/**
+ * Aggregate serving-health report of the functional pipeline:
+ * degraded-mode status, fault/recovery counters, and recovery
+ * latency, accumulated since construction or the last reset().
+ */
+struct HealthReport
+{
+    /** Raw per-event counters (see eyetrack::HealthStats). */
+    eyetrack::HealthStats stats;
+    /** True while the pipeline is inside a degraded streak. */
+    bool degraded_mode = false;
+    /** Fraction of processed frames that were degraded. */
+    double degraded_fraction = 0.0;
+    /** Fraction of processed frames dropped outright. */
+    double drop_fraction = 0.0;
+    /** Mean degraded-streak length in frames. */
+    double mean_recovery_latency_frames = 0.0;
+};
+
 /** One row of the Fig. 14 style cross-platform comparison. */
 struct ComparisonRow
 {
@@ -97,12 +116,19 @@ class EyeCoDSystem
     void train(const dataset::SyntheticEyeRenderer &renderer,
                int train_count);
 
-    /** Run one frame through the functional pipeline. */
+    /**
+     * Run one frame through the functional pipeline. The returned
+     * FrameResult carries a per-frame FrameHealth record; the call
+     * never aborts on bad input and always emits a finite gaze.
+     */
     eyetrack::PredictThenFocusPipeline::FrameResult processFrame(
         const Image &scene);
 
     /** Reset the functional pipeline's per-sequence state. */
     void reset();
+
+    /** Aggregate health since construction or the last reset(). */
+    HealthReport healthReport() const;
 
     /** Simulate the accelerator on the deployment workload. */
     accel::PerfReport simulatePerformance() const;

@@ -34,6 +34,15 @@ makeTrajectory(const SyntheticEyeRenderer &renderer, uint64_t subject,
     const double drift_freq = rng.uniform(0.2, 0.6); // Hz
     const double drift_phase = rng.uniform(0.0, 2.0 * M_PI);
 
+    // Blink state: frames remaining in the current blink, and its
+    // total length. Guarded on blink_rate so the default (0) draws
+    // nothing from the RNG and the sequence stays bit-identical to
+    // the blink-free generator.
+    const int blink_frames =
+        std::max(1, int(std::lround(cfg.blink_duration * cfg.fps)));
+    const double blink_p = cfg.blink_rate * dt;
+    int blink_left = 0;
+
     std::vector<EyeParams> out;
     out.reserve(size_t(cfg.frames));
     for (int f = 0; f < cfg.frames; ++f) {
@@ -62,6 +71,21 @@ makeTrajectory(const SyntheticEyeRenderer &renderer, uint64_t subject,
         p.eye_cx = cx;
         p.pupil_scale =
             base.pupil_scale * (1.0 + 0.02 * std::sin(2.0 * t));
+
+        if (cfg.blink_rate > 0.0) {
+            if (blink_left == 0 && rng.bernoulli(blink_p))
+                blink_left = blink_frames;
+            if (blink_left > 0) {
+                // Cosine lid profile: open -> closed -> open.
+                const double phase =
+                    double(blink_frames - blink_left) /
+                    double(blink_frames);
+                const double lid =
+                    0.5 * (1.0 + std::cos(2.0 * M_PI * phase));
+                p.eyelid_open = base.eyelid_open * lid;
+                --blink_left;
+            }
+        }
         out.push_back(p);
     }
     return out;

@@ -35,6 +35,18 @@ struct TrajectoryConfig
      * range).
      */
     double gaze_range_scale = 0.7;
+    /**
+     * Expected blinks per second; 0 (the default) disables blinks
+     * and leaves the generated sequence bit-identical to the
+     * pre-blink generator. During a blink the eyelid sweeps closed
+     * and back open over blink_duration seconds, occluding the
+     * pupil — the natural-fault counterpart to injected sensor
+     * faults (the segmenter finds no pupil and the ROI gate must
+     * hold the last good ROI).
+     */
+    double blink_rate = 0.0;
+    /** Blink duration in seconds (close + reopen). */
+    double blink_duration = 0.15;
 };
 
 /**

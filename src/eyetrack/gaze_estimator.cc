@@ -137,12 +137,20 @@ NeuralGazeEstimator::predict(const Image &roi)
     std::copy(sized.data().begin(), sized.data().end(),
               input.data().begin());
 
-    const nn::Tensor out = backend_->run(plan_, {input});
-    eyecod_assert(out.size() == 3,
+    // Finite-checked execution: a poisoned tensor degrades to the
+    // neutral forward gaze instead of emitting NaN.
+    Result<nn::Tensor> out = backend_->runChecked(plan_, {input});
+    if (!out.ok()) {
+        warnLimited("neural-gaze-fault", "gaze degraded: %s",
+                    out.status().toString().c_str());
+        return dataset::GazeVec{0, 0, 1};
+    }
+    eyecod_assert(out.value().size() == 3,
                   "gaze head must emit 3 values, got %zu",
-                  out.size());
-    dataset::GazeVec g{double(out.data()[0]), double(out.data()[1]),
-                       double(out.data()[2])};
+                  out.value().size());
+    dataset::GazeVec g{double(out.value().data()[0]),
+                       double(out.value().data()[1]),
+                       double(out.value().data()[2])};
     return dataset::normalize(g);
 }
 

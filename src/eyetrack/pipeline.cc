@@ -1,15 +1,54 @@
 #include "eyetrack/pipeline.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace eyecod {
 namespace eyetrack {
 
+namespace {
+
+/** True when every component of @p g is finite. */
+bool
+gazeFinite(const dataset::GazeVec &g)
+{
+    return std::isfinite(g[0]) && std::isfinite(g[1]) &&
+           std::isfinite(g[2]);
+}
+
+/**
+ * Replace non-finite pixels with mid-gray in place; returns the
+ * number of pixels sanitized.
+ */
+long
+sanitizeView(Image &view)
+{
+    long fixed = 0;
+    for (float &v : view.data()) {
+        if (!std::isfinite(v)) {
+            v = 0.5f;
+            ++fixed;
+        }
+    }
+    return fixed;
+}
+
+} // namespace
+
 PredictThenFocusPipeline::PredictThenFocusPipeline(PipelineConfig cfg)
     : cfg_(cfg), segmenter_(cfg.segmenter),
-      roi_(cfg.roi_height, cfg.roi_width), gaze_(cfg.gaze)
+      roi_(cfg.roi_height, cfg.roi_width), gaze_(cfg.gaze),
+      backoff_(cfg.watchdog.initial_backoff)
 {
     eyecod_assert(cfg_.roi_refresh > 0, "roi_refresh must be > 0");
+    eyecod_assert(cfg_.watchdog.initial_backoff > 0 &&
+                  cfg_.watchdog.max_backoff > 0,
+                  "watchdog backoff must be positive");
+    if (cfg_.faults.anyEnabled())
+        injector_ =
+            std::make_unique<flatcam::FaultInjector>(cfg_.faults);
     if (cfg_.camera == CameraKind::FlatCam) {
         flatcam::MaskConfig mc;
         mc.scene_rows = cfg_.scene_size;
@@ -25,6 +64,7 @@ PredictThenFocusPipeline::PredictThenFocusPipeline(PipelineConfig cfg)
             flatcam::makeSeparableMask(mc), cfg_.sensor_noise);
         recon_ = std::make_unique<flatcam::FlatCamReconstructor>(
             sensor_->mask(), cfg_.recon_epsilon);
+        sensor_->setFaultInjector(injector_.get());
     }
 }
 
@@ -73,30 +113,235 @@ PredictThenFocusPipeline::trainGaze(
     gaze_.train(rois, gazes);
 }
 
+Result<Image>
+PredictThenFocusPipeline::acquireFrame(
+    const Image &scene, long frame,
+    const flatcam::FrameFaults &faults)
+{
+    if (scene.height() != cfg_.scene_size ||
+        scene.width() != cfg_.scene_size)
+        return Status::error(
+            ErrorCode::ShapeMismatch,
+            "frame %ld: scene %dx%d != configured extent %d", frame,
+            scene.height(), scene.width(), cfg_.scene_size);
+
+    Image view;
+    if (cfg_.camera == CameraKind::Lens) {
+        if (faults.dropped())
+            return Status::error(ErrorCode::FrameDropped,
+                                 "frame %ld dropped by sensor",
+                                 frame);
+        view = scene;
+        if (injector_)
+            injector_->applySensorFaults(faults, frame, view);
+    } else {
+        // FlatCam: the sensor consults the same injector schedule
+        // (drop + sensor-domain faults happen in the measurement
+        // domain, before reconstruction).
+        Result<Image> y = sensor_->captureFrame(scene, frame);
+        if (!y.ok())
+            return y.status();
+        Result<Image> x = recon_->reconstructFrame(y.value());
+        if (!x.ok())
+            return x.status();
+        view = x.take();
+    }
+    if (injector_)
+        injector_->applyViewFaults(faults, frame, view);
+    return view;
+}
+
+void
+PredictThenFocusPipeline::refreshRoi(const Image &view, bool forced,
+                                     FrameHealth &health)
+{
+    const dataset::SegMask mask = segmenter_.segment(view);
+    const MaskStats stats = computeMaskStats(mask);
+    const Rect candidate =
+        roi_.predict(mask, cfg_.policy, &crop_rng_);
+    const RoiGateDecision gate =
+        validateRoi(mask, stats, candidate, cfg_.roi_gate);
+    health.roi_confidence = gate.confidence;
+
+    if (gate.accepted) {
+        if (forced || seg_pending_ || outage_start_ >= 0) {
+            // Recovery path: the previous chain is suspect, so the
+            // validated fresh ROI becomes active immediately instead
+            // of waiting out a refresh window.
+            current_roi_ = candidate;
+            next_roi_ = candidate;
+        } else {
+            // Healthy path: the paper's predict-then-focus rotation.
+            // The fresh ROI becomes active at the *next* refresh
+            // boundary, so gaze always consumes an ROI extracted
+            // N..2N frames ago (Sec. 4.3).
+            if (next_roi_)
+                current_roi_ = next_roi_;
+            next_roi_ = candidate;
+            if (!current_roi_)
+                current_roi_ = next_roi_;
+        }
+        last_good_roi_ = candidate;
+        last_accept_frame_ = frame_index_;
+        seg_pending_ = false;
+        frames_to_retry_ = -1;
+        backoff_ = cfg_.watchdog.initial_backoff;
+        return;
+    }
+
+    // Rejected: keep the current chain and let the watchdog retry
+    // early with capped exponential backoff.
+    ++health_stats_.roi_rejections;
+    health.roi_rejected = true;
+    warnLimited("roi-gate-reject", "frame %ld: ROI rejected (%s)",
+                frame_index_, gate.reason.toString().c_str());
+    seg_pending_ = false;
+    if (cfg_.watchdog.enabled) {
+        frames_to_retry_ = backoff_;
+        const int cap =
+            std::min(cfg_.watchdog.max_backoff, cfg_.roi_refresh);
+        backoff_ = std::min(backoff_ * 2, std::max(1, cap));
+    }
+}
+
+Rect
+PredictThenFocusPipeline::centeredCrop() const
+{
+    Rect r;
+    r.height = cfg_.roi_height;
+    r.width = cfg_.roi_width;
+    r.y = (cfg_.scene_size - cfg_.roi_height) / 2;
+    r.x = (cfg_.scene_size - cfg_.roi_width) / 2;
+    return r;
+}
+
 PredictThenFocusPipeline::FrameResult
 PredictThenFocusPipeline::processFrame(const Image &scene)
 {
     eyecod_assert(gaze_.trained(),
                   "processFrame() before trainGaze()");
-    const Image view = acquire(scene);
-
     FrameResult result;
-    if (frame_index_ % cfg_.roi_refresh == 0) {
-        // Segmentation runs this frame; its ROI becomes active at the
-        // *next* refresh boundary, so gaze always consumes an ROI
-        // extracted N..2N frames ago (Sec. 4.3).
-        const dataset::SegMask mask = segmenter_.segment(view);
-        if (next_roi_)
-            current_roi_ = next_roi_;
-        next_roi_ = roi_.predict(mask, cfg_.policy, &crop_rng_);
-        if (!current_roi_)
-            current_roi_ = next_roi_;
-        result.roi_refreshed = true;
+    FrameHealth &health = result.health;
+    const long frame = frame_index_;
+
+    flatcam::FrameFaults faults;
+    if (injector_)
+        faults = injector_->plan(frame);
+    health.faults_seen = faults.count();
+    for (int k = 0; k < flatcam::kNumFaultKinds; ++k)
+        health_stats_.fault_counts[size_t(k)] +=
+            faults.active[size_t(k)] ? 1 : 0;
+
+    // --- Acquisition (typed errors, never aborts) ---
+    Image view;
+    bool view_ok = false;
+    Result<Image> acquired = acquireFrame(scene, frame, faults);
+    if (acquired.ok()) {
+        view = acquired.take();
+        if (sanitizeView(view) > 0) {
+            health.nonfinite_view = true;
+            ++health_stats_.nonfinite_views;
+            warnLimited("nonfinite-view",
+                        "frame %ld: non-finite pixels sanitized",
+                        frame);
+        }
+        view_ok = true;
+    } else {
+        if (acquired.status().code() == ErrorCode::ShapeMismatch)
+            ++health_stats_.shape_mismatches;
+        health.frame_dropped = true;
+        ++health_stats_.dropped_frames;
+        warnLimited("frame-dropped", "frame %ld unusable: %s", frame,
+                    acquired.status().toString().c_str());
     }
 
-    result.roi = *current_roi_;
-    result.gaze = gaze_.predict(view.cropped(result.roi));
-    result.view = view;
+    // --- Watchdog countdown ---
+    bool forced = false;
+    if (frames_to_retry_ > 0)
+        --frames_to_retry_;
+    if (cfg_.watchdog.enabled && frames_to_retry_ == 0) {
+        forced = true;
+        frames_to_retry_ = -1;
+    }
+
+    // --- Segmentation / ROI refresh ---
+    const bool boundary = frame % cfg_.roi_refresh == 0;
+    if (boundary || forced || seg_pending_) {
+        if (!view_ok) {
+            // Nothing to segment; carry the obligation to the next
+            // usable frame.
+            seg_pending_ = true;
+        } else {
+            if (forced || seg_pending_) {
+                health.watchdog_retry = true;
+                ++health_stats_.watchdog_retries;
+            }
+            refreshRoi(view, forced, health);
+            result.roi_refreshed = true;
+        }
+    }
+
+    // --- ROI fallback chain: fresh chain -> last good -> center ---
+    const long stale_limit =
+        (long)cfg_.stale_limit_windows * cfg_.roi_refresh;
+    const bool chain_fresh =
+        current_roi_ && last_accept_frame_ >= 0 &&
+        frame - last_accept_frame_ <= stale_limit;
+    if (chain_fresh) {
+        result.roi = *current_roi_;
+        health.roi_source = RoiSource::Predicted;
+    } else if (last_good_roi_) {
+        result.roi = *last_good_roi_;
+        health.roi_source = RoiSource::LastGood;
+    } else {
+        result.roi = centeredCrop();
+        health.roi_source = RoiSource::CenterFallback;
+    }
+
+    // --- Gaze (always finite) ---
+    if (view_ok) {
+        dataset::GazeVec g = gaze_.predict(view.cropped(result.roi));
+        if (!gazeFinite(g)) {
+            g = has_last_gaze_ ? last_gaze_
+                               : dataset::GazeVec{0, 0, 1};
+            health.gaze_held = true;
+            ++health_stats_.gaze_holds;
+            warnLimited("nonfinite-gaze",
+                        "frame %ld: non-finite gaze held", frame);
+        } else {
+            last_gaze_ = g;
+            has_last_gaze_ = true;
+        }
+        result.gaze = g;
+        result.view = view;
+        last_view_ = view;
+    } else {
+        result.gaze =
+            has_last_gaze_ ? last_gaze_ : dataset::GazeVec{0, 0, 1};
+        health.gaze_held = true;
+        ++health_stats_.gaze_holds;
+        result.view = last_view_;
+    }
+
+    // --- Degraded-mode flag and recovery accounting ---
+    health.degraded = health.frame_dropped || health.roi_rejected ||
+                      health.nonfinite_view || health.gaze_held ||
+                      health.watchdog_retry ||
+                      health.faults_seen > 0 ||
+                      health.roi_source != RoiSource::Predicted;
+    if (health.degraded) {
+        if (outage_start_ < 0)
+            outage_start_ = frame;
+        ++health_stats_.degraded_frames;
+    } else if (outage_start_ >= 0) {
+        const long latency = frame - outage_start_;
+        health.recovery_latency = latency;
+        ++health_stats_.recoveries;
+        health_stats_.sum_recovery_latency += latency;
+        outage_start_ = -1;
+    }
+
+    ++health_stats_.frames;
     ++frame_index_;
     return result;
 }
@@ -108,6 +353,20 @@ PredictThenFocusPipeline::reset()
     current_roi_.reset();
     next_roi_.reset();
     crop_rng_ = 0x5eed;
+    // Degradation FSM.
+    last_good_roi_.reset();
+    last_accept_frame_ = -1;
+    last_gaze_ = dataset::GazeVec{0, 0, 1};
+    has_last_gaze_ = false;
+    last_view_ = Image();
+    seg_pending_ = false;
+    frames_to_retry_ = -1;
+    backoff_ = cfg_.watchdog.initial_backoff;
+    outage_start_ = -1;
+    health_stats_ = HealthStats();
+    // Replay the identical sensor noise stream on the next sequence.
+    if (sensor_)
+        sensor_->resetNoise();
 }
 
 long long

@@ -13,14 +13,17 @@
 #ifndef EYECOD_EYETRACK_PIPELINE_H
 #define EYECOD_EYETRACK_PIPELINE_H
 
+#include <array>
 #include <memory>
 #include <optional>
 
+#include "common/status.h"
 #include "dataset/sequence.h"
 #include "dataset/synthetic_eye.h"
 #include "eyetrack/gaze_estimator.h"
 #include "eyetrack/roi.h"
 #include "eyetrack/segmentation.h"
+#include "flatcam/fault_injection.h"
 #include "flatcam/imaging.h"
 #include "flatcam/reconstruction.h"
 
@@ -29,6 +32,76 @@ namespace eyetrack {
 
 /** Camera front-end flavours. */
 enum class CameraKind { Lens, FlatCam };
+
+/**
+ * Stale-ROI watchdog: when a fresh segmentation is rejected by the
+ * sanity gate (or missed because the frame was dropped), the pipeline
+ * does not wait out the remainder of the roi_refresh window; it
+ * re-runs segmentation after a capped exponentially growing backoff.
+ */
+struct WatchdogConfig
+{
+    bool enabled = true;
+    int initial_backoff = 1; ///< Frames until the first retry.
+    int max_backoff = 16;    ///< Backoff cap (also capped at
+                             ///  roi_refresh).
+};
+
+/** Where the crop consumed by the gaze stage came from. */
+enum class RoiSource {
+    Predicted,      ///< The normal predict-then-focus chain.
+    LastGood,       ///< Chain expired; holding the last accepted ROI.
+    CenterFallback, ///< No accepted ROI yet; centered crop.
+};
+
+/**
+ * Per-frame health record: what degraded, what was injected, and how
+ * the pipeline compensated.
+ */
+struct FrameHealth
+{
+    bool degraded = false;      ///< Any abnormal condition this frame.
+    bool frame_dropped = false; ///< No usable image this frame.
+    RoiSource roi_source = RoiSource::Predicted;
+    int faults_seen = 0;        ///< Injected faults planned this frame.
+    bool nonfinite_view = false; ///< NaN/Inf pixels sanitized.
+    bool roi_rejected = false;  ///< Fresh ROI failed the sanity gate.
+    bool watchdog_retry = false; ///< Segmentation forced early.
+    bool gaze_held = false;     ///< Emitted gaze is a held value.
+    double roi_confidence = 1.0; ///< Gate confidence of the last
+                                 ///  fresh ROI attempt (this frame).
+    /**
+     * On the first healthy frame after a degraded streak: the streak
+     * length in frames; -1 otherwise.
+     */
+    long recovery_latency = -1;
+};
+
+/** Aggregate health counters over a sequence. */
+struct HealthStats
+{
+    long frames = 0;
+    long degraded_frames = 0;
+    long dropped_frames = 0;
+    long nonfinite_views = 0;   ///< Views with NaN/Inf sanitized.
+    long shape_mismatches = 0;  ///< Mis-sized input frames.
+    long roi_rejections = 0;
+    long watchdog_retries = 0;
+    long gaze_holds = 0;
+    long recoveries = 0;        ///< Degraded->healthy transitions.
+    long sum_recovery_latency = 0;
+    /** Injected fault events by FaultKind index. */
+    std::array<long, flatcam::kNumFaultKinds> fault_counts{};
+
+    /** Mean degraded-streak length in frames (0 when none). */
+    double
+    meanRecoveryLatency() const
+    {
+        return recoveries > 0
+                   ? double(sum_recovery_latency) / double(recoveries)
+                   : 0.0;
+    }
+};
 
 /** End-to-end pipeline configuration. */
 struct PipelineConfig
@@ -51,6 +124,19 @@ struct PipelineConfig
      * the N..2N-frame ROI staleness of the deployed pipeline.
      */
     int train_anchor_jitter = 6;
+    /** Sensor fault injection; all rates default to 0 (disabled). */
+    flatcam::FaultConfig faults;
+    /** ROI sanity gating (graceful degradation entry point). */
+    RoiGateConfig roi_gate;
+    /** Early re-segmentation policy after gate rejections. */
+    WatchdogConfig watchdog;
+    /**
+     * Frames after the last accepted segmentation before the
+     * predicted ROI chain is considered expired and the pipeline
+     * falls back to the last-known-good ROI, in units of
+     * roi_refresh. 2 matches the design's N..2N staleness bound.
+     */
+    int stale_limit_windows = 2;
 };
 
 /**
@@ -83,14 +169,33 @@ class PredictThenFocusPipeline
         bool roi_refreshed = false; ///< Segmentation ran this frame.
         Rect roi;                   ///< Crop used for gaze.
         Image view;                 ///< Acquired (reconstructed)
-                                    ///  image the stages consumed.
+                                    ///  image the stages consumed
+                                    ///  (the last good view on a
+                                    ///  dropped frame).
+        FrameHealth health;         ///< Degradation record.
     };
 
-    /** Process one frame; maintains the ROI refresh state. */
+    /**
+     * Process one frame; maintains the ROI refresh state and the
+     * degradation state machine. Never aborts on abnormal input: a
+     * dropped/corrupted frame degrades the result (held gaze,
+     * fallback ROI) and is recorded in the returned FrameHealth. The
+     * emitted gaze vector is always finite.
+     */
     FrameResult processFrame(const Image &scene);
 
-    /** Reset the per-sequence ROI state. */
+    /**
+     * Reset the full per-sequence state: ROI refresh chain, crop RNG,
+     * sensor noise stream, the degradation state machine (fallback
+     * ROIs, held gaze, watchdog backoff), and the health counters.
+     */
     void reset();
+
+    /** Aggregate health counters since construction or reset(). */
+    const HealthStats &healthStats() const { return health_stats_; }
+
+    /** True while inside a degraded streak (not yet recovered). */
+    bool inDegradedMode() const { return outage_start_ >= 0; }
 
     /** Mean gaze MACs per frame (stand-in estimator). */
     long long gazeMacsPerFrame() const;
@@ -110,18 +215,43 @@ class PredictThenFocusPipeline
     RidgeGazeEstimator &gazeEstimator() { return gaze_; }
 
   private:
+    /** Acquire one serving-path frame; typed errors, fault-injected. */
+    Result<Image> acquireFrame(const Image &scene, long frame,
+                               const flatcam::FrameFaults &faults);
+
+    /** Run + gate segmentation; updates the ROI chain and watchdog. */
+    void refreshRoi(const Image &view, bool forced,
+                    FrameHealth &health);
+
+    /** Centered roi_height x roi_width crop of the scene extent. */
+    Rect centeredCrop() const;
+
     PipelineConfig cfg_;
     ClassicalSegmenter segmenter_;
     RoiPredictor roi_;
     RidgeGazeEstimator gaze_;
     std::unique_ptr<flatcam::FlatCamSensor> sensor_;
     std::unique_ptr<flatcam::FlatCamReconstructor> recon_;
+    std::unique_ptr<flatcam::FaultInjector> injector_;
 
-    // Per-sequence state.
+    // Per-sequence ROI refresh state.
     long frame_index_ = 0;
     std::optional<Rect> current_roi_;
     std::optional<Rect> next_roi_;
     uint64_t crop_rng_ = 0x5eed;
+
+    // Degradation state machine.
+    std::optional<Rect> last_good_roi_; ///< Last gate-accepted ROI.
+    long last_accept_frame_ = -1;  ///< Frame of that acceptance.
+    dataset::GazeVec last_gaze_{0, 0, 1};
+    bool has_last_gaze_ = false;
+    Image last_view_;              ///< Last successfully acquired view.
+    bool seg_pending_ = false;     ///< Seg was due on a dropped frame.
+    long frames_to_retry_ = -1;    ///< Watchdog countdown (-1 idle).
+    int backoff_ = 1;              ///< Current watchdog backoff.
+    long outage_start_ = -1;       ///< First frame of the current
+                                   ///  degraded streak (-1 healthy).
+    HealthStats health_stats_;
 };
 
 } // namespace eyetrack

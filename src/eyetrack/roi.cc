@@ -52,11 +52,13 @@ RoiPredictor::RoiPredictor(int roi_height, int roi_width)
                   roi_height, roi_width);
 }
 
-std::pair<int, int>
+Result<std::pair<int, int>>
 RoiPredictor::calibrateSize(const std::vector<SegMask> &train_masks,
                             double factor)
 {
-    eyecod_assert(!train_masks.empty(), "calibrateSize on empty set");
+    if (train_masks.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "calibrateSize on empty set");
     double sum_h = 0.0, sum_w = 0.0;
     long count = 0;
     for (const SegMask &m : train_masks) {
@@ -68,10 +70,80 @@ RoiPredictor::calibrateSize(const std::vector<SegMask> &train_masks,
         }
     }
     if (count == 0)
-        fatal("ROI calibration found no eye pixels in training set");
+        return Status::error(
+            ErrorCode::SegmentationFailed,
+            "ROI calibration found no eye pixels in training set");
     const int h = int(factor * sum_h / double(count));
     const int w = int(factor * sum_w / double(count));
-    return {h, w};
+    return std::pair<int, int>{h, w};
+}
+
+RoiGateDecision
+validateRoi(const SegMask &mask, const MaskStats &stats,
+            const Rect &candidate, const RoiGateConfig &cfg)
+{
+    RoiGateDecision d;
+    if (!cfg.enabled)
+        return d;
+
+    const double frame_area = double(mask.height) * double(mask.width);
+    if (!stats.has_pupil) {
+        d.accepted = false;
+        d.confidence = 0.0;
+        d.reason = Status::error(ErrorCode::SegmentationFailed,
+                                 "segmentation found no pupil");
+        return d;
+    }
+    const double pupil_frac = double(stats.pupil_area) / frame_area;
+    if (pupil_frac < cfg.min_pupil_fraction ||
+        pupil_frac > cfg.max_pupil_fraction) {
+        d.accepted = false;
+        d.confidence = 0.0;
+        d.reason = Status::error(
+            ErrorCode::RoiRejected,
+            "pupil area fraction %.5f outside [%.5f, %.5f]",
+            pupil_frac, cfg.min_pupil_fraction,
+            cfg.max_pupil_fraction);
+        return d;
+    }
+
+    // Candidate placement: mostly inside the frame.
+    const int y0 = std::max(candidate.y, 0);
+    const int x0 = std::max(candidate.x, 0);
+    const int y1 = std::min(candidate.y + candidate.height, mask.height);
+    const int x1 = std::min(candidate.x + candidate.width, mask.width);
+    const long inside_area =
+        std::max(0, y1 - y0) * long(std::max(0, x1 - x0));
+    const double inside_frac =
+        candidate.area() > 0
+            ? double(inside_area) / double(candidate.area()) : 0.0;
+    if (inside_frac < cfg.min_inside) {
+        d.accepted = false;
+        d.confidence = 0.0;
+        d.reason = Status::error(
+            ErrorCode::RoiRejected,
+            "only %.2f of candidate ROI lies in-frame", inside_frac);
+        return d;
+    }
+
+    // Pupil-mask coverage: the crop must contain the pupil mass it is
+    // supposed to focus on.
+    long covered = 0;
+    for (int y = y0; y < y1; ++y)
+        for (int x = x0; x < x1; ++x)
+            covered += mask.at(y, x) == dataset::kPupil ? 1 : 0;
+    const double containment =
+        double(covered) / double(stats.pupil_area);
+    d.confidence = std::min(1.0, containment);
+    if (containment < cfg.min_containment) {
+        d.accepted = false;
+        d.reason = Status::error(
+            ErrorCode::RoiRejected,
+            "candidate ROI covers only %.2f of the pupil mass",
+            containment);
+        return d;
+    }
+    return d;
 }
 
 namespace {

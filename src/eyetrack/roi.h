@@ -10,8 +10,11 @@
 #define EYECOD_EYETRACK_ROI_H
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/image.h"
+#include "common/status.h"
 #include "dataset/synthetic_eye.h"
 
 namespace eyecod {
@@ -40,6 +43,45 @@ struct MaskStats
 MaskStats computeMaskStats(const dataset::SegMask &mask);
 
 /**
+ * Sanity gate applied to a freshly predicted ROI before it enters the
+ * predict-then-focus chain. The gaze stage consumes an ROI for up to
+ * two refresh windows, so a single insane ROI poisons many frames;
+ * better to reject it and let the pipeline degrade gracefully.
+ */
+struct RoiGateConfig
+{
+    bool enabled = true;
+    /** Plausible pupil area band, as fractions of the frame area. */
+    double min_pupil_fraction = 3e-4;
+    double max_pupil_fraction = 0.2;
+    /** Minimum fraction of pupil pixels the candidate must contain. */
+    double min_containment = 0.7;
+    /** Minimum fraction of the candidate that must lie in-frame. */
+    double min_inside = 0.5;
+};
+
+/** Verdict of the ROI sanity gate. */
+struct RoiGateDecision
+{
+    bool accepted = true;
+    /** Pupil-mask coverage confidence in [0, 1]. */
+    double confidence = 1.0;
+    /** Non-OK rejection reason when !accepted. */
+    Status reason;
+};
+
+/**
+ * Validate a candidate crop against the segmentation that produced
+ * it: the mask must contain a plausibly sized pupil, the candidate
+ * must lie (mostly) inside the frame, and it must cover most of the
+ * pupil mass.
+ */
+RoiGateDecision validateRoi(const dataset::SegMask &mask,
+                            const MaskStats &stats,
+                            const Rect &candidate,
+                            const RoiGateConfig &cfg);
+
+/**
  * The ROI predictor: holds the calibrated crop size and derives the
  * per-frame crop rectangle from the latest segmentation.
  */
@@ -56,9 +98,11 @@ class RoiPredictor
      * Calibrate the crop extent as 1.5x the average core-eye extent
      * over a set of training masks (the paper's sizing rule).
      *
-     * @return the calibrated (height, width).
+     * @return the calibrated (height, width), or a typed error when
+     *         the training set is empty or contains no eye pixels
+     *         (both input-dependent, hence recoverable).
      */
-    static std::pair<int, int> calibrateSize(
+    static Result<std::pair<int, int>> calibrateSize(
         const std::vector<dataset::SegMask> &train_masks,
         double factor = 1.5);
 

@@ -318,12 +318,22 @@ NeuralSegmenter::segment(const Image &eye)
     std::copy(sized.data().begin(), sized.data().end(),
               input.data().begin());
 
-    const nn::Tensor logits = backend_->run(plan_, {input});
-    const std::vector<int> classes = nn::channelArgmax(logits);
-
     SegMask mask;
     mask.height = cfg_.height;
     mask.width = cfg_.width;
+    // Finite-checked execution: a NaN-poisoned input or activation
+    // surfaces as a typed error; degrade to an all-background mask
+    // (the ROI gate downstream treats it as a failed segmentation).
+    Result<nn::Tensor> logits = backend_->runChecked(plan_, {input});
+    if (!logits.ok()) {
+        warnLimited("neural-seg-fault", "segmentation degraded: %s",
+                    logits.status().toString().c_str());
+        mask.labels.assign(size_t(cfg_.height) * size_t(cfg_.width),
+                           uint8_t(dataset::kBackground));
+        return mask;
+    }
+    const std::vector<int> classes =
+        nn::channelArgmax(logits.value());
     mask.labels.resize(classes.size());
     for (size_t i = 0; i < classes.size(); ++i)
         mask.labels[i] = uint8_t(classes[i]);

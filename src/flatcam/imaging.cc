@@ -20,7 +20,43 @@ FlatCamSensor::capture(const Image &scene) const
                   "scene shape %dx%d != mask scene extent %dx%d",
                   scene.height(), scene.width(),
                   sceneRows(), sceneCols());
+    return multiplex(scene);
+}
 
+Result<Image>
+FlatCamSensor::captureFrame(const Image &scene,
+                            long frame_index) const
+{
+    if (scene.height() != sceneRows() || scene.width() != sceneCols())
+        return Status::error(
+            ErrorCode::ShapeMismatch,
+            "frame %ld: scene shape %dx%d != mask scene extent %dx%d",
+            frame_index, scene.height(), scene.width(), sceneRows(),
+            sceneCols());
+
+    FrameFaults faults;
+    if (injector_)
+        faults = injector_->plan(frame_index);
+    if (faults.dropped())
+        return Status::error(ErrorCode::FrameDropped,
+                             "frame %ld dropped by sensor",
+                             frame_index);
+
+    Image y = multiplex(scene);
+    if (injector_)
+        injector_->applySensorFaults(faults, frame_index, y);
+    return y;
+}
+
+void
+FlatCamSensor::resetNoise()
+{
+    rng_ = Rng(noise_.seed);
+}
+
+Image
+FlatCamSensor::multiplex(const Image &scene) const
+{
     const Matrix x = imageToMatrix(scene);
     Matrix y = mask_.phiL.multiply(x).multiply(mask_.phiR.transposed());
 

@@ -12,6 +12,8 @@
 #include <cstdint>
 
 #include "common/image.h"
+#include "common/status.h"
+#include "flatcam/fault_injection.h"
 #include "flatcam/mask.h"
 
 namespace eyecod {
@@ -40,8 +42,40 @@ class FlatCamSensor
     /**
      * Capture a scene: the scene image must match the mask's scene
      * extent; returns the sensor measurement (sensor extent).
+     * Convenience wrapper over captureFrame() that panics on error
+     * and applies no fault schedule; tests and benches use it.
      */
     Image capture(const Image &scene) const;
+
+    /**
+     * Capture one frame of a stream. A mis-sized scene returns a
+     * ShapeMismatch status (a real sensor feed can deliver garbage;
+     * the serving path must not abort). When a fault injector is
+     * attached, its schedule entry for @p frame_index is applied:
+     * a dropped frame returns FrameDropped, pixel-level faults
+     * corrupt the returned measurement in place.
+     */
+    Result<Image> captureFrame(const Image &scene,
+                               long frame_index) const;
+
+    /**
+     * Attach a fault injector consulted by captureFrame(); pass
+     * nullptr to detach. Not owned; must outlive the sensor's use.
+     */
+    void setFaultInjector(const FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** The attached fault injector (null when none). */
+    const FaultInjector *faultInjector() const { return injector_; }
+
+    /**
+     * Restart the read/shot-noise RNG from its seed so a replayed
+     * sequence sees the identical noise stream (determinism tests and
+     * pipeline reset()).
+     */
+    void resetNoise();
 
     /** The mask in use. */
     const SeparableMask &mask() const { return mask_; }
@@ -55,9 +89,13 @@ class FlatCamSensor
     int sceneCols() const { return int(mask_.phiR.cols()); }
 
   private:
+    /** The noisy forward model, shared by both capture paths. */
+    Image multiplex(const Image &scene) const;
+
     SeparableMask mask_;
     SensorNoise noise_;
     mutable Rng rng_;
+    const FaultInjector *injector_ = nullptr;
 };
 
 /** Convert an Image to a Matrix (double). */

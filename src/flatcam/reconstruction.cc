@@ -1,5 +1,7 @@
 #include "flatcam/reconstruction.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "flatcam/imaging.h"
 
@@ -47,6 +49,26 @@ FlatCamReconstructor::reconstruct(const Image &measurement) const
     Image out = matrixToImage(x);
     out.clamp(0.0f, 1.0f);
     return out;
+}
+
+Result<Image>
+FlatCamReconstructor::reconstructFrame(const Image &measurement) const
+{
+    if (size_t(measurement.height()) != ul_t_.cols() ||
+        size_t(measurement.width()) != ur_.rows())
+        return Status::error(
+            ErrorCode::ShapeMismatch,
+            "measurement shape %dx%d != sensor extent %zux%zu",
+            measurement.height(), measurement.width(), ul_t_.cols(),
+            ur_.rows());
+    for (const float v : measurement.data()) {
+        if (!std::isfinite(v))
+            return Status::error(
+                ErrorCode::NonFinite,
+                "non-finite sensor measurement; reconstruction "
+                "would corrupt the whole scene");
+    }
+    return reconstruct(measurement);
 }
 
 long long

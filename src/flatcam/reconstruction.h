@@ -21,6 +21,7 @@
 
 #include "common/image.h"
 #include "common/matrix.h"
+#include "common/status.h"
 #include "flatcam/mask.h"
 
 namespace eyecod {
@@ -41,11 +42,21 @@ class FlatCamReconstructor
 
     /**
      * Reconstruct the scene estimate from a sensor measurement.
+     * Convenience wrapper over reconstructFrame() that panics on a
+     * mis-sized measurement; tests and benches use it.
      *
      * @param measurement sensor-extent image from FlatCamSensor.
      * @return scene-extent reconstructed image, clamped to [0, 1].
      */
     Image reconstruct(const Image &measurement) const;
+
+    /**
+     * Serving-path reconstruction: a mis-sized measurement returns a
+     * ShapeMismatch status instead of aborting, and a measurement
+     * containing non-finite values returns NonFinite (the separable
+     * inverse would smear a single NaN across the whole scene).
+     */
+    Result<Image> reconstructFrame(const Image &measurement) const;
 
     /** Regularization weight in use. */
     double epsilon() const { return epsilon_; }

@@ -33,6 +33,13 @@ namespace nn {
 struct ExecContext
 {
     ThreadPool *pool = nullptr; ///< Null for serial execution.
+    /**
+     * Finite-check mode: the executing backend scans every step
+     * output for NaN/Inf and surfaces the first offender as a typed
+     * NonFinite error instead of letting poisoned activations flow
+     * into the gaze output. Set via Backend::runChecked.
+     */
+    bool finite_checks = false;
 
     /**
      * Run @p body over [0, n) in chunks of at most @p grain. Serial

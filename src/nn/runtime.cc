@@ -1,6 +1,7 @@
 #include "nn/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -94,21 +95,43 @@ ExecutionPlan::ExecutionPlan(const Graph &graph) : graph_(&graph)
         stats_.arena_elements += cap;
 }
 
-Tensor
-Backend::run(const ExecutionPlan &plan,
-             const std::vector<Tensor> &inputs)
+namespace {
+
+/** Index of the first non-finite element of @p t, or -1. */
+long
+firstNonFinite(const Tensor &t)
+{
+    const float *data = t.data().data();
+    for (size_t i = 0; i < t.size(); ++i)
+        if (!std::isfinite(data[i]))
+            return long(i);
+    return -1;
+}
+
+} // namespace
+
+Status
+Backend::runImpl(const ExecutionPlan &plan,
+                 const std::vector<Tensor> &inputs,
+                 bool finite_checks, Tensor *out_tensor)
 {
     const Graph &graph = plan.graph();
     const std::vector<int> &input_ids = graph.inputIds();
-    eyecod_assert(inputs.size() == input_ids.size(),
-                  "graph %s expects %zu inputs, got %zu",
-                  graph.name().c_str(), input_ids.size(),
-                  inputs.size());
+    if (inputs.size() != input_ids.size())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "graph %s expects %zu inputs, got %zu",
+                             graph.name().c_str(), input_ids.size(),
+                             inputs.size());
     for (size_t i = 0; i < input_ids.size(); ++i) {
-        eyecod_assert(inputs[i].shape() ==
-                      graph.nodeShape(input_ids[i]),
-                      "graph %s input %zu shape mismatch",
-                      graph.name().c_str(), i);
+        if (!(inputs[i].shape() == graph.nodeShape(input_ids[i])))
+            return Status::error(ErrorCode::ShapeMismatch,
+                                 "graph %s input %zu shape mismatch",
+                                 graph.name().c_str(), i);
+        if (finite_checks && firstNonFinite(inputs[i]) >= 0)
+            return Status::error(
+                ErrorCode::NonFinite,
+                "graph %s input %zu contains non-finite values",
+                graph.name().c_str(), i);
     }
 
     if (arena_plan_ != &plan || arena_.size() != plan.numSlots()) {
@@ -118,7 +141,8 @@ Backend::run(const ExecutionPlan &plan,
         arena_plan_ = &plan;
     }
 
-    const ExecContext ctx{pool()};
+    ExecContext ctx{pool()};
+    ctx.finite_checks = finite_checks;
     std::vector<const Tensor *> args;
     for (const ExecutionPlan::Step &step : plan.steps()) {
         args.clear();
@@ -132,14 +156,48 @@ Backend::run(const ExecutionPlan &plan,
         Tensor &out = arena_[size_t(step.slot)];
         out.reset(step.shape);
         step.layer->forward(args, out, ctx);
+        if (ctx.finite_checks) {
+            const long bad = firstNonFinite(out);
+            if (bad >= 0)
+                return Status::error(
+                    ErrorCode::NonFinite,
+                    "graph %s layer %s produced a non-finite value "
+                    "at element %ld",
+                    graph.name().c_str(),
+                    step.layer->name().c_str(), bad);
+        }
     }
 
     if (plan.steps().empty()) {
         // Degenerate graph of inputs only: echo the last node.
         const int last = int(graph.numNodes()) - 1;
-        return inputs[size_t(plan.inputIndex(last))];
+        *out_tensor = inputs[size_t(plan.inputIndex(last))];
+    } else {
+        *out_tensor = arena_[size_t(plan.steps().back().slot)];
     }
-    return arena_[size_t(plan.steps().back().slot)];
+    return Status::ok();
+}
+
+Tensor
+Backend::run(const ExecutionPlan &plan,
+             const std::vector<Tensor> &inputs)
+{
+    Tensor out;
+    const Status status = runImpl(plan, inputs, false, &out);
+    if (!status.isOk())
+        panic("Backend::run: %s", status.toString().c_str());
+    return out;
+}
+
+Result<Tensor>
+Backend::runChecked(const ExecutionPlan &plan,
+                    const std::vector<Tensor> &inputs)
+{
+    Tensor out;
+    Status status = runImpl(plan, inputs, true, &out);
+    if (!status.isOk())
+        return status;
+    return out;
 }
 
 std::string

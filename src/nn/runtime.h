@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "nn/graph.h"
 
@@ -126,9 +127,22 @@ class Backend
     /**
      * Execute @p plan on @p inputs (one tensor per declared graph
      * input, in order); returns the output of the final node.
+     * Panics on malformed inputs (programming errors).
      */
     Tensor run(const ExecutionPlan &plan,
                const std::vector<Tensor> &inputs);
+
+    /**
+     * Serving-path execution with typed errors: input count/shape
+     * mismatches return InvalidArgument/ShapeMismatch instead of
+     * aborting, and finite-check mode (ExecContext::finite_checks)
+     * is enabled — non-finite values in an input or any step output
+     * return a NonFinite error naming the offending layer, so a
+     * poisoned tensor surfaces as a recoverable fault rather than
+     * garbage gaze.
+     */
+    Result<Tensor> runChecked(const ExecutionPlan &plan,
+                              const std::vector<Tensor> &inputs);
 
   protected:
     Backend() = default;
@@ -137,6 +151,11 @@ class Backend
     virtual ThreadPool *pool() { return nullptr; }
 
   private:
+    /** Shared executor behind run() and runChecked(). */
+    Status runImpl(const ExecutionPlan &plan,
+                   const std::vector<Tensor> &inputs,
+                   bool finite_checks, Tensor *out);
+
     /** Arena reused across run() calls; rebuilt when the plan
      *  changes. */
     std::vector<Tensor> arena_;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/stats.h"
@@ -245,6 +246,45 @@ TEST(Trajectory, DeterministicPerSubject)
     const auto b = makeTrajectory(ren, 4, tc);
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_DOUBLE_EQ(a[i].yaw_deg, b[i].yaw_deg);
+}
+
+TEST(Trajectory, BlinksCloseTheEyelid)
+{
+    const SyntheticEyeRenderer ren({}, 6);
+    TrajectoryConfig tc;
+    tc.frames = 600;
+    tc.blink_rate = 2.0; // blinks per second at 240 fps
+    const auto traj = makeTrajectory(ren, 9, tc);
+
+    double min_lid = 1.0;
+    int dipped = 0;
+    for (const EyeParams &p : traj) {
+        min_lid = std::min(min_lid, p.eyelid_open);
+        dipped += p.eyelid_open < 0.5 ? 1 : 0;
+    }
+    EXPECT_LT(min_lid, 0.2);  // the lid actually closes
+    EXPECT_GT(dipped, 0);     // for a visible stretch of frames
+    EXPECT_LT(dipped, tc.frames / 2); // but the eye is mostly open
+}
+
+TEST(Trajectory, DisabledBlinksLeaveTheSequenceUnchanged)
+{
+    // blink_rate = 0 must not perturb the RNG stream: the sequence
+    // is bit-identical to one generated by a config that never
+    // mentions blinks.
+    const SyntheticEyeRenderer ren({}, 6);
+    TrajectoryConfig tc;
+    tc.frames = 80;
+    const auto base = makeTrajectory(ren, 4, tc);
+    TrajectoryConfig with_duration = tc;
+    with_duration.blink_duration = 0.5; // irrelevant while rate is 0
+    const auto same = makeTrajectory(ren, 4, with_duration);
+    for (size_t i = 0; i < base.size(); ++i) {
+        EXPECT_DOUBLE_EQ(base[i].yaw_deg, same[i].yaw_deg);
+        EXPECT_DOUBLE_EQ(base[i].eyelid_open, same[i].eyelid_open);
+        EXPECT_DOUBLE_EQ(base[i].eyelid_open,
+                         base[0].eyelid_open);
+    }
 }
 
 } // namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Fault-sweep property tests: across every fault kind and rate, on
+ * both camera flavours, processFrame() must never abort and must
+ * always emit a finite gaze — the serving-path contract of the
+ * degradation layer. Also covers the system-level health report.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/eyecod.h"
+#include "dataset/sequence.h"
+#include "eyetrack/pipeline.h"
+
+namespace eyecod {
+namespace eyetrack {
+namespace {
+
+dataset::SyntheticEyeRenderer
+renderer128()
+{
+    dataset::RenderConfig rc;
+    rc.image_size = 128;
+    return dataset::SyntheticEyeRenderer(rc, 2019);
+}
+
+/** A FaultConfig with one kind enabled at @p rate. */
+flatcam::FaultConfig
+singleKind(flatcam::FaultKind kind, double rate)
+{
+    flatcam::FaultConfig cfg;
+    switch (kind) {
+      case flatcam::FaultKind::DroppedFrame:
+        cfg.drop_rate = rate;
+        break;
+      case flatcam::FaultKind::DeadPixelBlock:
+        cfg.dead_block_rate = rate;
+        break;
+      case flatcam::FaultKind::HotPixelBlock:
+        cfg.hot_block_rate = rate;
+        break;
+      case flatcam::FaultKind::Saturation:
+        cfg.saturation_rate = rate;
+        break;
+      case flatcam::FaultKind::BurstNoise:
+        cfg.burst_noise_rate = rate;
+        break;
+      case flatcam::FaultKind::NanPoison:
+        cfg.nan_rate = rate;
+        break;
+    }
+    return cfg;
+}
+
+void
+expectFiniteGaze(const dataset::GazeVec &g, const char *what, int f)
+{
+    for (int c = 0; c < 3; ++c)
+        ASSERT_TRUE(std::isfinite(g[size_t(c)]))
+            << what << " frame " << f << " component " << c;
+}
+
+TEST(FaultSweep, EveryKindAndRateKeepsGazeFiniteOnLens)
+{
+    const auto ren = renderer128();
+    PipelineConfig base;
+    base.camera = CameraKind::Lens;
+    base.roi_refresh = 8;
+    PredictThenFocusPipeline trained(base);
+    trained.trainGaze(ren, 150);
+
+    const double rates[] = {0.1, 0.5, 1.0};
+    for (int k = 0; k < flatcam::kNumFaultKinds; ++k) {
+        for (double rate : rates) {
+            const auto kind = flatcam::FaultKind(k);
+            PipelineConfig pc = base;
+            pc.faults = singleKind(kind, rate);
+            PredictThenFocusPipeline pipe(pc);
+            pipe.gazeEstimator() = trained.gazeEstimator();
+            for (int f = 0; f < 20; ++f) {
+                const auto r =
+                    pipe.processFrame(ren.sample(100 + f).image);
+                expectFiniteGaze(r.gaze, flatcam::faultKindName(kind),
+                                 f);
+            }
+            EXPECT_EQ(pipe.healthStats().frames, 20);
+            if (rate == 1.0)
+                EXPECT_GT(pipe.healthStats().fault_counts[size_t(k)],
+                          0)
+                    << flatcam::faultKindName(kind);
+        }
+    }
+}
+
+TEST(FaultSweep, MixedFaultsKeepGazeFiniteOnFlatCam)
+{
+    const auto ren = renderer128();
+    PipelineConfig base;
+    base.camera = CameraKind::FlatCam;
+    base.roi_refresh = 6;
+    PredictThenFocusPipeline trained(base);
+    trained.trainGaze(ren, 150);
+
+    for (double rate : {0.1, 0.4}) {
+        PipelineConfig pc = base;
+        pc.faults = flatcam::FaultConfig::mixed(rate);
+        PredictThenFocusPipeline pipe(pc);
+        pipe.gazeEstimator() = trained.gazeEstimator();
+        for (int f = 0; f < 12; ++f) {
+            const auto r =
+                pipe.processFrame(ren.sample(200 + f).image);
+            expectFiniteGaze(r.gaze, "flatcam-mixed", f);
+        }
+        EXPECT_EQ(pipe.healthStats().frames, 12);
+    }
+}
+
+TEST(FaultSweep, TenPercentMixedSweepTracksAndRecovers)
+{
+    // The acceptance scenario: a 10% mixed-fault stream on a moving
+    // sequence never terminates the process and every gaze is
+    // finite; once faults stop, the pipeline exits degraded mode.
+    const auto ren = renderer128();
+    PipelineConfig pc;
+    pc.camera = CameraKind::Lens;
+    pc.roi_refresh = 10;
+    pc.faults = flatcam::FaultConfig::mixed(0.10);
+    pc.faults.last_frame = 39;
+    PredictThenFocusPipeline pipe(pc);
+    pipe.trainGaze(ren, 150);
+
+    dataset::TrajectoryConfig tc;
+    tc.frames = 60;
+    const auto traj = makeTrajectory(ren, 5, tc);
+    int f = 0;
+    for (const auto &p : traj) {
+        const auto s = ren.render(p, 777);
+        const auto r = pipe.processFrame(s.image);
+        expectFiniteGaze(r.gaze, "mixed-10pct", f);
+        ++f;
+    }
+    // The fault window saw injections; the clean tail recovered.
+    long injected = 0;
+    for (long c : pipe.healthStats().fault_counts)
+        injected += c;
+    EXPECT_GT(injected, 0);
+    EXPECT_FALSE(pipe.inDegradedMode());
+    EXPECT_GT(pipe.healthStats().recoveries, 0);
+}
+
+TEST(FaultSweep, MisSizedSceneIsATypedDegradationNotAnAbort)
+{
+    const auto ren = renderer128();
+    PipelineConfig pc;
+    pc.camera = CameraKind::Lens;
+    PredictThenFocusPipeline pipe(pc);
+    pipe.trainGaze(ren, 120);
+
+    const auto r = pipe.processFrame(Image(64, 64, 0.5f));
+    EXPECT_TRUE(r.health.frame_dropped);
+    EXPECT_TRUE(r.health.degraded);
+    expectFiniteGaze(r.gaze, "mis-sized", 0);
+    EXPECT_EQ(pipe.healthStats().shape_mismatches, 1);
+}
+
+TEST(FaultSweep, SystemHealthReportAggregates)
+{
+    core::SystemConfig cfg;
+    cfg.pipeline.camera = CameraKind::Lens;
+    cfg.pipeline.roi_refresh = 8;
+    cfg.pipeline.faults = flatcam::FaultConfig::mixed(0.3, 0x5eed);
+    core::EyeCoDSystem sys(cfg);
+    const auto ren = renderer128();
+    sys.train(ren, 120);
+
+    for (int f = 0; f < 25; ++f)
+        sys.processFrame(ren.sample(300 + f).image);
+
+    const core::HealthReport report = sys.healthReport();
+    EXPECT_EQ(report.stats.frames, 25);
+    EXPECT_GT(report.stats.degraded_frames, 0);
+    EXPECT_GT(report.degraded_fraction, 0.0);
+    EXPECT_LE(report.degraded_fraction, 1.0);
+    EXPECT_GE(report.drop_fraction, 0.0);
+    EXPECT_TRUE(std::isfinite(report.mean_recovery_latency_frames));
+
+    sys.reset();
+    const core::HealthReport fresh = sys.healthReport();
+    EXPECT_EQ(fresh.stats.frames, 0);
+    EXPECT_EQ(fresh.degraded_fraction, 0.0);
+    EXPECT_FALSE(fresh.degraded_mode);
+}
+
+} // namespace
+} // namespace eyetrack
+} // namespace eyecod

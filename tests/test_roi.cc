@@ -70,9 +70,25 @@ TEST(RoiPredictor, CalibratesToOnePointFiveTimesExtent)
     std::vector<SegMask> masks;
     for (int i = 0; i < 5; ++i)
         masks.push_back(eyeMask(128, 128, 64, 64, 20, 40));
-    const auto [h, w] = RoiPredictor::calibrateSize(masks, 1.5);
-    EXPECT_EQ(h, 30); // 1.5 * 20
-    EXPECT_EQ(w, 60); // 1.5 * 40
+    const auto size = RoiPredictor::calibrateSize(masks, 1.5);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value().first, 30);  // 1.5 * 20
+    EXPECT_EQ(size.value().second, 60); // 1.5 * 40
+}
+
+TEST(RoiPredictor, CalibrationErrorsAreTyped)
+{
+    const auto empty = RoiPredictor::calibrateSize({}, 1.5);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), ErrorCode::InvalidArgument);
+
+    SegMask blank;
+    blank.height = 8;
+    blank.width = 8;
+    blank.labels.assign(64, dataset::kBackground);
+    const auto no_eye = RoiPredictor::calibrateSize({blank}, 1.5);
+    ASSERT_FALSE(no_eye.ok());
+    EXPECT_EQ(no_eye.status().code(), ErrorCode::SegmentationFailed);
 }
 
 TEST(RoiPredictor, RoiCentersOnPupil)
@@ -145,6 +161,83 @@ TEST(RoiPredictor, ClampsNearImageBorder)
     EXPECT_GE(r.y, -roi.roiHeight() / 4);
     EXPECT_GE(r.x, -roi.roiWidth() / 4);
     EXPECT_LE(r.y + r.height, 128 + roi.roiHeight() / 4 + 1);
+}
+
+TEST(RoiGate, AcceptsAWellFormedCandidate)
+{
+    const SegMask m = eyeMask(128, 128, 64, 64, 20, 32);
+    const MaskStats s = computeMaskStats(m);
+    const Rect candidate{64 - 20, 64 - 12, 40, 24};
+    const RoiGateDecision d = validateRoi(m, s, candidate, {});
+    EXPECT_TRUE(d.accepted);
+    EXPECT_TRUE(d.reason.isOk());
+    EXPECT_GT(d.confidence, 0.9);
+}
+
+TEST(RoiGate, RejectsWhenSegmentationFoundNoPupil)
+{
+    SegMask m;
+    m.height = 128;
+    m.width = 128;
+    m.labels.assign(size_t(128) * 128, dataset::kBackground);
+    const MaskStats s = computeMaskStats(m);
+    const RoiGateDecision d =
+        validateRoi(m, s, Rect{44, 52, 40, 24}, {});
+    EXPECT_FALSE(d.accepted);
+    EXPECT_EQ(d.reason.code(), ErrorCode::SegmentationFailed);
+}
+
+TEST(RoiGate, RejectsACandidateMissingThePupil)
+{
+    const SegMask m = eyeMask(128, 128, 64, 64, 20, 32);
+    const MaskStats s = computeMaskStats(m);
+    // Crop in the far corner: contains none of the pupil.
+    const RoiGateDecision d =
+        validateRoi(m, s, Rect{0, 0, 40, 24}, {});
+    EXPECT_FALSE(d.accepted);
+    EXPECT_EQ(d.reason.code(), ErrorCode::RoiRejected);
+    EXPECT_LT(d.confidence, 0.5);
+}
+
+TEST(RoiGate, RejectsAMostlyOutOfFrameCandidate)
+{
+    const SegMask m = eyeMask(128, 128, 64, 64, 20, 32);
+    const MaskStats s = computeMaskStats(m);
+    const RoiGateDecision d =
+        validateRoi(m, s, Rect{-100, -100, 40, 24}, {});
+    EXPECT_FALSE(d.accepted);
+    EXPECT_EQ(d.reason.code(), ErrorCode::RoiRejected);
+}
+
+TEST(RoiGate, RejectsAnImplausiblyLargePupil)
+{
+    // A "pupil" covering half the frame is a segmentation failure
+    // (e.g. a dead sensor painting everything dark), not an eye.
+    SegMask m;
+    m.height = 64;
+    m.width = 64;
+    m.labels.assign(size_t(64) * 64, dataset::kBackground);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 32; ++x)
+            m.at(y, x) = dataset::kPupil;
+    const MaskStats s = computeMaskStats(m);
+    const RoiGateDecision d =
+        validateRoi(m, s, Rect{12, 20, 40, 24}, {});
+    EXPECT_FALSE(d.accepted);
+    EXPECT_EQ(d.reason.code(), ErrorCode::RoiRejected);
+}
+
+TEST(RoiGate, DisabledGateAcceptsEverything)
+{
+    SegMask m;
+    m.height = 128;
+    m.width = 128;
+    m.labels.assign(size_t(128) * 128, dataset::kBackground);
+    RoiGateConfig cfg;
+    cfg.enabled = false;
+    const RoiGateDecision d = validateRoi(
+        m, computeMaskStats(m), Rect{-100, -100, 40, 24}, cfg);
+    EXPECT_TRUE(d.accepted);
 }
 
 TEST(RoiPredictor, EndToEndWithSegmenter)

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Finite-checked execution tests: Backend::runChecked must surface
+ * malformed inputs and NaN/Inf-poisoned tensors as typed errors —
+ * naming the offending layer — while clean graphs behave exactly
+ * like run().
+ */
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "nn/basic_layers.h"
+#include "nn/conv.h"
+#include "nn/runtime.h"
+
+using namespace eyecod;
+using namespace eyecod::nn;
+
+namespace {
+
+/** A layer that emits a NaN regardless of its (finite) input. */
+class PoisonLayer : public Layer
+{
+  public:
+    PoisonLayer(std::string name, Shape shape)
+        : Layer(std::move(name)), shape_(shape)
+    {
+    }
+
+    void
+    forward(const std::vector<const Tensor *> &in, Tensor &out,
+            const ExecContext &) const override
+    {
+        const Tensor &src = *in[0];
+        for (size_t i = 0; i < out.size(); ++i)
+            out.data()[i] = src.data()[i];
+        out.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+
+    Shape outputShape() const override { return shape_; }
+    LayerKind kind() const override { return LayerKind::Activation; }
+
+  private:
+    Shape shape_;
+};
+
+/** input -> conv -> relu, with an optional poisoned middle stage. */
+Graph
+buildGraph(bool poisoned)
+{
+    Graph g(poisoned ? "poisoned" : "clean");
+    const Shape in_shape{1, 8, 8};
+    const int input = g.addInput(in_shape);
+
+    ConvSpec spec;
+    spec.in = in_shape;
+    spec.out_channels = 2;
+    spec.kernel = 3;
+    spec.seed = 21;
+    int prev = g.emplace<Conv2d>({input}, "conv", spec);
+    const Shape mid{2, 8, 8};
+    if (poisoned)
+        prev = g.emplace<PoisonLayer>({prev}, "poison", mid);
+    g.emplace<Activation>({prev}, "relu", mid, ActFn::Relu);
+    return g;
+}
+
+Tensor
+makeInput(float fill = 0.25f)
+{
+    Tensor t(Shape{1, 8, 8});
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = fill;
+    return t;
+}
+
+TEST(RuntimeChecked, CleanGraphMatchesUncheckedRun)
+{
+    const Graph g = buildGraph(false);
+    const ExecutionPlan plan(g);
+    SerialBackend backend;
+
+    const Tensor expected = backend.run(plan, {makeInput()});
+    const Result<Tensor> checked =
+        backend.runChecked(plan, {makeInput()});
+    ASSERT_TRUE(checked.ok());
+    ASSERT_EQ(checked.value().size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(checked.value().data()[i], expected.data()[i]) << i;
+}
+
+TEST(RuntimeChecked, WrongInputCountIsInvalidArgument)
+{
+    const Graph g = buildGraph(false);
+    const ExecutionPlan plan(g);
+    SerialBackend backend;
+    const Result<Tensor> r = backend.runChecked(plan, {});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(RuntimeChecked, WrongInputShapeIsShapeMismatch)
+{
+    const Graph g = buildGraph(false);
+    const ExecutionPlan plan(g);
+    SerialBackend backend;
+    const Result<Tensor> r =
+        backend.runChecked(plan, {Tensor(Shape{1, 4, 4})});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::ShapeMismatch);
+}
+
+TEST(RuntimeChecked, NonFiniteInputIsRejected)
+{
+    const Graph g = buildGraph(false);
+    const ExecutionPlan plan(g);
+    SerialBackend backend;
+    Tensor bad = makeInput();
+    bad.data()[7] = std::numeric_limits<float>::infinity();
+    const Result<Tensor> r = backend.runChecked(plan, {bad});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::NonFinite);
+    EXPECT_NE(r.status().message().find("input"), std::string::npos);
+}
+
+TEST(RuntimeChecked, PoisonedLayerIsNamedInTheError)
+{
+    const Graph g = buildGraph(true);
+    const ExecutionPlan plan(g);
+    SerialBackend backend;
+    const Result<Tensor> r = backend.runChecked(plan, {makeInput()});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::NonFinite);
+    EXPECT_NE(r.status().message().find("poison"), std::string::npos);
+}
+
+TEST(RuntimeChecked, UncheckedRunLetsNonFiniteValuesFlow)
+{
+    // run() keeps its fast path: no per-step scanning, poisoned
+    // values propagate (the serving layer opts into checking).
+    const Graph g = buildGraph(true);
+    const ExecutionPlan plan(g);
+    SerialBackend backend;
+    const Tensor out = backend.run(plan, {makeInput()});
+    EXPECT_GT(out.size(), size_t(0));
+}
+
+TEST(RuntimeChecked, ThreadedBackendChecksToo)
+{
+    const Graph g = buildGraph(true);
+    const ExecutionPlan plan(g);
+    ThreadedBackend backend(2);
+    const Result<Tensor> r = backend.runChecked(plan, {makeInput()});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::NonFinite);
+}
+
+} // namespace

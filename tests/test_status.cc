@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the typed-error layer (Status / Result) and the
+ * rate-limited warn() machinery the serving path reports through.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace eyecod {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_TRUE(s.message().empty());
+    EXPECT_EQ(s.toString(), "ok");
+    EXPECT_TRUE(Status::ok().isOk());
+}
+
+TEST(Status, ErrorCarriesCodeAndFormattedMessage)
+{
+    const Status s = Status::error(ErrorCode::ShapeMismatch,
+                                   "got %dx%d, want %d", 10, 20, 128);
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::ShapeMismatch);
+    EXPECT_EQ(s.message(), "got 10x20, want 128");
+    EXPECT_EQ(s.toString(), "shape-mismatch: got 10x20, want 128");
+}
+
+TEST(Status, EveryCodeHasAName)
+{
+    const ErrorCode codes[] = {
+        ErrorCode::Ok,          ErrorCode::InvalidArgument,
+        ErrorCode::ShapeMismatch, ErrorCode::FrameDropped,
+        ErrorCode::SensorFault, ErrorCode::NonFinite,
+        ErrorCode::SegmentationFailed, ErrorCode::RoiRejected,
+        ErrorCode::NotTrained,  ErrorCode::Internal,
+    };
+    for (ErrorCode c : codes) {
+        const std::string name = errorCodeName(c);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown") << int(c);
+    }
+}
+
+TEST(Result, CarriesValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().isOk());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.valueOr(-1), 42);
+    EXPECT_EQ(r.take(), 42);
+}
+
+TEST(Result, CarriesStatus)
+{
+    Result<int> r(Status::error(ErrorCode::FrameDropped, "tick %d", 7));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::FrameDropped);
+    EXPECT_EQ(r.status().message(), "tick 7");
+    EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(Result, MovesNonTrivialValues)
+{
+    Result<std::string> r(std::string("payload"));
+    ASSERT_TRUE(r.ok());
+    const std::string moved = r.take();
+    EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultDeathTest, ValueAccessOnErrorPanics)
+{
+    Result<int> r(Status::error(ErrorCode::Internal, "boom"));
+    EXPECT_DEATH((void)r.value(), "boom");
+}
+
+TEST(ResultDeathTest, OkStatusAsErrorPanics)
+{
+    EXPECT_DEATH(Result<int>(Status::ok()), "OK status");
+}
+
+class WarnRateLimitTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        resetWarnRateLimiter();
+    }
+
+    void
+    TearDown() override
+    {
+        resetWarnRateLimiter();
+        setWarnRateLimit(WarnRateLimit{});
+    }
+};
+
+TEST_F(WarnRateLimitTest, FirstNThenPeriodic)
+{
+    setWarnRateLimit({/*first_n=*/3, /*period=*/10});
+    for (int i = 0; i < 25; ++i)
+        warnLimited("test-key", "occurrence %d", i);
+    EXPECT_EQ(warnOccurrences("test-key"), 25);
+    // Emitted: the 3 leading occurrences plus the 10th and 20th.
+    EXPECT_EQ(warnSuppressed("test-key"), 20);
+}
+
+TEST_F(WarnRateLimitTest, KeysAreIndependent)
+{
+    setWarnRateLimit({1, 1000});
+    for (int i = 0; i < 5; ++i) {
+        warnLimited("key-a", "a");
+        warnLimited("key-b", "b");
+    }
+    EXPECT_EQ(warnOccurrences("key-a"), 5);
+    EXPECT_EQ(warnOccurrences("key-b"), 5);
+    EXPECT_EQ(warnSuppressed("key-a"), 4);
+    EXPECT_EQ(warnSuppressed("key-b"), 4);
+}
+
+TEST_F(WarnRateLimitTest, PlainWarnIsKeyedByFormatString)
+{
+    setWarnRateLimit({2, 1000});
+    for (int i = 0; i < 6; ++i)
+        warn("repeated condition %d", i);
+    EXPECT_EQ(warnOccurrences("repeated condition %d"), 6);
+    EXPECT_EQ(warnSuppressed("repeated condition %d"), 4);
+}
+
+TEST_F(WarnRateLimitTest, ResetClearsCounts)
+{
+    setWarnRateLimit({1, 1000});
+    warnLimited("reset-key", "x");
+    warnLimited("reset-key", "x");
+    EXPECT_EQ(warnOccurrences("reset-key"), 2);
+    resetWarnRateLimiter();
+    EXPECT_EQ(warnOccurrences("reset-key"), 0);
+    EXPECT_EQ(warnSuppressed("reset-key"), 0);
+}
+
+TEST_F(WarnRateLimitTest, SilentLevelDoesNotCount)
+{
+    setWarnRateLimit({1, 1000});
+    const LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Silent);
+    warnLimited("silent-key", "never seen");
+    setLogLevel(prev);
+    EXPECT_EQ(warnOccurrences("silent-key"), 0);
+}
+
+} // namespace
+} // namespace eyecod
