@@ -53,6 +53,24 @@ struct EnergyModel
     double clock_tree_w = 0.125;
     double clock_hz = 370e6;
 
+    // --- SECDED ECC event overheads (hardware fault model) ---
+    // Syndrome computation rides the SRAM access pipeline; only the
+    // *events* cost extra: an inline single-bit correction, or the
+    // weight-GB/DRAM-path refetch a detected-uncorrectable word
+    // triggers. Zero events (the clean path) adds zero energy.
+    double ecc_correct_pj = 8.0;  ///< Per corrected word.
+    double ecc_retry_pj = 250.0;  ///< Per detected-uncorrectable word.
+
+    /** Energy of ECC correction/retry events, in joules. */
+    double
+    eccEventJoules(long long corrected,
+                   long long detected_uncorrectable) const
+    {
+        return (double(corrected) * ecc_correct_pj +
+                double(detected_uncorrectable) * ecc_retry_pj) *
+               1e-12;
+    }
+
     /** Dynamic + static energy of the counted activity, in joules. */
     double
     energyJoules(const ActivityCounts &c) const

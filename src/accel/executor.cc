@@ -13,9 +13,26 @@ ExecStats
 executeStream(const InstructionStream &stream,
               const ModelWorkload &model, const HwConfig &hw)
 {
-    eyecod_assert(validateStream(stream).empty(),
-                  "executing an invalid stream for %s",
-                  model.name.c_str());
+    Result<ExecStats> r = executeStreamChecked(stream, model, hw);
+    if (!r.ok())
+        panic("executeStream(%s): %s", model.name.c_str(),
+              r.status().toString().c_str());
+    return r.take();
+}
+
+Result<ExecStats>
+executeStreamChecked(const InstructionStream &stream,
+                     const ModelWorkload &model, const HwConfig &hw,
+                     long long max_dynamic_instructions)
+{
+    const std::string problem = validateStream(stream);
+    if (!problem.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "invalid stream for %s: %s",
+                             model.name.c_str(), problem.c_str());
+    if (max_dynamic_instructions <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "non-positive dynamic instruction cap");
 
     // Per-layer wave cycle cost from the dataflow model (the
     // fixed-width encoding stores wave counts, not cycle counts).
@@ -37,14 +54,25 @@ executeStream(const InstructionStream &stream,
 
     ExecStats stats;
     std::vector<LoopFrame> loops;
-    constexpr long long kDynamicCap = 50'000'000;
+    // Warn once on the way up, before the watchdog trips.
+    const long long near_cap =
+        max_dynamic_instructions - max_dynamic_instructions / 10;
     size_t pc = 0;
     while (pc < stream.instructions.size()) {
         const Instruction &in = stream.instructions[pc];
         ++stats.dynamic_instructions;
-        eyecod_assert(stats.dynamic_instructions < kDynamicCap,
-                      "runaway instruction stream for %s",
-                      model.name.c_str());
+        if (stats.dynamic_instructions == near_cap)
+            warnLimited("accel-exec-near-cap",
+                        "stream for %s at 90%% of its %lld dynamic "
+                        "instruction budget",
+                        model.name.c_str(),
+                        max_dynamic_instructions);
+        if (stats.dynamic_instructions >= max_dynamic_instructions)
+            return Status::error(
+                ErrorCode::ScheduleTimeout,
+                "runaway instruction stream for %s: over %lld "
+                "dynamic instructions",
+                model.name.c_str(), max_dynamic_instructions);
         switch (in.op) {
           case Opcode::LoopBegin:
             loops.push_back({pc, in.arg0 - 1});
@@ -52,7 +80,11 @@ executeStream(const InstructionStream &stream,
                 stats.max_loop_depth, int(loops.size()));
             break;
           case Opcode::LoopEnd:
-            eyecod_assert(!loops.empty(), "loop underflow");
+            if (loops.empty())
+                return Status::error(
+                    ErrorCode::Internal,
+                    "loop underflow at pc %zu in stream for %s", pc,
+                    model.name.c_str());
             if (loops.back().remaining > 0) {
                 --loops.back().remaining;
                 pc = loops.back().begin_pc;
@@ -67,10 +99,13 @@ executeStream(const InstructionStream &stream,
                                     in.arg0);
             break;
           case Opcode::Compute: {
-            eyecod_assert(in.layer >= 0 &&
-                          size_t(in.layer) < wave_cycles.size(),
-                          "compute references unknown layer %d",
-                          in.layer);
+            if (in.layer < 0 ||
+                size_t(in.layer) >= wave_cycles.size())
+                return Status::error(
+                    ErrorCode::InvalidArgument,
+                    "compute references unknown layer %d in stream "
+                    "for %s",
+                    in.layer, model.name.c_str());
             stats.compute_cycles +=
                 in.arg0 * wave_cycles[size_t(in.layer)];
             break;

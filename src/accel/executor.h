@@ -11,6 +11,7 @@
 #define EYECOD_ACCEL_EXECUTOR_H
 
 #include "accel/isa.h"
+#include "common/status.h"
 
 namespace eyecod {
 namespace accel {
@@ -39,6 +40,18 @@ struct ExecStats
 ExecStats executeStream(const InstructionStream &stream,
                         const ModelWorkload &model,
                         const HwConfig &hw);
+
+/**
+ * Checked execution entry: invalid streams and compute references to
+ * unknown layers return InvalidArgument, loop-stack underflow returns
+ * Internal, and a stream retiring more than
+ * @p max_dynamic_instructions returns ScheduleTimeout (the runaway
+ * watchdog) instead of panicking.
+ */
+Result<ExecStats> executeStreamChecked(
+    const InstructionStream &stream, const ModelWorkload &model,
+    const HwConfig &hw,
+    long long max_dynamic_instructions = 50'000'000);
 
 } // namespace accel
 } // namespace eyecod

@@ -1,0 +1,93 @@
+#include "accel/hw_config.h"
+
+#include <cmath>
+
+namespace eyecod {
+namespace accel {
+
+Status
+validateHwConfig(const HwConfig &hw)
+{
+    if (hw.mac_lanes <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "mac_lanes must be positive (got %d)",
+                             hw.mac_lanes);
+    if (hw.macs_per_lane <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "macs_per_lane must be positive (got %d)",
+                             hw.macs_per_lane);
+    if (!(hw.clock_hz > 0.0) || !std::isfinite(hw.clock_hz))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "clock_hz must be positive and finite "
+                             "(got %g)",
+                             hw.clock_hz);
+    if (hw.act_gb_bytes <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "act_gb_bytes must be positive (got %ld)",
+                             hw.act_gb_bytes);
+    if (hw.act_gb_count <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "act_gb_count must be positive (got %d)",
+                             hw.act_gb_count);
+    if (hw.weight_buf_bytes <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "weight_buf_bytes must be positive "
+                             "(got %ld)",
+                             hw.weight_buf_bytes);
+    if (hw.weight_gb_bytes <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "weight_gb_bytes must be positive "
+                             "(got %ld)",
+                             hw.weight_gb_bytes);
+    if (hw.act_gb_banks <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "act_gb_banks must be positive (got %d)",
+                             hw.act_gb_banks);
+    if (hw.act_bank_width_bytes <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "act_bank_width_bytes must be positive "
+                             "(got %d)",
+                             hw.act_bank_width_bytes);
+    if (hw.input_buf_rows <= 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "input_buf_rows must be positive "
+                             "(got %d)",
+                             hw.input_buf_rows);
+    if (hw.partial_util_threshold < 0.0 ||
+        hw.partial_util_threshold > 1.0 ||
+        !std::isfinite(hw.partial_util_threshold))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "partial_util_threshold must be in "
+                             "[0, 1] (got %g)",
+                             hw.partial_util_threshold);
+    if (hw.watchdog_cycle_budget < 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "watchdog_cycle_budget must be "
+                             "non-negative (got %lld)",
+                             hw.watchdog_cycle_budget);
+    return Status::ok();
+}
+
+Result<HwConfig>
+retireLanes(const HwConfig &hw, int retired)
+{
+    const Status valid = validateHwConfig(hw);
+    if (!valid.isOk())
+        return valid;
+    if (retired < 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "retired lane count must be "
+                             "non-negative (got %d)",
+                             retired);
+    if (retired >= hw.mac_lanes)
+        return Status::error(ErrorCode::HwLaneFault,
+                             "retiring %d of %d MAC lanes leaves no "
+                             "compute",
+                             retired, hw.mac_lanes);
+    HwConfig degraded = hw;
+    degraded.mac_lanes = hw.mac_lanes - retired;
+    return degraded;
+}
+
+} // namespace accel
+} // namespace eyecod

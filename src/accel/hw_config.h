@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace eyecod {
 namespace accel {
 
@@ -63,6 +65,15 @@ struct HwConfig
      */
     double partial_util_threshold = 0.80;
 
+    /**
+     * Cycle-budget watchdog: a frame schedule (including injected
+     * stalls and ECC retry overheads) exceeding this many cycles is
+     * reported as a ScheduleTimeout error by the checked simulation
+     * entry points instead of silently producing sub-real-time
+     * numbers. 0 disables the watchdog.
+     */
+    long long watchdog_cycle_budget = 0;
+
     /** Total MAC count. */
     int totalMacs() const { return mac_lanes * macs_per_lane; }
 
@@ -82,6 +93,23 @@ struct HwConfig
         return swpr_input_buffer ? raw * 2.0 : raw;
     }
 };
+
+/**
+ * Validate a hardware configuration: zero/negative lane counts, bank
+ * sizes, or clock rates return a typed InvalidArgument Status naming
+ * the offending field, so malformed configs fail at the simulate()
+ * boundary instead of as downstream divide-by-zero/NaN reports.
+ */
+Status validateHwConfig(const HwConfig &hw);
+
+/**
+ * The configuration with @p retired lanes mapped out of the MAC
+ * array (lane retirement after BIST/runtime fault detection). The
+ * orchestrator re-partitions every workload across the surviving
+ * lanes, so schedules, utilization, and FPS stay self-consistent.
+ * Fails with HwLaneFault when no lane would survive.
+ */
+Result<HwConfig> retireLanes(const HwConfig &hw, int retired);
 
 } // namespace accel
 } // namespace eyecod

@@ -1,0 +1,291 @@
+#include "accel/hw_faults.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace eyecod {
+namespace accel {
+
+const char *
+hwFaultKindName(HwFaultKind kind)
+{
+    switch (kind) {
+      case HwFaultKind::DeadLane: return "dead-lane";
+      case HwFaultKind::StuckLane: return "stuck-lane";
+      case HwFaultKind::TransientBitFlip: return "transient-bit-flip";
+      case HwFaultKind::PersistentBitFlip:
+        return "persistent-bit-flip";
+      case HwFaultKind::OrchestratorStall: return "orchestrator-stall";
+    }
+    return "unknown";
+}
+
+const char *
+sramDomainName(SramDomain domain)
+{
+    switch (domain) {
+      case SramDomain::ActGb: return "act-gb";
+      case SramDomain::WeightBuffer: return "weight-buffer";
+      case SramDomain::InputBuffer: return "input-buffer";
+    }
+    return "unknown";
+}
+
+bool
+HwFaultConfig::anyEnabled() const
+{
+    return stuck_lane_rate > 0.0 || dead_lane_rate > 0.0 ||
+           transient_flip_rate > 0.0 || persistent_flip_rate > 0.0 ||
+           stall_rate > 0.0 || retired_lanes > 0;
+}
+
+HwFaultConfig
+HwFaultConfig::mixed(double rate, uint64_t seed)
+{
+    HwFaultConfig cfg;
+    cfg.stuck_lane_rate = rate;
+    cfg.dead_lane_rate = rate;
+    cfg.transient_flip_rate = rate;
+    cfg.persistent_flip_rate = rate;
+    cfg.stall_rate = rate;
+    cfg.seed = seed;
+    return cfg;
+}
+
+int
+ChipFaults::totalStuckWords() const
+{
+    int n = 0;
+    for (int w : stuck_words)
+        n += w;
+    return n;
+}
+
+long
+FrameHwFaults::totalFlips() const
+{
+    long n = 0;
+    for (long f : flips)
+        n += f;
+    return n;
+}
+
+bool
+FrameHwFaults::any() const
+{
+    return !stuck_lanes.empty() || totalFlips() > 0 ||
+           stall_cycles > 0;
+}
+
+namespace {
+
+/** splitmix64 mix of a 64-bit state (public-domain constant set). */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Fresh RNG for (seed, frame, stage); stage decorrelates draws. */
+Rng
+frameRng(uint64_t seed, long frame, uint64_t stage)
+{
+    return Rng(mix64(mix64(seed ^ uint64_t(frame)) ^ stage));
+}
+
+/** Each silent event lands in a given executor step with this
+ *  probability (models a few-dozen-layer pipeline). */
+constexpr double kStepHitProb = 1.0 / 32.0;
+
+/** Flip one mantissa or sign bit of @p v (keeps the value finite). */
+float
+flipFloatBit(float v, int bit_choice)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    // bit_choice in [0, 23]: 0..22 are mantissa bits, 23 is the sign.
+    const int bit = bit_choice == 23 ? 31 : bit_choice;
+    bits ^= (uint32_t(1) << bit);
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+} // namespace
+
+HwFaultInjector::HwFaultInjector(HwFaultConfig cfg, const HwConfig &hw)
+    : cfg_(cfg), mac_lanes_(hw.mac_lanes)
+{
+    const Status valid = validateHwConfig(hw);
+    eyecod_assert(valid.isOk(), "HwFaultInjector on invalid hw: %s",
+                  valid.toString().c_str());
+    eyecod_assert(cfg_.retired_lanes >= 0,
+                  "retired_lanes must be non-negative");
+    banks_[int(SramDomain::ActGb)] =
+        hw.act_gb_count * hw.act_gb_banks;
+    // Weight GB plus the two ping-pong buffers.
+    banks_[int(SramDomain::WeightBuffer)] = 3;
+    // The two interleaved In-Act G0/G1 groups (Fig. 12).
+    banks_[int(SramDomain::InputBuffer)] = 2;
+
+    // Chip-instance faults: drawn once from the seed (frame
+    // independent), modelling manufacturing defects.
+    Rng rng(mix64(mix64(cfg_.seed) ^ 0xc41bd00d));
+    for (int lane = 0; lane < mac_lanes_; ++lane)
+        if (rng.bernoulli(cfg_.dead_lane_rate))
+            chip_.dead_lanes.push_back(lane);
+    for (int d = 0; d < kNumSramDomains; ++d) {
+        int words = 0;
+        for (int b = 0; b < banks_[d]; ++b)
+            if (rng.bernoulli(cfg_.persistent_flip_rate))
+                ++words;
+        chip_.stuck_words[size_t(d)] = words;
+    }
+}
+
+int
+HwFaultInjector::banksIn(SramDomain domain) const
+{
+    return banks_[size_t(int(domain))];
+}
+
+int
+HwFaultInjector::retiredLaneCount() const
+{
+    return cfg_.retired_lanes + int(chip_.dead_lanes.size());
+}
+
+FrameHwFaults
+HwFaultInjector::plan(long frame) const
+{
+    FrameHwFaults f;
+    if (frame < cfg_.first_frame ||
+        (cfg_.last_frame >= 0 && frame > cfg_.last_frame))
+        return f;
+
+    if (cfg_.stuck_lane_rate > 0.0) {
+        Rng rng = frameRng(cfg_.seed, frame, 0x1a7e5);
+        for (int lane = 0; lane < mac_lanes_; ++lane)
+            if (rng.bernoulli(cfg_.stuck_lane_rate))
+                f.stuck_lanes.push_back(lane);
+    }
+    if (cfg_.transient_flip_rate > 0.0) {
+        for (int d = 0; d < kNumSramDomains; ++d) {
+            Rng rng =
+                frameRng(cfg_.seed, frame, 0xf11b0 + uint64_t(d));
+            f.flips[size_t(d)] = long(rng.poisson(
+                cfg_.transient_flip_rate * double(banks_[d])));
+        }
+    }
+    if (cfg_.stall_rate > 0.0) {
+        Rng rng = frameRng(cfg_.seed, frame, 0x57a11);
+        if (rng.bernoulli(cfg_.stall_rate))
+            f.stall_cycles = cfg_.stall_cycles;
+    }
+    return f;
+}
+
+EccCounters
+HwFaultInjector::classify(const FrameHwFaults &faults,
+                          long frame) const
+{
+    EccCounters c;
+    Rng rng = frameRng(cfg_.seed, frame, 0xecc1);
+    for (int d = 0; d < kNumSramDomains; ++d) {
+        for (long i = 0; i < faults.flips[size_t(d)]; ++i) {
+            if (!cfg_.ecc.enabled) {
+                ++c.silent;
+                continue;
+            }
+            const double u = rng.uniform();
+            if (u < cfg_.ecc.multi_bit_fraction)
+                ++c.silent;
+            else if (u < cfg_.ecc.multi_bit_fraction +
+                             cfg_.ecc.double_bit_fraction)
+                ++c.detected_uncorrectable;
+            else
+                ++c.corrected;
+        }
+    }
+    // Stuck-at words raise a single-bit error on every access; ECC
+    // re-corrects each touch, without it every touch corrupts.
+    const long long touches =
+        (long long)chip_.totalStuckWords() *
+        cfg_.persistent_touches_per_frame;
+    if (cfg_.ecc.enabled)
+        c.corrected += touches;
+    else
+        c.silent += touches;
+
+    if (cfg_.ecc.enabled)
+        c.overhead_cycles =
+            c.corrected * cfg_.ecc.correction_cycles +
+            c.detected_uncorrectable * cfg_.ecc.retry_cycles;
+    return c;
+}
+
+long long
+HwFaultInjector::silentEvents(long frame) const
+{
+    const FrameHwFaults f = plan(frame);
+    return classify(f, frame).silent +
+           (long long)f.stuck_lanes.size();
+}
+
+void
+HwFaultInjector::corruptStepOutput(nn::Tensor &out, long frame,
+                                   uint64_t model_tag,
+                                   int step_node) const
+{
+    if (out.size() == 0)
+        return;
+    const FrameHwFaults f = plan(frame);
+    const long long sram_silent = classify(f, frame).silent;
+    const long long lane_silent = (long long)f.stuck_lanes.size();
+    if (sram_silent == 0 && lane_silent == 0)
+        return;
+
+    Rng rng(mix64(mix64(cfg_.seed ^ uint64_t(frame)) ^
+                  mix64(model_tag ^
+                        (uint64_t(uint32_t(step_node)) << 32) ^
+                        0xac7f)));
+    float *data = out.data().data();
+    const long long n = (long long)out.size();
+    long applied = 0;
+
+    // ECC-escaping SRAM upsets: flip one mantissa/sign bit of one
+    // activation each.
+    for (long long i = 0; i < sram_silent; ++i) {
+        if (!rng.bernoulli(kStepHitProb))
+            continue;
+        const long long idx = rng.uniformInt(0, n - 1);
+        const int bit = int(rng.uniformInt(0, 23));
+        data[idx] = flipFloatBit(data[idx], bit);
+        ++applied;
+    }
+    // Stuck-lane wrong-compute: one 8-wide MAC group emits garbage;
+    // modelled as a zeroed 8-element run of the output.
+    for (long long i = 0; i < lane_silent; ++i) {
+        if (!rng.bernoulli(kStepHitProb))
+            continue;
+        const long long start =
+            rng.uniformInt(0, std::max<long long>(0, n - 8));
+        for (long long k = start; k < std::min(n, start + 8); ++k)
+            data[k] = 0.0f;
+        ++applied;
+    }
+    if (applied > 0)
+        warnLimited("accel-act-corrupt",
+                    "frame %ld: %ld silent hw fault(s) perturbed "
+                    "step %d activations",
+                    frame, applied, step_node);
+}
+
+} // namespace accel
+} // namespace eyecod

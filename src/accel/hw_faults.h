@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Deterministic hardware fault model of the EyeCoD accelerator,
+ * mirroring the sensor-path fault injection of
+ * flatcam/fault_injection for the silicon half of the co-design.
+ *
+ * Edge eye-tracking accelerators (i-FlatCam, JaneEye) operate at
+ * aggressive voltage/area points where the dominant reliability
+ * concerns are SRAM bit upsets and MAC-lane defects. The model
+ * covers:
+ *
+ *  - *chip-instance* faults drawn once per seed: manufacturing-dead
+ *    MAC lanes (detected at BIST and retired) and stuck-at SRAM words
+ *    whose single-bit errors recur on every access;
+ *  - *per-frame transient* faults: lanes computing wrong results for
+ *    one frame (undetected — no ECC on the datapath), word upsets in
+ *    the activation GBs / weight buffers / input buffer, and
+ *    orchestrator stall events (control hangs, arbitration
+ *    livelocks).
+ *
+ * A SECDED ECC model classifies every SRAM upset as corrected
+ * (single bit), detected-uncorrectable (double bit, triggers a
+ * refetch retry), or silent (multi-bit escape, or everything when
+ * ECC is disabled); corrected/detected events carry cycle and energy
+ * overheads folded into the PerfReport, silent events perturb the
+ * functional RITNet/FBNet activations through the NN runtime's
+ * activation tap.
+ *
+ * Like the sensor injector, the schedule is a pure function of
+ * (seed, frame, unit): every query derives a fresh splitmix64-seeded
+ * RNG, so replaying a faulted simulation is bitwise identical
+ * regardless of call order.
+ */
+
+#ifndef EYECOD_ACCEL_HW_FAULTS_H
+#define EYECOD_ACCEL_HW_FAULTS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "accel/hw_config.h"
+#include "nn/tensor.h"
+
+namespace eyecod {
+namespace accel {
+
+/** The hardware fault taxonomy. */
+enum class HwFaultKind : int {
+    DeadLane = 0,     ///< Chip-instance lane defect (BIST-retired).
+    StuckLane,        ///< Transient wrong-compute lane (silent).
+    TransientBitFlip, ///< One-frame SRAM word upset.
+    PersistentBitFlip, ///< Stuck-at SRAM word (recurs every access).
+    OrchestratorStall, ///< Control stall: dead cycles, no corruption.
+};
+
+/** Number of HwFaultKind values. */
+constexpr int kNumHwFaultKinds = 5;
+
+/** Human-readable name of an HwFaultKind. */
+const char *hwFaultKindName(HwFaultKind kind);
+
+/** SRAM domains subject to bit flips. */
+enum class SramDomain : int {
+    ActGb = 0,     ///< Banked activation global buffers.
+    WeightBuffer,  ///< Weight GB + ping-pong buffers.
+    InputBuffer,   ///< SWPR input activation buffer groups.
+};
+
+/** Number of SramDomain values. */
+constexpr int kNumSramDomains = 3;
+
+/** Human-readable name of an SramDomain. */
+const char *sramDomainName(SramDomain domain);
+
+/** SECDED ECC behaviour per SRAM bank. */
+struct EccConfig
+{
+    bool enabled = true;
+    /** Fraction of upsets hitting two bits of one word (adjacent
+     *  cells); SECDED detects but cannot correct these. */
+    double double_bit_fraction = 0.08;
+    /** Fraction of upsets hitting >= 3 bits: escapes SECDED and
+     *  corrupts data silently. */
+    double multi_bit_fraction = 0.005;
+    /** Pipeline bubble per corrected word. */
+    long long correction_cycles = 3;
+    /** Refetch penalty per detected-uncorrectable word (re-read the
+     *  tile from the weight GB / DRAM path). */
+    long long retry_cycles = 512;
+};
+
+/** ECC outcome counters of one simulated frame (or a whole run). */
+struct EccCounters
+{
+    long long corrected = 0;              ///< Single-bit, fixed inline.
+    long long detected_uncorrectable = 0; ///< Double-bit, retried.
+    long long silent = 0;                 ///< Escaped ECC (or ECC off).
+    long long overhead_cycles = 0;        ///< Correction + retry time.
+
+    /** Total classified upset events. */
+    long long
+    total() const
+    {
+        return corrected + detected_uncorrectable + silent;
+    }
+
+    EccCounters &
+    operator+=(const EccCounters &o)
+    {
+        corrected += o.corrected;
+        detected_uncorrectable += o.detected_uncorrectable;
+        silent += o.silent;
+        overhead_cycles += o.overhead_cycles;
+        return *this;
+    }
+};
+
+/** Per-kind rates and shape knobs of the hardware fault model. */
+struct HwFaultConfig
+{
+    /** P(a given lane computes wrong results) per lane per frame. */
+    double stuck_lane_rate = 0.0;
+    /** P(a given lane is manufactured dead), chip-instance. */
+    double dead_lane_rate = 0.0;
+    /** Expected transient word upsets per SRAM bank per frame. */
+    double transient_flip_rate = 0.0;
+    /** P(a given SRAM bank carries a stuck-at word), chip-instance. */
+    double persistent_flip_rate = 0.0;
+    /** P(an orchestrator stall event) per frame. */
+    double stall_rate = 0.0;
+    /** Dead cycles per stall event. */
+    long long stall_cycles = 20000;
+
+    /** Lanes already mapped out by BIST/operator policy; the
+     *  orchestrator re-partitions work across the survivors. */
+    int retired_lanes = 0;
+
+    /** SECDED ECC model applied to every SRAM domain. */
+    EccConfig ecc;
+
+    /**
+     * Accesses per frame that land on one stuck-at word: each access
+     * re-raises the single-bit error (re-corrected by ECC every
+     * time, or silently corrupting without it).
+     */
+    long long persistent_touches_per_frame = 64;
+
+    uint64_t seed = 0xacce1;  ///< Schedule seed.
+
+    /**
+     * Active frame window [first_frame, last_frame] for *transient*
+     * faults; last_frame < 0 means unbounded. Chip-instance faults
+     * (dead lanes, stuck-at words) are window-independent.
+     */
+    long first_frame = 0;
+    long last_frame = -1;
+
+    /** True when any fault rate is positive. */
+    bool anyEnabled() const;
+
+    /** A uniform mixed-fault config: every rate at @p rate. */
+    static HwFaultConfig mixed(double rate, uint64_t seed = 0xacce1);
+};
+
+/** Chip-instance (seed-only, frame-independent) faults. */
+struct ChipFaults
+{
+    std::vector<int> dead_lanes; ///< BIST-detected lane defects.
+    /** Stuck-at words per SRAM domain. */
+    std::array<int, kNumSramDomains> stuck_words{};
+
+    /** Total stuck-at words across domains. */
+    int totalStuckWords() const;
+};
+
+/** The transient faults planned for one frame. */
+struct FrameHwFaults
+{
+    std::vector<int> stuck_lanes; ///< Wrong-compute lanes this frame.
+    /** Transient word upsets per SRAM domain. */
+    std::array<long, kNumSramDomains> flips{};
+    long long stall_cycles = 0;   ///< Injected orchestrator stalls.
+
+    /** Total transient upsets across domains. */
+    long totalFlips() const;
+
+    /** True when any fault is planned. */
+    bool any() const;
+};
+
+/**
+ * Stateless, deterministic hardware fault source. All methods are
+ * const and derive their randomness from (config seed, frame, unit)
+ * only, so replays are bitwise identical.
+ */
+class HwFaultInjector
+{
+  public:
+    /**
+     * @param cfg fault rates and ECC model.
+     * @param hw hardware configuration (lane and bank counts).
+     */
+    HwFaultInjector(HwFaultConfig cfg, const HwConfig &hw);
+
+    /** Chip-instance faults (computed once from the seed). */
+    const ChipFaults &chip() const { return chip_; }
+
+    /** The transient fault schedule entry for @p frame. */
+    FrameHwFaults plan(long frame) const;
+
+    /**
+     * SECDED classification of the frame's upsets (transient flips
+     * of @p faults plus the chip's stuck-at word re-corrections),
+     * with correction/retry cycle overheads.
+     */
+    EccCounters classify(const FrameHwFaults &faults, long frame) const;
+
+    /**
+     * Silently-corrupting events reaching the datapath at @p frame:
+     * ECC-escaping (or unprotected) SRAM upsets plus stuck-lane
+     * wrong-compute events. This is what the functional activation
+     * corruption scales with.
+     */
+    long long silentEvents(long frame) const;
+
+    /**
+     * Deterministically perturb one executor step's output as if the
+     * frame's silent faults reached it: each silent event lands in
+     * this step with a fixed per-step probability; SRAM escapes flip
+     * one bit of one float activation, stuck-lane events zero one
+     * 8-element MAC-group run. A frame with no silent events leaves
+     * @p out bitwise untouched.
+     *
+     * @param out the step's output activations (perturbed in place).
+     * @param frame frame index.
+     * @param model_tag decorrelates models sharing a frame (e.g.
+     *        hashes of "ritnet"/"fbnet").
+     * @param step_node the plan step's node id.
+     */
+    void corruptStepOutput(nn::Tensor &out, long frame,
+                           uint64_t model_tag, int step_node) const;
+
+    /** Lanes to retire: configured count plus BIST-dead lanes. */
+    int retiredLaneCount() const;
+
+    /** SRAM banks modelled per domain for this hardware config. */
+    int banksIn(SramDomain domain) const;
+
+    /** Configuration in use. */
+    const HwFaultConfig &config() const { return cfg_; }
+
+  private:
+    HwFaultConfig cfg_;
+    int mac_lanes_;
+    std::array<int, kNumSramDomains> banks_{};
+    ChipFaults chip_;
+};
+
+} // namespace accel
+} // namespace eyecod
+
+#endif // EYECOD_ACCEL_HW_FAULTS_H

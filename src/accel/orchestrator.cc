@@ -262,5 +262,39 @@ scheduleFrame(const std::vector<ModelWorkload> &workloads,
     panic("unknown orchestration mode");
 }
 
+Result<FrameSchedule>
+scheduleFrameChecked(const std::vector<ModelWorkload> &workloads,
+                     const HwConfig &hw)
+{
+    const Status valid = validateHwConfig(hw);
+    if (!valid.isOk())
+        return valid;
+    if (workloads.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "scheduleFrame with no workloads");
+    bool any_per_frame = false;
+    for (const ModelWorkload &m : workloads) {
+        if (m.period < 1)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "workload %s has period %d (< 1)",
+                                 m.name.c_str(), m.period);
+        any_per_frame = any_per_frame || m.period == 1;
+    }
+    if (!any_per_frame)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "pipeline needs at least one per-frame "
+                             "workload");
+
+    FrameSchedule fs = scheduleFrame(workloads, hw);
+    if (hw.watchdog_cycle_budget > 0 &&
+        fs.frame_cycles > hw.watchdog_cycle_budget)
+        return Status::error(
+            ErrorCode::ScheduleTimeout,
+            "frame schedule of %lld cycles exceeds the watchdog "
+            "budget of %lld",
+            fs.frame_cycles, hw.watchdog_cycle_budget);
+    return fs;
+}
+
 } // namespace accel
 } // namespace eyecod

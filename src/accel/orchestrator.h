@@ -14,6 +14,7 @@
 
 #include "accel/dataflow.h"
 #include "accel/workload.h"
+#include "common/status.h"
 
 namespace eyecod {
 namespace accel {
@@ -51,6 +52,15 @@ struct FrameSchedule
  */
 FrameSchedule scheduleFrame(const std::vector<ModelWorkload> &workloads,
                             const HwConfig &hw);
+
+/**
+ * Checked scheduling entry: returns typed Status errors instead of
+ * panicking on malformed inputs (invalid HwConfig, empty workload
+ * set, no per-frame workload), and ScheduleTimeout when the frame
+ * exceeds hw.watchdog_cycle_budget.
+ */
+Result<FrameSchedule> scheduleFrameChecked(
+    const std::vector<ModelWorkload> &workloads, const HwConfig &hw);
 
 } // namespace accel
 } // namespace eyecod

@@ -10,6 +10,7 @@
 #define EYECOD_ACCEL_SIMULATOR_H
 
 #include "accel/energy.h"
+#include "accel/hw_faults.h"
 #include "accel/orchestrator.h"
 #include "accel/partition.h"
 #include "accel/workload.h"
@@ -35,14 +36,54 @@ struct PerfReport
     double seg_hidden_fraction = 0.0;
     ActivityCounts activity;     ///< Amortized per-frame activity.
     FrameSchedule schedule;      ///< Layer timeline (Fig. 7).
+
+    // --- Hardware-fault / degradation accounting. All zero (and
+    // every field above bitwise unchanged) on the clean path. ---
+    int active_lanes = 0;        ///< Lanes the schedule ran on.
+    int retired_lanes = 0;       ///< Lanes mapped out (config + BIST).
+    int stuck_lane_events = 0;   ///< Wrong-compute lanes this frame.
+    long long injected_stall_cycles = 0; ///< Orchestrator stalls.
+    EccCounters ecc;             ///< SECDED outcome counters.
+    double ecc_energy_j = 0.0;   ///< ECC event energy (in totals).
 };
 
 /**
  * Simulate one steady-state frame of the given pipeline workloads on
- * the given hardware configuration.
+ * the given hardware configuration. Panics on an invalid HwConfig or
+ * workload set (trusted-caller entry; the serving path uses
+ * simulateChecked/simulateFaulted).
  */
 PerfReport simulate(const std::vector<ModelWorkload> &workloads,
                     const HwConfig &hw, const EnergyModel &energy);
+
+/**
+ * Checked simulation entry: malformed hardware configurations
+ * (zero/negative lane counts, bank sizes, clock rates) and workload
+ * sets return typed Status errors instead of downstream
+ * divide-by-zero/NaN reports, and a schedule exceeding
+ * hw.watchdog_cycle_budget returns ScheduleTimeout.
+ */
+Result<PerfReport> simulateChecked(
+    const std::vector<ModelWorkload> &workloads, const HwConfig &hw,
+    const EnergyModel &energy);
+
+/**
+ * Simulate one frame under the hardware fault model: retired and
+ * BIST-dead lanes are mapped out and the workloads re-partitioned
+ * across the survivors (degraded FPS/utilization stay
+ * self-consistent), SECDED correction/retry overheads extend the
+ * frame and its energy, and injected orchestrator stalls count
+ * against the cycle-budget watchdog. With every fault rate at zero
+ * the report is bitwise identical to simulateChecked().
+ *
+ * Fails with HwLaneFault when no lane survives retirement and with
+ * ScheduleTimeout when the degraded frame exceeds the watchdog
+ * budget.
+ */
+Result<PerfReport> simulateFaulted(
+    const std::vector<ModelWorkload> &workloads, const HwConfig &hw,
+    const EnergyModel &energy, const HwFaultInjector &injector,
+    long frame);
 
 } // namespace accel
 } // namespace eyecod

@@ -21,6 +21,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::RoiRejected: return "roi-rejected";
       case ErrorCode::NotTrained: return "not-trained";
       case ErrorCode::Internal: return "internal";
+      case ErrorCode::HwLaneFault: return "hw-lane-fault";
+      case ErrorCode::EccUncorrectable: return "ecc-uncorrectable";
+      case ErrorCode::ScheduleTimeout: return "schedule-timeout";
     }
     return "unknown";
 }

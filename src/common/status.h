@@ -36,6 +36,10 @@ enum class ErrorCode {
     RoiRejected,         ///< Predicted ROI failed sanity gating.
     NotTrained,          ///< Inference requested before fitting.
     Internal,            ///< Unclassified recoverable failure.
+    // --- Accelerator-side hardware faults ---
+    HwLaneFault,         ///< MAC lane defect (stuck/dead) detected.
+    EccUncorrectable,    ///< SRAM ECC detected an uncorrectable word.
+    ScheduleTimeout,     ///< Schedule/stream exceeded its cycle budget.
 };
 
 /** Human-readable name of an ErrorCode. */

@@ -31,6 +31,7 @@ void
 EyeCoDSystem::reset()
 {
     pipe_->reset();
+    accel_health_ = AccelHealth{};
 }
 
 HealthReport
@@ -48,6 +49,7 @@ EyeCoDSystem::healthReport() const
     }
     report.mean_recovery_latency_frames =
         report.stats.meanRecoveryLatency();
+    report.accel = accel_health_;
     return report;
 }
 
@@ -56,6 +58,33 @@ EyeCoDSystem::simulatePerformance() const
 {
     const auto workloads = accel::buildPipelineWorkload(cfg_.workload);
     return accel::simulate(workloads, cfg_.hw, cfg_.energy);
+}
+
+Result<accel::PerfReport>
+EyeCoDSystem::simulateFaultedPerformance(long frame)
+{
+    const auto workloads = accel::buildPipelineWorkload(cfg_.workload);
+    const accel::HwFaultInjector injector(cfg_.hw_faults, cfg_.hw);
+    Result<accel::PerfReport> r = accel::simulateFaulted(
+        workloads, cfg_.hw, cfg_.energy, injector, frame);
+
+    ++accel_health_.frames;
+    accel_health_.retired_lanes = injector.retiredLaneCount();
+    if (r.ok()) {
+        const accel::PerfReport &p = r.value();
+        if (p.stuck_lane_events > 0)
+            ++accel_health_.lane_fault_frames;
+        if (p.injected_stall_cycles > 0)
+            ++accel_health_.stall_frames;
+        accel_health_.ecc += p.ecc;
+    } else {
+        accel_health_.last_error = r.status().code();
+        if (r.status().code() == ErrorCode::ScheduleTimeout)
+            ++accel_health_.schedule_timeouts;
+        else if (r.status().code() == ErrorCode::HwLaneFault)
+            ++accel_health_.lane_fault_errors;
+    }
+    return r;
 }
 
 RuntimeProfile

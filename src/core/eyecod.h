@@ -48,6 +48,12 @@ struct SystemConfig
     /** Accelerator energy model (silicon-calibrated). */
     accel::EnergyModel energy;
     /**
+     * Hardware fault model applied by simulateFaultedPerformance();
+     * all-zero rates (the default) make the faulted path bitwise
+     * identical to simulatePerformance().
+     */
+    accel::HwFaultConfig hw_faults;
+    /**
      * Sensing-processing interface (Sec. 4.2): transmit first-layer
      * feature maps instead of raw measurements, reducing the
      * camera-processor traffic.
@@ -76,6 +82,22 @@ struct RuntimeProfile
 };
 
 /**
+ * Accelerator-side health counters accumulated across
+ * simulateFaultedPerformance() calls.
+ */
+struct AccelHealth
+{
+    long long frames = 0;            ///< Faulted frames simulated.
+    long long lane_fault_frames = 0; ///< Frames with stuck lanes.
+    long long stall_frames = 0;      ///< Frames with injected stalls.
+    long long schedule_timeouts = 0; ///< Watchdog trips (errors).
+    long long lane_fault_errors = 0; ///< HwLaneFault failures.
+    int retired_lanes = 0;           ///< Last-seen retired lane count.
+    accel::EccCounters ecc;          ///< Accumulated ECC outcomes.
+    ErrorCode last_error = ErrorCode::Ok; ///< Last typed failure.
+};
+
+/**
  * Aggregate serving-health report of the functional pipeline:
  * degraded-mode status, fault/recovery counters, and recovery
  * latency, accumulated since construction or the last reset().
@@ -92,6 +114,8 @@ struct HealthReport
     double drop_fraction = 0.0;
     /** Mean degraded-streak length in frames. */
     double mean_recovery_latency_frames = 0.0;
+    /** Accelerator-side fault counters (simulateFaultedPerformance). */
+    AccelHealth accel;
 };
 
 /** One row of the Fig. 14 style cross-platform comparison. */
@@ -134,6 +158,16 @@ class EyeCoDSystem
     accel::PerfReport simulatePerformance() const;
 
     /**
+     * Simulate the accelerator under the configured hardware fault
+     * model (cfg.hw_faults) at @p frame. Outcomes — ECC counters,
+     * stuck-lane/stall frames, watchdog timeouts, HwLaneFault
+     * failures — accumulate into healthReport().accel. With all-zero
+     * fault rates the report is bitwise identical to
+     * simulatePerformance().
+     */
+    Result<accel::PerfReport> simulateFaultedPerformance(long frame);
+
+    /**
      * Plan the deployment graphs on the configured NN backend and
      * report their arena/liveness statistics.
      */
@@ -164,6 +198,7 @@ class EyeCoDSystem
   private:
     SystemConfig cfg_;
     std::unique_ptr<eyetrack::PredictThenFocusPipeline> pipe_;
+    AccelHealth accel_health_;
 };
 
 } // namespace core

@@ -104,6 +104,9 @@ class NeuralGazeEstimator
     /** Name of the backend in use ("serial", "threaded-N"). */
     std::string backendName() const { return backend_->name(); }
 
+    /** Backend executing the plan (e.g. to install a fault tap). */
+    nn::Backend &backend() { return *backend_; }
+
     /** Configuration in use. */
     const NeuralGazeConfig &config() const { return cfg_; }
 

@@ -106,6 +106,9 @@ class NeuralSegmenter
     /** Name of the backend in use ("serial", "threaded-N"). */
     std::string backendName() const { return backend_->name(); }
 
+    /** Backend executing the plan (e.g. to install a fault tap). */
+    nn::Backend &backend() { return *backend_; }
+
     /** Configuration in use. */
     const NeuralSegmenterConfig &config() const { return cfg_; }
 

@@ -156,6 +156,8 @@ Backend::runImpl(const ExecutionPlan &plan,
         Tensor &out = arena_[size_t(step.slot)];
         out.reset(step.shape);
         step.layer->forward(args, out, ctx);
+        if (tap_)
+            tap_(step, out);
         if (ctx.finite_checks) {
             const long bad = firstNonFinite(out);
             if (bad >= 0)

@@ -28,6 +28,7 @@
 #ifndef EYECOD_NN_RUNTIME_H
 #define EYECOD_NN_RUNTIME_H
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -144,6 +145,22 @@ class Backend
     Result<Tensor> runChecked(const ExecutionPlan &plan,
                               const std::vector<Tensor> &inputs);
 
+    /**
+     * Observer/perturbation hook invoked on every step's output right
+     * after the layer computes it (and before the finite check in
+     * runChecked). The fault-injection harness uses it to model
+     * silent hardware corruption reaching the activations; an empty
+     * tap (the default) costs one branch per step.
+     */
+    using ActivationTap =
+        std::function<void(const ExecutionPlan::Step &, Tensor &)>;
+
+    /** Install (or clear, with an empty function) the tap. */
+    void setActivationTap(ActivationTap tap)
+    {
+        tap_ = std::move(tap);
+    }
+
   protected:
     Backend() = default;
 
@@ -160,6 +177,7 @@ class Backend
      *  changes. */
     std::vector<Tensor> arena_;
     const ExecutionPlan *arena_plan_ = nullptr;
+    ActivationTap tap_;
 };
 
 /** Single-threaded reference backend. */
