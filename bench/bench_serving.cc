@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Multi-session serving benchmark: sweeps the fleet size (1 / 4 /
+ * 16 / 64 users) against the number of virtual accelerator chips
+ * (1 / 2 / 4) and reports, per cell, what the serving engine
+ * admitted, completed, shed, and missed, plus aggregate FPS, chip
+ * utilization, and latency percentiles.
+ *
+ * Acceptance gates (exit code):
+ *  - throughput scaling: 16 sessions on 4 chips sustain >= 3x the
+ *    aggregate FPS of 1 session on 4 chips (a single 240 FPS user
+ *    cannot feed the fleet; the scheduler must batch across users);
+ *  - zero deadline misses in every cell below saturation (admitted
+ *    utilization < 0.7);
+ *  - graceful overload above saturation: load is shed through typed
+ *    admission rejections and/or bounded accounted queue drops
+ *    (drop rate < 0.75), never through lost frames;
+ *  - accounting identity in every cell after drain:
+ *    submitted == completed + queue_drops.
+ *
+ * Results print as a table and merge into BENCH_serving.json
+ * (override the path with a positional argument). --quick shrinks
+ * the sweep for sanitizer CI runs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/perf_json.h"
+#include "common/stats.h"
+#include "serve/engine.h"
+
+using namespace eyecod;
+using namespace eyecod::serve;
+
+namespace {
+
+core::SystemConfig
+benchSystem()
+{
+    core::SystemConfig sys;
+    sys.pipeline.camera = eyetrack::CameraKind::Lens;
+    sys.pipeline.roi_refresh = 25;
+    return sys;
+}
+
+struct Cell
+{
+    int sessions = 0;
+    int chips = 0;
+    FleetMetrics fleet;
+    double admitted_utilization = 0.0;
+    bool accounting_ok = false;
+};
+
+Cell
+runCell(int sessions, int chips, long frames,
+        const eyetrack::RidgeGazeEstimator &trained,
+        const dataset::SyntheticEyeRenderer &ren)
+{
+    ServingConfig cfg;
+    cfg.system = benchSystem();
+    cfg.virtual_chips = chips;
+    cfg.scheduler_threads = 0; // hardware concurrency
+
+    TrafficConfig tc;
+    tc.sessions = sessions;
+    tc.frames_per_session = frames;
+
+    ServingEngine eng(cfg, trained, ren);
+    Cell cell;
+    cell.sessions = sessions;
+    cell.chips = chips;
+    cell.fleet = eng.runTrace(makeTraffic(ren, tc));
+    // Utilization the admitted fleet asks for (demand / capacity);
+    // the saturation classification below keys off this.
+    cell.admitted_utilization =
+        double(cell.fleet.sessions_opened) *
+        eng.serviceModel().amortized_frame_us /
+        (double(cfg.frame_interval_us) * double(chips));
+    cell.accounting_ok =
+        cell.fleet.submitted ==
+        cell.fleet.completed + cell.fleet.queue_drops;
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_path = "BENCH_serving.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick")
+            quick = true;
+        else
+            json_path = argv[i];
+    }
+
+    const std::vector<int> session_counts =
+        quick ? std::vector<int>{1, 4, 16}
+              : std::vector<int>{1, 4, 16, 64};
+    const std::vector<int> chip_counts =
+        quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
+    const long frames = quick ? 30 : 120;
+
+    const core::SystemConfig sys = benchSystem();
+    dataset::RenderConfig rc;
+    rc.image_size = sys.pipeline.scene_size;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+
+    // One fleet-trained estimator, copied into every session the way
+    // a deployment shares a fleet-calibrated model.
+    eyetrack::PredictThenFocusPipeline proto(sys.pipeline);
+    proto.trainGaze(ren, 200);
+    const eyetrack::RidgeGazeEstimator &trained =
+        proto.gazeEstimator();
+
+    TextTable t({"sessions", "chips", "admit", "reject", "submit",
+                 "done", "drops", "misses", "agg FPS", "util",
+                 "p50 us", "p99 us"});
+
+    std::vector<Cell> cells;
+    for (int chips : chip_counts) {
+        for (int sessions : session_counts) {
+            const Cell cell =
+                runCell(sessions, chips, frames, trained, ren);
+            cells.push_back(cell);
+            const FleetMetrics &f = cell.fleet;
+            t.addRow({std::to_string(sessions),
+                      std::to_string(chips),
+                      std::to_string(f.sessions_opened),
+                      std::to_string(f.sessions_rejected),
+                      std::to_string(f.submitted),
+                      std::to_string(f.completed),
+                      std::to_string(f.queue_drops),
+                      std::to_string(f.deadline_misses),
+                      formatDouble(f.aggregate_fps, 1),
+                      formatDouble(f.backend_utilization, 3),
+                      formatDouble(f.p50_latency_us, 0),
+                      formatDouble(f.p99_latency_us, 0)});
+
+            char section[32];
+            std::snprintf(section, sizeof(section), "s%d_k%d",
+                          sessions, chips);
+            PerfJson::update(json_path, section, "sessions_opened",
+                             double(f.sessions_opened));
+            PerfJson::update(json_path, section,
+                             "sessions_rejected",
+                             double(f.sessions_rejected));
+            PerfJson::update(json_path, section, "submitted",
+                             double(f.submitted));
+            PerfJson::update(json_path, section, "completed",
+                             double(f.completed));
+            PerfJson::update(json_path, section, "queue_drops",
+                             double(f.queue_drops));
+            PerfJson::update(json_path, section, "deadline_misses",
+                             double(f.deadline_misses));
+            PerfJson::update(json_path, section, "aggregate_fps",
+                             f.aggregate_fps);
+            PerfJson::update(json_path, section,
+                             "backend_utilization",
+                             f.backend_utilization);
+            PerfJson::update(json_path, section, "drop_rate",
+                             f.drop_rate);
+            PerfJson::update(json_path, section,
+                             "admitted_utilization",
+                             cell.admitted_utilization);
+            PerfJson::update(json_path, section, "p50_latency_us",
+                             f.p50_latency_us);
+            PerfJson::update(json_path, section, "p99_latency_us",
+                             f.p99_latency_us);
+        }
+    }
+
+    // --- Acceptance gates ---
+    const auto findCell = [&](int sessions, int chips) -> const Cell * {
+        for (const Cell &c : cells)
+            if (c.sessions == sessions && c.chips == chips)
+                return &c;
+        return nullptr;
+    };
+
+    const Cell *one_4k = findCell(1, 4);
+    const Cell *sixteen_4k = findCell(16, 4);
+    double scaling = 0.0;
+    if (one_4k && sixteen_4k &&
+        one_4k->fleet.aggregate_fps > 0.0)
+        scaling = sixteen_4k->fleet.aggregate_fps /
+                  one_4k->fleet.aggregate_fps;
+    const bool scaling_ok = scaling >= 3.0;
+
+    bool no_misses_below_saturation = true;
+    bool graceful_overload = true;
+    bool accounting_ok = true;
+    for (const Cell &c : cells) {
+        accounting_ok = accounting_ok && c.accounting_ok;
+        if (c.admitted_utilization < 0.7) {
+            no_misses_below_saturation =
+                no_misses_below_saturation &&
+                c.fleet.deadline_misses == 0;
+        }
+        // Overload (more demand than the admission bound accepts, or
+        // an oversubscribed admitted fleet) must surface as typed
+        // rejections and/or bounded accounted drops.
+        if (c.admitted_utilization > 1.0 ||
+            c.fleet.sessions_rejected > 0) {
+            const bool shed_typed =
+                c.fleet.sessions_rejected > 0 ||
+                c.fleet.queue_drops > 0;
+            graceful_overload = graceful_overload && shed_typed &&
+                                c.fleet.drop_rate < 0.75;
+        }
+    }
+
+    PerfJson::update(json_path, "acceptance", "fps_scaling_16v1_k4",
+                     scaling);
+    PerfJson::update(json_path, "acceptance",
+                     "fps_scaling_at_least_3x",
+                     scaling_ok ? 1.0 : 0.0);
+    PerfJson::update(json_path, "acceptance",
+                     "zero_misses_below_saturation",
+                     no_misses_below_saturation ? 1.0 : 0.0);
+    PerfJson::update(json_path, "acceptance", "graceful_overload",
+                     graceful_overload ? 1.0 : 0.0);
+    PerfJson::update(json_path, "acceptance", "accounting_identity",
+                     accounting_ok ? 1.0 : 0.0);
+    PerfJson::update(json_path, "acceptance", "quick_mode",
+                     quick ? 1.0 : 0.0);
+
+    const bool all_ok = scaling_ok && no_misses_below_saturation &&
+                        graceful_overload && accounting_ok;
+    std::printf(
+        "=== Multi-session serving sweep (%ld frames/user%s) ===\n"
+        "%s\n"
+        "aggregate FPS scaling, 16 vs 1 sessions on 4 chips: %.2fx "
+        "(acceptance >= 3x)\n"
+        "zero deadline misses below saturation (util < 0.7): %s\n"
+        "graceful overload (typed rejections / bounded drops): %s\n"
+        "accounting identity (submitted == completed + drops): %s\n"
+        "overall: %s — results merged into %s\n",
+        frames, quick ? ", --quick" : "", t.render().c_str(),
+        scaling, no_misses_below_saturation ? "yes" : "NO",
+        graceful_overload ? "yes" : "NO",
+        accounting_ok ? "yes" : "NO", all_ok ? "PASS" : "FAIL",
+        json_path.c_str());
+    return all_ok ? 0 : 1;
+}

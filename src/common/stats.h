@@ -57,6 +57,84 @@ class RunningStat
 };
 
 /**
+ * Exact percentile of a sample set with linear interpolation between
+ * order statistics (the numpy "linear" convention): q = 0 is the
+ * minimum, q = 1 the maximum, q = 0.5 the median. Takes the values by
+ * copy (they are sorted internally). Returns 0 on an empty input.
+ */
+double percentile(std::vector<double> values, double q);
+
+/**
+ * Fixed-memory streaming quantile estimator over log-spaced buckets.
+ *
+ * Samples are counted into geometrically growing buckets between
+ * @p lo and @p hi (values outside are clamped into the edge buckets;
+ * the exact observed min/max are tracked separately and bound every
+ * quantile answer). quantile() interpolates within the holding
+ * bucket, so the relative error is bounded by the bucket width —
+ * with the default 32 buckets per decade, under ~4%.
+ *
+ * The serving engine uses this for p50/p95/p99 frame-latency metrics:
+ * O(buckets) memory regardless of stream length, deterministic
+ * (integer counts, no sampling), and mergeable across sessions.
+ */
+class StreamingHistogram
+{
+  public:
+    /**
+     * @param lo lower edge of the bucketed range (> 0).
+     * @param hi upper edge of the bucketed range (> lo).
+     * @param buckets_per_decade resolution (>= 1).
+     */
+    StreamingHistogram(double lo, double hi,
+                       int buckets_per_decade = 32);
+
+    /** Count one sample. Non-finite samples are ignored. */
+    void add(double x);
+
+    /** Samples counted. */
+    uint64_t count() const { return n_; }
+
+    /** Exact smallest sample (+inf when empty). */
+    double min() const { return min_; }
+    /** Exact largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /**
+     * Estimated @p q quantile in [0, 1]; 0 when empty. Clamped to
+     * the exact observed [min, max].
+     */
+    double quantile(double q) const;
+
+    /** Shorthands for the serving latency metrics. */
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    /**
+     * Fold @p other into this histogram. Both must share (lo, hi,
+     * buckets_per_decade); panics otherwise.
+     */
+    void merge(const StreamingHistogram &other);
+
+  private:
+    /** Bucket index holding @p x (clamped to the edge buckets). */
+    int bucketOf(double x) const;
+    /** Lower value edge of bucket @p b. */
+    double bucketLo(int b) const;
+
+    double lo_ = 1.0;
+    double hi_ = 10.0;
+    int per_decade_ = 32;
+    double log_lo_ = 0.0;
+    double inv_log_step_ = 1.0; ///< Buckets per unit log10.
+    std::vector<uint64_t> buckets_;
+    uint64_t n_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
  * Fixed-column text table used by the bench binaries to print
  * paper-style rows.
  */

@@ -24,6 +24,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::HwLaneFault: return "hw-lane-fault";
       case ErrorCode::EccUncorrectable: return "ecc-uncorrectable";
       case ErrorCode::ScheduleTimeout: return "schedule-timeout";
+      case ErrorCode::Overloaded: return "overloaded";
     }
     return "unknown";
 }

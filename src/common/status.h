@@ -40,6 +40,8 @@ enum class ErrorCode {
     HwLaneFault,         ///< MAC lane defect (stuck/dead) detected.
     EccUncorrectable,    ///< SRAM ECC detected an uncorrectable word.
     ScheduleTimeout,     ///< Schedule/stream exceeded its cycle budget.
+    // --- Multi-session serving ---
+    Overloaded,          ///< Admission rejected: fleet at capacity.
 };
 
 /** Human-readable name of an ErrorCode. */

@@ -19,19 +19,50 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stop_ = true;
-    }
-    wake_.notify_all();
-    for (std::thread &t : workers_)
-        t.join();
+    shutdown(false);
 }
 
 void
-ThreadPool::runChunks(Job &job)
+ThreadPool::shutdown(bool drain)
+{
+    std::vector<std::thread> workers;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (shutdown_)
+            return;
+        if (!drain)
+            quit_.store(true, std::memory_order_relaxed);
+        else
+            // Let the in-flight parallelFor (if any) fully retire
+            // before the workers go away.
+            done_.wait(lock, [&] { return job_ == nullptr; });
+        stop_ = true;
+        shutdown_ = true;
+        // Swapping the vector out makes threadCount() report 1 and
+        // future parallelFor calls run inline.
+        workers.swap(workers_);
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+bool
+ThreadPool::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+}
+
+void
+ThreadPool::runChunks(Job &job, bool is_worker)
 {
     for (;;) {
+        // A worker bails out between chunks on a non-drain shutdown;
+        // the thread inside parallelFor never does, so every chunk
+        // still executes exactly once.
+        if (is_worker && quit_.load(std::memory_order_relaxed))
+            return;
         const long chunk = job.next_chunk.fetch_add(1);
         if (chunk >= job.num_chunks)
             return;
@@ -68,7 +99,7 @@ ThreadPool::workerLoop()
         Job *job = job_;
         ++job->active;
         lock.unlock();
-        runChunks(*job);
+        runChunks(*job, /*is_worker=*/true);
         lock.lock();
         if (--job->active == 0)
             done_.notify_all();
@@ -107,7 +138,7 @@ ThreadPool::parallelFor(long n, long grain,
     }
     wake_.notify_all();
 
-    runChunks(job);
+    runChunks(job, /*is_worker=*/false);
 
     std::exception_ptr error;
     {
@@ -121,6 +152,8 @@ ThreadPool::parallelFor(long n, long grain,
         job_ = nullptr;
         error = job.error;
     }
+    // A draining shutdown() waits for job_ == nullptr on done_.
+    done_.notify_all();
     if (error)
         std::rethrow_exception(error);
 }

@@ -49,6 +49,27 @@ class ThreadPool
     int threadCount() const { return int(workers_.size()) + 1; }
 
     /**
+     * Stop the worker threads for good — the graceful-stop entry the
+     * long-lived serving engine uses instead of destroying the pool
+     * mid-traffic.
+     *
+     * With @p drain true, blocks until any in-flight parallelFor has
+     * fully completed before retiring the workers; with false the
+     * workers abandon chunks they have not yet claimed (the thread
+     * inside parallelFor still claims and runs them, so every chunk
+     * executes exactly once and no work is lost either way — drain
+     * only controls whether shutdown waits for that completion).
+     *
+     * After shutdown the pool remains usable: parallelFor runs every
+     * chunk inline on the calling thread and threadCount() is 1.
+     * Idempotent; must not be called from inside a parallelFor body.
+     */
+    void shutdown(bool drain = true);
+
+    /** True once shutdown() has retired the workers. */
+    bool isShutdown() const;
+
+    /**
      * Execute @p body over [0, n) split into chunks of at most
      * @p grain indices. Chunk boundaries depend only on n and grain —
      * never on the thread count — and chunks are disjoint, so writes
@@ -79,15 +100,18 @@ class ThreadPool
     };
 
     void workerLoop();
-    void runChunks(Job &job);
+    void runChunks(Job &job, bool is_worker);
 
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
     Job *job_ = nullptr;         ///< Current job, guarded by mutex_.
     uint64_t generation_ = 0;    ///< Bumped per job, guarded by mutex_.
-    bool stop_ = false;
+    bool stop_ = false;          ///< Workers exit (mutex_).
+    bool shutdown_ = false;      ///< shutdown() completed (mutex_).
+    /** Non-drain shutdown: workers stop claiming new chunks. */
+    std::atomic<bool> quit_{false};
     static thread_local bool in_pool_body_;
 };
 

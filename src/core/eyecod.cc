@@ -27,6 +27,34 @@ EyeCoDSystem::processFrame(const Image &scene)
     return pipe_->processFrame(scene);
 }
 
+Result<GazeSample>
+EyeCoDSystem::processFrameChecked(const Image &scene)
+{
+    const bool mis_sized =
+        scene.height() != cfg_.pipeline.scene_size ||
+        scene.width() != cfg_.pipeline.scene_size;
+    // Run the frame through the pipeline unconditionally so the
+    // degradation FSM and health counters advance exactly as on the
+    // unchecked path; only the reporting differs.
+    const auto r = pipe_->processFrame(scene);
+    if (mis_sized)
+        return Status::error(
+            ErrorCode::ShapeMismatch,
+            "scene %dx%d does not match configured %dx%d",
+            scene.height(), scene.width(), cfg_.pipeline.scene_size,
+            cfg_.pipeline.scene_size);
+    if (r.health.frame_dropped)
+        return Status::error(ErrorCode::FrameDropped,
+                             "no usable frame (faults seen: %d)",
+                             r.health.faults_seen);
+    GazeSample sample;
+    sample.gaze = r.gaze;
+    sample.roi = r.roi;
+    sample.roi_refreshed = r.roi_refreshed;
+    sample.health = r.health;
+    return sample;
+}
+
 void
 EyeCoDSystem::reset()
 {

@@ -118,6 +118,21 @@ struct HealthReport
     AccelHealth accel;
 };
 
+/**
+ * One typed-error frame outcome: the gaze emitted for a successfully
+ * served frame, plus the ROI bookkeeping the serving layer batches
+ * on. Returned by processFrameChecked(); frames the pipeline could
+ * not serve at all surface as a non-OK Status instead of sentinel
+ * values.
+ */
+struct GazeSample
+{
+    dataset::GazeVec gaze{0, 0, 1}; ///< Finite by construction.
+    Rect roi;                       ///< Crop the gaze stage consumed.
+    bool roi_refreshed = false;     ///< Segmentation ran this frame.
+    eyetrack::FrameHealth health;   ///< Per-frame degradation record.
+};
+
 /** One row of the Fig. 14 style cross-platform comparison. */
 struct ComparisonRow
 {
@@ -147,6 +162,22 @@ class EyeCoDSystem
      */
     eyetrack::PredictThenFocusPipeline::FrameResult processFrame(
         const Image &scene);
+
+    /**
+     * Typed-error frame entry for the serving layer. Runs the exact
+     * same degradation state machine as processFrame() (health
+     * counters, held state, and the ROI chain advance identically),
+     * then reports the outcome as a Result instead of sentinel
+     * values:
+     *
+     *  - a mis-sized scene returns ShapeMismatch;
+     *  - a dropped frame (sensor fault / no usable image) returns
+     *    FrameDropped — the caller decides whether to hold its own
+     *    last gaze rather than receiving a silently held value;
+     *  - everything else returns the emitted GazeSample (possibly
+     *    degraded — inspect health).
+     */
+    Result<GazeSample> processFrameChecked(const Image &scene);
 
     /** Reset the functional pipeline's per-sequence state. */
     void reset();

@@ -1,0 +1,497 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace serve {
+
+namespace {
+
+/** Derive the timing model at construction (trusted config path). */
+ServiceModel
+deriveModelOrDie(const ServingConfig &cfg)
+{
+    Result<ServiceModel> model =
+        deriveServiceModel(cfg.system.workload, cfg.system.hw);
+    if (!model.ok())
+        panic("serving engine: %s",
+              model.status().toString().c_str());
+    return model.value();
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(
+    ServingConfig cfg, const eyetrack::RidgeGazeEstimator &trained,
+    const dataset::SyntheticEyeRenderer &renderer)
+    : cfg_(std::move(cfg)), renderer_(renderer), trained_(trained),
+      pool_(cfg_.virtual_chips, deriveModelOrDie(cfg_),
+            cfg_.batch_amortized_fraction),
+      sched_pool_(cfg_.scheduler_threads)
+{
+    eyecod_assert(cfg_.max_batch >= 1, "max_batch must be >= 1");
+    eyecod_assert(cfg_.tick_us >= 1, "tick_us must be >= 1");
+    eyecod_assert(cfg_.frame_interval_us >= 1,
+                  "frame_interval_us must be >= 1");
+    eyecod_assert(cfg_.deadline_us >= 1, "deadline_us must be >= 1");
+    eyecod_assert(cfg_.max_sessions >= 1,
+                  "max_sessions must be >= 1");
+    next_tick_us_ = cfg_.tick_us;
+}
+
+double
+ServingEngine::projectedUtilization(int additional_sessions) const
+{
+    const double demand =
+        double(activeSessions() + additional_sessions) *
+        pool_.model().amortized_frame_us;
+    const double capacity =
+        double(cfg_.frame_interval_us) * double(pool_.chips());
+    return capacity > 0.0 ? demand / capacity : 0.0;
+}
+
+Result<int>
+ServingEngine::openSession()
+{
+    if (stopped_)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "engine is stopped");
+    if (activeSessions() >= cfg_.max_sessions) {
+        ++rejected_sessions_;
+        return Status::error(
+            ErrorCode::Overloaded,
+            "session cap reached (%d active, cap %d)",
+            activeSessions(), cfg_.max_sessions);
+    }
+    const double projected = projectedUtilization(1);
+    if (projected > cfg_.admission_max_utilization) {
+        ++rejected_sessions_;
+        return Status::error(
+            ErrorCode::Overloaded,
+            "projected utilization %.2f exceeds admission bound "
+            "%.2f (%d active sessions, %d chips)",
+            projected, cfg_.admission_max_utilization,
+            activeSessions(), pool_.chips());
+    }
+    const int id = int(sessions_.size());
+    sessions_.push_back(std::make_unique<Session>(
+        id, cfg_.system, trained_, cfg_.queue_capacity,
+        cfg_.record_gaze));
+    return id;
+}
+
+Status
+ServingEngine::closeSession(int id)
+{
+    if (id < 0 || id >= sessionCount())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "unknown session %d", id);
+    Session &sess = *sessions_[size_t(id)];
+    if (!sess.active())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "session %d already closed", id);
+    // Shed whatever is still queued — a closed session must not pin
+    // scheduler capacity.
+    FrameTicket ticket;
+    while (sess.queue().pop(&ticket)) {
+        sess.metrics().drop_log.push_back(DropRecord{
+            ticket.frame_index, ticket.arrival_us, virtual_now_});
+        ++sess.metrics().queue_drops;
+    }
+    sess.deactivate();
+    ++closed_sessions_;
+    return Status::ok();
+}
+
+Status
+ServingEngine::submitFrame(int id, const FrameTicket &ticket)
+{
+    if (stopped_)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "engine is stopped");
+    if (id < 0 || id >= sessionCount())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "unknown session %d", id);
+    Session &sess = *sessions_[size_t(id)];
+    if (!sess.active())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "session %d is closed", id);
+    SessionMetrics &m = sess.metrics();
+    ++m.submitted;
+    const std::optional<DropRecord> shed =
+        sess.queue().push(ticket, virtual_now_);
+    if (shed) {
+        ++m.queue_drops;
+        m.drop_log.push_back(*shed);
+    }
+    m.max_queue_depth = std::max(
+        m.max_queue_depth, (long long)(sess.queue().size()));
+    return Status::ok();
+}
+
+void
+ServingEngine::advanceTo(long long target_us)
+{
+    while (next_tick_us_ <= target_us) {
+        virtual_now_ = next_tick_us_;
+        next_tick_us_ += cfg_.tick_us;
+        runTick();
+    }
+    virtual_now_ = std::max(virtual_now_, target_us);
+}
+
+bool
+ServingEngine::anyQueued() const
+{
+    for (const auto &sess : sessions_)
+        if (sess->active() && !sess->queue().empty())
+            return true;
+    return false;
+}
+
+void
+ServingEngine::drain()
+{
+    while (anyQueued() || !pool_.allIdle(virtual_now_)) {
+        virtual_now_ = next_tick_us_;
+        next_tick_us_ += cfg_.tick_us;
+        runTick();
+    }
+}
+
+void
+ServingEngine::stop(bool drain_first)
+{
+    if (stopped_)
+        return;
+    if (drain_first) {
+        drain();
+    } else {
+        for (auto &sess : sessions_) {
+            if (!sess->active())
+                continue;
+            FrameTicket ticket;
+            while (sess->queue().pop(&ticket)) {
+                sess->metrics().drop_log.push_back(
+                    DropRecord{ticket.frame_index,
+                               ticket.arrival_us, virtual_now_});
+                ++sess->metrics().queue_drops;
+            }
+        }
+    }
+    sched_pool_.shutdown(drain_first);
+    stopped_ = true;
+}
+
+FleetMetrics
+ServingEngine::runTrace(const std::vector<SessionTraffic> &traffic)
+{
+    // Flatten the trace into a deterministic event order: joins
+    // before frames at equal timestamps, then by trace index.
+    struct Event
+    {
+        long long t = 0;
+        int kind = 0; ///< 0 = join, 1 = frame.
+        int trace = 0;
+        long frame = 0;
+    };
+    std::vector<Event> events;
+    for (size_t i = 0; i < traffic.size(); ++i) {
+        events.push_back(Event{traffic[i].join_us, 0, int(i), 0});
+        for (size_t f = 0; f < traffic[i].frames.size(); ++f)
+            events.push_back(
+                Event{traffic[i].frames[f].arrival_us, 1, int(i),
+                      long(f)});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.t != b.t)
+                      return a.t < b.t;
+                  if (a.kind != b.kind)
+                      return a.kind < b.kind;
+                  if (a.trace != b.trace)
+                      return a.trace < b.trace;
+                  return a.frame < b.frame;
+              });
+
+    std::vector<int> ids(traffic.size(), -1);
+    for (const Event &ev : events) {
+        advanceTo(ev.t);
+        if (ev.kind == 0) {
+            const Result<int> r = openSession();
+            if (r.ok())
+                ids[size_t(ev.trace)] = r.value();
+            // Rejections are already counted by openSession; the
+            // rejected user's frames are simply never submitted.
+        } else if (ids[size_t(ev.trace)] >= 0) {
+            submitFrame(
+                ids[size_t(ev.trace)],
+                traffic[size_t(ev.trace)].frames[size_t(ev.frame)]);
+        }
+    }
+    drain();
+    return fleetMetrics();
+}
+
+int
+ServingEngine::activeSessions() const
+{
+    int n = 0;
+    for (const auto &sess : sessions_)
+        if (sess->active())
+            ++n;
+    return n;
+}
+
+Session &
+ServingEngine::sessionRef(int id)
+{
+    eyecod_assert(id >= 0 && id < sessionCount(),
+                  "session id %d out of range", id);
+    return *sessions_[size_t(id)];
+}
+
+const Session &
+ServingEngine::sessionRef(int id) const
+{
+    eyecod_assert(id >= 0 && id < sessionCount(),
+                  "session id %d out of range", id);
+    return *sessions_[size_t(id)];
+}
+
+const SessionMetrics &
+ServingEngine::sessionMetrics(int id) const
+{
+    return sessionRef(id).metrics();
+}
+
+SessionHealth
+ServingEngine::sessionHealth(int id) const
+{
+    return sessionRef(id).health();
+}
+
+const std::vector<dataset::GazeVec> &
+ServingEngine::sessionGazeLog(int id) const
+{
+    return sessionRef(id).gazeLog();
+}
+
+void
+ServingEngine::runTick()
+{
+    const long long now = virtual_now_;
+
+    // --- Phase 1 (serial): form cross-session batches from ready
+    // frames, one batch per idle chip, in earliest-deadline order
+    // (uniform relative deadlines => earliest arrival, ties by
+    // session id). Frames left behind wait in their bounded queues —
+    // that is the backpressure path.
+    std::vector<PendingFrame> dispatched;
+    std::vector<Batch> batches;
+    std::vector<char> chip_taken(size_t(pool_.chips()), 0);
+    for (;;) {
+        int chip = -1;
+        for (int c = 0; c < pool_.chips(); ++c) {
+            if (!chip_taken[size_t(c)] && pool_.busyUntil(c) <= now) {
+                chip = c;
+                break;
+            }
+        }
+        if (chip < 0)
+            break;
+        Batch batch;
+        batch.chip = chip;
+        for (int b = 0; b < cfg_.max_batch; ++b) {
+            int best = -1;
+            long long best_arrival = 0;
+            for (size_t s = 0; s < sessions_.size(); ++s) {
+                Session &sess = *sessions_[s];
+                if (!sess.active())
+                    continue;
+                const auto arrival = sess.queue().frontArrival();
+                if (!arrival || *arrival > now)
+                    continue;
+                if (best < 0 || *arrival < best_arrival) {
+                    best = int(s);
+                    best_arrival = *arrival;
+                }
+            }
+            if (best < 0)
+                break;
+            PendingFrame pf;
+            pf.session = best;
+            sessions_[size_t(best)]->queue().pop(&pf.ticket);
+            pf.batch = int(batches.size());
+            batch.items.push_back(dispatched.size());
+            dispatched.push_back(pf);
+        }
+        if (batch.items.empty())
+            break;
+        chip_taken[size_t(chip)] = 1;
+        batches.push_back(std::move(batch));
+    }
+    if (dispatched.empty())
+        return;
+
+    // --- Phase 2 (parallel): functional serving. One chunk per
+    // session — a session's frames run in dispatch order on one
+    // thread, and chunk boundaries depend only on the (serial,
+    // deterministic) phase-1 outcome, so the gaze streams are
+    // bitwise independent of the scheduler thread count.
+    std::vector<std::pair<int, std::vector<size_t>>> by_session;
+    for (size_t i = 0; i < dispatched.size(); ++i) {
+        const int s = dispatched[i].session;
+        auto it = std::find_if(
+            by_session.begin(), by_session.end(),
+            [s](const auto &g) { return g.first == s; });
+        if (it == by_session.end()) {
+            by_session.emplace_back(s, std::vector<size_t>{});
+            it = by_session.end() - 1;
+        }
+        it->second.push_back(i);
+    }
+    sched_pool_.parallelFor(
+        long(by_session.size()), 1, [&](long lo, long hi) {
+            for (long g = lo; g < hi; ++g) {
+                const auto &group = by_session[size_t(g)];
+                Session &sess = *sessions_[size_t(group.first)];
+                for (size_t idx : group.second) {
+                    PendingFrame &pf = dispatched[idx];
+                    const Result<core::GazeSample> r =
+                        sess.serveFrame(renderer_, pf.ticket);
+                    if (r.ok()) {
+                        pf.cost_us =
+                            r.value().roi_refreshed
+                                ? pool_.model().seg_frame_us
+                                : pool_.model().gaze_frame_us;
+                    } else {
+                        // The chip still turned the frame around;
+                        // bill the steady frame cost.
+                        pf.pipeline_drop = true;
+                        pf.cost_us = pool_.model().gaze_frame_us;
+                    }
+                }
+            }
+        });
+
+    // --- Phase 3 (serial): timing + metrics, in batch order.
+    for (const Batch &batch : batches) {
+        std::vector<double> costs;
+        costs.reserve(batch.items.size());
+        for (size_t idx : batch.items)
+            costs.push_back(dispatched[idx].cost_us);
+        const double service = pool_.batchServiceUs(costs);
+        const long long completion =
+            pool_.dispatch(batch.chip, now, service);
+        last_completion_us_ =
+            std::max(last_completion_us_, completion);
+        for (size_t idx : batch.items) {
+            const PendingFrame &pf = dispatched[idx];
+            SessionMetrics &m =
+                sessions_[size_t(pf.session)]->metrics();
+            ++m.completed;
+            if (pf.pipeline_drop)
+                ++m.pipeline_drops;
+            const double latency =
+                double(completion - pf.ticket.arrival_us);
+            m.latency_us.add(latency);
+            m.latency_hist.add(latency);
+            if (completion >
+                pf.ticket.arrival_us + cfg_.deadline_us)
+                ++m.deadline_misses;
+        }
+    }
+}
+
+FleetMetrics
+ServingEngine::fleetMetrics() const
+{
+    FleetMetrics f;
+    StreamingHistogram merged(1.0, 1e8);
+    double latency_weighted = 0.0;
+    uint64_t latency_count = 0;
+    for (const auto &sess : sessions_) {
+        const SessionMetrics &m = sess->metrics();
+        f.submitted += m.submitted;
+        f.completed += m.completed;
+        f.queue_drops += m.queue_drops;
+        f.pipeline_drops += m.pipeline_drops;
+        f.deadline_misses += m.deadline_misses;
+        merged.merge(m.latency_hist);
+        latency_weighted +=
+            m.latency_us.mean() * double(m.latency_us.count());
+        latency_count += m.latency_us.count();
+    }
+    f.sessions_opened = sessionCount();
+    f.sessions_rejected = rejected_sessions_;
+    f.sessions_closed = closed_sessions_;
+    f.makespan_us = last_completion_us_;
+    if (f.completed > 0 && f.makespan_us > 0)
+        f.aggregate_fps =
+            double(f.completed) * 1e6 / double(f.makespan_us);
+    if (f.makespan_us > 0)
+        f.backend_utilization =
+            pool_.totalBusyUs() /
+            (double(pool_.chips()) * double(f.makespan_us));
+    if (f.completed > 0)
+        f.deadline_miss_rate =
+            double(f.deadline_misses) / double(f.completed);
+    if (f.submitted > 0)
+        f.drop_rate = double(f.queue_drops) / double(f.submitted);
+    if (latency_count > 0)
+        f.mean_latency_us =
+            latency_weighted / double(latency_count);
+    f.p50_latency_us = merged.p50();
+    f.p95_latency_us = merged.p95();
+    f.p99_latency_us = merged.p99();
+    return f;
+}
+
+void
+ServingEngine::exportMetrics(PerfJson &json,
+                             const std::string &section) const
+{
+    const FleetMetrics f = fleetMetrics();
+    json.set(section, "sessions_opened",
+             double(f.sessions_opened));
+    json.set(section, "sessions_rejected",
+             double(f.sessions_rejected));
+    json.set(section, "sessions_closed", double(f.sessions_closed));
+    json.set(section, "submitted", double(f.submitted));
+    json.set(section, "completed", double(f.completed));
+    json.set(section, "queue_drops", double(f.queue_drops));
+    json.set(section, "pipeline_drops", double(f.pipeline_drops));
+    json.set(section, "deadline_misses",
+             double(f.deadline_misses));
+    json.set(section, "aggregate_fps", f.aggregate_fps);
+    json.set(section, "backend_utilization",
+             f.backend_utilization);
+    json.set(section, "deadline_miss_rate", f.deadline_miss_rate);
+    json.set(section, "drop_rate", f.drop_rate);
+    json.set(section, "mean_latency_us", f.mean_latency_us);
+    json.set(section, "p50_latency_us", f.p50_latency_us);
+    json.set(section, "p95_latency_us", f.p95_latency_us);
+    json.set(section, "p99_latency_us", f.p99_latency_us);
+    json.set(section, "makespan_us", double(f.makespan_us));
+
+    for (int id = 0; id < sessionCount(); ++id) {
+        const SessionMetrics &m = sessionMetrics(id);
+        const std::string sub =
+            section + ".s" + std::to_string(id);
+        json.set(sub, "submitted", double(m.submitted));
+        json.set(sub, "completed", double(m.completed));
+        json.set(sub, "queue_drops", double(m.queue_drops));
+        json.set(sub, "deadline_misses",
+                 double(m.deadline_misses));
+        json.set(sub, "max_queue_depth",
+                 double(m.max_queue_depth));
+        json.set(sub, "p50_latency_us", m.latency_hist.p50());
+        json.set(sub, "p99_latency_us", m.latency_hist.p99());
+    }
+}
+
+} // namespace serve
+} // namespace eyecod

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Multi-session serving engine: N user sessions sharing the
+ * functional CPU substrate and K virtual accelerator instances.
+ *
+ * Architecture (DESIGN.md section 9):
+ *
+ *  - each admitted session owns a PredictThenFocusPipeline (via
+ *    core::EyeCoDSystem) and a bounded drop-oldest frame queue;
+ *    producers never block;
+ *  - a deadline-aware scheduler runs in discrete virtual-time ticks.
+ *    Every tick it forms cross-session batches from ready frames in
+ *    earliest-deadline order (uniform relative deadlines make that
+ *    earliest-arrival order, tie-broken by session id) and assigns
+ *    one batch to every idle virtual chip; frames that find no idle
+ *    chip wait in their bounded queue, which is where backpressure
+ *    drops come from;
+ *  - the functional work of one tick is executed on a shared
+ *    common::ThreadPool — the same deterministic substrate the
+ *    nn::ThreadedBackend runs on — with one chunk per session, so
+ *    results are bitwise identical at any scheduler thread count;
+ *  - frame *timing* comes from the cycle-level accelerator model
+ *    (serve/virtual_accel.h), in virtual microseconds. No wall
+ *    clock is read anywhere, which makes a serving run fully
+ *    replayable: same seed and trace => identical gaze streams,
+ *    drop decisions, and metrics;
+ *  - admission control rejects sessions with a typed
+ *    ErrorCode::Overloaded once projected fleet utilization exceeds
+ *    the configured bound.
+ */
+
+#ifndef EYECOD_SERVE_ENGINE_H
+#define EYECOD_SERVE_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/perf_json.h"
+#include "common/thread_pool.h"
+#include "serve/session.h"
+#include "serve/traffic.h"
+#include "serve/virtual_accel.h"
+
+namespace eyecod {
+namespace serve {
+
+/** Serving engine configuration. */
+struct ServingConfig
+{
+    /** Per-session system prototype (pipeline flavour, extents). */
+    core::SystemConfig system;
+    /** Virtual accelerator instances serving the fleet. */
+    int virtual_chips = 2;
+    /** Weight-staging share amortized across a batch, [0, 1). */
+    double batch_amortized_fraction = 0.3;
+    /** Largest cross-session batch per chip dispatch. */
+    int max_batch = 8;
+    /** Hard cap on concurrently admitted sessions. */
+    int max_sessions = 64;
+    /** Bounded per-session frame queue depth. */
+    size_t queue_capacity = 8;
+    /** Nominal per-user frame period (240 FPS default). */
+    long long frame_interval_us = 4167;
+    /** Relative frame deadline (two frame periods default). */
+    long long deadline_us = 8334;
+    /** Scheduler quantum in virtual microseconds. */
+    long long tick_us = 1000;
+    /**
+     * Admission bound on projected fleet utilization (demand /
+     * capacity). > 1 permits over-subscription served with bounded
+     * drops; sessions beyond the bound are rejected as Overloaded.
+     */
+    double admission_max_utilization = 2.0;
+    /** Scheduler thread-pool width; 0 = hardware concurrency. */
+    int scheduler_threads = 0;
+    /** Record per-session gaze streams (determinism tests). */
+    bool record_gaze = false;
+};
+
+/** Fleet-wide aggregate metrics. */
+struct FleetMetrics
+{
+    long long submitted = 0;
+    long long completed = 0;
+    long long queue_drops = 0;
+    long long pipeline_drops = 0;
+    long long deadline_misses = 0;
+    long long sessions_opened = 0;
+    long long sessions_rejected = 0;
+    long long sessions_closed = 0;
+    double aggregate_fps = 0.0;      ///< Completed / makespan.
+    double backend_utilization = 0.0; ///< Chip busy share.
+    double deadline_miss_rate = 0.0; ///< Misses / completed.
+    double drop_rate = 0.0;          ///< Queue drops / submitted.
+    double mean_latency_us = 0.0;
+    double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    long long makespan_us = 0;       ///< Last completion timestamp.
+};
+
+/**
+ * The multi-session serving engine.
+ */
+class ServingEngine
+{
+  public:
+    /**
+     * @param cfg engine configuration.
+     * @param trained fleet-trained gaze estimator copied into every
+     *        admitted session.
+     * @param renderer scene renderer shared (const) by all sessions;
+     *        must outlive the engine.
+     *
+     * Panics on an invalid accelerator configuration (the service
+     * model is derived in the constructor via the checked scheduler
+     * entry; construction is a trusted configuration-time path).
+     */
+    ServingEngine(ServingConfig cfg,
+                  const eyetrack::RidgeGazeEstimator &trained,
+                  const dataset::SyntheticEyeRenderer &renderer);
+
+    /** Timing model derived from the accelerator simulator. */
+    const ServiceModel &serviceModel() const
+    {
+        return pool_.model();
+    }
+
+    /**
+     * Projected fleet utilization (demand / capacity) with
+     * @p additional_sessions more active sessions.
+     */
+    double projectedUtilization(int additional_sessions) const;
+
+    /**
+     * Admit a new session. Fails with ErrorCode::Overloaded when the
+     * session cap is reached or the projected utilization exceeds
+     * the admission bound. Returns the session id.
+     */
+    Result<int> openSession();
+
+    /**
+     * Close an admitted session: queued frames are shed (recorded as
+     * drops), metrics and health remain queryable.
+     */
+    Status closeSession(int id);
+
+    /**
+     * Enqueue one frame for @p id. Never blocks; a full queue sheds
+     * its oldest frame into the session's drop log. Fails with
+     * InvalidArgument for unknown/closed sessions and after stop().
+     */
+    Status submitFrame(int id, const FrameTicket &ticket);
+
+    /** Current virtual time. */
+    long long now() const { return virtual_now_; }
+
+    /** Run scheduler ticks up to virtual time @p target_us. */
+    void advanceTo(long long target_us);
+
+    /** Tick until every queue is empty and every chip idle. */
+    void drain();
+
+    /**
+     * Stop the engine. With @p drain_first, serve every queued frame
+     * to completion before retiring the scheduler workers (no frame
+     * is lost); otherwise shed remaining queued frames as drops.
+     * Idempotent; the engine stays queryable afterwards.
+     */
+    void stop(bool drain_first = true);
+
+    /**
+     * Convenience driver: replay a scripted trace — opening sessions
+     * at their join times (admission applies), submitting frames at
+     * their arrival times, closing churned sessions — then drain and
+     * return the fleet metrics.
+     */
+    FleetMetrics runTrace(const std::vector<SessionTraffic> &traffic);
+
+    /** Sessions currently admitted and not closed. */
+    int activeSessions() const;
+
+    /** Total sessions ever admitted (ids are 0..count-1). */
+    int sessionCount() const { return int(sessions_.size()); }
+
+    /** Serving metrics of session @p id. */
+    const SessionMetrics &sessionMetrics(int id) const;
+
+    /** Serving + pipeline health of session @p id. */
+    SessionHealth sessionHealth(int id) const;
+
+    /** Emitted gaze stream of session @p id (record_gaze only). */
+    const std::vector<dataset::GazeVec> &sessionGazeLog(int id) const;
+
+    /** Aggregate fleet metrics. */
+    FleetMetrics fleetMetrics() const;
+
+    /**
+     * Export fleet metrics into @p json under section @p section,
+     * plus one "<section>.s<id>" subsection per session.
+     */
+    void exportMetrics(PerfJson &json,
+                       const std::string &section) const;
+
+    /** Configuration in use. */
+    const ServingConfig &config() const { return cfg_; }
+
+  private:
+    /** One dispatched frame in flight through a tick. */
+    struct PendingFrame
+    {
+        int session = -1;     ///< Session index.
+        FrameTicket ticket;
+        int batch = -1;       ///< Owning batch index this tick.
+        double cost_us = 0.0; ///< Service cost (set by the
+                              ///  functional pass).
+        bool pipeline_drop = false; ///< Typed FrameDropped/other.
+    };
+
+    /** One cross-session batch bound to an idle chip. */
+    struct Batch
+    {
+        int chip = -1;
+        std::vector<size_t> items; ///< Indices into the tick's
+                                   ///  dispatched frames.
+    };
+
+    Session &sessionRef(int id);
+    const Session &sessionRef(int id) const;
+
+    /** Run one scheduler tick at virtual_now_. */
+    void runTick();
+
+    /** True when any active session still has queued frames. */
+    bool anyQueued() const;
+
+    ServingConfig cfg_;
+    const dataset::SyntheticEyeRenderer &renderer_;
+    eyetrack::RidgeGazeEstimator trained_;
+    VirtualAccelPool pool_;
+    ThreadPool sched_pool_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+    long long virtual_now_ = 0;
+    long long next_tick_us_ = 0;
+    long long last_completion_us_ = 0;
+    long long rejected_sessions_ = 0;
+    long long closed_sessions_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace serve
+} // namespace eyecod
+
+#endif // EYECOD_SERVE_ENGINE_H

@@ -1,0 +1,93 @@
+#include "serve/frame_queue.h"
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace serve {
+
+BoundedFrameQueue::BoundedFrameQueue(size_t capacity)
+    : capacity_(capacity)
+{
+    eyecod_assert(capacity >= 1,
+                  "frame queue needs capacity >= 1, got %zu",
+                  capacity);
+}
+
+std::optional<DropRecord>
+BoundedFrameQueue::push(const FrameTicket &ticket, long long now_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pushed_;
+    std::optional<DropRecord> shed;
+    if (ring_.size() >= capacity_) {
+        const FrameTicket &oldest = ring_.front();
+        shed = DropRecord{oldest.frame_index, oldest.arrival_us,
+                          now_us};
+        ring_.pop_front();
+        ++dropped_;
+    }
+    ring_.push_back(ticket);
+    max_depth_ = std::max(max_depth_, ring_.size());
+    return shed;
+}
+
+std::optional<long long>
+BoundedFrameQueue::frontArrival() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.empty())
+        return std::nullopt;
+    return ring_.front().arrival_us;
+}
+
+bool
+BoundedFrameQueue::pop(FrameTicket *out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.empty())
+        return false;
+    *out = ring_.front();
+    ring_.pop_front();
+    return true;
+}
+
+size_t
+BoundedFrameQueue::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t n = ring_.size();
+    ring_.clear();
+    dropped_ += n;
+    return n;
+}
+
+size_t
+BoundedFrameQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+uint64_t
+BoundedFrameQueue::totalPushed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushed_;
+}
+
+uint64_t
+BoundedFrameQueue::totalDropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+size_t
+BoundedFrameQueue::maxDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
+}
+
+} // namespace serve
+} // namespace eyecod

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bounded per-session frame queue for the serving engine.
+ *
+ * One queue sits between each session's frame producer (the traffic
+ * source / sensor feed) and the cross-session scheduler. The queue is
+ * bounded and *never blocks the producer*: when a push finds the
+ * queue full, the oldest queued frame is evicted and returned to the
+ * caller as an explicit drop record — a frame that has been waiting
+ * the longest is also the one whose deadline is closest to (or past)
+ * expiry, so drop-oldest sheds the least useful work first and keeps
+ * the queue's age bounded by capacity x service time.
+ *
+ * The discipline is single-producer / single-consumer (the traffic
+ * feed pushes, the scheduler pops); a mutex guards the ring so the
+ * producer may live on a different thread than the scheduler without
+ * TSan findings. All state a frame needs downstream travels in the
+ * ticket, so a dropped frame costs no rendering or NN work.
+ */
+
+#ifndef EYECOD_SERVE_FRAME_QUEUE_H
+#define EYECOD_SERVE_FRAME_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "dataset/synthetic_eye.h"
+
+namespace eyecod {
+namespace serve {
+
+/**
+ * One frame waiting to be served: identity, virtual arrival time,
+ * and the scene parameters to render at dispatch (rendering is
+ * deferred past the queue so dropped frames cost nothing).
+ */
+struct FrameTicket
+{
+    long frame_index = 0;        ///< Per-session monotone index.
+    long long arrival_us = 0;    ///< Virtual arrival timestamp.
+    dataset::EyeParams params;   ///< Scene to render when dispatched.
+};
+
+/** Record of one frame evicted by backpressure. */
+struct DropRecord
+{
+    long frame_index = 0;     ///< Which frame was shed.
+    long long arrival_us = 0; ///< When it arrived.
+    long long dropped_us = 0; ///< When the eviction happened.
+};
+
+/**
+ * Bounded SPSC frame queue with drop-oldest backpressure.
+ */
+class BoundedFrameQueue
+{
+  public:
+    /** @param capacity maximum queued frames (>= 1). */
+    explicit BoundedFrameQueue(size_t capacity);
+
+    /**
+     * Enqueue @p ticket at virtual time @p now_us. Never blocks: a
+     * full queue evicts its oldest entry, which is returned as a
+     * DropRecord so the caller can account for the shed frame.
+     */
+    std::optional<DropRecord> push(const FrameTicket &ticket,
+                                   long long now_us);
+
+    /** Arrival time of the oldest queued frame (empty when none). */
+    std::optional<long long> frontArrival() const;
+
+    /** Dequeue the oldest frame into @p out; false when empty. */
+    bool pop(FrameTicket *out);
+
+    /**
+     * Evict every queued frame, counting each as a drop (session
+     * close / non-drain stop). Returns the evicted count.
+     */
+    size_t clear();
+
+    /** Current depth. */
+    size_t size() const;
+    /** True when no frame is queued. */
+    bool empty() const { return size() == 0; }
+    /** Configured bound. */
+    size_t capacity() const { return capacity_; }
+
+    /** Total frames ever pushed (including later-dropped ones). */
+    uint64_t totalPushed() const;
+    /** Total frames evicted by backpressure or clear(). */
+    uint64_t totalDropped() const;
+    /** Largest depth ever observed. */
+    size_t maxDepth() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<FrameTicket> ring_;
+    size_t capacity_;
+    uint64_t pushed_ = 0;
+    uint64_t dropped_ = 0;
+    size_t max_depth_ = 0;
+};
+
+} // namespace serve
+} // namespace eyecod
+
+#endif // EYECOD_SERVE_FRAME_QUEUE_H

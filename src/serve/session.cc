@@ -1,0 +1,49 @@
+#include "serve/session.h"
+
+namespace eyecod {
+namespace serve {
+
+Session::Session(int id, const core::SystemConfig &cfg,
+                 const eyetrack::RidgeGazeEstimator &trained,
+                 size_t queue_capacity, bool record_gaze)
+    : id_(id), record_gaze_(record_gaze), system_(cfg),
+      queue_(queue_capacity)
+{
+    // Sessions share the fleet-trained estimator instead of
+    // retraining per user (per-user calibration would refit here).
+    system_.pipeline().gazeEstimator() = trained;
+}
+
+Result<core::GazeSample>
+Session::serveFrame(const dataset::SyntheticEyeRenderer &renderer,
+                    const FrameTicket &ticket)
+{
+    // Render at dispatch time — frames shed by the queue never paid
+    // for rendering. The noise seed folds the session id in so two
+    // sessions viewing the same trajectory still see distinct sensor
+    // noise.
+    const dataset::EyeSample sample = renderer.render(
+        ticket.params,
+        uint64_t(ticket.frame_index) * 0x9e3779b9ULL +
+            uint64_t(id_));
+    Result<core::GazeSample> r =
+        system_.processFrameChecked(sample.image);
+    if (r.ok())
+        last_gaze_ = r.value().gaze;
+    if (record_gaze_)
+        gaze_log_.push_back(last_gaze_);
+    return r;
+}
+
+SessionHealth
+Session::health() const
+{
+    SessionHealth h;
+    h.metrics = metrics_;
+    h.pipeline = system_.healthReport();
+    h.active = active_;
+    return h;
+}
+
+} // namespace serve
+} // namespace eyecod

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * One user session inside the serving engine: a private
+ * core::EyeCoDSystem (predict-then-focus pipeline + degradation FSM
+ * + health counters), the session's bounded frame queue, and its
+ * serving metrics.
+ *
+ * Sessions own no threads. The engine's scheduler dispatches a
+ * session's frames strictly in order and at most one scheduler chunk
+ * touches a session per tick, so per-session state needs no locking
+ * and the functional gaze stream is bitwise independent of the
+ * scheduler thread count.
+ */
+
+#ifndef EYECOD_SERVE_SESSION_H
+#define EYECOD_SERVE_SESSION_H
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/eyecod.h"
+#include "serve/frame_queue.h"
+
+namespace eyecod {
+namespace serve {
+
+/** Serving-side per-session counters and latency statistics. */
+struct SessionMetrics
+{
+    long long submitted = 0;      ///< Frames pushed at the queue.
+    long long completed = 0;      ///< Frames served to completion.
+    long long queue_drops = 0;    ///< Frames shed by backpressure.
+    long long pipeline_drops = 0; ///< Served frames the pipeline
+                                  ///  reported as FrameDropped.
+    long long deadline_misses = 0; ///< Completions past deadline.
+    long long max_queue_depth = 0; ///< Deepest backlog observed.
+    RunningStat latency_us;       ///< Completion - arrival.
+    /** Streaming p50/p95/p99 of frame latency (microseconds). */
+    StreamingHistogram latency_hist{1.0, 1e8};
+    /** Shed frames, in drop order (replayable drop decisions). */
+    std::vector<DropRecord> drop_log;
+};
+
+/**
+ * Aggregated per-session health: serving-side counters plus the
+ * wrapped system's pipeline/accelerator health report.
+ */
+struct SessionHealth
+{
+    SessionMetrics metrics;
+    core::HealthReport pipeline; ///< From EyeCoDSystem::healthReport.
+    bool active = false;         ///< Still admitted (not closed).
+};
+
+/**
+ * One admitted user session.
+ */
+class Session
+{
+  public:
+    /**
+     * @param id engine-assigned session id.
+     * @param cfg per-session system configuration (pipeline flavour,
+     *        extents; the accelerator configs ride along unused by
+     *        the functional path).
+     * @param trained gaze estimator fitted on the prototype
+     *        pipeline; copied so sessions never retrain.
+     * @param queue_capacity bounded frame queue depth.
+     * @param record_gaze keep the emitted gaze stream for
+     *        determinism checks (tests) when true.
+     */
+    Session(int id, const core::SystemConfig &cfg,
+            const eyetrack::RidgeGazeEstimator &trained,
+            size_t queue_capacity, bool record_gaze);
+
+    /** Engine-assigned id. */
+    int id() const { return id_; }
+
+    /** True until closeSession(). */
+    bool active() const { return active_; }
+    /** Mark the session closed. */
+    void deactivate() { active_ = false; }
+
+    /** The session's bounded frame queue. */
+    BoundedFrameQueue &queue() { return queue_; }
+    const BoundedFrameQueue &queue() const { return queue_; }
+
+    /**
+     * Serve one dispatched frame functionally (render + pipeline)
+     * and return the typed outcome. Called by exactly one scheduler
+     * chunk at a time.
+     */
+    Result<core::GazeSample> serveFrame(
+        const dataset::SyntheticEyeRenderer &renderer,
+        const FrameTicket &ticket);
+
+    /** Serving metrics (mutated by the engine's serial sections). */
+    SessionMetrics &metrics() { return metrics_; }
+    const SessionMetrics &metrics() const { return metrics_; }
+
+    /** Combined serving + pipeline health. */
+    SessionHealth health() const;
+
+    /** Emitted gaze stream (empty unless record_gaze). */
+    const std::vector<dataset::GazeVec> &gazeLog() const
+    {
+        return gaze_log_;
+    }
+
+  private:
+    int id_;
+    bool active_ = true;
+    bool record_gaze_;
+    core::EyeCoDSystem system_;
+    BoundedFrameQueue queue_;
+    SessionMetrics metrics_;
+    dataset::GazeVec last_gaze_{0, 0, 1};
+    std::vector<dataset::GazeVec> gaze_log_;
+};
+
+} // namespace serve
+} // namespace eyecod
+
+#endif // EYECOD_SERVE_SESSION_H

@@ -1,0 +1,88 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eyecod {
+namespace serve {
+
+namespace {
+
+/** splitmix64 mix of a 64-bit state (public-domain constant set). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from (seed, session, frame). */
+double
+jitterUnit(uint64_t seed, int session, long frame)
+{
+    const uint64_t h = mix64(
+        mix64(seed ^ (uint64_t(session) << 32)) ^ uint64_t(frame));
+    return double(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+std::vector<SessionTraffic>
+makeTraffic(const dataset::SyntheticEyeRenderer &renderer,
+            const TrafficConfig &cfg)
+{
+    eyecod_assert(cfg.sessions >= 1, "traffic needs >= 1 session");
+    eyecod_assert(cfg.frame_interval_us >= 1,
+                  "frame interval must be positive");
+    eyecod_assert(cfg.arrival_jitter >= 0.0 &&
+                      cfg.arrival_jitter <= 0.5,
+                  "arrival jitter %g outside [0, 0.5]",
+                  cfg.arrival_jitter);
+
+    std::vector<SessionTraffic> out;
+    out.reserve(size_t(cfg.sessions));
+    for (int s = 0; s < cfg.sessions; ++s) {
+        SessionTraffic traffic;
+        traffic.user_seed = mix64(cfg.seed ^ uint64_t(s));
+        traffic.join_us = (long long)(s) * cfg.churn_stagger_us;
+
+        long frames = cfg.frames_per_session;
+        if (cfg.leave_every > 0 && (s + 1) % cfg.leave_every == 0)
+            frames = std::max<long>(1, frames / 2);
+
+        dataset::TrajectoryConfig tc = cfg.trajectory;
+        tc.frames = int(frames);
+        tc.fps = 1e6 / double(cfg.frame_interval_us);
+        const auto traj =
+            makeTrajectory(renderer, traffic.user_seed, tc);
+
+        traffic.frames.reserve(size_t(frames));
+        long long prev_arrival = traffic.join_us - 1;
+        for (long f = 0; f < frames; ++f) {
+            FrameTicket t;
+            t.frame_index = f;
+            t.params = traj[size_t(f)];
+            const double centered =
+                jitterUnit(cfg.seed, s, f) - 0.5; // [-0.5, 0.5)
+            const double jitter_us = 2.0 * cfg.arrival_jitter *
+                                     centered *
+                                     double(cfg.frame_interval_us);
+            t.arrival_us = traffic.join_us +
+                           f * cfg.frame_interval_us +
+                           (long long)(jitter_us);
+            // Arrivals within a session are strictly monotone (the
+            // sensor cannot deliver frame k+1 before frame k).
+            t.arrival_us = std::max(t.arrival_us, prev_arrival + 1);
+            prev_arrival = t.arrival_us;
+            traffic.frames.push_back(t);
+        }
+        out.push_back(std::move(traffic));
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace eyecod

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic synthetic traffic for the serving engine: N user
+ * sessions, each an eye-motion trajectory (dataset::makeTrajectory,
+ * including blinks) arriving at a nominal per-user frame rate with
+ * seeded per-frame arrival jitter, plus scripted session churn
+ * (staggered joins, early leaves).
+ *
+ * The whole trace is generated up front from (seed, session, frame)
+ * via a stateless splitmix64 stream — no generator state is shared
+ * between sessions — so a trace is bitwise reproducible and the
+ * engine can be driven identically at any scheduler thread count.
+ */
+
+#ifndef EYECOD_SERVE_TRAFFIC_H
+#define EYECOD_SERVE_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/sequence.h"
+#include "serve/frame_queue.h"
+
+namespace eyecod {
+namespace serve {
+
+/** Traffic shape configuration. */
+struct TrafficConfig
+{
+    int sessions = 4;                  ///< Concurrent user sessions.
+    long frames_per_session = 100;     ///< Frames each user submits.
+    long long frame_interval_us = 4167; ///< Nominal period (240 FPS).
+    /**
+     * Uniform per-frame arrival jitter as a fraction of the frame
+     * interval (cameras are not phase-locked across users).
+     */
+    double arrival_jitter = 0.25;
+    uint64_t seed = 0x5e111;           ///< Master trace seed.
+    /**
+     * Session i joins at i * churn_stagger_us (0 = everyone joins at
+     * time zero).
+     */
+    long long churn_stagger_us = 0;
+    /**
+     * When > 0, every churn-th session leaves after submitting only
+     * half its frames (mid-trace churn); 0 disables leaves.
+     */
+    int leave_every = 0;
+    /** Eye-motion dynamics (blink reuse via blink_rate). */
+    dataset::TrajectoryConfig trajectory;
+};
+
+/** One session's scripted traffic. */
+struct SessionTraffic
+{
+    uint64_t user_seed = 0;      ///< Trajectory subject seed.
+    long long join_us = 0;       ///< Virtual join time.
+    /** Frames in arrival order (strictly increasing arrival_us). */
+    std::vector<FrameTicket> frames;
+};
+
+/**
+ * Generate the full scripted trace for @p cfg. @p renderer supplies
+ * the per-subject scene statistics for the trajectories.
+ */
+std::vector<SessionTraffic> makeTraffic(
+    const dataset::SyntheticEyeRenderer &renderer,
+    const TrafficConfig &cfg);
+
+} // namespace serve
+} // namespace eyecod
+
+#endif // EYECOD_SERVE_TRAFFIC_H

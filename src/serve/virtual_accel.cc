@@ -1,0 +1,124 @@
+#include "serve/virtual_accel.h"
+
+#include <algorithm>
+
+#include "accel/orchestrator.h"
+#include "common/logging.h"
+
+namespace eyecod {
+namespace serve {
+
+namespace {
+
+double
+cyclesToUs(long long cycles, const accel::HwConfig &hw)
+{
+    return double(cycles) / hw.clock_hz * 1e6;
+}
+
+} // namespace
+
+Result<ServiceModel>
+deriveServiceModel(const accel::PipelineWorkloadConfig &workload,
+                   const accel::HwConfig &hw)
+{
+    const auto all = accel::buildPipelineWorkload(workload);
+
+    // Full pipeline: amortized steady frame + the peak segmentation
+    // boundary frame (Fig. 7).
+    Result<accel::FrameSchedule> full =
+        accel::scheduleFrameChecked(all, hw);
+    if (!full.ok())
+        return full.status();
+
+    // Per-frame workloads only (reconstruction + gaze): the cost of
+    // a frame inside the refresh window.
+    std::vector<accel::ModelWorkload> per_frame;
+    for (const auto &m : all)
+        if (m.period == 1)
+            per_frame.push_back(m);
+    Result<accel::FrameSchedule> steady =
+        accel::scheduleFrameChecked(per_frame, hw);
+    if (!steady.ok())
+        return steady.status();
+
+    ServiceModel model;
+    model.gaze_frame_us =
+        cyclesToUs(steady.value().frame_cycles, hw);
+    model.seg_frame_us =
+        cyclesToUs(full.value().peak_frame_cycles, hw);
+    model.amortized_frame_us =
+        cyclesToUs(full.value().frame_cycles, hw);
+    if (model.amortized_frame_us > 0.0)
+        model.chip_fps = 1e6 / model.amortized_frame_us;
+    // Partial time-multiplexing hides segmentation work in gaze
+    // slack, so the peak frame can only extend the steady frame.
+    model.seg_frame_us =
+        std::max(model.seg_frame_us, model.gaze_frame_us);
+    return model;
+}
+
+VirtualAccelPool::VirtualAccelPool(int chips,
+                                   const ServiceModel &model,
+                                   double batch_amortized_fraction)
+    : model_(model), batch_fraction_(batch_amortized_fraction)
+{
+    eyecod_assert(chips >= 1, "need >= 1 virtual chip, got %d",
+                  chips);
+    eyecod_assert(batch_fraction_ >= 0.0 && batch_fraction_ < 1.0,
+                  "batch fraction %g outside [0, 1)",
+                  batch_fraction_);
+    busy_until_us_.assign(size_t(chips), 0);
+}
+
+int
+VirtualAccelPool::idleChip(long long now_us) const
+{
+    for (size_t c = 0; c < busy_until_us_.size(); ++c)
+        if (busy_until_us_[c] <= now_us)
+            return int(c);
+    return -1;
+}
+
+double
+VirtualAccelPool::batchServiceUs(
+    const std::vector<double> &costs_us) const
+{
+    if (costs_us.empty())
+        return 0.0;
+    double sum = 0.0;
+    double peak = 0.0;
+    for (double c : costs_us) {
+        sum += c;
+        peak = std::max(peak, c);
+    }
+    return (1.0 - batch_fraction_) * sum + batch_fraction_ * peak;
+}
+
+long long
+VirtualAccelPool::dispatch(int chip, long long now_us,
+                           double service_us)
+{
+    eyecod_assert(chip >= 0 && chip < chips(),
+                  "chip %d out of range", chip);
+    eyecod_assert(busy_until_us_[size_t(chip)] <= now_us,
+                  "dispatch to busy chip %d", chip);
+    // Ceil to whole microseconds so completion timestamps stay
+    // integral (and therefore exactly comparable across runs).
+    const long long span = (long long)(service_us + 0.999999);
+    busy_until_us_[size_t(chip)] = now_us + span;
+    total_busy_us_ += double(span);
+    return busy_until_us_[size_t(chip)];
+}
+
+bool
+VirtualAccelPool::allIdle(long long now_us) const
+{
+    for (long long b : busy_until_us_)
+        if (b > now_us)
+            return false;
+    return true;
+}
+
+} // namespace serve
+} // namespace eyecod

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Virtual accelerator instances for multi-session serving.
+ *
+ * The cycle-level simulator in src/accel models ONE chip running ONE
+ * user's predict-then-focus workload under partial time-multiplexing
+ * (Sec. 5.1). Serving M sessions on K < M physical chips
+ * time-multiplexes that schedule across users; this module lifts the
+ * simulator's per-frame costs into a fleet-level timing model:
+ *
+ *  - a ServiceModel derived once per configuration from
+ *    accel::scheduleFrameChecked(): the steady-state (recon + gaze)
+ *    frame cost and the peak refresh-frame cost (the seg-boundary
+ *    frame of Fig. 7), converted from cycles to microseconds at the
+ *    configured clock;
+ *  - a VirtualAccelPool of K chip instances, each a busy-until
+ *    horizon in virtual time. A batch of frames dispatched to an
+ *    idle chip occupies it for the batch's service time.
+ *
+ * Cross-session batching amortizes the weight-resident share of a
+ * frame: consecutive frames of the *same stage* reuse the weights
+ * already staged in the double-buffered weight GB, so a batch of B
+ * frames costs (1 - f) * sum(cost) + f * max(cost), where f is the
+ * amortizable fraction. f defaults to the weight-traffic share the
+ * dataflow model attributes to a steady frame; it is configurable
+ * for what-if sweeps.
+ *
+ * Everything runs in virtual microseconds — no wall clock — so a
+ * serving run is bit-for-bit reproducible at any scheduler thread
+ * count.
+ */
+
+#ifndef EYECOD_SERVE_VIRTUAL_ACCEL_H
+#define EYECOD_SERVE_VIRTUAL_ACCEL_H
+
+#include <vector>
+
+#include "accel/hw_config.h"
+#include "accel/workload.h"
+#include "common/status.h"
+
+namespace eyecod {
+namespace serve {
+
+/** Per-frame service costs of one chip, derived from the simulator. */
+struct ServiceModel
+{
+    /** Steady-state frame (reconstruction + gaze), microseconds. */
+    double gaze_frame_us = 0.0;
+    /** Peak refresh frame (segmentation boundary), microseconds. */
+    double seg_frame_us = 0.0;
+    /** Amortized frame cost incl. the 1/N segmentation share. */
+    double amortized_frame_us = 0.0;
+    /** Single-chip steady throughput, frames per second. */
+    double chip_fps = 0.0;
+};
+
+/**
+ * Derive the service model for one chip configuration by scheduling
+ * the pipeline workloads on the cycle-level orchestrator. Returns
+ * typed errors for malformed hardware configurations or workloads
+ * (same contract as accel::scheduleFrameChecked).
+ */
+Result<ServiceModel> deriveServiceModel(
+    const accel::PipelineWorkloadConfig &workload,
+    const accel::HwConfig &hw);
+
+/**
+ * K virtual chip instances tracked as busy-until horizons in virtual
+ * time, with batched-dispatch cost accounting.
+ */
+class VirtualAccelPool
+{
+  public:
+    /**
+     * @param chips number of virtual accelerator instances (>= 1).
+     * @param model per-frame service costs.
+     * @param batch_amortized_fraction share of a frame's cost
+     *        amortized across a batch (weight staging); in [0, 1).
+     */
+    VirtualAccelPool(int chips, const ServiceModel &model,
+                     double batch_amortized_fraction);
+
+    /** Number of virtual chips. */
+    int chips() const { return int(busy_until_us_.size()); }
+
+    /** Service model in use. */
+    const ServiceModel &model() const { return model_; }
+
+    /**
+     * Lowest-index chip idle at @p now_us (busy horizon has passed),
+     * or -1 when every chip is still busy.
+     */
+    int idleChip(long long now_us) const;
+
+    /**
+     * Service time of a batch with the given per-frame costs,
+     * microseconds: (1 - f) * sum + f * max.
+     */
+    double batchServiceUs(const std::vector<double> &costs_us) const;
+
+    /**
+     * Occupy @p chip from @p now_us for @p service_us. The chip must
+     * be idle at @p now_us. Returns the completion timestamp.
+     */
+    long long dispatch(int chip, long long now_us, double service_us);
+
+    /** Busy horizon of @p chip. */
+    long long busyUntil(int chip) const
+    {
+        return busy_until_us_[size_t(chip)];
+    }
+
+    /** True when every chip is idle at @p now_us. */
+    bool allIdle(long long now_us) const;
+
+    /** Total busy microseconds accumulated across all chips. */
+    double totalBusyUs() const { return total_busy_us_; }
+
+  private:
+    ServiceModel model_;
+    double batch_fraction_;
+    std::vector<long long> busy_until_us_;
+    double total_busy_us_ = 0.0;
+};
+
+} // namespace serve
+} // namespace eyecod
+
+#endif // EYECOD_SERVE_VIRTUAL_ACCEL_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared fixtures for the serving tests: one fleet scene renderer
+ * and one pre-trained gaze estimator, built lazily once per test
+ * binary. Training dominates wall time, and the serving engine's
+ * contract is that sessions copy a fleet-calibrated estimator rather
+ * than retrain, so the tests share one the same way a deployment
+ * would.
+ */
+
+#ifndef EYECOD_TESTS_SERVING_TEST_UTIL_H
+#define EYECOD_TESTS_SERVING_TEST_UTIL_H
+
+#include "serve/engine.h"
+
+namespace eyecod {
+namespace serve {
+
+/** Per-session system configuration used by every serving test. */
+inline core::SystemConfig
+servingTestSystem()
+{
+    core::SystemConfig sys;
+    sys.pipeline.camera = eyetrack::CameraKind::Lens;
+    sys.pipeline.roi_refresh = 25;
+    return sys;
+}
+
+/** Fleet scene renderer shared (const) by every engine under test. */
+inline const dataset::SyntheticEyeRenderer &
+servingTestRenderer()
+{
+    static const dataset::SyntheticEyeRenderer *ren = [] {
+        dataset::RenderConfig rc;
+        rc.image_size = servingTestSystem().pipeline.scene_size;
+        return new dataset::SyntheticEyeRenderer(rc, 2019);
+    }();
+    return *ren;
+}
+
+/** Fleet-trained gaze estimator, fitted once per binary. */
+inline const eyetrack::RidgeGazeEstimator &
+servingTestEstimator()
+{
+    static const eyetrack::RidgeGazeEstimator *est = [] {
+        eyetrack::PredictThenFocusPipeline proto(
+            servingTestSystem().pipeline);
+        proto.trainGaze(servingTestRenderer(), 150);
+        return new eyetrack::RidgeGazeEstimator(
+            proto.gazeEstimator());
+    }();
+    return *est;
+}
+
+/**
+ * Engine configuration for the tests: the shared system prototype,
+ * @p chips virtual accelerators, and a fixed scheduler width (one
+ * thread unless a test exercises the thread-count axis).
+ */
+inline ServingConfig
+quickServingConfig(int chips, int threads = 1)
+{
+    ServingConfig cfg;
+    cfg.system = servingTestSystem();
+    cfg.virtual_chips = chips;
+    cfg.scheduler_threads = threads;
+    return cfg;
+}
+
+} // namespace serve
+} // namespace eyecod
+
+#endif // EYECOD_TESTS_SERVING_TEST_UTIL_H

@@ -147,6 +147,53 @@ TEST(EyeCoDSystem, RuntimeProfileReportsArenaSavings)
     }
 }
 
+TEST(EyeCoDSystem, ProcessFrameCheckedReturnsTypedSample)
+{
+    EyeCoDSystem sys(fastConfig());
+    dataset::RenderConfig rc;
+    rc.image_size = sys.config().pipeline.scene_size;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+    sys.train(ren, 120);
+    const auto s = ren.sample(7);
+    const Result<GazeSample> r = sys.processFrameChecked(s.image);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_TRUE(r.value().roi_refreshed); // first frame segments
+    EXPECT_LT(dataset::angularErrorDeg(r.value().gaze, s.gaze),
+              20.0);
+    EXPECT_FALSE(r.value().health.frame_dropped);
+}
+
+TEST(EyeCoDSystem, ProcessFrameCheckedRejectsMisSizedScene)
+{
+    EyeCoDSystem sys(fastConfig());
+    dataset::RenderConfig rc;
+    rc.image_size = sys.config().pipeline.scene_size;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+    sys.train(ren, 120);
+    const Image wrong(32, 32, 0.5f);
+    const Result<GazeSample> r = sys.processFrameChecked(wrong);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::ShapeMismatch);
+    // The checked path still advanced the pipeline's health
+    // bookkeeping exactly like the unchecked one.
+    EXPECT_GT(sys.healthReport().drop_fraction, 0.0);
+}
+
+TEST(EyeCoDSystem, ProcessFrameCheckedReportsDroppedFrames)
+{
+    SystemConfig cfg = fastConfig();
+    cfg.pipeline.faults.drop_rate = 1.0; // every frame is unusable
+    EyeCoDSystem sys(cfg);
+    dataset::RenderConfig rc;
+    rc.image_size = sys.config().pipeline.scene_size;
+    const dataset::SyntheticEyeRenderer ren(rc, 2019);
+    sys.train(ren, 120);
+    const Result<GazeSample> r =
+        sys.processFrameChecked(ren.sample(0).image);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::FrameDropped);
+}
+
 } // namespace
 } // namespace core
 } // namespace eyecod

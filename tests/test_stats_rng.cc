@@ -113,5 +113,89 @@ TEST(Rng, PoissonMean)
     EXPECT_NEAR(s.mean(), 6.0, 0.15);
 }
 
+TEST(Percentile, LinearInterpolationConvention)
+{
+    const std::vector<double> v{4.0, 1.0, 3.0, 2.0}; // unsorted
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.75);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 0.7), 42.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(StreamingHistogram, QuantilesTrackExactPercentiles)
+{
+    StreamingHistogram h(1.0, 1e6);
+    std::vector<double> exact;
+    // A skewed latency-like stream: dense bulk plus a long tail.
+    for (int i = 1; i <= 2000; ++i) {
+        const double v = 100.0 + double(i % 400);
+        h.add(v);
+        exact.push_back(v);
+    }
+    for (int i = 0; i < 40; ++i) {
+        const double v = 5000.0 + 250.0 * double(i);
+        h.add(v);
+        exact.push_back(v);
+    }
+    EXPECT_EQ(h.count(), exact.size());
+    for (double q : {0.5, 0.95, 0.99}) {
+        const double want = percentile(exact, q);
+        // Relative error bounded by the log-bucket width (~4% at 32
+        // buckets per decade).
+        EXPECT_NEAR(h.quantile(q), want, 0.05 * want) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.min(), 100.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5000.0 + 250.0 * 39.0);
+}
+
+TEST(StreamingHistogram, ClampsToObservedRange)
+{
+    StreamingHistogram h(1.0, 1e4);
+    h.add(0.25);  // below lo: edge bucket, exact min kept
+    h.add(50.0);
+    h.add(5e6);   // above hi: edge bucket, exact max kept
+    EXPECT_EQ(h.count(), 3u);
+    // Out-of-range samples land in the edge buckets but the exact
+    // observed extremes are kept and bound every quantile answer.
+    EXPECT_DOUBLE_EQ(h.min(), 0.25);
+    EXPECT_DOUBLE_EQ(h.max(), 5e6);
+    EXPECT_GE(h.quantile(0.0), h.min());
+    EXPECT_LE(h.quantile(1.0), h.max());
+    EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(1.0));
+}
+
+TEST(StreamingHistogram, MergeMatchesCombinedStream)
+{
+    StreamingHistogram a(1.0, 1e6), b(1.0, 1e6), all(1.0, 1e6);
+    for (int i = 1; i <= 500; ++i) {
+        const double va = 10.0 + double(i);
+        const double vb = 900.0 + 3.0 * double(i);
+        a.add(va);
+        b.add(vb);
+        all.add(va);
+        all.add(vb);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    for (double q : {0.1, 0.5, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q))
+            << "q=" << q;
+}
+
+TEST(StreamingHistogram, EmptyAndNonFiniteAreSafe)
+{
+    StreamingHistogram h(1.0, 1e3);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 0u);
+}
+
 } // namespace
 } // namespace eyecod

@@ -42,12 +42,21 @@ TEST(Status, EveryCodeHasAName)
         ErrorCode::SensorFault, ErrorCode::NonFinite,
         ErrorCode::SegmentationFailed, ErrorCode::RoiRejected,
         ErrorCode::NotTrained,  ErrorCode::Internal,
+        ErrorCode::ScheduleTimeout, ErrorCode::Overloaded,
     };
     for (ErrorCode c : codes) {
         const std::string name = errorCodeName(c);
         EXPECT_FALSE(name.empty());
         EXPECT_NE(name, "unknown") << int(c);
     }
+}
+
+TEST(Status, OverloadedIsAnAdmissionError)
+{
+    const Status s = Status::error(
+        ErrorCode::Overloaded, "fleet at %d sessions", 64);
+    EXPECT_EQ(s.code(), ErrorCode::Overloaded);
+    EXPECT_EQ(s.toString(), "overloaded: fleet at 64 sessions");
 }
 
 TEST(Result, CarriesValue)
