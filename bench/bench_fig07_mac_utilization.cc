@@ -32,7 +32,7 @@ main()
     long long below_threshold_cycles = 0;
     for (const LayerTrace &t : fs.trace) {
         std::printf("%-10.2f %-28s %10lld %8.1f %6d %11s\n",
-                    t.start_cycle * us_per_cycle,
+                    double(t.start_cycle) * us_per_cycle,
                     (t.model + "/" + t.layer).c_str(), t.cycles,
                     t.utilization * 100.0, t.lanes,
                     t.coscheduled ? "yes" : "");
@@ -43,7 +43,7 @@ main()
 
     std::printf("\nFrame: %.2f us, overall MAC utilization %.1f%% "
                 "(paper: >90%% with partial time-multiplexing)\n",
-                fs.frame_cycles * us_per_cycle,
+                double(fs.frame_cycles) * us_per_cycle,
                 fs.utilization * 100.0);
     std::printf("Slots below the %.0f%% threshold after backfill: "
                 "%.1f%% of frame time\n",

@@ -170,7 +170,8 @@ runCase(const Case &c, const std::string &json_path)
         nn::Tensor t(graph.nodeShape(id));
         // Deterministic non-trivial input.
         for (size_t i = 0; i < t.size(); ++i)
-            t.data()[i] = float((i * 2654435761u % 1000) / 1000.0);
+            t.data()[i] =
+                float(double(i * 2654435761u % 1000) / 1000.0);
         inputs.push_back(std::move(t));
     }
 

@@ -73,7 +73,7 @@ main()
             const LayerCost c = costLayer(l, naive, naive.mac_lanes);
             const double execs = 50.0 / m.period;
             const long long cyc =
-                (long long)(c.totalCycles() * execs);
+                (long long)(double(c.totalCycles()) * execs);
             all_cycles += cyc;
             all_macs += (long long)(double(l.macs) * execs);
             if (l.kind == nn::LayerKind::ConvDepthwise) {
@@ -95,10 +95,10 @@ main()
     for (const auto &m : workloads)
         for (const auto &l : m.layers)
             if (l.kind == nn::LayerKind::ConvDepthwise)
-                dw_opt_cycles +=
-                    (long long)(costLayer(l, opt, opt.mac_lanes)
-                                    .totalCycles() *
-                                (50.0 / m.period));
+                dw_opt_cycles += (long long)(
+                    double(costLayer(l, opt, opt.mac_lanes)
+                               .totalCycles()) *
+                    (50.0 / m.period));
     std::printf("=== Principle #II: intra-channel reuse ===\n"
                 "depth-wise processing time reduced by %.0f%% "
                 "(paper: 71%%)\n\n",
@@ -138,7 +138,7 @@ main()
                 "===\n"
                 "activation memory: %.2f MB -> %.2f MB (%.0f%%) "
                 "(paper: 2.78 MB -> ~1 MB, 36%%)\n\n",
-                unpart / 1048576.0, part / 1048576.0,
+                double(unpart) / 1048576.0, double(part) / 1048576.0,
                 100.0 * double(part) / double(unpart));
 
     // --- SWPR input buffer bandwidth saving ---

@@ -80,7 +80,7 @@ gazeMFlops(int paper_h, int paper_w)
     const int gw = std::max(32, paper_w / 32 * 32);
     const nn::Graph g = models::buildFBNetC100(gh, gw, 0);
     const double scale = double(paper_h) * paper_w / (gh * gw);
-    return g.totalMacs() * scale / 1e6;
+    return double(g.totalMacs()) * scale / 1e6;
 }
 
 } // namespace

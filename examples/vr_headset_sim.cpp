@@ -36,13 +36,13 @@ main()
     double recon_us = 0.0, gaze_us = 0.0;
     for (const auto &t : fs.trace) {
         if (t.model == "flatcam-recon")
-            recon_us += t.cycles * us_per_cycle;
+            recon_us += double(t.cycles) * us_per_cycle;
         else
-            gaze_us += t.cycles * us_per_cycle;
+            gaze_us += double(t.cycles) * us_per_cycle;
     }
     const platforms::CommLink link = platforms::eyecodAttachedLink();
     const double comm_us = link.latency(sys.frameCommBytes()) * 1e6;
-    const double frame_us = fs.frame_cycles * us_per_cycle;
+    const double frame_us = double(fs.frame_cycles) * us_per_cycle;
 
     std::printf("EyeCoD on-device pipeline:\n");
     std::printf("  sensor -> processor (attached FlatCam): %7.1f us\n",

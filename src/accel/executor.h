@@ -48,7 +48,7 @@ ExecStats executeStream(const InstructionStream &stream,
  * @p max_dynamic_instructions returns ScheduleTimeout (the runaway
  * watchdog) instead of panicking.
  */
-Result<ExecStats> executeStreamChecked(
+[[nodiscard]] Result<ExecStats> executeStreamChecked(
     const InstructionStream &stream, const ModelWorkload &model,
     const HwConfig &hw,
     long long max_dynamic_instructions = 50'000'000);

@@ -100,7 +100,7 @@ struct HwConfig
  * the offending field, so malformed configs fail at the simulate()
  * boundary instead of as downstream divide-by-zero/NaN reports.
  */
-Status validateHwConfig(const HwConfig &hw);
+[[nodiscard]] Status validateHwConfig(const HwConfig &hw);
 
 /**
  * The configuration with @p retired lanes mapped out of the MAC

@@ -59,7 +59,7 @@ FrameSchedule scheduleFrame(const std::vector<ModelWorkload> &workloads,
  * set, no per-frame workload), and ScheduleTimeout when the frame
  * exceeds hw.watchdog_cycle_budget.
  */
-Result<FrameSchedule> scheduleFrameChecked(
+[[nodiscard]] Result<FrameSchedule> scheduleFrameChecked(
     const std::vector<ModelWorkload> &workloads, const HwConfig &hw);
 
 } // namespace accel

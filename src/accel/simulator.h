@@ -63,7 +63,7 @@ PerfReport simulate(const std::vector<ModelWorkload> &workloads,
  * divide-by-zero/NaN reports, and a schedule exceeding
  * hw.watchdog_cycle_budget returns ScheduleTimeout.
  */
-Result<PerfReport> simulateChecked(
+[[nodiscard]] Result<PerfReport> simulateChecked(
     const std::vector<ModelWorkload> &workloads, const HwConfig &hw,
     const EnergyModel &energy);
 

@@ -74,7 +74,7 @@ Image::mean() const
     double acc = 0.0;
     for (float v : data_)
         acc += v;
-    return float(acc / data_.size());
+    return float(acc / double(data_.size()));
 }
 
 float

@@ -49,8 +49,12 @@ const char *errorCodeName(ErrorCode code);
 
 /**
  * A (code, message) error value. Default-constructed Status is OK.
+ *
+ * [[nodiscard]]: a dropped Status is a silently swallowed error;
+ * every producer's return must be branched on (or cast to void under
+ * a detlint allow comment when the drop is intentional).
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     Status() = default;
@@ -90,7 +94,7 @@ class Status
  * valueOr for a fallback).
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /** Success. */

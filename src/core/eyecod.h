@@ -177,7 +177,7 @@ class EyeCoDSystem
      *  - everything else returns the emitted GazeSample (possibly
      *    degraded — inspect health).
      */
-    Result<GazeSample> processFrameChecked(const Image &scene);
+    [[nodiscard]] Result<GazeSample> processFrameChecked(const Image &scene);
 
     /** Reset the functional pipeline's per-sequence state. */
     void reset();

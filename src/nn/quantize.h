@@ -26,7 +26,10 @@ struct QuantParams
     int bits = 8;       ///< Bit width.
 
     /** Largest representable magnitude. */
-    float maxValue() const { return scale * ((1 << (bits - 1)) - 1); }
+    float maxValue() const
+    {
+        return scale * float((1 << (bits - 1)) - 1);
+    }
 };
 
 /**

@@ -142,7 +142,7 @@ class Backend
      * poisoned tensor surfaces as a recoverable fault rather than
      * garbage gaze.
      */
-    Result<Tensor> runChecked(const ExecutionPlan &plan,
+    [[nodiscard]] Result<Tensor> runChecked(const ExecutionPlan &plan,
                               const std::vector<Tensor> &inputs);
 
     /**

@@ -226,9 +226,14 @@ ServingEngine::runTrace(const std::vector<SessionTraffic> &traffic)
             // Rejections are already counted by openSession; the
             // rejected user's frames are simply never submitted.
         } else if (ids[size_t(ev.trace)] >= 0) {
-            submitFrame(
+            // The session was admitted above and stays active for the
+            // whole trace, so a submit failure here is engine state
+            // corruption, not load shedding.
+            const Status st = submitFrame(
                 ids[size_t(ev.trace)],
                 traffic[size_t(ev.trace)].frames[size_t(ev.frame)]);
+            eyecod_assert(st.isOk(), "runTraffic submit: %s",
+                          st.toString().c_str());
         }
     }
     drain();
@@ -323,7 +328,13 @@ ServingEngine::runTick()
                 break;
             PendingFrame pf;
             pf.session = best;
-            sessions_[size_t(best)]->queue().pop(&pf.ticket);
+            // frontArrival() just returned a value and the scheduler
+            // is the only consumer, so the queue cannot have drained.
+            const bool popped =
+                sessions_[size_t(best)]->queue().pop(&pf.ticket);
+            eyecod_assert(popped,
+                          "scheduler pop raced an empty queue "
+                          "(session %d)", best);
             pf.batch = int(batches.size());
             batch.items.push_back(dispatched.size());
             dispatched.push_back(pf);

@@ -65,14 +65,14 @@ class BoundedFrameQueue
      * full queue evicts its oldest entry, which is returned as a
      * DropRecord so the caller can account for the shed frame.
      */
-    std::optional<DropRecord> push(const FrameTicket &ticket,
+    [[nodiscard]] std::optional<DropRecord> push(const FrameTicket &ticket,
                                    long long now_us);
 
     /** Arrival time of the oldest queued frame (empty when none). */
     std::optional<long long> frontArrival() const;
 
     /** Dequeue the oldest frame into @p out; false when empty. */
-    bool pop(FrameTicket *out);
+    [[nodiscard]] bool pop(FrameTicket *out);
 
     /**
      * Evict every queued frame, counting each as a drop (session

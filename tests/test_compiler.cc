@@ -73,8 +73,9 @@ TEST(Compiler, WeightsChunkedToPingPongBuffer)
     const HwConfig hw;
     const InstructionStream s = compileModel(gazeModel(), hw, 1);
     for (const Instruction &i : s.instructions) {
-        if (i.op == Opcode::LoadWeights)
+        if (i.op == Opcode::LoadWeights) {
             EXPECT_LE(i.arg0, hw.weight_buf_bytes);
+        }
     }
 }
 

@@ -120,7 +120,8 @@ TEST(Renderer, PupilIsDarkerThanSurroundings)
     }
     ASSERT_GT(pupil_n, 0);
     ASSERT_GT(sclera_n, 0);
-    EXPECT_LT(pupil_sum / pupil_n + 0.3, sclera_sum / sclera_n);
+    EXPECT_LT(pupil_sum / double(pupil_n) + 0.3,
+              sclera_sum / double(sclera_n));
 }
 
 TEST(Renderer, PupilCentreMatchesMaskCentroid)
@@ -139,8 +140,8 @@ TEST(Renderer, PupilCentreMatchesMaskCentroid)
         }
     }
     ASSERT_GT(n, 0);
-    EXPECT_NEAR(cy / n, s.pupil_cy, 2.0);
-    EXPECT_NEAR(cx / n, s.pupil_cx, 2.0);
+    EXPECT_NEAR(cy / double(n), s.pupil_cy, 2.0);
+    EXPECT_NEAR(cx / double(n), s.pupil_cx, 2.0);
 }
 
 TEST(Renderer, GazeDisplacesIris)

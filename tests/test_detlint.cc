@@ -1,0 +1,283 @@
+/**
+ * @file
+ * detlint rule-engine tests.
+ *
+ * Each rule R1-R6 gets a failing fixture (every seeded violation must
+ * be caught, at its exact line) and a passing fixture (idiomatic
+ * deterministic code plus near-miss identifiers must stay silent).
+ * Scoping is exercised by re-analyzing the same fixture under a
+ * different pretend path: what is a violation in src/serve/ is legal
+ * in bench/. Fixtures live in tools/detlint/fixtures/ and are also
+ * human-runnable: `detlint tools/detlint/fixtures` reproduces the
+ * failing findings from a shell.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "findings.h"
+#include "rules.h"
+
+namespace eyecod {
+namespace detlint {
+namespace {
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path = std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Analyze fixture @p name as if it lived at @p scoped_path. */
+std::vector<Finding>
+runOn(const std::string &name, const std::string &scoped_path,
+      const AnalyzeOptions &opts = {})
+{
+    return analyzeSource(scoped_path, readFixture(name), opts);
+}
+
+/** (rule, line) pairs, in emission order. */
+std::vector<std::pair<Rule, int>>
+ruleLines(const std::vector<Finding> &findings)
+{
+    std::vector<std::pair<Rule, int>> out;
+    for (const Finding &f : findings)
+        out.emplace_back(f.rule, f.line);
+    return out;
+}
+
+using RL = std::vector<std::pair<Rule, int>>;
+
+TEST(DetlintR1, FailingFixtureCaughtAtExactLines)
+{
+    const auto got = ruleLines(runOn("r1_fail.cc", "src/nn/r1_fail.cc"));
+    const RL want = {{Rule::R1UnseededRng, 9},
+                     {Rule::R1UnseededRng, 10},
+                     {Rule::R1UnseededRng, 13}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR1, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r1_pass.cc", "src/nn/r1_pass.cc").empty());
+}
+
+TEST(DetlintR1, RngHeaderItselfIsExempt)
+{
+    // The engine the Rng wraps must not flag inside its own home.
+    EXPECT_TRUE(
+        analyzeSource("src/common/rng.h", "std::mt19937_64 engine_;")
+            .empty());
+    EXPECT_EQ(
+        analyzeSource("src/common/image.h", "std::mt19937_64 engine_;")
+            .size(),
+        1u);
+}
+
+TEST(DetlintR2, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r2_fail.cc", "src/serve/r2_fail.cc"));
+    const RL want = {{Rule::R2WallClock, 9},
+                     {Rule::R2WallClock, 10},
+                     {Rule::R2WallClock, 11},
+                     {Rule::R2WallClock, 14}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR2, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r2_pass.cc", "src/serve/r2_pass.cc").empty());
+}
+
+TEST(DetlintR2, BenchDirectoryMayReadClocks)
+{
+    // Identical source, bench/ scope: wall-clock and steady_clock are
+    // both legal where real elapsed time is the measurement.
+    EXPECT_TRUE(runOn("r2_fail.cc", "bench/r2_fail.cc").empty());
+}
+
+TEST(DetlintR2, ThreadPoolMayReadSteadyClockOnly)
+{
+    EXPECT_TRUE(analyzeSource("src/common/thread_pool.cc",
+                              "auto t0 = steady_clock::now();")
+                    .empty());
+    EXPECT_EQ(analyzeSource("src/common/stats.cc",
+                            "auto t0 = steady_clock::now();")
+                  .size(),
+              1u);
+}
+
+TEST(DetlintR3, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r3_fail.cc", "src/accel/r3_fail.cc"));
+    const RL want = {{Rule::R3UnorderedIter, 10},
+                     {Rule::R3UnorderedIter, 12}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR3, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r3_pass.cc", "src/accel/r3_pass.cc").empty());
+}
+
+TEST(DetlintR4, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r4_fail.cc", "src/accel/r4_fail.cc"));
+    const RL want = {{Rule::R4HotPathThrow, 10},
+                     {Rule::R4HotPathThrow, 11}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR4, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r4_pass.cc", "src/accel/r4_pass.cc").empty());
+}
+
+TEST(DetlintR4, ThrowLegalOutsideHotPathsButDiscardIsNot)
+{
+    // tests/ may throw (gtest does); a dropped checked result is
+    // still a defect everywhere.
+    const auto got = ruleLines(runOn("r4_fail.cc", "tests/r4_fail.cc"));
+    const RL want = {{Rule::R4HotPathThrow, 11}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR5, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r5_fail.cc", "src/serve/r5_fail.cc"));
+    const RL want = {{Rule::R5WarnInLoop, 9}, {Rule::R5WarnInLoop, 13}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR5, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r5_pass.cc", "src/serve/r5_pass.cc").empty());
+}
+
+TEST(DetlintR6, FailingFixtureCaughtAtExactLines)
+{
+    const auto got = ruleLines(runOn("r6_fail.cc", "src/nn/r6_fail.cc"));
+    const RL want = {{Rule::R6FloatReduction, 10},
+                     {Rule::R6FloatReduction, 11},
+                     {Rule::R6FloatReduction, 11}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR6, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r6_pass.cc", "src/nn/r6_pass.cc").empty());
+}
+
+TEST(DetlintSuppression, AllThreeFormsSilenceFindings)
+{
+    // Same-line, previous-line, and file-wide allow comments: the
+    // fixture carries R5 and R6 violations and must report nothing.
+    EXPECT_TRUE(runOn("suppressed.cc", "src/nn/suppressed.cc").empty());
+}
+
+TEST(DetlintSuppression, AllowDoesNotLeakToOtherRules)
+{
+    const std::string src = "// detlint:allow(R5)\n"
+                            "int x = rand();\n";
+    const auto got = ruleLines(analyzeSource("src/nn/f.cc", src));
+    const RL want = {{Rule::R1UnseededRng, 2}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintLexer, StringsAndCommentsNeverFlag)
+{
+    const std::string src =
+        "// rand() in a comment\n"
+        "/* std::system_clock in a block comment */\n"
+        "const char *s = \"rand() steady_clock throw\";\n"
+        "const char *raw = R\"(std::reduce(a, b))\";\n";
+    EXPECT_TRUE(analyzeSource("src/accel/f.cc", src).empty());
+}
+
+TEST(DetlintLexer, IncludeDirectivesNeverFlag)
+{
+    const std::string src = "#include <random>\n#include <ctime>\n";
+    EXPECT_TRUE(analyzeSource("src/nn/f.cc", src).empty());
+}
+
+TEST(DetlintOptions, RuleFilterRestrictsAnalysis)
+{
+    AnalyzeOptions only_r1;
+    only_r1.enabled = {Rule::R1UnseededRng};
+    EXPECT_TRUE(
+        runOn("r2_fail.cc", "src/serve/r2_fail.cc", only_r1).empty());
+    EXPECT_EQ(
+        runOn("r1_fail.cc", "src/nn/r1_fail.cc", only_r1).size(), 3u);
+}
+
+TEST(DetlintTree, FixtureDirectoryReproducesFindings)
+{
+    // Tree scan rooted at the fixture dir: rules that scope to all
+    // files (R1, R4-discard, R5) must reproduce their findings with
+    // repo-relative paths.
+    const auto findings =
+        analyzeTree(DETLINT_FIXTURE_DIR, {"r1_fail.cc", "r5_fail.cc"});
+    const auto got = ruleLines(findings);
+    const RL want = {{Rule::R1UnseededRng, 9},
+                     {Rule::R1UnseededRng, 10},
+                     {Rule::R1UnseededRng, 13},
+                     {Rule::R5WarnInLoop, 9},
+                     {Rule::R5WarnInLoop, 13}};
+    EXPECT_EQ(got, want);
+    for (const Finding &f : findings)
+        EXPECT_TRUE(f.file == "r1_fail.cc" || f.file == "r5_fail.cc")
+            << f.file;
+}
+
+TEST(DetlintOutput, JsonIsMachineReadableAndStable)
+{
+    std::vector<Finding> findings = {
+        {Rule::R5WarnInLoop, "src/serve/engine.cc", 42, "msg \"a\""},
+    };
+    std::ostringstream os;
+    emitJson(findings, os);
+    const std::string want =
+        "{\n  \"findings\": [\n"
+        "    {\"file\": \"src/serve/engine.cc\", \"line\": 42, "
+        "\"rule\": \"R5\", \"name\": \"warn-in-loop\", "
+        "\"message\": \"msg \\\"a\\\"\"}\n"
+        "  ],\n  \"count\": 1\n}\n";
+    EXPECT_EQ(os.str(), want);
+
+    std::ostringstream empty;
+    emitJson({}, empty);
+    EXPECT_EQ(empty.str(), "{\n  \"findings\": [],\n  \"count\": 0\n}\n");
+}
+
+TEST(DetlintOutput, RuleIdsAndNamesRoundTrip)
+{
+    for (Rule r : {Rule::R1UnseededRng, Rule::R2WallClock,
+                   Rule::R3UnorderedIter, Rule::R4HotPathThrow,
+                   Rule::R5WarnInLoop, Rule::R6FloatReduction,
+                   Rule::H1HeaderSelfContained}) {
+        Rule parsed;
+        ASSERT_TRUE(parseRule(ruleId(r), &parsed));
+        EXPECT_EQ(parsed, r);
+        ASSERT_TRUE(parseRule(ruleName(r), &parsed));
+        EXPECT_EQ(parsed, r);
+    }
+    Rule ignored;
+    EXPECT_FALSE(parseRule("R99", &ignored));
+}
+
+} // namespace
+} // namespace detlint
+} // namespace eyecod

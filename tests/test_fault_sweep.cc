@@ -86,10 +86,11 @@ TEST(FaultSweep, EveryKindAndRateKeepsGazeFiniteOnLens)
                                  f);
             }
             EXPECT_EQ(pipe.healthStats().frames, 20);
-            if (rate == 1.0)
+            if (rate == 1.0) {
                 EXPECT_GT(pipe.healthStats().fault_counts[size_t(k)],
                           0)
                     << flatcam::faultKindName(kind);
+            }
         }
     }
 }

@@ -37,7 +37,7 @@ testScene(int n)
     Image img(n, n);
     for (int y = 0; y < n; ++y)
         for (int x = 0; x < n; ++x)
-            img.at(y, x) = 0.2f + 0.5f * float(x) / n;
+            img.at(y, x) = 0.2f + 0.5f * float(x) / float(n);
     for (int y = n / 4; y < n / 2; ++y)
         for (int x = n / 4; x < n / 2; ++x)
             img.at(y, x) = 0.9f;

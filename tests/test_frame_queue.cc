@@ -46,8 +46,8 @@ TEST(BoundedFrameQueue, FifoOrder)
 TEST(BoundedFrameQueue, DropOldestWhenFull)
 {
     BoundedFrameQueue q(2);
-    q.push(ticket(0, 0), 0);
-    q.push(ticket(1, 10), 10);
+    EXPECT_FALSE(q.push(ticket(0, 0), 0).has_value());
+    EXPECT_FALSE(q.push(ticket(1, 10), 10).has_value());
     const auto shed = q.push(ticket(2, 20), 25);
     ASSERT_TRUE(shed.has_value());
     EXPECT_EQ(shed->frame_index, 0);
@@ -65,7 +65,7 @@ TEST(BoundedFrameQueue, CountersTrackPushesDropsAndDepth)
 {
     BoundedFrameQueue q(3);
     for (long i = 0; i < 5; ++i)
-        q.push(ticket(i, i), i);
+        EXPECT_EQ(q.push(ticket(i, i), i).has_value(), i >= 3);
     EXPECT_EQ(q.totalPushed(), 5u);
     EXPECT_EQ(q.totalDropped(), 2u);
     EXPECT_EQ(q.maxDepth(), 3u);
@@ -76,7 +76,7 @@ TEST(BoundedFrameQueue, ClearEvictsAndCounts)
 {
     BoundedFrameQueue q(8);
     for (long i = 0; i < 5; ++i)
-        q.push(ticket(i, i), i);
+        EXPECT_FALSE(q.push(ticket(i, i), i).has_value());
     EXPECT_EQ(q.clear(), 5u);
     EXPECT_TRUE(q.empty());
     EXPECT_EQ(q.totalDropped(), 5u);
@@ -87,8 +87,8 @@ TEST(BoundedFrameQueue, FrontArrivalPeeksOldest)
 {
     BoundedFrameQueue q(4);
     EXPECT_FALSE(q.frontArrival().has_value());
-    q.push(ticket(0, 42), 42);
-    q.push(ticket(1, 99), 99);
+    EXPECT_FALSE(q.push(ticket(0, 42), 42).has_value());
+    EXPECT_FALSE(q.push(ticket(1, 99), 99).has_value());
     ASSERT_TRUE(q.frontArrival().has_value());
     EXPECT_EQ(*q.frontArrival(), 42);
 }

@@ -17,15 +17,15 @@ TEST(FBNetC100, FlopsMatchTab2)
 {
     // Paper: 0.12G FLOPs, 3.59M params at 96x160.
     const nn::Graph g = buildFBNetC100(96, 160);
-    EXPECT_NEAR(g.totalMacs() / 1e9, 0.12, 0.02);
-    EXPECT_NEAR(g.totalParams() / 1e6, 3.59, 0.40);
+    EXPECT_NEAR(double(g.totalMacs()) / 1e9, 0.12, 0.02);
+    EXPECT_NEAR(double(g.totalParams()) / 1e6, 3.59, 0.40);
 }
 
 TEST(FBNetC100, FlopsMatchPublishedAt224)
 {
     // FBNet-C is published at 375M FLOPs @ 224x224.
     const nn::Graph g = buildFBNetC100(224, 224);
-    EXPECT_NEAR(g.totalMacs() / 1e6, 375.0, 40.0);
+    EXPECT_NEAR(double(g.totalMacs()) / 1e6, 375.0, 40.0);
 }
 
 TEST(FBNetC100, OutputsGazeVector)
@@ -53,8 +53,8 @@ TEST(MobileNetV2, MatchesTab2Row)
 {
     // Paper: 0.10G FLOPs, 2.23M params at 96x160.
     const nn::Graph g = buildMobileNetV2(96, 160);
-    EXPECT_NEAR(g.totalMacs() / 1e9, 0.10, 0.02);
-    EXPECT_NEAR(g.totalParams() / 1e6, 2.23, 0.25);
+    EXPECT_NEAR(double(g.totalMacs()) / 1e9, 0.10, 0.02);
+    EXPECT_NEAR(double(g.totalParams()) / 1e6, 2.23, 0.25);
 }
 
 TEST(ResNet18, MatchesTab2Rows)
@@ -62,25 +62,25 @@ TEST(ResNet18, MatchesTab2Rows)
     // Paper: 11.18M params; 0.56G @ 96x160 and 1.82G @ 224x224
     // (ours slightly lower from the 1-channel eye input).
     const nn::Graph small = buildResNet18(96, 160);
-    EXPECT_NEAR(small.totalParams() / 1e6, 11.18, 0.30);
-    EXPECT_NEAR(small.totalMacs() / 1e9, 0.56, 0.06);
+    EXPECT_NEAR(double(small.totalParams()) / 1e6, 11.18, 0.30);
+    EXPECT_NEAR(double(small.totalMacs()) / 1e9, 0.56, 0.06);
     const nn::Graph big = buildResNet18(224, 224);
-    EXPECT_NEAR(big.totalMacs() / 1e9, 1.82, 0.15);
+    EXPECT_NEAR(double(big.totalMacs()) / 1e9, 1.82, 0.15);
 }
 
 TEST(RitNet, FlopsTrackTab3Resolutions)
 {
     // Paper Tab. 3: 17.0G @ 512, 4.1G @ 256, 1.0G @ 128.
-    EXPECT_NEAR(buildRitNet(512, 512).totalMacs() / 1e9, 17.0, 1.5);
-    EXPECT_NEAR(buildRitNet(256, 256).totalMacs() / 1e9, 4.1, 0.4);
-    EXPECT_NEAR(buildRitNet(128, 128).totalMacs() / 1e9, 1.0, 0.1);
+    EXPECT_NEAR(double(buildRitNet(512, 512).totalMacs()) / 1e9, 17.0, 1.5);
+    EXPECT_NEAR(double(buildRitNet(256, 256).totalMacs()) / 1e9, 4.1, 0.4);
+    EXPECT_NEAR(double(buildRitNet(128, 128).totalMacs()) / 1e9, 1.0, 0.1);
 }
 
 TEST(RitNet, ParamsMatchPublishedModel)
 {
     // RITNet is a ~0.25M parameter model.
     const nn::Graph g = buildRitNet(128, 128);
-    EXPECT_NEAR(g.totalParams() / 1e6, 0.25, 0.08);
+    EXPECT_NEAR(double(g.totalParams()) / 1e6, 0.25, 0.08);
 }
 
 TEST(RitNet, OutputsPerPixelClasses)
@@ -92,7 +92,7 @@ TEST(RitNet, OutputsPerPixelClasses)
 TEST(UNet, MatchesTab3BaselineRow)
 {
     // Paper Tab. 3: U-net 14.1G @ 512x512.
-    EXPECT_NEAR(buildUNet(512, 512).totalMacs() / 1e9, 14.1, 1.8);
+    EXPECT_NEAR(double(buildUNet(512, 512).totalMacs()) / 1e9, 14.1, 1.8);
 }
 
 TEST(UNet, OutputsPerPixelClasses)
@@ -148,8 +148,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ModelCase{"resnet18", &buildResNet18, 32, 64},
                       ModelCase{"ritnet", &buildRitNet, 32, 32},
                       ModelCase{"unet", &buildUNet, 32, 32}),
-    [](const ::testing::TestParamInfo<ModelCase> &info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<ModelCase> &param_info) {
+        return param_info.param.name;
     });
 
 } // namespace

@@ -72,6 +72,20 @@ class GraphFuzz : public ::testing::TestWithParam<int>
 {
 };
 
+/**
+ * "p3"-style node label. Built with += rather than
+ * `"p" + std::to_string(d)`: GCC 12 at -O2 trips a spurious
+ * -Wrestrict on that operator+ overload (PR105651), which -Werror
+ * would promote.
+ */
+std::string
+nodeLabel(char prefix, int d)
+{
+    std::string label(1, prefix);
+    label += std::to_string(d);
+    return label;
+}
+
 TEST_P(GraphFuzz, RandomStacksExecute)
 {
     Rng rng(uint64_t(GetParam()) * 104729 + 7);
@@ -86,13 +100,13 @@ TEST_P(GraphFuzz, RandomStacksExecute)
         const int pick = int(rng.uniformInt(0, 3));
         if (pick == 0 && shape.h >= 4 && shape.w >= 4) {
             node = g.emplace<nn::Pool>(
-                {node}, "p" + std::to_string(d), shape,
+                {node}, nodeLabel('p', d), shape,
                 nn::PoolMode::Max, 2, 2);
             shape = nn::Shape{shape.c, (shape.h + 1) / 2,
                               (shape.w + 1) / 2};
         } else if (pick == 1) {
             node = g.emplace<nn::Activation>(
-                {node}, "a" + std::to_string(d), shape,
+                {node}, nodeLabel('a', d), shape,
                 nn::ActFn::LeakyRelu);
         } else {
             nn::ConvSpec spec;
@@ -101,7 +115,7 @@ TEST_P(GraphFuzz, RandomStacksExecute)
             spec.kernel = rng.bernoulli(0.5) ? 3 : 1;
             spec.seed = rng.engine()();
             node = g.emplace<nn::Conv2d>(
-                {node}, "c" + std::to_string(d), spec);
+                {node}, nodeLabel('c', d), spec);
             expected_macs += (long long)spec.out_channels *
                              shape.h * shape.w * shape.c *
                              spec.kernel * spec.kernel;

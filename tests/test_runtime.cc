@@ -26,9 +26,9 @@ makeInputs(const Graph &g, uint64_t salt = 0)
     for (int id : g.inputIds()) {
         Tensor t(g.nodeShape(id));
         for (size_t i = 0; i < t.size(); ++i)
-            t.data()[i] = float(((i * 2654435761u + salt) % 997) /
-                                997.0) -
-                          0.5f;
+            t.data()[i] =
+                float(double((i * 2654435761u + salt) % 997) / 997.0) -
+                0.5f;
         inputs.push_back(std::move(t));
     }
     return inputs;

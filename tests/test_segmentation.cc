@@ -89,8 +89,8 @@ TEST(Segmenter, PupilDetectedNearTruth)
         }
     }
     ASSERT_GT(n, 0);
-    EXPECT_NEAR(cy / n, s.pupil_cy, 4.0);
-    EXPECT_NEAR(cx / n, s.pupil_cx, 4.0);
+    EXPECT_NEAR(cy / double(n), s.pupil_cy, 4.0);
+    EXPECT_NEAR(cx / double(n), s.pupil_cx, 4.0);
 }
 
 TEST(Segmenter, MiouImprovesWithResolution)

@@ -208,7 +208,7 @@ TEST(ServingEngine, StopWithoutDrainShedsTheBacklog)
     for (long f = 0; f < 6; ++f) {
         FrameTicket t;
         t.frame_index = f;
-        eng.submitFrame(id, t);
+        ASSERT_TRUE(eng.submitFrame(id, t).isOk());
     }
     eng.stop(/*drain_first=*/false);
     const FleetMetrics f = eng.fleetMetrics();

@@ -141,6 +141,7 @@ TEST_F(WarnRateLimitTest, PlainWarnIsKeyedByFormatString)
 {
     setWarnRateLimit({2, 1000});
     for (int i = 0; i < 6; ++i)
+        // detlint:allow(R5) — this test exercises the rate limiter.
         warn("repeated condition %d", i);
     EXPECT_EQ(warnOccurrences("repeated condition %d"), 6);
     EXPECT_EQ(warnSuppressed("repeated condition %d"), 4);

@@ -1,0 +1,123 @@
+#include "findings.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace eyecod {
+namespace detlint {
+
+const char *
+ruleId(Rule rule)
+{
+    switch (rule) {
+    case Rule::R1UnseededRng: return "R1";
+    case Rule::R2WallClock: return "R2";
+    case Rule::R3UnorderedIter: return "R3";
+    case Rule::R4HotPathThrow: return "R4";
+    case Rule::R5WarnInLoop: return "R5";
+    case Rule::R6FloatReduction: return "R6";
+    case Rule::H1HeaderSelfContained: return "H1";
+    }
+    return "R?";
+}
+
+const char *
+ruleName(Rule rule)
+{
+    switch (rule) {
+    case Rule::R1UnseededRng: return "unseeded-rng";
+    case Rule::R2WallClock: return "wall-clock";
+    case Rule::R3UnorderedIter: return "unordered-iteration";
+    case Rule::R4HotPathThrow: return "hot-path-throw-or-discard";
+    case Rule::R5WarnInLoop: return "warn-in-loop";
+    case Rule::R6FloatReduction: return "float-reduction-order";
+    case Rule::H1HeaderSelfContained: return "header-self-contained";
+    }
+    return "unknown";
+}
+
+bool
+parseRule(const std::string &text, Rule *out)
+{
+    static const Rule kAll[] = {
+        Rule::R1UnseededRng,   Rule::R2WallClock,
+        Rule::R3UnorderedIter, Rule::R4HotPathThrow,
+        Rule::R5WarnInLoop,    Rule::R6FloatReduction,
+        Rule::H1HeaderSelfContained,
+    };
+    for (Rule r : kAll) {
+        if (text == ruleId(r) || text == ruleName(r)) {
+            *out = r;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+sortFindings(std::vector<Finding> *findings)
+{
+    std::stable_sort(findings->begin(), findings->end(),
+                     [](const Finding &a, const Finding &b) {
+                         return std::tie(a.file, a.line, a.rule) <
+                                std::tie(b.file, b.line, b.rule);
+                     });
+}
+
+void
+emitText(const std::vector<Finding> &findings, std::ostream &os)
+{
+    for (const Finding &f : findings) {
+        os << f.file << ":" << f.line << ": [" << ruleId(f.rule) << "-"
+           << ruleName(f.rule) << "] " << f.message << "\n";
+    }
+}
+
+namespace {
+
+/** Escape a string for embedding in a JSON document. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+emitJson(const std::vector<Finding> &findings, std::ostream &os)
+{
+    os << "{\n  \"findings\": [";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+           << jsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << ruleId(f.rule) << "\", \"name\": \""
+           << ruleName(f.rule) << "\", \"message\": \""
+           << jsonEscape(f.message) << "\"}";
+    }
+    os << (findings.empty() ? "]" : "\n  ]") << ",\n  \"count\": "
+       << findings.size() << "\n}\n";
+}
+
+} // namespace detlint
+} // namespace eyecod

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Finding records and output formatting for detlint.
+ *
+ * A Finding pins one rule violation to a file:line. Output comes in
+ * two formats: a human-readable `file:line: [RULE] message` stream
+ * for terminals, and a machine-readable JSON document for CI
+ * tooling. Findings are always emitted in (file, line, rule) order
+ * so output is stable across runs and filesystem enumeration order.
+ */
+
+#ifndef EYECOD_TOOLS_DETLINT_FINDINGS_H
+#define EYECOD_TOOLS_DETLINT_FINDINGS_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eyecod {
+namespace detlint {
+
+/** Stable identifiers for the enforced rules. */
+enum class Rule {
+    R1UnseededRng = 0, ///< Randomness outside common/rng.h.
+    R2WallClock,       ///< Wall-clock time in virtual-time dirs.
+    R3UnorderedIter,   ///< Iteration over unordered containers.
+    R4HotPathThrow,    ///< throw / discarded Result-Status in hot paths.
+    R5WarnInLoop,      ///< Unbounded warn() inside a loop body.
+    R6FloatReduction,  ///< Reduction-order-hazardous primitives.
+    H1HeaderSelfContained, ///< Header fails standalone compile.
+};
+
+/** Short id ("R1") used in suppression comments and output. */
+const char *ruleId(Rule rule);
+
+/** Long kebab-case name ("unseeded-rng"). */
+const char *ruleName(Rule rule);
+
+/** Parse "R1" or "unseeded-rng" into a Rule; false when unknown. */
+bool parseRule(const std::string &text, Rule *out);
+
+/** One rule violation at a specific location. */
+struct Finding
+{
+    Rule rule = Rule::R1UnseededRng;
+    std::string file; ///< Repo-relative path.
+    int line = 0;     ///< 1-based.
+    std::string message;
+};
+
+/** Sort findings into the canonical (file, line, rule) order. */
+void sortFindings(std::vector<Finding> *findings);
+
+/** `file:line: [id-name] message`, one per line. */
+void emitText(const std::vector<Finding> &findings, std::ostream &os);
+
+/** JSON: {"findings": [{file, line, rule, name, message}], "count"}. */
+void emitJson(const std::vector<Finding> &findings, std::ostream &os);
+
+} // namespace detlint
+} // namespace eyecod
+
+#endif // EYECOD_TOOLS_DETLINT_FINDINGS_H

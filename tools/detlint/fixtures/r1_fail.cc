@@ -1,0 +1,14 @@
+// R1 failing exemplar: standard engines and C randomness outside
+// common/rng.h. Scoped as src/nn/ by the test harness.
+#include <cstdlib>
+#include <random>
+
+int
+hashSalt()
+{
+    std::random_device dev;        // line 9: R1 (random_device)
+    std::mt19937 engine;           // line 10: R1 (default-constructed)
+    (void)dev;
+    (void)engine;
+    return rand();                 // line 13: R1 (rand())
+}

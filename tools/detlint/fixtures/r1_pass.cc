@@ -1,0 +1,13 @@
+// R1 passing exemplar: randomness drawn through the seeded Rng, and
+// identifiers that merely *contain* banned names stay untouched.
+namespace eyecod {
+struct Rng { explicit Rng(unsigned long seed); double uniform(); };
+}
+
+double
+jitter(eyecod::Rng &rng)
+{
+    int operand = 3;          // "rand" embedded in a longer identifier
+    double spread = rng.uniform();
+    return spread + operand;
+}

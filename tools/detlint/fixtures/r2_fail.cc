@@ -1,0 +1,15 @@
+// R2 failing exemplar: wall-clock time inside a virtual-time
+// directory. Scoped as src/serve/ by the test harness.
+#include <chrono>
+#include <ctime>
+
+long long
+stampNow()
+{
+    auto wall = std::chrono::system_clock::now();   // line 9: R2
+    long ticks = std::clock();                      // line 10: R2
+    auto mono = std::chrono::steady_clock::now();   // line 11: R2
+    (void)wall;
+    (void)mono;
+    return ticks + time(nullptr);                   // line 14: R2
+}

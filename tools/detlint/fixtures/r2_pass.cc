@@ -1,0 +1,14 @@
+// R2 passing exemplar: virtual time threaded through explicitly, and
+// near-miss identifiers (frame_time, clock_mhz) left alone.
+struct VirtualClock
+{
+    long long now_us = 0;
+};
+
+long long
+advance(VirtualClock &clock_state, long long frame_time_us)
+{
+    long long clock_mhz = 500;
+    clock_state.now_us += frame_time_us;
+    return clock_state.now_us * clock_mhz;
+}

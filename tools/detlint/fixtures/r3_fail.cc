@@ -1,0 +1,15 @@
+// R3 failing exemplar: hash-order iteration feeding accumulation.
+// Scoped as src/accel/ by the test harness.
+#include <unordered_map>
+#include <string>
+
+double
+totalEnergy(const std::unordered_map<std::string, double> &by_unit)
+{
+    double total = 0.0;
+    for (const auto &entry : by_unit)   // line 10: R3 (range-for)
+        total += entry.second;
+    auto it = by_unit.begin();          // line 12: R3 (iterator walk)
+    (void)it;
+    return total;
+}

@@ -1,0 +1,19 @@
+// R3 passing exemplar: unordered containers used for O(1) lookup
+// only; anything iterated is a vector or a sorted copy.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double
+totalEnergy(const std::unordered_map<std::string, double> &by_unit,
+            const std::vector<std::string> &unit_order)
+{
+    double total = 0.0;
+    for (const std::string &unit : unit_order) {
+        auto it = by_unit.find(unit);
+        if (it != by_unit.end())
+            total += it->second;
+    }
+    return total;
+}

@@ -1,0 +1,13 @@
+// R4 failing exemplar: an exception on the hot path and a silently
+// discarded checked result. Scoped as src/accel/ by the test harness.
+struct Status { bool isOk() const; };
+Status simulateChecked(int frames);
+
+Status
+runFrames(int frames)
+{
+    if (frames < 0)
+        throw frames;          // line 10: R4 (throw in hot path)
+    simulateChecked(frames);   // line 11: R4 (discarded result)
+    return Status{};
+}

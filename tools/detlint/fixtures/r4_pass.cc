@@ -1,0 +1,15 @@
+// R4 passing exemplar: typed errors flow through Status values; the
+// checked result is branched on, and an explicit void cast (an
+// intentional, visible discard) is honored.
+struct Status { bool isOk() const; };
+Status simulateChecked(int frames);
+
+int
+runFrames(int frames)
+{
+    Status st = simulateChecked(frames);
+    if (!st.isOk())
+        return -1;
+    (void)simulateChecked(0);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// R5 failing exemplar: unbounded warn() in loop bodies — braced,
+// unbraced, and nested-in-while forms.
+void warn(const char *fmt, ...);
+
+void
+drainQueue(int depth)
+{
+    for (int i = 0; i < depth; ++i) {
+        warn("queue still backed up");      // line 9: R5
+    }
+    int spins = 0;
+    while (spins < depth)
+        warn("spinning %d", spins++);       // line 13: R5
+}

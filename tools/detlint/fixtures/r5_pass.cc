@@ -1,0 +1,13 @@
+// R5 passing exemplar: rate-limited warnings inside loops; a plain
+// warn() outside any loop is fine.
+void warn(const char *fmt, ...);
+void warnLimited(const char *key, const char *fmt, ...);
+
+void
+drainQueue(int depth)
+{
+    for (int i = 0; i < depth; ++i)
+        warnLimited("queue-backlog", "queue still backed up");
+    if (depth > 0)
+        warn("drained %d entries", depth);
+}

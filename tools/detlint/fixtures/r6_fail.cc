@@ -1,0 +1,14 @@
+// R6 failing exemplar: reduction-order-hazardous primitives in a
+// numeric kernel. Scoped as src/nn/ by the test harness.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+float
+sumActivations(const std::vector<float> &acts)
+{
+    float eager = std::reduce(acts.begin(), acts.end());  // line 10: R6
+    float par = std::reduce(std::execution::par,          // line 11: R6 x2
+                            acts.begin(), acts.end());
+    return eager + par;
+}

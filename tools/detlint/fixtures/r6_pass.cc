@@ -1,0 +1,14 @@
+// R6 passing exemplar: a fixed-order accumulation loop — the only
+// float reduction shape allowed in kernels. std::accumulate is
+// left-fold by contract and stays legal.
+#include <numeric>
+#include <vector>
+
+float
+sumActivations(const std::vector<float> &acts)
+{
+    float total = 0.0f;
+    for (float a : acts)
+        total += a;
+    return total + std::accumulate(acts.begin(), acts.end(), 0.0f);
+}

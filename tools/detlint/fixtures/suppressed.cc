@@ -1,0 +1,20 @@
+// Suppression exemplar: the same violations as the failing fixtures,
+// silenced with detlint:allow — same-line, previous-line, and
+// file-wide forms. detlint must report nothing for this file.
+//
+// detlint:allow-file(R6)
+#include <numeric>
+#include <vector>
+
+void warn(const char *fmt, ...);
+
+float
+tolerated(const std::vector<float> &acts, int depth)
+{
+    for (int i = 0; i < depth; ++i) {
+        // detlint:allow(R5) — proving the previous-line form works.
+        warn("suppressed in a loop");
+        warn("same-line form"); // detlint:allow(warn-in-loop)
+    }
+    return std::reduce(acts.begin(), acts.end()); // file-wide R6 allow
+}

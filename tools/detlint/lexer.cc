@@ -1,0 +1,187 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace eyecod {
+namespace detlint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Multi-char punctuators detlint cares about as single tokens. Only
+ * the ones rules inspect need to be glued; everything else can fall
+ * apart into single chars without changing any rule's behavior.
+ */
+bool
+isGluedPunct(char a, char b)
+{
+    return (a == ':' && b == ':') || (a == '-' && b == '>') ||
+           (a == '<' && b == '<') || (a == '>' && b == '>');
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> toks;
+    const size_t n = source.size();
+    size_t i = 0;
+    int line = 1;
+    bool preproc = false;      // inside a # directive line
+    bool line_has_token = false;
+
+    auto push = [&](TokKind kind, std::string text, int tok_line) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = tok_line;
+        t.preproc = preproc;
+        toks.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        char c = source[i];
+
+        if (c == '\n') {
+            // A directive ends at an unescaped newline.
+            if (preproc && (i == 0 || source[i - 1] != '\\'))
+                preproc = false;
+            ++line;
+            line_has_token = false;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            size_t start = i;
+            while (i < n && source[i] != '\n')
+                ++i;
+            push(TokKind::Comment, source.substr(start, i - start), line);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            size_t start = i;
+            int start_line = line;
+            i += 2;
+            while (i + 1 < n &&
+                   !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            push(TokKind::Comment, source.substr(start, i - start),
+                 start_line);
+            continue;
+        }
+
+        // Preprocessor directive: '#' first token on the line.
+        if (c == '#' && !line_has_token) {
+            preproc = true;
+            push(TokKind::Punct, "#", line);
+            line_has_token = true;
+            ++i;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            size_t d0 = i + 2;
+            size_t dp = d0;
+            while (dp < n && source[dp] != '(' && source[dp] != '\n')
+                ++dp;
+            if (dp < n && source[dp] == '(') {
+                std::string close(1, ')');
+                close += source.substr(d0, dp - d0);
+                close += '"';
+                size_t end = source.find(close, dp + 1);
+                size_t stop = (end == std::string::npos)
+                                  ? n
+                                  : end + close.size();
+                int start_line = line;
+                for (size_t k = i; k < stop; ++k)
+                    if (source[k] == '\n')
+                        ++line;
+                push(TokKind::String, source.substr(i, stop - i),
+                     start_line);
+                line_has_token = true;
+                i = stop;
+                continue;
+            }
+        }
+
+        // String / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            size_t start = i;
+            ++i;
+            while (i < n && source[i] != quote) {
+                if (source[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = (i < n) ? i + 1 : n;
+            push(quote == '"' ? TokKind::String : TokKind::CharLit,
+                 source.substr(start, i - start), line);
+            line_has_token = true;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            size_t start = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            push(TokKind::Identifier, source.substr(start, i - start),
+                 line);
+            line_has_token = true;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            while (i < n && (isIdentChar(source[i]) || source[i] == '.' ||
+                             ((source[i] == '+' || source[i] == '-') &&
+                              (source[i - 1] == 'e' || source[i - 1] == 'E' ||
+                               source[i - 1] == 'p' || source[i - 1] == 'P'))))
+                ++i;
+            push(TokKind::Number, source.substr(start, i - start), line);
+            line_has_token = true;
+            continue;
+        }
+
+        // Punctuation, gluing the few two-char lexemes rules inspect.
+        if (i + 1 < n && isGluedPunct(c, source[i + 1])) {
+            push(TokKind::Punct, source.substr(i, 2), line);
+            i += 2;
+        } else {
+            push(TokKind::Punct, std::string(1, c), line);
+            ++i;
+        }
+        line_has_token = true;
+    }
+    return toks;
+}
+
+} // namespace detlint
+} // namespace eyecod

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal C++ token stream for detlint.
+ *
+ * detlint deliberately avoids libclang: the invariants it enforces
+ * (R1-R6, see rules.h) are all expressible over a comment- and
+ * string-aware token stream, and a dependency-free lexer keeps the
+ * linter buildable on the bare repo toolchain and fast enough to run
+ * on every commit. The lexer preserves comments (suppression
+ * directives live there) and tags tokens that belong to preprocessor
+ * directives so rules can skip `#include <time.h>` and friends.
+ */
+
+#ifndef EYECOD_TOOLS_DETLINT_LEXER_H
+#define EYECOD_TOOLS_DETLINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace eyecod {
+namespace detlint {
+
+/** Lexical class of a token. */
+enum class TokKind {
+    Identifier, ///< Identifiers and keywords (no keyword table needed).
+    Number,     ///< Numeric literal (integer or floating).
+    String,     ///< String literal, including raw strings.
+    CharLit,    ///< Character literal.
+    Punct,      ///< Operators and punctuation, one token per lexeme.
+    Comment,    ///< Line or block comment, text includes delimiters.
+};
+
+/** One lexed token with its source position. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;    ///< Lexeme (comments keep their full text).
+    int line = 0;        ///< 1-based line of the token's first char.
+    bool preproc = false; ///< Inside a preprocessor directive line.
+};
+
+/**
+ * Tokenize @p source. Never fails: unrecognized bytes become
+ * single-char Punct tokens so rules degrade gracefully on odd input.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace detlint
+} // namespace eyecod
+
+#endif // EYECOD_TOOLS_DETLINT_LEXER_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * detlint CLI — the repo's determinism & robustness linter.
+ *
+ * Usage:
+ *   detlint [options] [path...]
+ *
+ * Paths are files or directories, relative to --repo-root (default:
+ * the current directory). With no paths, scans src, bench, tests.
+ *
+ * Options:
+ *   --repo-root=DIR     Root used for relative paths and rule scoping.
+ *   --format=text|json  Findings output format (default text).
+ *   --rules=R1,R5,...   Run only the listed rules (ids or names).
+ *   --check-headers     Also compile every header standalone (H1).
+ *   --headers-only      Run only the H1 header check.
+ *   --cxx=BIN           Compiler for the header check ($CXX, c++).
+ *   --include=DIR       Extra -I for the header check (repeatable;
+ *                       repo-root/src is always included).
+ *   --list-rules        Print the rule table and exit.
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "findings.h"
+#include "header_check.h"
+#include "rules.h"
+
+namespace {
+
+using namespace eyecod::detlint;
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--repo-root=DIR] [--format=text|json] "
+                 "[--rules=LIST] [--check-headers] [--headers-only] "
+                 "[--cxx=BIN] [--include=DIR] [--list-rules] "
+                 "[path...]\n";
+    return 2;
+}
+
+void
+listRules()
+{
+    static const Rule kAll[] = {
+        Rule::R1UnseededRng,   Rule::R2WallClock,
+        Rule::R3UnorderedIter, Rule::R4HotPathThrow,
+        Rule::R5WarnInLoop,    Rule::R6FloatReduction,
+        Rule::H1HeaderSelfContained,
+    };
+    for (Rule r : kAll)
+        std::cout << ruleId(r) << "  " << ruleName(r) << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string repo_root;
+    std::string format = "text";
+    bool check_headers = false;
+    bool headers_only = false;
+    AnalyzeOptions opts;
+    HeaderCheckOptions header_opts;
+    std::vector<std::string> roots;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto valueOf = [&](const char *prefix) -> const char * {
+            const size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = valueOf("--repo-root=")) {
+            repo_root = v;
+        } else if (const char *v2 = valueOf("--format=")) {
+            format = v2;
+            if (format != "text" && format != "json")
+                return usage(argv[0]);
+        } else if (const char *v3 = valueOf("--rules=")) {
+            std::string list = v3;
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                const std::string item = list.substr(pos, comma - pos);
+                Rule rule;
+                if (!item.empty() && !parseRule(item, &rule)) {
+                    std::cerr << "detlint: unknown rule '" << item
+                              << "'\n";
+                    return 2;
+                }
+                if (!item.empty())
+                    opts.enabled.insert(rule);
+                pos = comma + 1;
+            }
+        } else if (arg == "--check-headers") {
+            check_headers = true;
+        } else if (arg == "--headers-only") {
+            headers_only = true;
+        } else if (const char *v4 = valueOf("--cxx=")) {
+            header_opts.cxx = v4;
+        } else if (const char *v5 = valueOf("--include=")) {
+            header_opts.include_dirs.push_back(v5);
+        } else if (arg == "--list-rules") {
+            listRules();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage(argv[0]);
+        } else {
+            roots.push_back(arg);
+        }
+    }
+
+    const bool explicit_roots = !roots.empty();
+    if (roots.empty())
+        roots = {"src", "bench", "tests"};
+
+    std::vector<Finding> findings;
+    std::vector<std::string> scanned;
+    if (!headers_only)
+        findings = analyzeTree(repo_root, roots, opts, &scanned);
+
+    int headers_checked = 0;
+    if (check_headers || headers_only) {
+        // Header TUs resolve their internal includes against src/.
+        const std::string base = repo_root.empty() ? "." : repo_root;
+        header_opts.include_dirs.push_back(base + "/src");
+        const std::vector<std::string> header_roots =
+            explicit_roots ? roots : std::vector<std::string>{"src"};
+        std::vector<Finding> h1 = checkHeaders(
+            repo_root, header_roots, header_opts, &headers_checked);
+        findings.insert(findings.end(), h1.begin(), h1.end());
+        sortFindings(&findings);
+    }
+
+    if (format == "json") {
+        emitJson(findings, std::cout);
+    } else {
+        emitText(findings, std::cout);
+        std::cerr << "detlint: " << scanned.size() << " file(s) scanned";
+        if (check_headers || headers_only)
+            std::cerr << ", " << headers_checked
+                      << " header(s) compiled standalone";
+        std::cerr << ", " << findings.size() << " finding(s)\n";
+    }
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,632 @@
+#include "rules.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lexer.h"
+
+namespace fs = std::filesystem;
+
+namespace eyecod {
+namespace detlint {
+
+namespace {
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+inAnyDir(const std::string &relpath,
+         const std::vector<std::string> &prefixes)
+{
+    for (const std::string &p : prefixes)
+        if (startsWith(relpath, p))
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Per-directory scoping. Paths are repo-relative with '/' separators.
+// ---------------------------------------------------------------------
+
+/** Dirs that must run on virtual time only (R2 wall-clock set). */
+const std::vector<std::string> kVirtualTimeDirs = {
+    "src/accel/", "src/serve/", "src/flatcam/", "src/nn/"};
+
+/** Files allowed to read steady_clock (real elapsed time is the point). */
+const std::vector<std::string> kSteadyClockAllowed = {
+    "bench/", "src/common/thread_pool.cc", "src/common/thread_pool.h"};
+
+/** Exception-free hot-path dirs (R4 throw). */
+const std::vector<std::string> kHotPathDirs = {
+    "src/accel/", "src/serve/", "src/nn/",
+    "src/flatcam/", "src/eyetrack/", "src/core/"};
+
+/** The one home of seeded randomness (R1 exemption). */
+const char kRngHeader[] = "src/common/rng.h";
+
+bool
+isDeterministicSrc(const std::string &relpath)
+{
+    return startsWith(relpath, "src/");
+}
+
+// ---------------------------------------------------------------------
+// Identifier sets.
+// ---------------------------------------------------------------------
+
+const std::set<std::string> kRandomEngines = {
+    "random_device", "mt19937", "mt19937_64", "default_random_engine",
+    "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48",
+    "ranlux24_base", "ranlux48_base", "knuth_b"};
+
+const std::set<std::string> kRandomCalls = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "random"};
+
+const std::set<std::string> kWallClockTypes = {"system_clock",
+                                               "high_resolution_clock"};
+
+const std::set<std::string> kWallClockCalls = {
+    "time", "clock", "gettimeofday", "clock_gettime", "localtime",
+    "gmtime", "strftime", "mktime", "asctime", "ctime", "ftime"};
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/** Checked entry points whose return must never be dropped. */
+bool
+isMustCheckCall(const std::string &name)
+{
+    if (name == "validateHwConfig")
+        return true;
+    static const std::string suffix = "Checked";
+    return name.size() > suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------
+
+struct Suppressions
+{
+    std::set<Rule> file_wide;
+    /** line -> rules suppressed on that line. */
+    std::map<int, std::set<Rule>> by_line;
+
+    bool
+    suppressed(Rule rule, int line) const
+    {
+        if (file_wide.count(rule))
+            return true;
+        auto it = by_line.find(line);
+        return it != by_line.end() && it->second.count(rule) > 0;
+    }
+};
+
+/** Parse "R1,warn-in-loop" (already inside parens) into rules. */
+void
+parseRuleList(const std::string &list, std::set<Rule> *out)
+{
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const size_t a = item.find_first_not_of(" \t");
+        const size_t b = item.find_last_not_of(" \t");
+        if (a == std::string::npos)
+            continue;
+        Rule rule;
+        if (parseRule(item.substr(a, b - a + 1), &rule))
+            out->insert(rule);
+    }
+}
+
+Suppressions
+collectSuppressions(const std::vector<Token> &toks)
+{
+    Suppressions sup;
+    for (const Token &t : toks) {
+        if (t.kind != TokKind::Comment)
+            continue;
+        for (const bool file_wide : {false, true}) {
+            const std::string marker = file_wide ? "detlint:allow-file("
+                                                 : "detlint:allow(";
+            size_t pos = 0;
+            while ((pos = t.text.find(marker, pos)) != std::string::npos) {
+                const size_t open = pos + marker.size();
+                const size_t close = t.text.find(')', open);
+                if (close == std::string::npos)
+                    break;
+                std::set<Rule> rules;
+                parseRuleList(t.text.substr(open, close - open), &rules);
+                if (file_wide) {
+                    sup.file_wide.insert(rules.begin(), rules.end());
+                } else {
+                    sup.by_line[t.line].insert(rules.begin(), rules.end());
+                    sup.by_line[t.line + 1].insert(rules.begin(),
+                                                   rules.end());
+                }
+                pos = close;
+            }
+        }
+    }
+    return sup;
+}
+
+// ---------------------------------------------------------------------
+// Token helpers over the comment-free stream.
+// ---------------------------------------------------------------------
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Identifier && t.text == text;
+}
+
+/** True when toks[i] is a member access (x.name / x->name). */
+bool
+isMemberAccess(const std::vector<Token> &toks, size_t i)
+{
+    return i > 0 && (isPunct(toks[i - 1], ".") ||
+                     isPunct(toks[i - 1], "->"));
+}
+
+/**
+ * For an identifier at @p i qualified as `ns::name`, true when the
+ * qualifier is std (or the name is unqualified / globally
+ * qualified). `other_ns::rand` is someone else's function.
+ */
+bool
+stdOrUnqualified(const std::vector<Token> &toks, size_t i)
+{
+    if (i == 0 || !isPunct(toks[i - 1], "::"))
+        return true; // unqualified
+    if (i == 1)
+        return true; // ::name — global scope
+    const Token &q = toks[i - 2];
+    if (q.kind != TokKind::Identifier)
+        return true; // ::name after punctuation — global scope
+    return q.text == "std" || q.text == "chrono";
+}
+
+/** Index of the matching close paren for the open paren at @p open. */
+size_t
+matchParen(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (isPunct(toks[i], "("))
+            ++depth;
+        else if (isPunct(toks[i], ")") && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+// ---------------------------------------------------------------------
+// R1 / R2 / R6: banned-identifier scans.
+// ---------------------------------------------------------------------
+
+void
+scanBannedIdentifiers(const std::vector<Token> &toks,
+                      const std::string &relpath,
+                      const AnalyzeOptions &opts,
+                      std::vector<Finding> *out)
+{
+    const bool r1 = opts.runs(Rule::R1UnseededRng) && relpath != kRngHeader;
+    const bool r2_wall = opts.runs(Rule::R2WallClock) &&
+                         inAnyDir(relpath, kVirtualTimeDirs);
+    const bool r2_steady = opts.runs(Rule::R2WallClock) &&
+                           !inAnyDir(relpath, kSteadyClockAllowed);
+    const bool r6 = opts.runs(Rule::R6FloatReduction) &&
+                    isDeterministicSrc(relpath);
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Identifier || t.preproc)
+            continue;
+        if (isMemberAccess(toks, i))
+            continue;
+        const bool called =
+            i + 1 < toks.size() && isPunct(toks[i + 1], "(");
+
+        if (r1 && kRandomEngines.count(t.text)) {
+            out->push_back({Rule::R1UnseededRng, relpath, t.line,
+                            "random engine '" + t.text +
+                                "' outside common/rng.h; draw from an "
+                                "explicitly seeded eyecod::Rng"});
+        } else if (r1 && called && kRandomCalls.count(t.text) &&
+                   stdOrUnqualified(toks, i)) {
+            out->push_back({Rule::R1UnseededRng, relpath, t.line,
+                            "unseeded C-library randomness '" + t.text +
+                                "()'; draw from an explicitly seeded "
+                                "eyecod::Rng"});
+        }
+
+        if (r2_wall && kWallClockTypes.count(t.text)) {
+            out->push_back({Rule::R2WallClock, relpath, t.line,
+                            "wall-clock type '" + t.text +
+                                "' in a virtual-time directory; derive "
+                                "time from the simulated clock"});
+        } else if (r2_wall && called && kWallClockCalls.count(t.text) &&
+                   stdOrUnqualified(toks, i)) {
+            out->push_back({Rule::R2WallClock, relpath, t.line,
+                            "wall-clock call '" + t.text +
+                                "()' in a virtual-time directory; derive "
+                                "time from the simulated clock"});
+        }
+        if (r2_steady && t.text == "steady_clock") {
+            out->push_back({Rule::R2WallClock, relpath, t.line,
+                            "steady_clock outside bench/ and the thread "
+                            "pool; deterministic code must use virtual "
+                            "time"});
+        }
+
+        if (r6 && (t.text == "reduce" || t.text == "transform_reduce") &&
+            i >= 2 && isPunct(toks[i - 1], "::") &&
+            isIdent(toks[i - 2], "std")) {
+            out->push_back({Rule::R6FloatReduction, relpath, t.line,
+                            "std::" + t.text +
+                                " has unspecified accumulation order; "
+                                "use a fixed-order loop"});
+        }
+        if (r6 && isIdent(t, "execution") && i + 3 < toks.size() &&
+            isPunct(toks[i + 1], "::") &&
+            (isIdent(toks[i + 2], "par") ||
+             isIdent(toks[i + 2], "par_unseq") ||
+             isIdent(toks[i + 2], "unseq"))) {
+            out->push_back({Rule::R6FloatReduction, relpath, t.line,
+                            "std::execution::" + toks[i + 2].text +
+                                " makes reduction order (and float "
+                                "results) nondeterministic"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R3: iteration over unordered containers.
+// ---------------------------------------------------------------------
+
+/**
+ * Names declared in this file with an unordered container type
+ * (variables and data members; heuristic, one file at a time).
+ */
+std::set<std::string>
+collectUnorderedNames(const std::vector<Token> &toks)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier ||
+            !kUnorderedTypes.count(toks[i].text))
+            continue;
+        size_t j = i + 1;
+        if (j >= toks.size() || !isPunct(toks[j], "<"))
+            continue;
+        // Skip the template argument list, counting angle depth.
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+            if (isPunct(toks[j], "<"))
+                ++depth;
+            else if (isPunct(toks[j], ">") && --depth == 0)
+                break;
+            else if (isPunct(toks[j], ">>") && (depth -= 2) <= 0)
+                break;
+        }
+        // The declared name follows, possibly after cv/ref tokens.
+        for (++j; j < toks.size(); ++j) {
+            const Token &t = toks[j];
+            if (isPunct(t, "&") || isPunct(t, "*") ||
+                isIdent(t, "const"))
+                continue;
+            if (t.kind == TokKind::Identifier)
+                names.insert(t.text);
+            break;
+        }
+    }
+    return names;
+}
+
+void
+scanUnorderedIteration(const std::vector<Token> &toks,
+                       const std::string &relpath,
+                       const AnalyzeOptions &opts,
+                       std::vector<Finding> *out)
+{
+    if (!opts.runs(Rule::R3UnorderedIter) || !isDeterministicSrc(relpath))
+        return;
+    const std::set<std::string> names = collectUnorderedNames(toks);
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        // Range-for whose range expression names an unordered
+        // container (or constructs one inline).
+        if (isIdent(toks[i], "for") && i + 1 < toks.size() &&
+            isPunct(toks[i + 1], "(")) {
+            const size_t close = matchParen(toks, i + 1);
+            size_t colon = toks.size();
+            int depth = 0;
+            for (size_t j = i + 1; j < close; ++j) {
+                if (isPunct(toks[j], "(") || isPunct(toks[j], "[") ||
+                    isPunct(toks[j], "{"))
+                    ++depth;
+                else if (isPunct(toks[j], ")") || isPunct(toks[j], "]") ||
+                         isPunct(toks[j], "}"))
+                    --depth;
+                else if (depth == 1 && isPunct(toks[j], ":")) {
+                    colon = j;
+                    break;
+                }
+            }
+            for (size_t j = colon + 1; j < close && colon < close; ++j) {
+                const Token &t = toks[j];
+                if (t.kind == TokKind::Identifier &&
+                    (names.count(t.text) ||
+                     kUnorderedTypes.count(t.text)) &&
+                    !isMemberAccess(toks, j)) {
+                    out->push_back(
+                        {Rule::R3UnorderedIter, relpath, t.line,
+                         "range-for over unordered container '" + t.text +
+                             "'; hash order is nondeterministic — "
+                             "iterate a sorted copy or a vector"});
+                    break;
+                }
+            }
+        }
+        // Explicit iterator walk: name.begin() / name->cbegin() etc.
+        if (toks[i].kind == TokKind::Identifier &&
+            names.count(toks[i].text) && i + 2 < toks.size() &&
+            (isPunct(toks[i + 1], ".") || isPunct(toks[i + 1], "->")) &&
+            (isIdent(toks[i + 2], "begin") ||
+             isIdent(toks[i + 2], "cbegin") ||
+             isIdent(toks[i + 2], "rbegin"))) {
+            out->push_back({Rule::R3UnorderedIter, relpath, toks[i].line,
+                            "iterator walk over unordered container '" +
+                                toks[i].text +
+                                "'; hash order is nondeterministic — "
+                                "iterate a sorted copy or a vector"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R4: throw in hot paths; discarded checked results.
+// ---------------------------------------------------------------------
+
+void
+scanThrowAndDiscard(const std::vector<Token> &toks,
+                    const std::string &relpath,
+                    const AnalyzeOptions &opts,
+                    std::vector<Finding> *out)
+{
+    if (!opts.runs(Rule::R4HotPathThrow))
+        return;
+    const bool hot = inAnyDir(relpath, kHotPathDirs);
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Identifier || t.preproc)
+            continue;
+
+        if (hot && t.text == "throw") {
+            out->push_back({Rule::R4HotPathThrow, relpath, t.line,
+                            "throw in a hot-path directory; return a "
+                            "Status / Result<T> instead"});
+            continue;
+        }
+
+        // Discarded checked call: `obj.runChecked(...);` at statement
+        // position with nothing consuming the result.
+        if (!isMustCheckCall(t.text) || i + 1 >= toks.size() ||
+            !isPunct(toks[i + 1], "("))
+            continue;
+        // Walk back over the object chain (x.y->z::).
+        size_t k = i;
+        while (k >= 2 &&
+               (isPunct(toks[k - 1], ".") || isPunct(toks[k - 1], "->") ||
+                isPunct(toks[k - 1], "::")) &&
+               toks[k - 2].kind == TokKind::Identifier)
+            k -= 2;
+        const bool stmt_start =
+            k == 0 || isPunct(toks[k - 1], ";") ||
+            isPunct(toks[k - 1], "{") || isPunct(toks[k - 1], "}");
+        if (!stmt_start)
+            continue;
+        const size_t close = matchParen(toks, i + 1);
+        if (close + 1 < toks.size() && isPunct(toks[close + 1], ";")) {
+            out->push_back({Rule::R4HotPathThrow, relpath, t.line,
+                            "result of checked call '" + t.text +
+                                "()' is discarded; branch on it (or "
+                                "cast to void under an allow comment)"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R5: warn() inside loop bodies.
+// ---------------------------------------------------------------------
+
+void
+scanWarnInLoop(const std::vector<Token> &toks, const std::string &relpath,
+               const AnalyzeOptions &opts, std::vector<Finding> *out)
+{
+    if (!opts.runs(Rule::R5WarnInLoop))
+        return;
+
+    std::vector<bool> brace_is_loop; // one entry per open brace
+    std::vector<size_t> unbraced_at; // brace depth of unbraced bodies
+    bool pending_head = false;       // inside for/while (...) control
+    int head_parens = 0;
+    bool pending_body = false; // control closed; next token starts body
+    int loop_braces = 0;       // count of open loop-tagged braces
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::Comment)
+            continue;
+
+        if (pending_head) {
+            if (isPunct(t, "(")) {
+                ++head_parens;
+            } else if (isPunct(t, ")")) {
+                if (--head_parens == 0) {
+                    pending_head = false;
+                    pending_body = true;
+                }
+            }
+            continue;
+        }
+
+        if (pending_body) {
+            pending_body = false;
+            if (isPunct(t, "{")) {
+                brace_is_loop.push_back(true);
+                ++loop_braces;
+                continue;
+            }
+            if (!isPunct(t, ";"))
+                unbraced_at.push_back(brace_is_loop.size());
+            // fall through: the token itself is part of the body.
+        }
+
+        if (isIdent(t, "for") || isIdent(t, "while")) {
+            pending_head = true;
+            head_parens = 0;
+            continue;
+        }
+        if (isIdent(t, "do")) {
+            pending_body = true;
+            continue;
+        }
+
+        if (isPunct(t, "{")) {
+            brace_is_loop.push_back(false);
+        } else if (isPunct(t, "}")) {
+            if (!brace_is_loop.empty()) {
+                if (brace_is_loop.back())
+                    --loop_braces;
+                brace_is_loop.pop_back();
+            }
+            while (!unbraced_at.empty() &&
+                   unbraced_at.back() > brace_is_loop.size())
+                unbraced_at.pop_back();
+        } else if (isPunct(t, ";")) {
+            while (!unbraced_at.empty() &&
+                   unbraced_at.back() == brace_is_loop.size())
+                unbraced_at.pop_back();
+        }
+
+        const bool in_loop = loop_braces > 0 || !unbraced_at.empty();
+        if (in_loop && isIdent(t, "warn") && i + 1 < toks.size() &&
+            isPunct(toks[i + 1], "(") && !isMemberAccess(toks, i) &&
+            !t.preproc) {
+            out->push_back({Rule::R5WarnInLoop, relpath, t.line,
+                            "warn() inside a loop body floods stderr at "
+                            "streaming rates; use warnLimited()"});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+analyzeSource(const std::string &relpath, const std::string &content,
+              const AnalyzeOptions &opts)
+{
+    const std::vector<Token> all = lex(content);
+    const Suppressions sup = collectSuppressions(all);
+
+    // Rules operate on the comment-free stream.
+    std::vector<Token> toks;
+    toks.reserve(all.size());
+    for (const Token &t : all)
+        if (t.kind != TokKind::Comment)
+            toks.push_back(t);
+
+    std::vector<Finding> raw;
+    scanBannedIdentifiers(toks, relpath, opts, &raw);
+    scanUnorderedIteration(toks, relpath, opts, &raw);
+    scanThrowAndDiscard(toks, relpath, opts, &raw);
+    scanWarnInLoop(toks, relpath, opts, &raw);
+
+    std::vector<Finding> kept;
+    for (Finding &f : raw)
+        if (!sup.suppressed(f.rule, f.line))
+            kept.push_back(std::move(f));
+    sortFindings(&kept);
+    return kept;
+}
+
+std::vector<Finding>
+analyzeTree(const std::string &repo_root,
+            const std::vector<std::string> &roots,
+            const AnalyzeOptions &opts,
+            std::vector<std::string> *scanned_files)
+{
+    const fs::path base = repo_root.empty() ? fs::current_path()
+                                            : fs::path(repo_root);
+    std::vector<fs::path> files;
+    for (const std::string &root : roots) {
+        fs::path p(root);
+        if (p.is_relative())
+            p = base / p;
+        std::error_code ec;
+        if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+            continue;
+        }
+        if (!fs::is_directory(p, ec))
+            continue;
+        for (fs::recursive_directory_iterator it(p, ec), end;
+             it != end && !ec; it.increment(ec)) {
+            const fs::path &entry = it->path();
+            const std::string name = entry.filename().string();
+            if (it->is_directory() &&
+                (name == "build" || name == ".git" ||
+                 name == "fixtures")) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = entry.extension().string();
+            if (ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+                ext == ".cpp")
+                files.push_back(entry);
+        }
+    }
+
+    std::vector<Finding> findings;
+    for (const fs::path &file : files) {
+        std::error_code ec;
+        fs::path rel = fs::relative(file, base, ec);
+        const std::string relpath =
+            (ec || rel.empty()) ? file.generic_string()
+                                : rel.generic_string();
+        if (scanned_files)
+            scanned_files->push_back(relpath);
+        std::ifstream in(file);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::vector<Finding> one = analyzeSource(relpath, ss.str(), opts);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(one.begin()),
+                        std::make_move_iterator(one.end()));
+    }
+    sortFindings(&findings);
+    return findings;
+}
+
+} // namespace detlint
+} // namespace eyecod

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The determinism & robustness rules detlint enforces.
+ *
+ * Each rule encodes an invariant the repo's correctness story rests
+ * on but no compiler checks:
+ *
+ *  R1 unseeded-rng: all randomness flows through the explicitly
+ *     seeded eyecod::Rng in src/common/rng.h. Naming a standard
+ *     engine or calling C-library randomness anywhere else breaks
+ *     bitwise replay.
+ *  R2 wall-clock: the simulator, serving engine, optics, and NN
+ *     runtime run on *virtual* time. system_clock / time() / clock()
+ *     are banned in src/{accel,serve,flatcam,nn}; steady_clock is
+ *     tolerated only where real elapsed time is the point — bench/
+ *     and the thread pool's internal bookkeeping.
+ *  R3 unordered-iteration: iterating an unordered container feeds
+ *     hash-order into whatever consumes the loop (accumulation,
+ *     scheduling, serialization) and hash order is not part of the
+ *     contract. Banned across src/.
+ *  R4 hot-path-throw-or-discard: hot-path dirs are exception-free
+ *     (errors travel as Status / Result<T>), and a checked API's
+ *     return must not be silently dropped at statement position.
+ *  R5 warn-in-loop: an unbounded warn() inside a loop floods stderr
+ *     at streaming rates; loop bodies must use warnLimited().
+ *  R6 float-reduction-order: std::reduce / std::execution::par make
+ *     float accumulation order unspecified — banned in src/, where
+ *     every kernel is written to a fixed accumulation order.
+ *
+ * Suppression: `// detlint:allow(R1)` (or the long rule name)
+ * suppresses that rule on the comment's line and the line below;
+ * `// detlint:allow-file(R1,R5)` suppresses for the whole file.
+ */
+
+#ifndef EYECOD_TOOLS_DETLINT_RULES_H
+#define EYECOD_TOOLS_DETLINT_RULES_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "findings.h"
+
+namespace eyecod {
+namespace detlint {
+
+/** Which rules to run (scoping is still applied per file). */
+struct AnalyzeOptions
+{
+    /** Empty means "all of R1..R6". */
+    std::set<Rule> enabled;
+
+    /** True when @p rule should run. */
+    bool
+    runs(Rule rule) const
+    {
+        return enabled.empty() || enabled.count(rule) > 0;
+    }
+};
+
+/**
+ * Analyze one translation unit.
+ *
+ * @param relpath repo-relative path with '/' separators; drives the
+ *                per-directory rule scoping documented above.
+ * @param content full file text.
+ */
+std::vector<Finding> analyzeSource(const std::string &relpath,
+                                   const std::string &content,
+                                   const AnalyzeOptions &opts = {});
+
+/**
+ * Recursively analyze every .h/.hpp/.cc/.cpp under @p roots
+ * (directories or single files, absolute or relative to
+ * @p repo_root). Directories named build, .git, or fixtures are
+ * skipped. Findings come back sorted; @p scanned_files (optional)
+ * receives the repo-relative paths visited.
+ */
+std::vector<Finding>
+analyzeTree(const std::string &repo_root,
+            const std::vector<std::string> &roots,
+            const AnalyzeOptions &opts = {},
+            std::vector<std::string> *scanned_files = nullptr);
+
+} // namespace detlint
+} // namespace eyecod
+
+#endif // EYECOD_TOOLS_DETLINT_RULES_H
