@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_counter.h"
 #include "common/perf_json.h"
 #include "models/model_zoo.h"
 #include "nn/conv.h"
@@ -191,6 +192,24 @@ runCase(const Case &c, const std::string &json_path)
     const double threaded_ms =
         timeMs(c.reps, [&] { threaded.run(plan, inputs); });
 
+    // Steady-state allocation audit (the zero-copy spine's claim):
+    // after warmup, the planned serial path through the no-copy-in
+    // entry point must run entirely out of its arena. Single-thread
+    // executor + thread-local counters = an exact per-inference count.
+    std::vector<const nn::Tensor *> input_ptrs;
+    for (const nn::Tensor &t : inputs)
+        input_ptrs.push_back(&t);
+    nn::Tensor out;
+    uint64_t steady_allocs = 0;
+    if (serial.runCheckedInto(plan, input_ptrs, &out).isOk()) {
+        const uint64_t before = AllocCounter::threadAllocs();
+        const int audit_reps = 5;
+        for (int r = 0; r < audit_reps; ++r)
+            (void)serial.runCheckedInto(plan, input_ptrs, &out);
+        steady_allocs =
+            (AllocCounter::threadAllocs() - before) / audit_reps;
+    }
+
     const nn::PlanStats &stats = plan.stats();
     const double best_ms = std::min(serial_ms, threaded_ms);
 
@@ -200,11 +219,14 @@ runCase(const Case &c, const std::string &json_path)
                 threaded.name().c_str(), threaded_ms,
                 seed_ms / best_ms);
     std::printf("%-22s arena %zu slots / %zu elems, peak live %zu, "
-                "eager sum %zu (%.1f%% of eager)\n", "",
+                "eager sum %zu (%.1f%% of eager), steady allocs/inf "
+                "%llu%s\n", "",
                 stats.arena_slots, stats.arena_elements,
                 stats.peak_live_elements, stats.eager_elements,
                 100.0 * double(stats.arena_elements) /
-                    double(stats.eager_elements));
+                    double(stats.eager_elements),
+                (unsigned long long)steady_allocs,
+                AllocCounter::hooksInstalled() ? "" : " (no hooks)");
 
     PerfJson::update(json_path, c.section, "seed_eager_ms", seed_ms);
     PerfJson::update(json_path, c.section, "eager_ms", eager_ms);
@@ -223,6 +245,10 @@ runCase(const Case &c, const std::string &json_path)
                      double(stats.peak_live_elements));
     PerfJson::update(json_path, c.section, "eager_elements",
                      double(stats.eager_elements));
+    PerfJson::update(json_path, c.section, "steady_allocs_per_inference",
+                     double(steady_allocs));
+    PerfJson::update(json_path, c.section, "alloc_hooks_installed",
+                     AllocCounter::hooksInstalled() ? 1.0 : 0.0);
 }
 
 } // namespace
@@ -230,6 +256,10 @@ runCase(const Case &c, const std::string &json_path)
 int
 main(int argc, char **argv)
 {
+    // Pull in the allocation-counting operator new/delete overrides
+    // for the steady-state allocs-per-inference audit.
+    allocHooksForceLink();
+
     const std::string json_path =
         argc > 1 ? argv[1] : "BENCH_runtime.json";
 

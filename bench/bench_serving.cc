@@ -18,9 +18,18 @@
  *  - accounting identity in every cell after drain:
  *    submitted == completed + queue_drops.
  *
+ * The binary is also the memory-spine auditor: it links the
+ * operator new/delete counting hooks, classifies every served frame
+ * as steady (gaze-only) or refresh (segmentation / drop handling),
+ * and gates on zero heap allocations across all steady frames —
+ * the zero-copy serving path's contract. The memory audit merges
+ * into BENCH_memory.json (steady/refresh allocation counts and the
+ * largest per-session arena footprint).
+ *
  * Results print as a table and merge into BENCH_serving.json
- * (override the path with a positional argument). --quick shrinks
- * the sweep for sanitizer CI runs.
+ * (override the paths with positional arguments: first the serving
+ * JSON, then the memory JSON). --quick shrinks the sweep for
+ * sanitizer CI runs.
  */
 
 #include <algorithm>
@@ -28,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_counter.h"
 #include "common/perf_json.h"
 #include "common/stats.h"
 #include "serve/engine.h"
@@ -91,14 +101,22 @@ runCell(int sessions, int chips, long frames,
 int
 main(int argc, char **argv)
 {
+    // Pull the allocation-counting operator new/delete overrides out
+    // of the static library; the memory gate below keys off this.
+    const bool hooks = allocHooksForceLink();
+
     bool quick = false;
-    std::string json_path = "BENCH_serving.json";
+    std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--quick")
             quick = true;
         else
-            json_path = argv[i];
+            paths.push_back(argv[i]);
     }
+    const std::string json_path =
+        paths.size() > 0 ? paths[0] : "BENCH_serving.json";
+    const std::string memory_json_path =
+        paths.size() > 1 ? paths[1] : "BENCH_memory.json";
 
     const std::vector<int> session_counts =
         quick ? std::vector<int>{1, 4, 16}
@@ -173,6 +191,20 @@ main(int argc, char **argv)
                              f.p50_latency_us);
             PerfJson::update(json_path, section, "p99_latency_us",
                              f.p99_latency_us);
+
+            PerfJson::update(memory_json_path, section,
+                             "steady_frames", double(f.steady_frames));
+            PerfJson::update(memory_json_path, section,
+                             "steady_allocs", double(f.steady_allocs));
+            PerfJson::update(memory_json_path, section,
+                             "refresh_frames",
+                             double(f.refresh_frames));
+            PerfJson::update(memory_json_path, section,
+                             "refresh_allocs",
+                             double(f.refresh_allocs));
+            PerfJson::update(memory_json_path, section,
+                             "peak_arena_bytes",
+                             double(f.peak_arena_bytes));
         }
     }
 
@@ -231,8 +263,52 @@ main(int argc, char **argv)
     PerfJson::update(json_path, "acceptance", "quick_mode",
                      quick ? 1.0 : 0.0);
 
+    // --- Memory-spine gate: zero heap allocations on steady frames.
+    long long steady_frames = 0, steady_allocs = 0;
+    long long refresh_frames = 0, refresh_allocs = 0;
+    long long peak_arena_bytes = 0;
+    for (const Cell &c : cells) {
+        steady_frames += c.fleet.steady_frames;
+        steady_allocs += c.fleet.steady_allocs;
+        refresh_frames += c.fleet.refresh_frames;
+        refresh_allocs += c.fleet.refresh_allocs;
+        peak_arena_bytes =
+            std::max(peak_arena_bytes, c.fleet.peak_arena_bytes);
+    }
+    const double allocs_per_steady_frame =
+        steady_frames > 0
+            ? double(steady_allocs) / double(steady_frames)
+            : 0.0;
+    // Without the hooks linked every counter reads zero, which would
+    // make the gate pass vacuously — require the hooks and a
+    // non-empty steady population before claiming the proof.
+    const bool memory_ok =
+        hooks && steady_frames > 0 && steady_allocs == 0;
+
+    PerfJson::update(memory_json_path, "memory", "hooks_installed",
+                     hooks ? 1.0 : 0.0);
+    PerfJson::update(memory_json_path, "memory", "steady_frames",
+                     double(steady_frames));
+    PerfJson::update(memory_json_path, "memory", "steady_allocs",
+                     double(steady_allocs));
+    PerfJson::update(memory_json_path, "memory",
+                     "allocs_per_steady_frame",
+                     allocs_per_steady_frame);
+    PerfJson::update(memory_json_path, "memory", "refresh_frames",
+                     double(refresh_frames));
+    PerfJson::update(memory_json_path, "memory", "refresh_allocs",
+                     double(refresh_allocs));
+    PerfJson::update(memory_json_path, "memory", "peak_arena_bytes",
+                     double(peak_arena_bytes));
+    PerfJson::update(memory_json_path, "memory",
+                     "zero_steady_state_allocs",
+                     memory_ok ? 1.0 : 0.0);
+    PerfJson::update(memory_json_path, "memory", "quick_mode",
+                     quick ? 1.0 : 0.0);
+
     const bool all_ok = scaling_ok && no_misses_below_saturation &&
-                        graceful_overload && accounting_ok;
+                        graceful_overload && accounting_ok &&
+                        memory_ok;
     std::printf(
         "=== Multi-session serving sweep (%ld frames/user%s) ===\n"
         "%s\n"
@@ -241,11 +317,17 @@ main(int argc, char **argv)
         "zero deadline misses below saturation (util < 0.7): %s\n"
         "graceful overload (typed rejections / bounded drops): %s\n"
         "accounting identity (submitted == completed + drops): %s\n"
-        "overall: %s — results merged into %s\n",
+        "memory spine: %lld steady frames, %.3f allocs/frame "
+        "(%lld refresh frames, %lld allocs), peak arena %lld B/session"
+        " — %s\n"
+        "overall: %s — results merged into %s and %s\n",
         frames, quick ? ", --quick" : "", t.render().c_str(),
         scaling, no_misses_below_saturation ? "yes" : "NO",
         graceful_overload ? "yes" : "NO",
-        accounting_ok ? "yes" : "NO", all_ok ? "PASS" : "FAIL",
-        json_path.c_str());
+        accounting_ok ? "yes" : "NO", steady_frames,
+        allocs_per_steady_frame, refresh_frames, refresh_allocs,
+        peak_arena_bytes, memory_ok ? "zero-alloc" : "FAIL",
+        all_ok ? "PASS" : "FAIL", json_path.c_str(),
+        memory_json_path.c_str());
     return all_ok ? 0 : 1;
 }

@@ -1,0 +1,13 @@
+#include "common/alloc_counter.h"
+
+namespace eyecod {
+namespace alloc_hooks_detail {
+
+// Trivial type + constant initialization: safe to touch from inside
+// operator new even during early process / thread start-up.
+thread_local ThreadCounters g_counters = {0, 0, 0};
+
+bool g_hooks_installed = false;
+
+} // namespace alloc_hooks_detail
+} // namespace eyecod

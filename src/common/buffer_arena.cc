@@ -1,0 +1,117 @@
+#include "common/buffer_arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define EYECOD_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EYECOD_ASAN 1
+#endif
+#endif
+
+#ifdef EYECOD_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace eyecod {
+
+namespace {
+
+/** Poison / unpoison a span for ASan; no-ops without ASan. */
+void
+poisonSpan(const float *ptr, size_t count)
+{
+#ifdef EYECOD_ASAN
+    ASAN_POISON_MEMORY_REGION(ptr, count * sizeof(float));
+#else
+    (void)ptr;
+    (void)count;
+#endif
+}
+
+void
+unpoisonSpan(const float *ptr, size_t count)
+{
+#ifdef EYECOD_ASAN
+    ASAN_UNPOISON_MEMORY_REGION(ptr, count * sizeof(float));
+#else
+    (void)ptr;
+    (void)count;
+#endif
+}
+
+} // namespace
+
+BufferArena::~BufferArena()
+{
+    for (Block &b : blocks_) {
+        unpoisonSpan(b.data, b.capacity);
+        std::free(b.data);
+    }
+}
+
+float *
+BufferArena::alloc(size_t count)
+{
+    // Round every span up to a 64-byte boundary so the next span is
+    // aligned too.
+    const size_t need =
+        (count + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+
+    for (Block &b : blocks_) {
+        if (b.capacity - b.used >= need) {
+            float *ptr = b.data + b.used;
+            b.used += need;
+            unpoisonSpan(ptr, need);
+            epoch_bytes_ += need * sizeof(float);
+            stats_.peak_epoch_bytes =
+                std::max(stats_.peak_epoch_bytes, epoch_bytes_);
+            return ptr;
+        }
+    }
+
+    // No block has room: fetch a fresh one from the heap. This only
+    // happens while the arena warms up (or when a frame's footprint
+    // grows past anything seen before).
+    const size_t cap = std::max(need, kMinBlockFloats);
+    void *raw = std::aligned_alloc(64, cap * sizeof(float));
+    eyecod_assert(raw != nullptr, "arena block allocation failed");
+    Block b;
+    b.data = static_cast<float *>(raw);
+    b.capacity = cap;
+    b.used = need;
+    ++stats_.heap_blocks;
+    stats_.heap_bytes += cap * sizeof(float);
+    poisonSpan(b.data + need, cap - need);
+    blocks_.push_back(b);
+    epoch_bytes_ += need * sizeof(float);
+    stats_.peak_epoch_bytes =
+        std::max(stats_.peak_epoch_bytes, epoch_bytes_);
+    return blocks_.back().data;
+}
+
+ImageView
+BufferArena::allocImage(int height, int width)
+{
+    eyecod_assert(height > 0 && width > 0,
+                  "arena image needs a positive shape");
+    float *ptr = alloc(size_t(height) * size_t(width));
+    return ImageView(ptr, height, width, width);
+}
+
+void
+BufferArena::resetEpoch()
+{
+    for (Block &b : blocks_) {
+        poisonSpan(b.data, b.capacity);
+        b.used = 0;
+    }
+    epoch_bytes_ = 0;
+    ++stats_.epochs;
+}
+
+} // namespace eyecod

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Pooled, aligned per-pipeline buffer arena with epoch-based reuse.
+ *
+ * A BufferArena owns a small set of 64-byte-aligned float blocks and
+ * hands out bump-allocated spans from them. resetEpoch() — called
+ * once per frame at the top of the pipeline — recycles every block
+ * in place: no memory is returned to the heap, so after a short
+ * warm-up the arena serves every frame without touching the
+ * allocator. This is the same liveness-recycling idea the NN
+ * runtime's ExecutionPlan arena uses, extended to whole-frame
+ * lifetime instead of per-layer lifetime.
+ *
+ * Epoch contract: a span (or any ImageView built over it) is valid
+ * only until the next resetEpoch(). Under AddressSanitizer the arena
+ * poisons all recycled memory on reset, so a stale view kept across
+ * an epoch traps immediately in the ASan CI job instead of silently
+ * reading a reused frame.
+ *
+ * Alignment: every span starts on a 64-byte boundary (cache line /
+ * widest vector unit), which is what ROADMAP item 5's SIMD fast path
+ * needs from its input buffers.
+ */
+
+#ifndef EYECOD_COMMON_BUFFER_ARENA_H
+#define EYECOD_COMMON_BUFFER_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/image_view.h"
+
+namespace eyecod {
+
+/** Pooled bump allocator for per-frame float scratch. */
+class BufferArena
+{
+  public:
+    /** Allocation statistics, cumulative over the arena's lifetime. */
+    struct Stats
+    {
+        size_t heap_blocks = 0;     ///< Blocks fetched from the heap.
+        size_t heap_bytes = 0;      ///< Total bytes of those blocks.
+        size_t peak_epoch_bytes = 0; ///< Max bytes live in one epoch.
+        uint64_t epochs = 0;         ///< resetEpoch() calls so far.
+    };
+
+    BufferArena() = default;
+    ~BufferArena();
+
+    BufferArena(const BufferArena &) = delete;
+    BufferArena &operator=(const BufferArena &) = delete;
+
+    /**
+     * A 64-byte-aligned span of @p count floats, valid until the next
+     * resetEpoch(). Contents are unspecified (recycled memory).
+     */
+    float *alloc(size_t count);
+
+    /**
+     * A height x width image view over arena storage (contiguous,
+     * stride == width), valid until the next resetEpoch().
+     */
+    ImageView allocImage(int height, int width);
+
+    /**
+     * Start a new epoch: every span handed out so far is recycled in
+     * place. Under ASan the recycled memory is poisoned until
+     * re-allocated, so stale views trap.
+     */
+    void resetEpoch();
+
+    /** Bytes handed out in the current epoch. */
+    size_t epochBytes() const { return epoch_bytes_; }
+
+    /** Lifetime statistics. */
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Block
+    {
+        float *data = nullptr;
+        size_t capacity = 0; ///< Floats.
+        size_t used = 0;     ///< Floats bump-allocated this epoch.
+    };
+
+    /** Floats in the smallest block we bother allocating. */
+    static constexpr size_t kMinBlockFloats = 16 * 1024;
+    /** Span alignment in floats (64 bytes). */
+    static constexpr size_t kAlignFloats = 16;
+
+    std::vector<Block> blocks_;
+    size_t epoch_bytes_ = 0;
+    Stats stats_;
+};
+
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_BUFFER_ARENA_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/image_view.h"
 #include "common/logging.h"
 
 namespace eyecod {
@@ -22,41 +23,42 @@ Image::atClamped(int y, int x) const
     return at(y, x);
 }
 
+void
+Image::resetShape(int height, int width)
+{
+    eyecod_assert(height >= 0 && width >= 0, "negative image shape");
+    height_ = height;
+    width_ = width;
+    data_.resize(size_t(height) * size_t(width));
+}
+
 Image
 Image::resized(int new_height, int new_width) const
 {
-    eyecod_assert(height_ > 0 && width_ > 0, "resize of empty image");
-    Image out(new_height, new_width);
-    const double sy = double(height_) / new_height;
-    const double sx = double(width_) / new_width;
-    for (int y = 0; y < new_height; ++y) {
-        const double fy = (y + 0.5) * sy - 0.5;
-        const int y0 = int(std::floor(fy));
-        const double wy = fy - y0;
-        for (int x = 0; x < new_width; ++x) {
-            const double fx = (x + 0.5) * sx - 0.5;
-            const int x0 = int(std::floor(fx));
-            const double wx = fx - x0;
-            const double v =
-                (1 - wy) * ((1 - wx) * atClamped(y0, x0) +
-                            wx * atClamped(y0, x0 + 1)) +
-                wy * ((1 - wx) * atClamped(y0 + 1, x0) +
-                      wx * atClamped(y0 + 1, x0 + 1));
-            out.at(y, x) = float(v);
-        }
-    }
+    Image out;
+    resizedInto(new_height, new_width, &out);
     return out;
+}
+
+void
+Image::resizedInto(int new_height, int new_width, Image *out) const
+{
+    resizeBilinearInto(ImageConstView::of(*this), new_height,
+                       new_width, out);
 }
 
 Image
 Image::cropped(const Rect &r) const
 {
-    eyecod_assert(r.width > 0 && r.height > 0, "empty crop rect");
-    Image out(r.height, r.width);
-    for (int y = 0; y < r.height; ++y)
-        for (int x = 0; x < r.width; ++x)
-            out.at(y, x) = atClamped(r.y + y, r.x + x);
+    Image out;
+    croppedInto(r, &out);
     return out;
+}
+
+void
+Image::croppedInto(const Rect &r, Image *out) const
+{
+    cropClampedInto(ImageConstView::of(*this), r, out);
 }
 
 void

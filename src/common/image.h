@@ -62,14 +62,37 @@ class Image
     /** Raw pixel storage (row-major, const). */
     const std::vector<float> &data() const { return data_; }
 
+    /**
+     * Reshape in place, reusing the existing allocation whenever the
+     * new pixel count fits the current capacity. Pixel contents are
+     * unspecified afterwards; callers overwrite every pixel. This is
+     * the capacity-reuse primitive behind every *Into API.
+     */
+    void resetShape(int height, int width);
+
     /** Bilinear resize to the given shape. */
     Image resized(int new_height, int new_width) const;
+
+    /**
+     * Bilinear resize into @p out, reusing @p out's buffer when the
+     * target shape matches its capacity (zero allocations in steady
+     * state). Bitwise-identical to resized(). @p out must not alias
+     * this image.
+     */
+    void resizedInto(int new_height, int new_width, Image *out) const;
 
     /**
      * Crop the given rectangle; samples outside the image are filled by
      * clamped-border replication so ROI crops near edges stay valid.
      */
     Image cropped(const Rect &r) const;
+
+    /**
+     * Crop into @p out, reusing @p out's buffer (zero allocations in
+     * steady state). Bitwise-identical to cropped(). @p out must not
+     * alias this image.
+     */
+    void croppedInto(const Rect &r, Image *out) const;
 
     /** Clamp all pixels into [lo, hi]. */
     void clamp(float lo = 0.0f, float hi = 1.0f);

@@ -1,0 +1,101 @@
+#include "common/image_view.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eyecod {
+
+Result<ImageConstView>
+ImageConstView::subview(const Rect &r) const
+{
+    if (!contains(r))
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "subview rect [%d,%d %dx%d] outside view %dx%d", r.x, r.y,
+            r.width, r.height, width_, height_);
+    return ImageConstView(data_ + ptrdiff_t(r.y) * stride_ + r.x,
+                          r.height, r.width, stride_);
+}
+
+Result<ImageView>
+ImageView::subview(const Rect &r) const
+{
+    if (!contains(r))
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "subview rect [%d,%d %dx%d] outside view %dx%d", r.x, r.y,
+            r.width, r.height, width_, height_);
+    return ImageView(data_ + ptrdiff_t(r.y) * stride_ + r.x, r.height,
+                     r.width, stride_);
+}
+
+void
+ImageView::fill(float value) const
+{
+    for (int y = 0; y < height_; ++y) {
+        float *row = data_ + ptrdiff_t(y) * stride_;
+        for (int x = 0; x < width_; ++x)
+            row[x] = value;
+    }
+}
+
+void
+ImageView::copyFrom(ImageConstView src) const
+{
+    eyecod_assert(src.height() == height_ && src.width() == width_,
+                  "copyFrom shape mismatch (%dx%d <- %dx%d)", height_,
+                  width_, src.height(), src.width());
+    for (int y = 0; y < height_; ++y) {
+        float *dst_row = data_ + ptrdiff_t(y) * stride_;
+        const float *src_row = src.data() + ptrdiff_t(y) * src.stride();
+        for (int x = 0; x < width_; ++x)
+            dst_row[x] = src_row[x];
+    }
+}
+
+void
+resizeBilinearInto(ImageConstView src, int new_height, int new_width,
+                   Image *out)
+{
+    eyecod_assert(src.height() > 0 && src.width() > 0,
+                  "resize of empty image");
+    out->resetShape(new_height, new_width);
+    if (new_height == src.height() && new_width == src.width()) {
+        // Scale-1 bilinear has zero fractional weights everywhere, so
+        // the kernel reduces to an exact pixel copy (for the finite
+        // pixels every pipeline stage guarantees).
+        ImageView::of(*out).copyFrom(src);
+        return;
+    }
+    const double sy = double(src.height()) / new_height;
+    const double sx = double(src.width()) / new_width;
+    for (int y = 0; y < new_height; ++y) {
+        const double fy = (y + 0.5) * sy - 0.5;
+        const int y0 = int(std::floor(fy));
+        const double wy = fy - y0;
+        for (int x = 0; x < new_width; ++x) {
+            const double fx = (x + 0.5) * sx - 0.5;
+            const int x0 = int(std::floor(fx));
+            const double wx = fx - x0;
+            const double v =
+                (1 - wy) * ((1 - wx) * src.atClamped(y0, x0) +
+                            wx * src.atClamped(y0, x0 + 1)) +
+                wy * ((1 - wx) * src.atClamped(y0 + 1, x0) +
+                      wx * src.atClamped(y0 + 1, x0 + 1));
+            out->at(y, x) = float(v);
+        }
+    }
+}
+
+void
+cropClampedInto(ImageConstView src, const Rect &r, Image *out)
+{
+    eyecod_assert(r.width > 0 && r.height > 0, "empty crop rect");
+    out->resetShape(r.height, r.width);
+    for (int y = 0; y < r.height; ++y)
+        for (int x = 0; x < r.width; ++x)
+            out->at(y, x) = src.atClamped(r.y + y, r.x + x);
+}
+
+} // namespace eyecod

@@ -22,37 +22,62 @@ Matrix::identity(size_t n)
     return m;
 }
 
+void
+Matrix::resetShape(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
 Matrix
 Matrix::multiply(const Matrix &other) const
+{
+    Matrix out;
+    multiplyInto(other, &out);
+    return out;
+}
+
+void
+Matrix::multiplyInto(const Matrix &other, Matrix *out) const
 {
     eyecod_assert(cols_ == other.rows_,
                   "matrix product shape mismatch %zux%zu * %zux%zu",
                   rows_, cols_, other.rows_, other.cols_);
-    Matrix out(rows_, other.cols_);
+    out->resetShape(rows_, other.cols_);
     // ikj loop order keeps the inner loop contiguous in both the
-    // right operand and the output.
+    // right operand and the output. The zero-skip relies on
+    // resetShape zero-filling the output, exactly like a fresh
+    // Matrix.
     for (size_t i = 0; i < rows_; ++i) {
         for (size_t k = 0; k < cols_; ++k) {
             const double aik = data_[i * cols_ + k];
             if (aik == 0.0)
                 continue;
             const double *brow = &other.data_[k * other.cols_];
-            double *orow = &out.data_[i * other.cols_];
+            double *orow = &out->data_[i * other.cols_];
             for (size_t j = 0; j < other.cols_; ++j)
                 orow[j] += aik * brow[j];
         }
     }
-    return out;
 }
 
 Matrix
 Matrix::transposed() const
 {
-    Matrix out(cols_, rows_);
+    Matrix out;
+    transposedInto(&out);
+    return out;
+}
+
+void
+Matrix::transposedInto(Matrix *out) const
+{
+    out->resetShape(cols_, rows_);
     for (size_t i = 0; i < rows_; ++i)
         for (size_t j = 0; j < cols_; ++j)
-            out(j, i) = (*this)(i, j);
-    return out;
+            (*out)(j, i) = (*this)(i, j);
 }
 
 Matrix

@@ -50,11 +50,33 @@ class Matrix
     /** The identity matrix of order n. */
     static Matrix identity(size_t n);
 
+    /**
+     * Reshape in place to rows x cols of zeros, reusing the existing
+     * allocation whenever the new element count fits the current
+     * capacity. Leaves the matrix in the same state as a fresh
+     * Matrix(rows, cols).
+     */
+    void resetShape(size_t rows, size_t cols);
+
     /** Matrix product this * other. */
     Matrix multiply(const Matrix &other) const;
 
+    /**
+     * Matrix product this * other written into @p out, reusing
+     * @p out's buffer (zero allocations in steady state).
+     * Bitwise-identical to multiply(). @p out must not alias either
+     * operand.
+     */
+    void multiplyInto(const Matrix &other, Matrix *out) const;
+
     /** Transpose. */
     Matrix transposed() const;
+
+    /**
+     * Transpose into @p out, reusing @p out's buffer.
+     * Bitwise-identical to transposed(). @p out must not alias this.
+     */
+    void transposedInto(Matrix *out) const;
 
     /** Element-wise sum; shapes must match. */
     Matrix add(const Matrix &other) const;

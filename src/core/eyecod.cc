@@ -35,8 +35,10 @@ EyeCoDSystem::processFrameChecked(const Image &scene)
         scene.width() != cfg_.pipeline.scene_size;
     // Run the frame through the pipeline unconditionally so the
     // degradation FSM and health counters advance exactly as on the
-    // unchecked path; only the reporting differs.
-    const auto r = pipe_->processFrame(scene);
+    // unchecked path; only the reporting differs. The by-reference
+    // entry avoids copying the result (and its full-frame view) on
+    // the serving hot path.
+    const auto &r = pipe_->processFrameRef(scene);
     if (mis_sized)
         return Status::error(
             ErrorCode::ShapeMismatch,

@@ -226,6 +226,15 @@ class EyeCoDSystem
     /** Direct access to the functional pipeline. */
     eyetrack::PredictThenFocusPipeline &pipeline() { return *pipe_; }
 
+    /**
+     * Pooling statistics of the pipeline's per-frame buffer arena
+     * (heap blocks, peak epoch bytes) for the memory benches.
+     */
+    const BufferArena::Stats &arenaStats() const
+    {
+        return pipe_->arena().stats();
+    }
+
   private:
     SystemConfig cfg_;
     std::unique_ptr<eyetrack::PredictThenFocusPipeline> pipe_;

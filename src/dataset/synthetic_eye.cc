@@ -77,13 +77,27 @@ EyeSample
 SyntheticEyeRenderer::render(const EyeParams &p,
                              uint64_t noise_seed) const
 {
+    EyeSample s;
+    renderInto(p, noise_seed, &s);
+    return s;
+}
+
+void
+SyntheticEyeRenderer::renderInto(const EyeParams &p,
+                                 uint64_t noise_seed,
+                                 EyeSample *out) const
+{
     const int n = cfg_.image_size;
     Rng rng(noise_seed);
 
-    EyeSample s;
+    EyeSample &s = *out;
     s.params = p;
     s.gaze = anglesToVector(p.yaw_deg, p.pitch_deg);
-    s.image = Image(n, n, float(cfg_.skin_level));
+    // Capacity-reusing (re)initialization: same values the
+    // Image(n, n, skin_level) constructor would produce.
+    s.image.resetShape(n, n);
+    std::fill(s.image.data().begin(), s.image.data().end(),
+              float(cfg_.skin_level));
     s.mask.height = n;
     s.mask.width = n;
     s.mask.labels.assign(size_t(n) * n, kBackground);
@@ -180,7 +194,6 @@ SyntheticEyeRenderer::render(const EyeParams &p,
             v += float(rng.gaussian(0.0, cfg_.sensor_noise));
     }
     s.image.clamp();
-    return s;
 }
 
 } // namespace dataset

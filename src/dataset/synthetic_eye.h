@@ -110,10 +110,19 @@ class SyntheticEyeRenderer
 
     /**
      * Render a sample with explicit scene parameters (used by the
-     * trajectory generator for Tab. 5).
+     * trajectory generator for Tab. 5). Thin shim over renderInto().
      */
     EyeSample render(const EyeParams &params, uint64_t noise_seed)
         const;
+
+    /**
+     * Render into a caller-provided sample, reusing its image/mask
+     * storage when the extents already match — the serving path keeps
+     * one EyeSample per session and re-renders into it every frame
+     * with zero heap allocations. Bitwise-identical to render().
+     */
+    void renderInto(const EyeParams &params, uint64_t noise_seed,
+                    EyeSample *out) const;
 
     /** Draw random scene parameters for sample @p index. */
     EyeParams sampleParams(uint64_t index) const;

@@ -21,10 +21,18 @@ RidgeGazeEstimator::RidgeGazeEstimator(GazeEstimatorConfig cfg)
 std::vector<double>
 RidgeGazeEstimator::features(const Image &roi) const
 {
-    const Image small = roi.resized(cfg_.feat_height, cfg_.feat_width);
-    std::vector<double> f(static_cast<size_t>(dim_), 0.0);
+    return featuresInto(ImageConstView::of(roi));
+}
+
+const std::vector<double> &
+RidgeGazeEstimator::featuresInto(ImageConstView roi) const
+{
+    resizeBilinearInto(roi, cfg_.feat_height, cfg_.feat_width,
+                       &feat_img_);
+    std::vector<double> &f = feat_scratch_;
+    f.assign(static_cast<size_t>(dim_), 0.0);
     for (size_t i = 0; i + 1 < size_t(dim_); ++i) {
-        double v = small.data()[i];
+        double v = feat_img_.data()[i];
         if (cfg_.quant_bits > 0) {
             // Inputs live in [0, 1]: snap to the unsigned int grid.
             const double levels = double((1 << cfg_.quant_bits) - 1);
@@ -89,8 +97,14 @@ RidgeGazeEstimator::train(const std::vector<Image> &rois,
 dataset::GazeVec
 RidgeGazeEstimator::predict(const Image &roi) const
 {
+    return predict(ImageConstView::of(roi));
+}
+
+dataset::GazeVec
+RidgeGazeEstimator::predict(ImageConstView roi) const
+{
     eyecod_assert(trained(), "predict() before train()");
-    const std::vector<double> f = features(roi);
+    const std::vector<double> &f = featuresInto(roi);
     dataset::GazeVec g{0.0, 0.0, 0.0};
     for (size_t a = 0; a < size_t(dim_); ++a)
         for (size_t c = 0; c < 3; ++c)
@@ -129,28 +143,33 @@ NeuralGazeEstimator::NeuralGazeEstimator(NeuralGazeConfig cfg)
 dataset::GazeVec
 NeuralGazeEstimator::predict(const Image &roi)
 {
-    const Image sized = (roi.height() == cfg_.height &&
-                         roi.width() == cfg_.width)
-                            ? roi
-                            : roi.resized(cfg_.height, cfg_.width);
-    nn::Tensor input(nn::Shape{1, cfg_.height, cfg_.width});
-    std::copy(sized.data().begin(), sized.data().end(),
-              input.data().begin());
+    return predict(ImageConstView::of(roi));
+}
+
+dataset::GazeVec
+NeuralGazeEstimator::predict(ImageConstView roi)
+{
+    // Same-size inputs reduce to a copy inside resizeBilinearInto, so
+    // one path covers both cases of the old owning predict.
+    resizeBilinearInto(roi, cfg_.height, cfg_.width, &sized_);
+    input_.reset(nn::Shape{1, cfg_.height, cfg_.width});
+    std::copy(sized_.data().begin(), sized_.data().end(),
+              input_.data().begin());
+    input_ptrs_.assign(1, &input_);
 
     // Finite-checked execution: a poisoned tensor degrades to the
     // neutral forward gaze instead of emitting NaN.
-    Result<nn::Tensor> out = backend_->runChecked(plan_, {input});
-    if (!out.ok()) {
+    Status status = backend_->runCheckedInto(plan_, input_ptrs_, &out_);
+    if (!status.isOk()) {
         warnLimited("neural-gaze-fault", "gaze degraded: %s",
-                    out.status().toString().c_str());
+                    status.toString().c_str());
         return dataset::GazeVec{0, 0, 1};
     }
-    eyecod_assert(out.value().size() == 3,
+    eyecod_assert(out_.size() == 3,
                   "gaze head must emit 3 values, got %zu",
-                  out.value().size());
-    dataset::GazeVec g{double(out.value().data()[0]),
-                       double(out.value().data()[1]),
-                       double(out.value().data()[2])};
+                  out_.size());
+    dataset::GazeVec g{double(out_.data()[0]), double(out_.data()[1]),
+                       double(out_.data()[2])};
     return dataset::normalize(g);
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/image.h"
+#include "common/image_view.h"
 #include "dataset/gaze_math.h"
 #include "nn/runtime.h"
 
@@ -52,6 +53,16 @@ class RidgeGazeEstimator
     /** Predict a unit gaze vector for one ROI crop. */
     dataset::GazeVec predict(const Image &roi) const;
 
+    /**
+     * Zero-copy predict: the ROI arrives as a (possibly strided)
+     * view and the feature scratch is reused across calls — zero
+     * heap allocations in steady state. Bitwise-identical to
+     * predict(). The scratch makes concurrent predict calls on one
+     * estimator instance a data race; each pipeline owns its own
+     * estimator, which is the existing ownership model.
+     */
+    dataset::GazeVec predict(ImageConstView roi) const;
+
     /** True after train(). */
     bool trained() const { return !weights_.empty(); }
 
@@ -70,9 +81,18 @@ class RidgeGazeEstimator
   private:
     std::vector<double> features(const Image &roi) const;
 
+    /** Feature extraction into the member scratch (no allocation). */
+    const std::vector<double> &featuresInto(ImageConstView roi) const;
+
     GazeEstimatorConfig cfg_;
     int dim_; ///< Feature dimension including bias.
     std::vector<double> weights_; ///< dim_ x 3, row-major.
+
+    // Per-call scratch, warmed on the first predict and reused
+    // afterwards; not observable state, hence mutable (predict stays
+    // const for existing callers).
+    mutable Image feat_img_;              ///< Downsampled ROI.
+    mutable std::vector<double> feat_scratch_; ///< Feature vector.
 };
 
 /** Neural gaze estimator configuration. */
@@ -98,6 +118,15 @@ class NeuralGazeEstimator
     /** Predict a unit gaze vector for one ROI crop. */
     dataset::GazeVec predict(const Image &roi);
 
+    /**
+     * Zero-copy predict: the ROI arrives as a view, the network
+     * input tensor and output tensor are persistent members fed to
+     * the backend without copy-in (Backend::runCheckedInto) — zero
+     * steady-state heap allocations. Bitwise-identical to the
+     * owning-image predict.
+     */
+    dataset::GazeVec predict(ImageConstView roi);
+
     /** Arena/liveness accounting of the underlying plan. */
     const nn::PlanStats &planStats() const { return plan_.stats(); }
 
@@ -115,6 +144,13 @@ class NeuralGazeEstimator
     nn::Graph graph_;       ///< Must outlive plan_.
     nn::ExecutionPlan plan_;
     std::unique_ptr<nn::Backend> backend_;
+
+    // Persistent inference scratch: resized ROI, input tensor handed
+    // to the backend by pointer, input pointer list, output tensor.
+    Image sized_;
+    nn::Tensor input_;
+    std::vector<const nn::Tensor *> input_ptrs_;
+    nn::Tensor out_;
 };
 
 } // namespace eyetrack

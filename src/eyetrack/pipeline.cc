@@ -66,6 +66,12 @@ PredictThenFocusPipeline::PredictThenFocusPipeline(PipelineConfig cfg)
             sensor_->mask(), cfg_.recon_epsilon);
         sensor_->setFaultInjector(injector_.get());
     }
+    // Pre-warm the frame arena: its only serving-path consumer is the
+    // border-clamped ROI materialization (fixed ROI extent), and an
+    // out-of-bounds ROI can first occur on a steady frame — fetching
+    // the block lazily there would be a hot-path heap allocation.
+    arena_.allocImage(cfg_.roi_height, cfg_.roi_width);
+    arena_.resetEpoch();
 }
 
 PredictThenFocusPipeline::~PredictThenFocusPipeline() = default;
@@ -113,10 +119,10 @@ PredictThenFocusPipeline::trainGaze(
     gaze_.train(rois, gazes);
 }
 
-Result<Image>
-PredictThenFocusPipeline::acquireFrame(
+Status
+PredictThenFocusPipeline::acquireFrameInto(
     const Image &scene, long frame,
-    const flatcam::FrameFaults &faults)
+    const flatcam::FrameFaults &faults, Image *view)
 {
     if (scene.height() != cfg_.scene_size ||
         scene.width() != cfg_.scene_size)
@@ -125,34 +131,35 @@ PredictThenFocusPipeline::acquireFrame(
             "frame %ld: scene %dx%d != configured extent %d", frame,
             scene.height(), scene.width(), cfg_.scene_size);
 
-    Image view;
     if (cfg_.camera == CameraKind::Lens) {
         if (faults.dropped())
             return Status::error(ErrorCode::FrameDropped,
                                  "frame %ld dropped by sensor",
                                  frame);
-        view = scene;
+        *view = scene; // capacity-reusing copy-assign
         if (injector_)
-            injector_->applySensorFaults(faults, frame, view);
+            injector_->applySensorFaults(faults, frame, *view);
     } else {
         // FlatCam: the sensor consults the same injector schedule
         // (drop + sensor-domain faults happen in the measurement
-        // domain, before reconstruction).
-        Result<Image> y = sensor_->captureFrame(scene, frame);
-        if (!y.ok())
-            return y.status();
-        Result<Image> x = recon_->reconstructFrame(y.value());
-        if (!x.ok())
-            return x.status();
-        view = x.take();
+        // domain, before reconstruction). Measurement and view land
+        // in member scratch; no per-frame image allocation.
+        Status y = sensor_->captureFrameInto(
+            ImageConstView::of(scene), frame, &meas_);
+        if (!y.isOk())
+            return y;
+        Status x = recon_->reconstructFrameInto(
+            ImageConstView::of(meas_), view);
+        if (!x.isOk())
+            return x;
     }
     if (injector_)
-        injector_->applyViewFaults(faults, frame, view);
-    return view;
+        injector_->applyViewFaults(faults, frame, *view);
+    return Status::ok();
 }
 
 void
-PredictThenFocusPipeline::refreshRoi(const Image &view, bool forced,
+PredictThenFocusPipeline::refreshRoi(ImageConstView view, bool forced,
                                      FrameHealth &health)
 {
     const dataset::SegMask mask = segmenter_.segment(view);
@@ -218,9 +225,23 @@ PredictThenFocusPipeline::centeredCrop() const
 PredictThenFocusPipeline::FrameResult
 PredictThenFocusPipeline::processFrame(const Image &scene)
 {
+    // Copying shim: materializes the member result slot.
+    return processFrameRef(scene);
+}
+
+const PredictThenFocusPipeline::FrameResult &
+PredictThenFocusPipeline::processFrameRef(const Image &scene)
+{
     eyecod_assert(gaze_.trained(),
                   "processFrame() before trainGaze()");
-    FrameResult result;
+    // New frame epoch: every arena span from the previous frame is
+    // recycled (and ASan-poisoned) here.
+    arena_.resetEpoch();
+    FrameResult &result = result_;
+    result.gaze = dataset::GazeVec{0, 0, 1};
+    result.roi_refreshed = false;
+    result.roi = Rect();
+    result.health = FrameHealth();
     FrameHealth &health = result.health;
     const long frame = frame_index_;
 
@@ -233,12 +254,11 @@ PredictThenFocusPipeline::processFrame(const Image &scene)
             faults.active[size_t(k)] ? 1 : 0;
 
     // --- Acquisition (typed errors, never aborts) ---
-    Image view;
     bool view_ok = false;
-    Result<Image> acquired = acquireFrame(scene, frame, faults);
-    if (acquired.ok()) {
-        view = acquired.take();
-        if (sanitizeView(view) > 0) {
+    const Status acquired =
+        acquireFrameInto(scene, frame, faults, &view_);
+    if (acquired.isOk()) {
+        if (sanitizeView(view_) > 0) {
             health.nonfinite_view = true;
             ++health_stats_.nonfinite_views;
             warnLimited("nonfinite-view",
@@ -247,12 +267,12 @@ PredictThenFocusPipeline::processFrame(const Image &scene)
         }
         view_ok = true;
     } else {
-        if (acquired.status().code() == ErrorCode::ShapeMismatch)
+        if (acquired.code() == ErrorCode::ShapeMismatch)
             ++health_stats_.shape_mismatches;
         health.frame_dropped = true;
         ++health_stats_.dropped_frames;
         warnLimited("frame-dropped", "frame %ld unusable: %s", frame,
-                    acquired.status().toString().c_str());
+                    acquired.toString().c_str());
     }
 
     // --- Watchdog countdown ---
@@ -276,7 +296,7 @@ PredictThenFocusPipeline::processFrame(const Image &scene)
                 health.watchdog_retry = true;
                 ++health_stats_.watchdog_retries;
             }
-            refreshRoi(view, forced, health);
+            refreshRoi(ImageConstView::of(view_), forced, health);
             result.roi_refreshed = true;
         }
     }
@@ -300,7 +320,27 @@ PredictThenFocusPipeline::processFrame(const Image &scene)
 
     // --- Gaze (always finite) ---
     if (view_ok) {
-        dataset::GazeVec g = gaze_.predict(view.cropped(result.roi));
+        // In-bounds ROI: a strided view straight into the acquired
+        // frame, no crop copy. Out-of-bounds ROI: materialize the
+        // edge-clamped crop (Image::cropped semantics) in the frame
+        // arena. Bounds are tested with contains() up front — an
+        // out-of-bounds ROI is a routine steady-state event (the eye
+        // drifts to the frame border), and subview()'s typed error
+        // would heap-allocate its message on every such frame.
+        dataset::GazeVec g;
+        const ImageConstView src = ImageConstView::of(view_);
+        if (src.contains(result.roi)) {
+            g = gaze_.predict(src.subview(result.roi).value());
+        } else {
+            ImageView c =
+                arena_.allocImage(result.roi.height,
+                                  result.roi.width);
+            for (int y = 0; y < c.height(); ++y)
+                for (int x = 0; x < c.width(); ++x)
+                    c.at(y, x) = src.atClamped(result.roi.y + y,
+                                               result.roi.x + x);
+            g = gaze_.predict(c.asConst());
+        }
         if (!gazeFinite(g)) {
             g = has_last_gaze_ ? last_gaze_
                                : dataset::GazeVec{0, 0, 1};
@@ -313,8 +353,8 @@ PredictThenFocusPipeline::processFrame(const Image &scene)
             has_last_gaze_ = true;
         }
         result.gaze = g;
-        result.view = view;
-        last_view_ = view;
+        result.view = view_; // capacity-reusing copy-assign
+        last_view_ = view_;
     } else {
         result.gaze =
             has_last_gaze_ ? last_gaze_ : dataset::GazeVec{0, 0, 1};

@@ -17,6 +17,8 @@
 #include <memory>
 #include <optional>
 
+#include "common/buffer_arena.h"
+#include "common/image_view.h"
 #include "common/status.h"
 #include "dataset/sequence.h"
 #include "dataset/synthetic_eye.h"
@@ -185,6 +187,18 @@ class PredictThenFocusPipeline
     FrameResult processFrame(const Image &scene);
 
     /**
+     * Zero-copy variant of processFrame(): identical semantics and
+     * bitwise-identical outputs, but the result lives in a member
+     * slot (valid until the next processFrameRef/processFrame/reset
+     * call) and the per-frame scratch — acquired view, FlatCam
+     * measurement, clamped ROI crops — is served from the pipeline's
+     * buffer arena and capacity-reusing member images. Steady-state
+     * frames perform zero heap allocations. This is the serving-path
+     * entry point; processFrame() is a copying shim over it.
+     */
+    const FrameResult &processFrameRef(const Image &scene);
+
+    /**
      * Reset the full per-sequence state: ROI refresh chain, crop RNG,
      * sensor noise stream, the degradation state machine (fallback
      * ROIs, held gaze, watchdog backoff), and the health counters.
@@ -209,18 +223,29 @@ class PredictThenFocusPipeline
     /** Configuration in use. */
     const PipelineConfig &config() const { return cfg_; }
 
+    /**
+     * The per-pipeline frame arena (epoch-reset at the top of every
+     * processed frame); exposes pooling statistics for benches.
+     */
+    const BufferArena &arena() const { return arena_; }
+
     /** Direct access to the stages (for experiments). */
     const ClassicalSegmenter &segmenter() const { return segmenter_; }
     const RoiPredictor &roiPredictor() const { return roi_; }
     RidgeGazeEstimator &gazeEstimator() { return gaze_; }
 
   private:
-    /** Acquire one serving-path frame; typed errors, fault-injected. */
-    Result<Image> acquireFrame(const Image &scene, long frame,
-                               const flatcam::FrameFaults &faults);
+    /**
+     * Acquire one serving-path frame into @p view (capacity-reusing);
+     * typed errors, fault-injected. On error @p view is unspecified
+     * and must not be consumed.
+     */
+    Status acquireFrameInto(const Image &scene, long frame,
+                            const flatcam::FrameFaults &faults,
+                            Image *view);
 
     /** Run + gate segmentation; updates the ROI chain and watchdog. */
-    void refreshRoi(const Image &view, bool forced,
+    void refreshRoi(ImageConstView view, bool forced,
                     FrameHealth &health);
 
     /** Centered roi_height x roi_width crop of the scene extent. */
@@ -252,6 +277,14 @@ class PredictThenFocusPipeline
     long outage_start_ = -1;       ///< First frame of the current
                                    ///  degraded streak (-1 healthy).
     HealthStats health_stats_;
+
+    // Frame spine: pooled per-frame scratch. The arena is epoch-reset
+    // at the top of every frame; the member images reuse capacity, so
+    // steady-state frames never touch the heap.
+    BufferArena arena_;
+    Image view_;       ///< Acquired (reconstructed) frame scratch.
+    Image meas_;       ///< FlatCam measurement scratch.
+    FrameResult result_; ///< processFrameRef() result slot.
 };
 
 } // namespace eyetrack

@@ -141,9 +141,17 @@ largestComponent(int h, int w, const std::vector<char> &allowed)
 SegMask
 ClassicalSegmenter::segment(const Image &eye) const
 {
+    return segment(ImageConstView::of(eye));
+}
+
+SegMask
+ClassicalSegmenter::segment(ImageConstView eye) const
+{
     const int h = eye.height();
     const int w = eye.width();
-    Image img = eye;
+    Image img; // refresh-only working copy of the crop view
+    img.resetShape(h, w);
+    ImageView::of(img).copyFrom(eye);
 
     if (cfg_.quant_bits > 0) {
         const float levels = float((1 << cfg_.quant_bits) - 1);
@@ -310,13 +318,19 @@ NeuralSegmenter::NeuralSegmenter(NeuralSegmenterConfig cfg)
 SegMask
 NeuralSegmenter::segment(const Image &eye)
 {
-    const Image sized = (eye.height() == cfg_.height &&
-                         eye.width() == cfg_.width)
-                            ? eye
-                            : eye.resized(cfg_.height, cfg_.width);
-    nn::Tensor input(nn::Shape{1, cfg_.height, cfg_.width});
-    std::copy(sized.data().begin(), sized.data().end(),
-              input.data().begin());
+    return segment(ImageConstView::of(eye));
+}
+
+SegMask
+NeuralSegmenter::segment(ImageConstView eye)
+{
+    // Same-size inputs reduce to a copy inside resizeBilinearInto, so
+    // one path covers both cases of the old owning segment.
+    resizeBilinearInto(eye, cfg_.height, cfg_.width, &sized_);
+    input_.reset(nn::Shape{1, cfg_.height, cfg_.width});
+    std::copy(sized_.data().begin(), sized_.data().end(),
+              input_.data().begin());
+    input_ptrs_.assign(1, &input_);
 
     SegMask mask;
     mask.height = cfg_.height;
@@ -324,16 +338,16 @@ NeuralSegmenter::segment(const Image &eye)
     // Finite-checked execution: a NaN-poisoned input or activation
     // surfaces as a typed error; degrade to an all-background mask
     // (the ROI gate downstream treats it as a failed segmentation).
-    Result<nn::Tensor> logits = backend_->runChecked(plan_, {input});
-    if (!logits.ok()) {
+    Status status =
+        backend_->runCheckedInto(plan_, input_ptrs_, &logits_);
+    if (!status.isOk()) {
         warnLimited("neural-seg-fault", "segmentation degraded: %s",
-                    logits.status().toString().c_str());
+                    status.toString().c_str());
         mask.labels.assign(size_t(cfg_.height) * size_t(cfg_.width),
                            uint8_t(dataset::kBackground));
         return mask;
     }
-    const std::vector<int> classes =
-        nn::channelArgmax(logits.value());
+    const std::vector<int> classes = nn::channelArgmax(logits_);
     mask.labels.resize(classes.size());
     for (size_t i = 0; i < classes.size(); ++i)
         mask.labels[i] = uint8_t(classes[i]);

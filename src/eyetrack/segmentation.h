@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "common/image.h"
+#include "common/image_view.h"
 #include "dataset/synthetic_eye.h"
 #include "nn/runtime.h"
 
@@ -63,6 +64,15 @@ class ClassicalSegmenter
      */
     dataset::SegMask segment(const Image &eye) const;
 
+    /**
+     * View-based segmentation: the eye crop arrives as a (possibly
+     * strided) view straight off the frame spine. Bitwise-identical
+     * to the owning-image overload. Segmentation runs only on ROI
+     * refresh frames, so its internal scratch is allocated per call
+     * rather than pooled.
+     */
+    dataset::SegMask segment(ImageConstView eye) const;
+
     /** Configuration in use. */
     const SegmenterConfig &config() const { return cfg_; }
 
@@ -100,6 +110,14 @@ class NeuralSegmenter
      */
     dataset::SegMask segment(const Image &eye);
 
+    /**
+     * View-based segmentation: the crop arrives as a view, the
+     * network input tensor is a persistent member handed to
+     * Backend::runCheckedInto without copy-in. Bitwise-identical to
+     * the owning-image overload.
+     */
+    dataset::SegMask segment(ImageConstView eye);
+
     /** Arena/liveness accounting of the underlying plan. */
     const nn::PlanStats &planStats() const { return plan_.stats(); }
 
@@ -117,6 +135,13 @@ class NeuralSegmenter
     nn::Graph graph_;       ///< Must outlive plan_.
     nn::ExecutionPlan plan_;
     std::unique_ptr<nn::Backend> backend_;
+
+    // Persistent inference scratch: resized crop, input tensor handed
+    // to the backend by pointer, input pointer list, output logits.
+    Image sized_;
+    nn::Tensor input_;
+    std::vector<const nn::Tensor *> input_ptrs_;
+    nn::Tensor logits_;
 };
 
 /**

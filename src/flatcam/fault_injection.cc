@@ -124,19 +124,53 @@ FaultInjector::plan(long frame) const
     return f;
 }
 
+namespace {
+
+/** Min / max over a strided view (same scan order as Image::data()). */
+float
+viewMin(ImageConstView v)
+{
+    float best = v.at(0, 0);
+    for (int y = 0; y < v.height(); ++y)
+        for (int x = 0; x < v.width(); ++x)
+            best = std::min(best, v.at(y, x));
+    return best;
+}
+
+float
+viewMax(ImageConstView v)
+{
+    float best = v.at(0, 0);
+    for (int y = 0; y < v.height(); ++y)
+        for (int x = 0; x < v.width(); ++x)
+            best = std::max(best, v.at(y, x));
+    return best;
+}
+
+} // namespace
+
 void
 FaultInjector::applySensorFaults(const FrameFaults &faults, long frame,
                                  Image &measurement) const
 {
     if (measurement.size() == 0)
         return;
+    applySensorFaults(faults, frame, ImageView::of(measurement));
+}
+
+void
+FaultInjector::applySensorFaults(const FrameFaults &faults, long frame,
+                                 ImageView measurement) const
+{
+    if (measurement.empty())
+        return;
     const int h = measurement.height();
     const int w = measurement.width();
     // Dynamic range of this frame, used to scale fault magnitudes so
     // the same config works on [0,1] scene views and on multiplexed
     // sensor measurements with arbitrary scale.
-    const float lo = measurement.minValue();
-    const float hi = measurement.maxValue();
+    const float lo = viewMin(measurement);
+    const float hi = viewMax(measurement);
     const float range = std::max(1e-6f, hi - lo);
 
     if (faults.has(FaultKind::DeadPixelBlock)) {
@@ -160,8 +194,10 @@ FaultInjector::applySensorFaults(const FrameFaults &faults, long frame,
     }
     if (faults.has(FaultKind::Saturation)) {
         const float knee = lo + float(cfg_.saturation_knee) * range;
-        for (float &v : measurement.data())
-            v = std::min(v, knee);
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                measurement.at(y, x) =
+                    std::min(measurement.at(y, x), knee);
     }
     if (faults.has(FaultKind::BurstNoise)) {
         Rng rng = frameRng(frame, 0xb0457);
@@ -179,7 +215,16 @@ void
 FaultInjector::applyViewFaults(const FrameFaults &faults, long frame,
                                Image &view) const
 {
-    if (view.size() == 0 || !faults.has(FaultKind::NanPoison))
+    if (view.size() == 0)
+        return;
+    applyViewFaults(faults, frame, ImageView::of(view));
+}
+
+void
+FaultInjector::applyViewFaults(const FrameFaults &faults, long frame,
+                               ImageView view) const
+{
+    if (view.empty() || !faults.has(FaultKind::NanPoison))
         return;
     Rng rng = frameRng(frame, 0x9a9);
     const auto [oy, ox] = blockOrigin(rng, view.height(), view.width(),

@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "common/image.h"
+#include "common/image_view.h"
 #include "common/rng.h"
 
 namespace eyecod {
@@ -114,12 +115,20 @@ class FaultInjector
      * DroppedFrame and NanPoison are not handled here.
      */
     void applySensorFaults(const FrameFaults &faults, long frame,
+                           ImageView measurement) const;
+
+    /** Owning-image shim over the view overload. */
+    void applySensorFaults(const FrameFaults &faults, long frame,
                            Image &measurement) const;
 
     /**
      * Apply the reconstruction-domain faults (NanPoison) planned for
      * @p frame to the reconstructed @p view in place.
      */
+    void applyViewFaults(const FrameFaults &faults, long frame,
+                         ImageView view) const;
+
+    /** Owning-image shim over the view overload. */
     void applyViewFaults(const FrameFaults &faults, long frame,
                          Image &view) const;
 

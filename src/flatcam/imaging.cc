@@ -8,7 +8,8 @@ namespace eyecod {
 namespace flatcam {
 
 FlatCamSensor::FlatCamSensor(SeparableMask mask, SensorNoise noise)
-    : mask_(std::move(mask)), noise_(noise), rng_(noise.seed)
+    : mask_(std::move(mask)), phi_r_t_(mask_.phiR.transposed()),
+      noise_(noise), rng_(noise.seed)
 {
 }
 
@@ -20,12 +21,26 @@ FlatCamSensor::capture(const Image &scene) const
                   "scene shape %dx%d != mask scene extent %dx%d",
                   scene.height(), scene.width(),
                   sceneRows(), sceneCols());
-    return multiplex(scene);
+    Image y;
+    multiplexInto(ImageConstView::of(scene), &y);
+    return y;
 }
 
 Result<Image>
 FlatCamSensor::captureFrame(const Image &scene,
                             long frame_index) const
+{
+    Image y;
+    Status status =
+        captureFrameInto(ImageConstView::of(scene), frame_index, &y);
+    if (!status.isOk())
+        return status;
+    return y;
+}
+
+Status
+FlatCamSensor::captureFrameInto(ImageConstView scene,
+                                long frame_index, Image *out) const
 {
     if (scene.height() != sceneRows() || scene.width() != sceneCols())
         return Status::error(
@@ -42,10 +57,10 @@ FlatCamSensor::captureFrame(const Image &scene,
                              "frame %ld dropped by sensor",
                              frame_index);
 
-    Image y = multiplex(scene);
+    multiplexInto(scene, out);
     if (injector_)
-        injector_->applySensorFaults(faults, frame_index, y);
-    return y;
+        injector_->applySensorFaults(faults, frame_index, *out);
+    return Status::ok();
 }
 
 void
@@ -54,46 +69,61 @@ FlatCamSensor::resetNoise()
     rng_ = Rng(noise_.seed);
 }
 
-Image
-FlatCamSensor::multiplex(const Image &scene) const
+void
+FlatCamSensor::multiplexInto(ImageConstView scene, Image *out) const
 {
-    const Matrix x = imageToMatrix(scene);
-    Matrix y = mask_.phiL.multiply(x).multiply(mask_.phiR.transposed());
+    imageToMatrixInto(scene, &scene_mat_);
+    mask_.phiL.multiplyInto(scene_mat_, &left_prod_);
+    left_prod_.multiplyInto(phi_r_t_, &measurement_);
 
     // Shot noise: model each measurement as a scaled Poisson count.
     if (noise_.shot_noise_scale > 0.0) {
         const double scale = noise_.shot_noise_scale;
-        for (double &v : y.data()) {
+        for (double &v : measurement_.data()) {
             const double photons = std::max(0.0, v) * scale;
             v = double(rng_.poisson(photons)) / scale;
         }
     }
     // Additive Gaussian read noise.
     if (noise_.read_noise > 0.0) {
-        for (double &v : y.data())
+        for (double &v : measurement_.data())
             v += rng_.gaussian(0.0, noise_.read_noise);
     }
-    return matrixToImage(y);
+    matrixToImageInto(measurement_, out);
 }
 
 Matrix
 imageToMatrix(const Image &img)
 {
-    Matrix m(size_t(img.height()), size_t(img.width()));
+    Matrix m;
+    imageToMatrixInto(ImageConstView::of(img), &m);
+    return m;
+}
+
+void
+imageToMatrixInto(ImageConstView img, Matrix *out)
+{
+    out->resetShape(size_t(img.height()), size_t(img.width()));
     for (int y = 0; y < img.height(); ++y)
         for (int x = 0; x < img.width(); ++x)
-            m(size_t(y), size_t(x)) = img.at(y, x);
-    return m;
+            (*out)(size_t(y), size_t(x)) = img.at(y, x);
 }
 
 Image
 matrixToImage(const Matrix &m)
 {
-    Image img(int(m.rows()), int(m.cols()));
+    Image img;
+    matrixToImageInto(m, &img);
+    return img;
+}
+
+void
+matrixToImageInto(const Matrix &m, Image *out)
+{
+    out->resetShape(int(m.rows()), int(m.cols()));
     for (size_t y = 0; y < m.rows(); ++y)
         for (size_t x = 0; x < m.cols(); ++x)
-            img.at(int(y), int(x)) = float(m(y, x));
-    return img;
+            out->at(int(y), int(x)) = float(m(y, x));
 }
 
 } // namespace flatcam

@@ -4,6 +4,12 @@
  * matrices of Eq. (1) to a scene and adds sensor noise (Gaussian read
  * noise plus optional Poisson shot noise), producing the multiplexed
  * measurement a real FlatCam sensor would record.
+ *
+ * The *Into capture path is the zero-copy spine: it takes the scene
+ * as a non-owning view, runs the forward model through per-sensor
+ * matrix scratch (warmed once, reused every frame), and writes the
+ * measurement into a caller-owned image — zero heap allocations in
+ * steady state. The owning APIs remain as thin shims over it.
  */
 
 #ifndef EYECOD_FLATCAM_IMAGING_H
@@ -12,6 +18,7 @@
 #include <cstdint>
 
 #include "common/image.h"
+#include "common/image_view.h"
 #include "common/status.h"
 #include "flatcam/fault_injection.h"
 #include "flatcam/mask.h"
@@ -54,9 +61,20 @@ class FlatCamSensor
      * attached, its schedule entry for @p frame_index is applied:
      * a dropped frame returns FrameDropped, pixel-level faults
      * corrupt the returned measurement in place.
+     *
+     * Thin shim over captureFrameInto().
      */
     Result<Image> captureFrame(const Image &scene,
                                long frame_index) const;
+
+    /**
+     * Zero-copy captureFrame: the scene arrives as a view and the
+     * measurement lands in @p out (buffer reused across frames).
+     * Bitwise-identical to captureFrame(); on error @p out is left
+     * unspecified.
+     */
+    Status captureFrameInto(ImageConstView scene, long frame_index,
+                            Image *out) const;
 
     /**
      * Attach a fault injector consulted by captureFrame(); pass
@@ -90,19 +108,35 @@ class FlatCamSensor
 
   private:
     /** The noisy forward model, shared by both capture paths. */
-    Image multiplex(const Image &scene) const;
+    void multiplexInto(ImageConstView scene, Image *out) const;
 
     SeparableMask mask_;
+    Matrix phi_r_t_; ///< PhiR^T, cached at construction.
     SensorNoise noise_;
     mutable Rng rng_;
     const FaultInjector *injector_ = nullptr;
+
+    // Per-frame forward-model scratch, warmed on the first capture
+    // and reused afterwards. mutable for the same reason rng_ is:
+    // capture is logically const, the scratch is not observable
+    // state. A sensor is owned by one pipeline and never shared
+    // across threads (the RNG already forbids that).
+    mutable Matrix scene_mat_;  ///< x (scene as doubles).
+    mutable Matrix left_prod_;  ///< PhiL * x.
+    mutable Matrix measurement_; ///< (PhiL * x) * PhiR^T, then noise.
 };
 
 /** Convert an Image to a Matrix (double). */
 Matrix imageToMatrix(const Image &img);
 
+/** Convert a view to a Matrix (double), reusing @p out's buffer. */
+void imageToMatrixInto(ImageConstView img, Matrix *out);
+
 /** Convert a Matrix to an Image (float), without rescaling. */
 Image matrixToImage(const Matrix &m);
+
+/** Matrix-to-Image conversion reusing @p out's buffer. */
+void matrixToImageInto(const Matrix &m, Image *out);
 
 } // namespace flatcam
 } // namespace eyecod

@@ -22,10 +22,20 @@ FlatCamReconstructor::FlatCamReconstructor(const SeparableMask &mask,
     ur_ = std::move(right.u);
     vr_ = std::move(right.v);
     sr_ = std::move(right.s);
+    vr_t_ = vr_.transposed();
 }
 
 Image
 FlatCamReconstructor::reconstruct(const Image &measurement) const
+{
+    Image out;
+    reconstructInto(ImageConstView::of(measurement), &out);
+    return out;
+}
+
+void
+FlatCamReconstructor::reconstructInto(ImageConstView measurement,
+                                      Image *out) const
 {
     eyecod_assert(size_t(measurement.height()) == ul_t_.cols() &&
                   size_t(measurement.width()) == ur_.rows(),
@@ -33,26 +43,39 @@ FlatCamReconstructor::reconstruct(const Image &measurement) const
                   measurement.height(), measurement.width(),
                   ul_t_.cols(), ur_.rows());
 
-    const Matrix y = imageToMatrix(measurement);
+    imageToMatrixInto(measurement, &meas_mat_);
     // Yhat = Ul^T y Ur.
-    Matrix yhat = ul_t_.multiply(y).multiply(ur_);
+    ul_t_.multiplyInto(meas_mat_, &left_prod_);
+    left_prod_.multiplyInto(ur_, &yhat_);
     // Element-wise Tikhonov filter.
-    for (size_t i = 0; i < yhat.rows(); ++i) {
-        for (size_t j = 0; j < yhat.cols(); ++j) {
+    for (size_t i = 0; i < yhat_.rows(); ++i) {
+        for (size_t j = 0; j < yhat_.cols(); ++j) {
             const double sl = sl_[i];
             const double sr = sr_[j];
-            yhat(i, j) *= sl * sr / (sl * sl * sr * sr + epsilon_);
+            yhat_(i, j) *= sl * sr / (sl * sl * sr * sr + epsilon_);
         }
     }
     // X = Vl Xhat Vr^T.
-    Matrix x = vl_.multiply(yhat).multiply(vr_.transposed());
-    Image out = matrixToImage(x);
-    out.clamp(0.0f, 1.0f);
-    return out;
+    vl_.multiplyInto(yhat_, &vl_prod_);
+    vl_prod_.multiplyInto(vr_t_, &scene_mat_);
+    matrixToImageInto(scene_mat_, out);
+    out->clamp(0.0f, 1.0f);
 }
 
 Result<Image>
 FlatCamReconstructor::reconstructFrame(const Image &measurement) const
+{
+    Image out;
+    Status status =
+        reconstructFrameInto(ImageConstView::of(measurement), &out);
+    if (!status.isOk())
+        return status;
+    return out;
+}
+
+Status
+FlatCamReconstructor::reconstructFrameInto(ImageConstView measurement,
+                                           Image *out) const
 {
     if (size_t(measurement.height()) != ul_t_.cols() ||
         size_t(measurement.width()) != ur_.rows())
@@ -61,14 +84,17 @@ FlatCamReconstructor::reconstructFrame(const Image &measurement) const
             "measurement shape %dx%d != sensor extent %zux%zu",
             measurement.height(), measurement.width(), ul_t_.cols(),
             ur_.rows());
-    for (const float v : measurement.data()) {
-        if (!std::isfinite(v))
-            return Status::error(
-                ErrorCode::NonFinite,
-                "non-finite sensor measurement; reconstruction "
-                "would corrupt the whole scene");
+    for (int y = 0; y < measurement.height(); ++y) {
+        for (int x = 0; x < measurement.width(); ++x) {
+            if (!std::isfinite(measurement.at(y, x)))
+                return Status::error(
+                    ErrorCode::NonFinite,
+                    "non-finite sensor measurement; reconstruction "
+                    "would corrupt the whole scene");
+        }
     }
-    return reconstruct(measurement);
+    reconstructInto(measurement, out);
+    return Status::ok();
 }
 
 long long

@@ -20,6 +20,7 @@
 #define EYECOD_FLATCAM_RECONSTRUCTION_H
 
 #include "common/image.h"
+#include "common/image_view.h"
 #include "common/matrix.h"
 #include "common/status.h"
 #include "flatcam/mask.h"
@@ -55,8 +56,25 @@ class FlatCamReconstructor
      * ShapeMismatch status instead of aborting, and a measurement
      * containing non-finite values returns NonFinite (the separable
      * inverse would smear a single NaN across the whole scene).
+     *
+     * Thin shim over reconstructFrameInto().
      */
     Result<Image> reconstructFrame(const Image &measurement) const;
+
+    /**
+     * Zero-copy reconstruction: the measurement arrives as a view
+     * and the scene estimate lands in @p out (buffer reused across
+     * frames). Bitwise-identical to reconstruct(); panics on a
+     * mis-sized measurement like reconstruct().
+     */
+    void reconstructInto(ImageConstView measurement, Image *out) const;
+
+    /**
+     * Zero-copy reconstructFrame: checked variant of
+     * reconstructInto(); on error @p out is left unspecified.
+     */
+    Status reconstructFrameInto(ImageConstView measurement,
+                                Image *out) const;
 
     /** Regularization weight in use. */
     double epsilon() const { return epsilon_; }
@@ -77,8 +95,19 @@ class FlatCamReconstructor
     Matrix ur_;   ///< Ur (sensor_cols x k_r).
     Matrix vl_;   ///< Vl (scene_rows x k_l).
     Matrix vr_;   ///< Vr (scene_cols x k_r).
+    Matrix vr_t_; ///< Vr^T, cached at construction.
     std::vector<double> sl_; ///< Left singular values.
     std::vector<double> sr_; ///< Right singular values.
+
+    // Per-frame reconstruction scratch, warmed on the first frame and
+    // reused afterwards; not observable state, hence mutable. A
+    // reconstructor is owned by one pipeline and never shared across
+    // threads.
+    mutable Matrix meas_mat_;  ///< y (measurement as doubles).
+    mutable Matrix left_prod_; ///< Ul^T * y.
+    mutable Matrix yhat_;      ///< Ul^T y Ur, then the filter.
+    mutable Matrix vl_prod_;   ///< Vl * Xhat.
+    mutable Matrix scene_mat_; ///< (Vl Xhat) * Vr^T.
 };
 
 } // namespace flatcam

@@ -26,6 +26,22 @@ initWeights(std::vector<float> &w, double fan_in, uint64_t seed,
     }
 }
 
+/**
+ * Per-thread accumulator scratch for the conv kernels, grown to at
+ * least @p count doubles and reused across calls. Hoisting it out of
+ * the parallelFor chunk lambdas keeps the steady-state inference
+ * path free of heap allocations (each worker thread reuses its own
+ * buffer; contents are overwritten before every use).
+ */
+std::vector<double> &
+accScratch(size_t count)
+{
+    thread_local std::vector<double> acc;
+    if (acc.size() < count)
+        acc.resize(count);
+    return acc;
+}
+
 } // namespace
 
 Conv2d::Conv2d(std::string name, const ConvSpec &spec)
@@ -137,9 +153,9 @@ Conv2d::forward(const std::vector<const Tensor *> &in, Tensor &out,
         // result is bitwise identical to it.
         ctx.parallelFor(out_shape.c, 1, [&](long oc_begin,
                                             long oc_end) {
-            std::vector<double> acc(out_plane);
+            std::vector<double> &acc = accScratch(out_plane);
             for (long oc = oc_begin; oc < oc_end; ++oc) {
-                std::fill(acc.begin(), acc.end(),
+                std::fill(acc.data(), acc.data() + out_plane,
                           double(bias_[size_t(oc)]));
                 const float *wrow =
                     &weights_[size_t(oc) * ic_count];
@@ -184,7 +200,7 @@ Conv2d::forward(const std::vector<const Tensor *> &in, Tensor &out,
     const long grain =
         std::max(1L, rows / (long(ctx.concurrency()) * 8));
     ctx.parallelFor(rows, grain, [&](long begin, long end) {
-        std::vector<double> acc(size_t(out_shape.w));
+        std::vector<double> &acc = accScratch(size_t(out_shape.w));
         for (long r = begin; r < end; ++r) {
             const int oc = int(r / out_shape.h);
             const int oy = int(r % out_shape.h);
@@ -195,7 +211,7 @@ Conv2d::forward(const std::vector<const Tensor *> &in, Tensor &out,
                           size_t(oy) * out_shape.w;
             const int ky_lo = std::max(0, pad - oy * s);
             const int ky_hi = std::min(k, in_h + pad - oy * s);
-            std::fill(acc.begin(), acc.end(),
+            std::fill(acc.data(), acc.data() + out_shape.w,
                       double(bias_[size_t(oc)]));
             for (int g = 0; g < ic_count; ++g) {
                 const float *iplane =

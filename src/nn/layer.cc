@@ -8,18 +8,11 @@ namespace eyecod {
 namespace nn {
 
 void
-ExecContext::parallelFor(
+ExecContext::poolParallelFor(
     long n, long grain,
     const std::function<void(long, long)> &body) const
 {
-    if (pool) {
-        pool->parallelFor(n, grain, body);
-        return;
-    }
-    if (grain < 1)
-        grain = 1;
-    for (long begin = 0; begin < n; begin += grain)
-        body(begin, std::min(n, begin + grain));
+    pool->parallelFor(n, grain, body);
 }
 
 int

@@ -12,6 +12,7 @@
 #ifndef EYECOD_NN_LAYER_H
 #define EYECOD_NN_LAYER_H
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -46,12 +47,35 @@ struct ExecContext
      * (one chunk-at-a-time, in order) when pool is null; otherwise
      * delegates to the pool, whose chunk boundaries are independent
      * of thread count. Chunks must write disjoint outputs.
+     *
+     * Templated on the body so the serial path invokes the lambda
+     * directly — no std::function wrapper, no heap allocation per
+     * call (the serial backend's steady-state zero-alloc contract).
+     * The pool path type-erases once per call, on top of the pool's
+     * own dispatch cost.
      */
-    void parallelFor(long n, long grain,
-                     const std::function<void(long, long)> &body) const;
+    template <typename Body>
+    void
+    parallelFor(long n, long grain, const Body &body) const
+    {
+        if (pool) {
+            poolParallelFor(n, grain, body);
+            return;
+        }
+        if (grain < 1)
+            grain = 1;
+        for (long begin = 0; begin < n; begin += grain)
+            body(begin, std::min(n, begin + grain));
+    }
 
     /** Worker count of the backing pool (1 when serial). */
     int concurrency() const;
+
+  private:
+    /** Pool-backed dispatch (type-erasing); pool must be non-null. */
+    void poolParallelFor(long n, long grain,
+                         const std::function<void(long, long)> &body)
+        const;
 };
 
 /** The layer taxonomy of Sec. 5.1 Challenge #II. */

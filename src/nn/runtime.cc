@@ -112,7 +112,7 @@ firstNonFinite(const Tensor &t)
 
 Status
 Backend::runImpl(const ExecutionPlan &plan,
-                 const std::vector<Tensor> &inputs,
+                 const std::vector<const Tensor *> &inputs,
                  bool finite_checks, Tensor *out_tensor)
 {
     const Graph &graph = plan.graph();
@@ -123,11 +123,11 @@ Backend::runImpl(const ExecutionPlan &plan,
                              graph.name().c_str(), input_ids.size(),
                              inputs.size());
     for (size_t i = 0; i < input_ids.size(); ++i) {
-        if (!(inputs[i].shape() == graph.nodeShape(input_ids[i])))
+        if (!(inputs[i]->shape() == graph.nodeShape(input_ids[i])))
             return Status::error(ErrorCode::ShapeMismatch,
                                  "graph %s input %zu shape mismatch",
                                  graph.name().c_str(), i);
-        if (finite_checks && firstNonFinite(inputs[i]) >= 0)
+        if (finite_checks && firstNonFinite(*inputs[i]) >= 0)
             return Status::error(
                 ErrorCode::NonFinite,
                 "graph %s input %zu contains non-finite values",
@@ -143,14 +143,14 @@ Backend::runImpl(const ExecutionPlan &plan,
 
     ExecContext ctx{pool()};
     ctx.finite_checks = finite_checks;
-    std::vector<const Tensor *> args;
+    std::vector<const Tensor *> &args = args_scratch_;
     for (const ExecutionPlan::Step &step : plan.steps()) {
         args.clear();
         args.reserve(step.arg_nodes.size());
         for (int p : step.arg_nodes) {
             const int input_idx = plan.inputIndex(p);
             args.push_back(input_idx >= 0
-                               ? &inputs[size_t(input_idx)]
+                               ? inputs[size_t(input_idx)]
                                : &arena_[size_t(plan.valueSlot(p))]);
         }
         Tensor &out = arena_[size_t(step.slot)];
@@ -173,8 +173,10 @@ Backend::runImpl(const ExecutionPlan &plan,
     if (plan.steps().empty()) {
         // Degenerate graph of inputs only: echo the last node.
         const int last = int(graph.numNodes()) - 1;
-        *out_tensor = inputs[size_t(plan.inputIndex(last))];
+        *out_tensor = *inputs[size_t(plan.inputIndex(last))];
     } else {
+        // Copy-out (capacity-reusing for a warm @p out_tensor): the
+        // arena slot is recycled by the next run.
         *out_tensor = arena_[size_t(plan.steps().back().slot)];
     }
     return Status::ok();
@@ -184,8 +186,12 @@ Tensor
 Backend::run(const ExecutionPlan &plan,
              const std::vector<Tensor> &inputs)
 {
+    input_ptrs_scratch_.clear();
+    for (const Tensor &t : inputs)
+        input_ptrs_scratch_.push_back(&t);
     Tensor out;
-    const Status status = runImpl(plan, inputs, false, &out);
+    const Status status =
+        runImpl(plan, input_ptrs_scratch_, false, &out);
     if (!status.isOk())
         panic("Backend::run: %s", status.toString().c_str());
     return out;
@@ -195,11 +201,22 @@ Result<Tensor>
 Backend::runChecked(const ExecutionPlan &plan,
                     const std::vector<Tensor> &inputs)
 {
+    input_ptrs_scratch_.clear();
+    for (const Tensor &t : inputs)
+        input_ptrs_scratch_.push_back(&t);
     Tensor out;
-    Status status = runImpl(plan, inputs, true, &out);
+    Status status = runImpl(plan, input_ptrs_scratch_, true, &out);
     if (!status.isOk())
         return status;
     return out;
+}
+
+Status
+Backend::runCheckedInto(const ExecutionPlan &plan,
+                        const std::vector<const Tensor *> &inputs,
+                        Tensor *out)
+{
+    return runImpl(plan, inputs, true, out);
 }
 
 std::string

@@ -146,6 +146,19 @@ class Backend
                               const std::vector<Tensor> &inputs);
 
     /**
+     * Zero-copy checked execution: inputs arrive as pointers to
+     * caller-owned (typically arena- or member-backed) tensors — no
+     * copy-in — and the output lands in @p out, whose buffer is
+     * reused across calls. Bitwise-identical to runChecked(); on
+     * error @p out is left unspecified. This is the steady-state
+     * serving entry point.
+     */
+    [[nodiscard]] Status
+    runCheckedInto(const ExecutionPlan &plan,
+                   const std::vector<const Tensor *> &inputs,
+                   Tensor *out);
+
+    /**
      * Observer/perturbation hook invoked on every step's output right
      * after the layer computes it (and before the finite check in
      * runChecked). The fault-injection harness uses it to model
@@ -168,9 +181,9 @@ class Backend
     virtual ThreadPool *pool() { return nullptr; }
 
   private:
-    /** Shared executor behind run() and runChecked(). */
+    /** Shared executor behind every run entry point. */
     Status runImpl(const ExecutionPlan &plan,
-                   const std::vector<Tensor> &inputs,
+                   const std::vector<const Tensor *> &inputs,
                    bool finite_checks, Tensor *out);
 
     /** Arena reused across run() calls; rebuilt when the plan
@@ -178,6 +191,10 @@ class Backend
     std::vector<Tensor> arena_;
     const ExecutionPlan *arena_plan_ = nullptr;
     ActivationTap tap_;
+    /** Per-step argument pointers, reused across runs. */
+    std::vector<const Tensor *> args_scratch_;
+    /** Input pointers built by the owning-vector entry points. */
+    std::vector<const Tensor *> input_ptrs_scratch_;
 };
 
 /** Single-threaded reference backend. */

@@ -293,10 +293,14 @@ ServingEngine::runTick()
     // frames, one batch per idle chip, in earliest-deadline order
     // (uniform relative deadlines => earliest arrival, ties by
     // session id). Frames left behind wait in their bounded queues —
-    // that is the backpressure path.
-    std::vector<PendingFrame> dispatched;
-    std::vector<Batch> batches;
-    std::vector<char> chip_taken(size_t(pool_.chips()), 0);
+    // that is the backpressure path. All scratch is member state
+    // reused tick over tick (capacity-retaining clears), so a warm
+    // scheduler tick performs no heap allocation.
+    std::vector<PendingFrame> &dispatched = dispatched_;
+    dispatched.clear();
+    num_batches_ = 0;
+    chip_taken_.assign(size_t(pool_.chips()), 0);
+    std::vector<char> &chip_taken = chip_taken_;
     for (;;) {
         int chip = -1;
         for (int c = 0; c < pool_.chips(); ++c) {
@@ -307,8 +311,11 @@ ServingEngine::runTick()
         }
         if (chip < 0)
             break;
-        Batch batch;
+        if (num_batches_ == batches_.size())
+            batches_.emplace_back();
+        Batch &batch = batches_[num_batches_];
         batch.chip = chip;
+        batch.items.clear();
         for (int b = 0; b < cfg_.max_batch; ++b) {
             int best = -1;
             long long best_arrival = 0;
@@ -335,14 +342,14 @@ ServingEngine::runTick()
             eyecod_assert(popped,
                           "scheduler pop raced an empty queue "
                           "(session %d)", best);
-            pf.batch = int(batches.size());
+            pf.batch = int(num_batches_);
             batch.items.push_back(dispatched.size());
             dispatched.push_back(pf);
         }
         if (batch.items.empty())
             break;
         chip_taken[size_t(chip)] = 1;
-        batches.push_back(std::move(batch));
+        ++num_batches_;
     }
     if (dispatched.empty())
         return;
@@ -352,22 +359,25 @@ ServingEngine::runTick()
     // thread, and chunk boundaries depend only on the (serial,
     // deterministic) phase-1 outcome, so the gaze streams are
     // bitwise independent of the scheduler thread count.
-    std::vector<std::pair<int, std::vector<size_t>>> by_session;
+    num_groups_ = 0;
     for (size_t i = 0; i < dispatched.size(); ++i) {
         const int s = dispatched[i].session;
-        auto it = std::find_if(
-            by_session.begin(), by_session.end(),
-            [s](const auto &g) { return g.first == s; });
-        if (it == by_session.end()) {
-            by_session.emplace_back(s, std::vector<size_t>{});
-            it = by_session.end() - 1;
+        size_t g = 0;
+        while (g < num_groups_ && by_session_[g].first != s)
+            ++g;
+        if (g == num_groups_) {
+            if (num_groups_ == by_session_.size())
+                by_session_.emplace_back(s, std::vector<size_t>{});
+            by_session_[g].first = s;
+            by_session_[g].second.clear();
+            ++num_groups_;
         }
-        it->second.push_back(i);
+        by_session_[g].second.push_back(i);
     }
     sched_pool_.parallelFor(
-        long(by_session.size()), 1, [&](long lo, long hi) {
+        long(num_groups_), 1, [&](long lo, long hi) {
             for (long g = lo; g < hi; ++g) {
-                const auto &group = by_session[size_t(g)];
+                const auto &group = by_session_[size_t(g)];
                 Session &sess = *sessions_[size_t(group.first)];
                 for (size_t idx : group.second) {
                     PendingFrame &pf = dispatched[idx];
@@ -389,12 +399,12 @@ ServingEngine::runTick()
         });
 
     // --- Phase 3 (serial): timing + metrics, in batch order.
-    for (const Batch &batch : batches) {
-        std::vector<double> costs;
-        costs.reserve(batch.items.size());
+    for (size_t bi = 0; bi < num_batches_; ++bi) {
+        const Batch &batch = batches_[bi];
+        costs_.clear();
         for (size_t idx : batch.items)
-            costs.push_back(dispatched[idx].cost_us);
-        const double service = pool_.batchServiceUs(costs);
+            costs_.push_back(dispatched[idx].cost_us);
+        const double service = pool_.batchServiceUs(costs_);
         const long long completion =
             pool_.dispatch(batch.chip, now, service);
         last_completion_us_ =
@@ -431,6 +441,13 @@ ServingEngine::fleetMetrics() const
         f.queue_drops += m.queue_drops;
         f.pipeline_drops += m.pipeline_drops;
         f.deadline_misses += m.deadline_misses;
+        f.steady_frames += m.steady_frames;
+        f.steady_allocs += m.steady_allocs;
+        f.refresh_frames += m.refresh_frames;
+        f.refresh_allocs += m.refresh_allocs;
+        f.peak_arena_bytes = std::max(
+            f.peak_arena_bytes,
+            (long long)sess->arenaStats().peak_epoch_bytes);
         merged.merge(m.latency_hist);
         latency_weighted +=
             m.latency_us.mean() * double(m.latency_us.count());
@@ -487,6 +504,12 @@ ServingEngine::exportMetrics(PerfJson &json,
     json.set(section, "p95_latency_us", f.p95_latency_us);
     json.set(section, "p99_latency_us", f.p99_latency_us);
     json.set(section, "makespan_us", double(f.makespan_us));
+    json.set(section, "steady_frames", double(f.steady_frames));
+    json.set(section, "steady_allocs", double(f.steady_allocs));
+    json.set(section, "refresh_frames", double(f.refresh_frames));
+    json.set(section, "refresh_allocs", double(f.refresh_allocs));
+    json.set(section, "peak_arena_bytes",
+             double(f.peak_arena_bytes));
 
     for (int id = 0; id < sessionCount(); ++id) {
         const SessionMetrics &m = sessionMetrics(id);
@@ -501,6 +524,12 @@ ServingEngine::exportMetrics(PerfJson &json,
                  double(m.max_queue_depth));
         json.set(sub, "p50_latency_us", m.latency_hist.p50());
         json.set(sub, "p99_latency_us", m.latency_hist.p99());
+        json.set(sub, "steady_frames", double(m.steady_frames));
+        json.set(sub, "steady_allocs", double(m.steady_allocs));
+        json.set(sub, "refresh_allocs", double(m.refresh_allocs));
+        json.set(sub, "arena_peak_bytes",
+                 double(sessionRef(id).arenaStats()
+                            .peak_epoch_bytes));
     }
 }
 

@@ -98,6 +98,14 @@ struct FleetMetrics
     double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
     long long makespan_us = 0;       ///< Last completion timestamp.
+    // Memory-spine accounting (see SessionMetrics): heap allocations
+    // on steady (gaze-only) vs refresh/dropped frames, summed over
+    // sessions, and the largest per-session arena epoch footprint.
+    long long steady_frames = 0;
+    long long steady_allocs = 0;
+    long long refresh_frames = 0;
+    long long refresh_allocs = 0;
+    long long peak_arena_bytes = 0;  ///< Max over sessions.
 };
 
 /**
@@ -247,6 +255,18 @@ class ServingEngine
     long long rejected_sessions_ = 0;
     long long closed_sessions_ = 0;
     bool stopped_ = false;
+
+    // Tick scratch, reused across runTick() calls so the scheduler's
+    // serial phases allocate nothing in steady state. Pooled entries
+    // (batches_, by_session_) keep their inner vectors' capacity and
+    // are bounded by num_batches_ / num_groups_ each tick.
+    std::vector<PendingFrame> dispatched_;
+    std::vector<Batch> batches_;
+    size_t num_batches_ = 0;
+    std::vector<char> chip_taken_;
+    std::vector<double> costs_;
+    std::vector<std::pair<int, std::vector<size_t>>> by_session_;
+    size_t num_groups_ = 0;
 };
 
 } // namespace serve

@@ -6,7 +6,7 @@ namespace eyecod {
 namespace serve {
 
 BoundedFrameQueue::BoundedFrameQueue(size_t capacity)
-    : capacity_(capacity)
+    : ring_(capacity), capacity_(capacity)
 {
     eyecod_assert(capacity >= 1,
                   "frame queue needs capacity >= 1, got %zu",
@@ -19,15 +19,20 @@ BoundedFrameQueue::push(const FrameTicket &ticket, long long now_us)
     std::lock_guard<std::mutex> lock(mutex_);
     ++pushed_;
     std::optional<DropRecord> shed;
-    if (ring_.size() >= capacity_) {
-        const FrameTicket &oldest = ring_.front();
+    if (count_ >= capacity_) {
+        // Drop-oldest backpressure: the head slot is recycled in
+        // place — it becomes the tail slot the incoming ticket is
+        // written into below. No heap traffic.
+        const FrameTicket &oldest = ring_[head_];
         shed = DropRecord{oldest.frame_index, oldest.arrival_us,
                           now_us};
-        ring_.pop_front();
+        head_ = (head_ + 1) % capacity_;
+        --count_;
         ++dropped_;
     }
-    ring_.push_back(ticket);
-    max_depth_ = std::max(max_depth_, ring_.size());
+    ring_[(head_ + count_) % capacity_] = ticket;
+    ++count_;
+    max_depth_ = std::max(max_depth_, count_);
     return shed;
 }
 
@@ -35,19 +40,20 @@ std::optional<long long>
 BoundedFrameQueue::frontArrival() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (ring_.empty())
+    if (count_ == 0)
         return std::nullopt;
-    return ring_.front().arrival_us;
+    return ring_[head_].arrival_us;
 }
 
 bool
 BoundedFrameQueue::pop(FrameTicket *out)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (ring_.empty())
+    if (count_ == 0)
         return false;
-    *out = ring_.front();
-    ring_.pop_front();
+    *out = ring_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --count_;
     return true;
 }
 
@@ -55,8 +61,8 @@ size_t
 BoundedFrameQueue::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    const size_t n = ring_.size();
-    ring_.clear();
+    const size_t n = count_;
+    count_ = 0;
     dropped_ += n;
     return n;
 }
@@ -65,7 +71,7 @@ size_t
 BoundedFrameQueue::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return ring_.size();
+    return count_;
 }
 
 uint64_t

@@ -16,15 +16,21 @@
  * producer may live on a different thread than the scheduler without
  * TSan findings. All state a frame needs downstream travels in the
  * ticket, so a dropped frame costs no rendering or NN work.
+ *
+ * Storage is a fixed ring preallocated at construction: push, pop,
+ * and drop-oldest all recycle ticket slots in place, so the queue
+ * performs zero heap traffic after construction — including under
+ * sustained backpressure, where the evicted slot is immediately
+ * reused for the incoming ticket.
  */
 
 #ifndef EYECOD_SERVE_FRAME_QUEUE_H
 #define EYECOD_SERVE_FRAME_QUEUE_H
 
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "dataset/synthetic_eye.h"
 
@@ -96,7 +102,11 @@ class BoundedFrameQueue
 
   private:
     mutable std::mutex mutex_;
-    std::deque<FrameTicket> ring_;
+    /** Fixed ring: ring_[(head_ + i) % capacity_] is the i-th oldest
+     *  queued ticket. Preallocated; slots recycle in place. */
+    std::vector<FrameTicket> ring_;
+    size_t head_ = 0;  ///< Index of the oldest queued ticket.
+    size_t count_ = 0; ///< Queued tickets.
     size_t capacity_;
     uint64_t pushed_ = 0;
     uint64_t dropped_ = 0;

@@ -1,5 +1,7 @@
 #include "serve/session.h"
 
+#include "common/alloc_counter.h"
+
 namespace eyecod {
 namespace serve {
 
@@ -18,16 +20,32 @@ Result<core::GazeSample>
 Session::serveFrame(const dataset::SyntheticEyeRenderer &renderer,
                     const FrameTicket &ticket)
 {
+    // serveFrame runs wholly on one scheduler thread, so the
+    // thread-local allocation counters bracket exactly this frame's
+    // heap traffic (zero deltas when the alloc hooks are not linked).
+    const uint64_t allocs_before = AllocCounter::threadAllocs();
+
     // Render at dispatch time — frames shed by the queue never paid
     // for rendering. The noise seed folds the session id in so two
     // sessions viewing the same trajectory still see distinct sensor
-    // noise.
-    const dataset::EyeSample sample = renderer.render(
-        ticket.params,
-        uint64_t(ticket.frame_index) * 0x9e3779b9ULL +
-            uint64_t(id_));
+    // noise. renderInto() reuses the member sample's storage.
+    renderer.renderInto(ticket.params,
+                        uint64_t(ticket.frame_index) * 0x9e3779b9ULL +
+                            uint64_t(id_),
+                        &sample_);
     Result<core::GazeSample> r =
-        system_.processFrameChecked(sample.image);
+        system_.processFrameChecked(sample_.image);
+
+    const uint64_t frame_allocs =
+        AllocCounter::threadAllocs() - allocs_before;
+    if (r.ok() && !r.value().roi_refreshed) {
+        ++metrics_.steady_frames;
+        metrics_.steady_allocs += (long long)frame_allocs;
+    } else {
+        ++metrics_.refresh_frames;
+        metrics_.refresh_allocs += (long long)frame_allocs;
+    }
+
     if (r.ok())
         last_gaze_ = r.value().gaze;
     if (record_gaze_)

@@ -35,6 +35,15 @@ struct SessionMetrics
                                   ///  reported as FrameDropped.
     long long deadline_misses = 0; ///< Completions past deadline.
     long long max_queue_depth = 0; ///< Deepest backlog observed.
+    // Hot-path allocation accounting (alloc hooks; zero without
+    // them). "Steady" frames are served gaze-only frames — no ROI
+    // refresh, no drop — which the memory spine requires to perform
+    // zero heap allocations; refresh/dropped frames are reported
+    // separately since segmentation allocates per call by design.
+    long long steady_frames = 0;  ///< Served frames, no ROI refresh.
+    long long steady_allocs = 0;  ///< Heap allocations on those.
+    long long refresh_frames = 0; ///< Refresh or dropped frames.
+    long long refresh_allocs = 0; ///< Heap allocations on those.
     RunningStat latency_us;       ///< Completion - arrival.
     /** Streaming p50/p95/p99 of frame latency (microseconds). */
     StreamingHistogram latency_hist{1.0, 1e8};
@@ -108,6 +117,12 @@ class Session
         return gaze_log_;
     }
 
+    /** Pooling stats of the session pipeline's frame arena. */
+    const BufferArena::Stats &arenaStats() const
+    {
+        return system_.arenaStats();
+    }
+
   private:
     int id_;
     bool active_ = true;
@@ -117,6 +132,9 @@ class Session
     SessionMetrics metrics_;
     dataset::GazeVec last_gaze_{0, 0, 1};
     std::vector<dataset::GazeVec> gaze_log_;
+    /** Persistent render target: renderInto() reuses its storage, so
+     *  steady-state serving allocates nothing for the scene. */
+    dataset::EyeSample sample_;
 };
 
 } // namespace serve

@@ -181,6 +181,32 @@ TEST(DetlintR6, PassingFixtureIsSilent)
     EXPECT_TRUE(runOn("r6_pass.cc", "src/nn/r6_pass.cc").empty());
 }
 
+TEST(DetlintR7, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r7_fail.cc", "src/eyetrack/r7_fail.cc"));
+    const RL want = {{Rule::R7ImageCopy, 8},
+                     {Rule::R7ImageCopy, 17},
+                     {Rule::R7ImageCopy, 17},
+                     {Rule::R7ImageCopy, 19}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR7, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(
+        runOn("r7_pass.cc", "src/eyetrack/r7_pass.cc").empty());
+}
+
+TEST(DetlintR7, OnlyFrameSpineDirectoriesAreScoped)
+{
+    // The same by-value code is legal off the frame spine (training
+    // utilities, tests, common) where frame copies are not hot.
+    EXPECT_TRUE(
+        runOn("r7_fail.cc", "src/common/r7_fail.cc").empty());
+    EXPECT_TRUE(runOn("r7_fail.cc", "tests/r7_fail.cc").empty());
+}
+
 TEST(DetlintSuppression, AllThreeFormsSilenceFindings)
 {
     // Same-line, previous-line, and file-wide allow comments: the
@@ -267,7 +293,7 @@ TEST(DetlintOutput, RuleIdsAndNamesRoundTrip)
     for (Rule r : {Rule::R1UnseededRng, Rule::R2WallClock,
                    Rule::R3UnorderedIter, Rule::R4HotPathThrow,
                    Rule::R5WarnInLoop, Rule::R6FloatReduction,
-                   Rule::H1HeaderSelfContained}) {
+                   Rule::R7ImageCopy, Rule::H1HeaderSelfContained}) {
         Rule parsed;
         ASSERT_TRUE(parseRule(ruleId(r), &parsed));
         EXPECT_EQ(parsed, r);

@@ -83,6 +83,54 @@ TEST(BoundedFrameQueue, ClearEvictsAndCounts)
     EXPECT_EQ(q.clear(), 0u);
 }
 
+TEST(BoundedFrameQueue, RingSurvivesWrapAroundWithDrops)
+{
+    // The queue is a fixed preallocated ring that recycles a dropped
+    // frame's slot in place; drive it far past capacity with
+    // interleaved pops so head wraps many times, and check FIFO
+    // semantics hold the whole way.
+    BoundedFrameQueue q(3);
+    long next_expected = 0;
+    FrameTicket out;
+    for (long i = 0; i < 50; ++i) {
+        const auto shed = q.push(ticket(i, i * 7), i * 7);
+        if (shed.has_value()) {
+            // Drop-oldest: the shed frame is exactly the FIFO head.
+            EXPECT_EQ(shed->frame_index, next_expected);
+            ++next_expected;
+        }
+        if (i % 2 == 1) {
+            ASSERT_TRUE(q.pop(&out));
+            EXPECT_EQ(out.frame_index, next_expected);
+            EXPECT_EQ(out.arrival_us, next_expected * 7);
+            ++next_expected;
+        }
+        EXPECT_LE(q.size(), q.capacity());
+    }
+    // Drain: remaining tickets are still contiguous and in order.
+    while (q.pop(&out)) {
+        EXPECT_EQ(out.frame_index, next_expected);
+        ++next_expected;
+    }
+    EXPECT_EQ(next_expected, 50);
+}
+
+TEST(BoundedFrameQueue, ReusableAfterClear)
+{
+    BoundedFrameQueue q(2);
+    EXPECT_FALSE(q.push(ticket(0, 0), 0).has_value());
+    EXPECT_EQ(q.clear(), 1u);
+    // Cleared slots are recycled, not freed: the queue accepts a
+    // fresh capacity's worth of frames with FIFO order intact.
+    EXPECT_FALSE(q.push(ticket(10, 100), 100).has_value());
+    EXPECT_FALSE(q.push(ticket(11, 110), 110).has_value());
+    FrameTicket out;
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.frame_index, 10);
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.frame_index, 11);
+}
+
 TEST(BoundedFrameQueue, FrontArrivalPeeksOldest)
 {
     BoundedFrameQueue q(4);

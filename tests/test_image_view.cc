@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests of the non-owning image view types that carry frames through
+ * the zero-copy spine: aliasing semantics (a mutation through a view
+ * is a mutation of the parent), typed out-of-bounds errors, and
+ * bitwise parity between the view-based *Into kernels and the owning
+ * Image operations they replace on the hot path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/image.h"
+#include "common/image_view.h"
+
+namespace eyecod {
+namespace {
+
+/** A deterministic gradient image (no two pixels equal). */
+Image
+gradient(int height, int width)
+{
+    Image img(height, width);
+    for (int y = 0; y < height; ++y)
+        for (int x = 0; x < width; ++x)
+            img.at(y, x) = float(y) * 0.13f + float(x) * 0.007f;
+    return img;
+}
+
+TEST(ImageView, OfCoversWholeImageContiguously)
+{
+    Image img = gradient(5, 7);
+    const ImageConstView v = ImageConstView::of(img);
+    EXPECT_EQ(v.height(), 5);
+    EXPECT_EQ(v.width(), 7);
+    EXPECT_EQ(v.stride(), 7);
+    EXPECT_TRUE(v.contiguous());
+    EXPECT_FALSE(v.empty());
+    for (int y = 0; y < 5; ++y)
+        for (int x = 0; x < 7; ++x)
+            EXPECT_EQ(v.at(y, x), img.at(y, x));
+    EXPECT_TRUE(ImageConstView().empty());
+}
+
+TEST(ImageView, MutationThroughCropIsVisibleInParent)
+{
+    // The heart of the zero-copy contract: a subview is an alias, so
+    // writing through it writes the parent image's storage.
+    Image img(6, 8, 0.0f);
+    Rect r;
+    r.x = 2;
+    r.y = 1;
+    r.width = 3;
+    r.height = 4;
+    Result<ImageView> sub = ImageView::of(img).subview(r);
+    ASSERT_TRUE(sub.ok()) << sub.status().toString();
+    ImageView crop = sub.value();
+    EXPECT_EQ(crop.height(), 4);
+    EXPECT_EQ(crop.width(), 3);
+    EXPECT_EQ(crop.stride(), 8); // parent's stride, not the crop's width
+    EXPECT_FALSE(crop.contiguous());
+    crop.fill(0.5f);
+    crop.at(0, 0) = 0.75f;
+    for (int y = 0; y < 6; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            const bool inside = x >= r.x && x < r.x + r.width &&
+                                y >= r.y && y < r.y + r.height;
+            const float want = (y == r.y && x == r.x) ? 0.75f
+                               : inside               ? 0.5f
+                                                      : 0.0f;
+            EXPECT_EQ(img.at(y, x), want) << "y=" << y << " x=" << x;
+        }
+    }
+}
+
+TEST(ImageView, OutOfBoundsSubviewIsATypedError)
+{
+    Image img = gradient(4, 4);
+    const ImageConstView v = ImageConstView::of(img);
+    Rect r;
+    r.x = 2;
+    r.y = 2;
+    r.width = 3; // pokes past the right edge
+    r.height = 2;
+    const Result<ImageConstView> bad = v.subview(r);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::InvalidArgument);
+
+    Rect neg;
+    neg.x = -1;
+    neg.y = 0;
+    neg.width = 2;
+    neg.height = 2;
+    EXPECT_FALSE(v.subview(neg).ok());
+    EXPECT_EQ(v.subview(neg).status().code(),
+              ErrorCode::InvalidArgument);
+
+    // croppedView is the same contract spelled over an owning image.
+    EXPECT_FALSE(croppedView(img, neg).ok());
+
+    // contains() is the allocation-free spelling of the same
+    // predicate (hot paths test it before paying for subview()'s
+    // formatted error Status).
+    EXPECT_FALSE(v.contains(r));
+    EXPECT_FALSE(v.contains(neg));
+    Rect in;
+    in.x = 1;
+    in.y = 1;
+    in.width = 3;
+    in.height = 3;
+    EXPECT_TRUE(v.contains(in));
+    EXPECT_TRUE(v.subview(in).ok());
+}
+
+TEST(ImageView, InBoundsCroppedViewMatchesMaterializedCrop)
+{
+    const Image img = gradient(16, 12);
+    Rect r;
+    r.x = 3;
+    r.y = 5;
+    r.width = 6;
+    r.height = 7;
+    const Result<ImageConstView> view = croppedView(img, r);
+    ASSERT_TRUE(view.ok());
+    const Image owned = img.cropped(r);
+    ASSERT_EQ(owned.height(), view.value().height());
+    ASSERT_EQ(owned.width(), view.value().width());
+    for (int y = 0; y < owned.height(); ++y)
+        for (int x = 0; x < owned.width(); ++x)
+            EXPECT_EQ(view.value().at(y, x), owned.at(y, x));
+}
+
+TEST(ImageView, CopyFromReplicatesStridedSource)
+{
+    Image src = gradient(8, 8);
+    Rect r;
+    r.x = 1;
+    r.y = 2;
+    r.width = 5;
+    r.height = 4;
+    const Result<ImageConstView> window =
+        ImageConstView::of(src).subview(r);
+    ASSERT_TRUE(window.ok());
+    Image dst(4, 5, -1.0f);
+    ImageView::of(dst).copyFrom(window.value());
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 5; ++x)
+            EXPECT_EQ(dst.at(y, x), src.at(r.y + y, r.x + x));
+}
+
+TEST(ImageView, ResizeBilinearIntoMatchesOwningResize)
+{
+    const Image img = gradient(17, 23);
+    const Image want = img.resized(9, 31);
+    // A warm (dirty, differently shaped) output must be overwritten
+    // to bitwise identity — this is the steady-state serving path.
+    Image out(3, 3, 42.0f);
+    resizeBilinearInto(ImageConstView::of(img), 9, 31, &out);
+    ASSERT_EQ(out.height(), want.height());
+    ASSERT_EQ(out.width(), want.width());
+    EXPECT_EQ(out.data(), want.data());
+}
+
+TEST(ImageView, SameSizeResizeIsAnExactCopy)
+{
+    const Image img = gradient(13, 11);
+    Image out;
+    resizeBilinearInto(ImageConstView::of(img), 13, 11, &out);
+    EXPECT_EQ(out.data(), img.data());
+    // ... and matches the owning kernel at scale 1 too.
+    EXPECT_EQ(out.data(), img.resized(13, 11).data());
+}
+
+TEST(ImageView, StridedResizeMatchesMaterializedCropResize)
+{
+    // Resizing straight from a strided window must equal cropping
+    // first and resizing the owned copy: the pipeline serves ROI
+    // crops as views, and the gaze head's input must not change.
+    const Image img = gradient(32, 32);
+    Rect r;
+    r.x = 4;
+    r.y = 7;
+    r.width = 20;
+    r.height = 18;
+    const Result<ImageConstView> window = croppedView(img, r);
+    ASSERT_TRUE(window.ok());
+    Image via_view;
+    resizeBilinearInto(window.value(), 12, 12, &via_view);
+    const Image via_copy = img.cropped(r).resized(12, 12);
+    EXPECT_EQ(via_view.data(), via_copy.data());
+}
+
+TEST(ImageView, CropClampedIntoMatchesOwningCrop)
+{
+    const Image img = gradient(10, 10);
+    Rect r; // deliberately pokes outside: clamped borders replicate
+    r.x = -2;
+    r.y = 6;
+    r.width = 7;
+    r.height = 8;
+    const Image want = img.cropped(r);
+    Image out(1, 1, 99.0f);
+    cropClampedInto(ImageConstView::of(img), r, &out);
+    ASSERT_EQ(out.height(), want.height());
+    ASSERT_EQ(out.width(), want.width());
+    EXPECT_EQ(out.data(), want.data());
+}
+
+TEST(ImageView, OwningIntoShimsAreBitwiseIdentical)
+{
+    // Image::resizedInto / croppedInto are the capacity-reusing forms
+    // of the owning operations; same inputs, same bits.
+    const Image img = gradient(19, 14);
+    Image resized_out(2, 2, 7.0f);
+    img.resizedInto(8, 10, &resized_out);
+    EXPECT_EQ(resized_out.data(), img.resized(8, 10).data());
+
+    Rect r;
+    r.x = 5;
+    r.y = -1;
+    r.width = 9;
+    r.height = 6;
+    Image cropped_out(3, 3, 7.0f);
+    img.croppedInto(r, &cropped_out);
+    EXPECT_EQ(cropped_out.data(), img.cropped(r).data());
+}
+
+} // namespace
+} // namespace eyecod

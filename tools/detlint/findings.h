@@ -27,6 +27,7 @@ enum class Rule {
     R4HotPathThrow,    ///< throw / discarded Result-Status in hot paths.
     R5WarnInLoop,      ///< Unbounded warn() inside a loop body.
     R6FloatReduction,  ///< Reduction-order-hazardous primitives.
+    R7ImageCopy,       ///< By-value Image traffic in hot-path dirs.
     H1HeaderSelfContained, ///< Header fails standalone compile.
 };
 

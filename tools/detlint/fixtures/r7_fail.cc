@@ -1,0 +1,21 @@
+// R7 failing exemplar: by-value Image traffic on the frame spine.
+// Scoped as src/eyetrack/ by the test harness.
+#include "common/image.h"
+
+using eyecod::Image;
+
+double
+meanOf(Image frame)                       // line 8: R7 by-value param
+{
+    double acc = 0.0;
+    for (float v : frame.data())
+        acc += v;
+    return acc / double(frame.size());
+}
+
+double
+contrast(const Image lhs, Image rhs)      // line 17: R7 x2
+{
+    Image copy = rhs;                     // line 19: R7 copy-construct
+    return meanOf(copy) - meanOf(lhs);
+}

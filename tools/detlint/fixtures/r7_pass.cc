@@ -1,0 +1,38 @@
+// R7 passing exemplar: frames travel as views or const references;
+// owning copies happen only through move-yielding factories or with
+// an explicit allow. Near-misses (ImageConstView by value, Image by
+// reference/pointer, template args, return types) must stay silent.
+#include "common/image.h"
+#include "common/image_view.h"
+
+#include <vector>
+
+using eyecod::Image;
+using eyecod::ImageConstView;
+
+double
+meanOf(ImageConstView frame)
+{
+    double acc = 0.0;
+    for (int y = 0; y < frame.height(); ++y)
+        for (int x = 0; x < frame.width(); ++x)
+            acc += frame.at(y, x);
+    return acc / double(frame.height() * frame.width());
+}
+
+double
+contrast(const Image &lhs, Image *rhs, std::vector<Image> &scratch)
+{
+    Image resized = lhs.resized(8, 8); // move from a temporary
+    // detlint:allow(R7) — golden copy kept for a bitwise comparison.
+    Image golden = resized;
+    scratch.push_back(golden);
+    return meanOf(ImageConstView::of(resized)) -
+           meanOf(ImageConstView::of(*rhs));
+}
+
+Image
+makeFrame(int n)
+{
+    return Image(n, n, 0.5f);
+}

@@ -538,6 +538,71 @@ scanWarnInLoop(const std::vector<Token> &toks, const std::string &relpath,
     }
 }
 
+// ---------------------------------------------------------------------
+// R7: by-value Image traffic on the zero-copy frame spine.
+// ---------------------------------------------------------------------
+
+/** Dirs on the zero-copy frame spine (R7 image-copy). */
+const std::vector<std::string> kFrameSpineDirs = {
+    "src/flatcam/", "src/eyetrack/", "src/nn/", "src/serve/"};
+
+void
+scanImageCopy(const std::vector<Token> &toks,
+              const std::string &relpath, const AnalyzeOptions &opts,
+              std::vector<Finding> *out)
+{
+    if (!opts.runs(Rule::R7ImageCopy) ||
+        !inAnyDir(relpath, kFrameSpineDirs))
+        return;
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Identifier || t.text != "Image" ||
+            t.preproc)
+            continue;
+        if (isMemberAccess(toks, i))
+            continue;
+
+        // By-value (optionally const) `Image` parameter: preceded by
+        // '(' or ',', followed by the parameter name and ',', ')' or
+        // a default argument — i.e. no '&' / '*' declarator.
+        size_t k = i;
+        if (k >= 1 && isIdent(toks[k - 1], "const"))
+            --k;
+        const bool param_pos = k >= 1 && (isPunct(toks[k - 1], "(") ||
+                                          isPunct(toks[k - 1], ","));
+        if (param_pos && i + 2 < toks.size() &&
+            toks[i + 1].kind == TokKind::Identifier &&
+            (isPunct(toks[i + 2], ",") || isPunct(toks[i + 2], ")") ||
+             isPunct(toks[i + 2], "="))) {
+            out->push_back(
+                {Rule::R7ImageCopy, relpath, t.line,
+                 "by-value Image parameter '" + toks[i + 1].text +
+                     "' copies a full frame on every call; take an "
+                     "ImageConstView (or const Image&)"});
+            continue;
+        }
+
+        // Statement-level copy-construction `Image a = b;` from a
+        // plain identifier (initialization from a call expression is
+        // a move and does not match).
+        const bool stmt_start = i == 0 || isPunct(toks[i - 1], ";") ||
+                                isPunct(toks[i - 1], "{") ||
+                                isPunct(toks[i - 1], "}");
+        if (stmt_start && i + 4 < toks.size() &&
+            toks[i + 1].kind == TokKind::Identifier &&
+            isPunct(toks[i + 2], "=") &&
+            toks[i + 3].kind == TokKind::Identifier &&
+            isPunct(toks[i + 4], ";")) {
+            out->push_back(
+                {Rule::R7ImageCopy, relpath, t.line,
+                 "Image copy-construction of '" + toks[i + 1].text +
+                     "' duplicates frame storage; crop/resize through "
+                     "views or reuse a member image"});
+        }
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -559,6 +624,7 @@ analyzeSource(const std::string &relpath, const std::string &content,
     scanUnorderedIteration(toks, relpath, opts, &raw);
     scanThrowAndDiscard(toks, relpath, opts, &raw);
     scanWarnInLoop(toks, relpath, opts, &raw);
+    scanImageCopy(toks, relpath, opts, &raw);
 
     std::vector<Finding> kept;
     for (Finding &f : raw)
