@@ -16,7 +16,10 @@
  *    admission rejections and/or bounded accounted queue drops
  *    (drop rate < 0.75), never through lost frames;
  *  - accounting identity in every cell after drain:
- *    submitted == completed + queue_drops.
+ *    submitted == completed + queue_drops, and queue_drops
+ *    partitions exactly into the per-reason buckets (backpressure /
+ *    shed-on-close / rate-downgrade / failover) that BENCH_serving
+ *    .json now breaks out per cell.
  *
  * The binary is also the memory-spine auditor: it links the
  * operator new/delete counting hooks, classifies every served frame
@@ -90,9 +93,15 @@ runCell(int sessions, int chips, long frames,
         double(cell.fleet.sessions_opened) *
         eng.serviceModel().amortized_frame_us /
         (double(cfg.frame_interval_us) * double(chips));
+    // Two-part identity: every submitted frame is completed or
+    // dropped, and every drop carries exactly one typed reason.
     cell.accounting_ok =
         cell.fleet.submitted ==
-        cell.fleet.completed + cell.fleet.queue_drops;
+            cell.fleet.completed + cell.fleet.queue_drops &&
+        cell.fleet.queue_drops == cell.fleet.drops_backpressure +
+                                      cell.fleet.drops_shed_on_close +
+                                      cell.fleet.drops_rate_downgrade +
+                                      cell.fleet.drops_failover;
     return cell;
 }
 
@@ -175,6 +184,18 @@ main(int argc, char **argv)
                              double(f.completed));
             PerfJson::update(json_path, section, "queue_drops",
                              double(f.queue_drops));
+            // Drop breakdown by reason: the total above must equal
+            // the sum of these buckets (gated below).
+            PerfJson::update(json_path, section, "drops_backpressure",
+                             double(f.drops_backpressure));
+            PerfJson::update(json_path, section,
+                             "drops_shed_on_close",
+                             double(f.drops_shed_on_close));
+            PerfJson::update(json_path, section,
+                             "drops_rate_downgrade",
+                             double(f.drops_rate_downgrade));
+            PerfJson::update(json_path, section, "drops_failover",
+                             double(f.drops_failover));
             PerfJson::update(json_path, section, "deadline_misses",
                              double(f.deadline_misses));
             PerfJson::update(json_path, section, "aggregate_fps",

@@ -147,6 +147,19 @@ warnSuppressed(const char *key)
     return it == g_warn_entries.end() ? 0 : it->second.suppressed;
 }
 
+std::vector<WarnKeyCount>
+warnCounters()
+{
+    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    std::vector<WarnKeyCount> out;
+    out.reserve(g_warn_entries.size());
+    // std::map iteration is key-ordered, so the snapshot order is
+    // deterministic across runs.
+    for (const auto &[key, e] : g_warn_entries)
+        out.push_back(WarnKeyCount{key, e.occurrences, e.suppressed});
+    return out;
+}
+
 void
 resetWarnRateLimiter()
 {

@@ -16,6 +16,7 @@
 
 #include <cstdarg>
 #include <string>
+#include <vector>
 
 namespace eyecod {
 
@@ -78,6 +79,22 @@ long warnOccurrences(const char *key);
 
 /** Occurrences of a warn key that were suppressed (never printed). */
 long warnSuppressed(const char *key);
+
+/** One warn key's lifetime occurrence/suppression counts. */
+struct WarnKeyCount
+{
+    std::string key;      ///< Rate-limit key (format string or
+                          ///  explicit warnLimited key).
+    long occurrences = 0; ///< Total times the key was hit.
+    long suppressed = 0;  ///< Hits that were never printed.
+};
+
+/**
+ * Snapshot of every warn key's counters, sorted by key (the backing
+ * map is ordered), so health reports can surface how much warning
+ * traffic the rate limiter swallowed.
+ */
+std::vector<WarnKeyCount> warnCounters();
 
 /** Drop all warn rate-limiter state (counts and keys). */
 void resetWarnRateLimiter();

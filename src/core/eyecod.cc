@@ -80,6 +80,7 @@ EyeCoDSystem::healthReport() const
     report.mean_recovery_latency_frames =
         report.stats.meanRecoveryLatency();
     report.accel = accel_health_;
+    report.warnings = warnCounters();
     return report;
 }
 

@@ -27,8 +27,10 @@
 #define EYECOD_CORE_EYECOD_H
 
 #include <memory>
+#include <vector>
 
 #include "accel/simulator.h"
+#include "common/logging.h"
 #include "eyetrack/pipeline.h"
 #include "nn/runtime.h"
 #include "platforms/platform.h"
@@ -98,6 +100,24 @@ struct AccelHealth
 };
 
 /**
+ * Fleet-level failover counters, filled in by the serving engine
+ * (serve::ServingEngine::sessionHealth); all-zero for a standalone
+ * EyeCoDSystem that serves no fleet.
+ */
+struct FleetFailoverHealth
+{
+    long long chip_failures = 0;     ///< Whole-chip outages seen.
+    long long chip_rejoins = 0;      ///< Chips back in service.
+    long long lanes_retired = 0;     ///< MAC lanes mapped out.
+    long long redispatched_frames = 0; ///< Completions that survived
+                                       ///  a chip failure.
+    long long failover_drops = 0;    ///< Frames shed after retries
+                                     ///  were exhausted.
+    int degradation_tier = 0;        ///< Ladder position (0..4).
+    long long tier_transitions = 0;  ///< Ladder moves, both ways.
+};
+
+/**
  * Aggregate serving-health report of the functional pipeline:
  * degraded-mode status, fault/recovery counters, and recovery
  * latency, accumulated since construction or the last reset().
@@ -116,6 +136,14 @@ struct HealthReport
     double mean_recovery_latency_frames = 0.0;
     /** Accelerator-side fault counters (simulateFaultedPerformance). */
     AccelHealth accel;
+    /** Fleet failover/degradation counters (serving engine only). */
+    FleetFailoverHealth fleet;
+    /**
+     * Process-wide warnLimited() rate-limiter snapshot: per-key
+     * occurrence and suppression counts, key-ordered. A nonzero
+     * suppressed count means the logs undercount that warning.
+     */
+    std::vector<WarnKeyCount> warnings;
 };
 
 /**

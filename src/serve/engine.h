@@ -3,7 +3,7 @@
  * Multi-session serving engine: N user sessions sharing the
  * functional CPU substrate and K virtual accelerator instances.
  *
- * Architecture (DESIGN.md section 9):
+ * Architecture (DESIGN.md sections 9 and 12):
  *
  *  - each admitted session owns a PredictThenFocusPipeline (via
  *    core::EyeCoDSystem) and a bounded drop-oldest frame queue;
@@ -24,9 +24,19 @@
  *    clock is read anywhere, which makes a serving run fully
  *    replayable: same seed and trace => identical gaze streams,
  *    drop decisions, and metrics;
+ *  - chips are mortal: a scripted (or hw_faults-seeded) schedule can
+ *    fail chips, rejoin them, or retire their MAC lanes mid-run.
+ *    Batches in flight on a failed chip are re-dispatched to
+ *    survivors with bounded retries and capped exponential backoff
+ *    (all in virtual time); a frame is functionally served exactly
+ *    once — re-dispatch re-bills its timing, never its gaze;
+ *  - a FleetHealthController (serve/health.h) watches raw fleet
+ *    pressure and walks the four-tier degradation ladder:
+ *    drop-oldest -> resolution downgrade -> refresh-rate downgrade
+ *    -> admission reject, with hysteresis on both edges;
  *  - admission control rejects sessions with a typed
  *    ErrorCode::Overloaded once projected fleet utilization exceeds
- *    the configured bound.
+ *    the configured bound, or while the ladder sits at tier 4.
  */
 
 #ifndef EYECOD_SERVE_ENGINE_H
@@ -38,12 +48,31 @@
 
 #include "common/perf_json.h"
 #include "common/thread_pool.h"
+#include "serve/health.h"
 #include "serve/session.h"
 #include "serve/traffic.h"
 #include "serve/virtual_accel.h"
 
 namespace eyecod {
 namespace serve {
+
+/** Chip fault schedule + re-dispatch policy. */
+struct FailoverConfig
+{
+    /**
+     * Chip lifecycle events in virtual time (scripted, or generated
+     * by makeChipFaultSchedule from the PR-3 seeded fault model).
+     * Empty = every chip healthy forever, and the engine's outputs
+     * are bitwise identical to the pre-failover engine.
+     */
+    std::vector<ChipFaultEvent> chip_faults;
+    /** Re-dispatch attempts per frame after its chip fails. */
+    int max_retries = 3;
+    /** First retry backoff, virtual microseconds. */
+    long long backoff_base_us = 2000;
+    /** Backoff growth cap (exponential, then clamped). */
+    long long backoff_cap_us = 16000;
+};
 
 /** Serving engine configuration. */
 struct ServingConfig
@@ -76,6 +105,24 @@ struct ServingConfig
     int scheduler_threads = 0;
     /** Record per-session gaze streams (determinism tests). */
     bool record_gaze = false;
+    /** Chip failure schedule + retry/backoff policy. */
+    FailoverConfig failover;
+    /** Degradation-ladder thresholds + hysteresis. */
+    HealthControllerConfig degradation;
+    /**
+     * Service-cost multiplier for tier-2 reduced-resolution frames
+     * (half linear resolution quarters the pixels, but the gaze
+     * stage's cost share is resolution-independent).
+     */
+    double resolution_cost_factor = 0.6;
+    /** Tier-3 stride: every stride-th submitted frame is shed. */
+    int rate_downgrade_stride = 3;
+    /** Bound on each session's drop log (overflow counted). */
+    size_t drop_log_cap = 4096;
+    /** Keep a bounded per-completion record log (chaos bench). */
+    bool record_completions = false;
+    /** Completion-log bound when record_completions is set. */
+    size_t completion_log_cap = 1u << 20;
 };
 
 /** Fleet-wide aggregate metrics. */
@@ -83,12 +130,29 @@ struct FleetMetrics
 {
     long long submitted = 0;
     long long completed = 0;
-    long long queue_drops = 0;
+    long long queue_drops = 0;       ///< All shed frames, any reason.
+    // queue_drops by DropReason:
+    long long drops_backpressure = 0;
+    long long drops_shed_on_close = 0;
+    long long drops_rate_downgrade = 0;
+    long long drops_failover = 0;
     long long pipeline_drops = 0;
     long long deadline_misses = 0;
     long long sessions_opened = 0;
     long long sessions_rejected = 0;
     long long sessions_closed = 0;
+    // Failover + degradation counters:
+    long long chip_failures = 0;     ///< Whole-chip outages seen.
+    long long chip_rejoins = 0;      ///< Chips back in service.
+    long long lanes_retired = 0;     ///< MAC lanes mapped out.
+    long long redispatched_frames = 0; ///< Completions that survived
+                                       ///  >= 1 chip failure.
+    long long degraded_res_frames = 0; ///< Tier-2 served frames.
+    long long drop_log_overflow = 0; ///< Drop records past the cap.
+    int degradation_tier = 0;        ///< Ladder position right now.
+    long long tier_transitions = 0;  ///< Ladder moves, both ways.
+    /** Scheduler ticks spent at each tier (0..4). */
+    long long tier_residency[kNumDegradationTiers + 1] = {};
     double aggregate_fps = 0.0;      ///< Completed / makespan.
     double backend_utilization = 0.0; ///< Chip busy share.
     double deadline_miss_rate = 0.0; ///< Misses / completed.
@@ -97,6 +161,9 @@ struct FleetMetrics
     double p50_latency_us = 0.0;
     double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;
+    /** p99 latency of re-dispatched completions (failover cost). */
+    double failover_p99_latency_us = 0.0;
     long long makespan_us = 0;       ///< Last completion timestamp.
     // Memory-spine accounting (see SessionMetrics): heap allocations
     // on steady (gaze-only) vs refresh/dropped frames, summed over
@@ -106,6 +173,18 @@ struct FleetMetrics
     long long refresh_frames = 0;
     long long refresh_allocs = 0;
     long long peak_arena_bytes = 0;  ///< Max over sessions.
+};
+
+/** One finalized completion (record_completions only). */
+struct CompletionRecord
+{
+    int session = -1;
+    long frame_index = 0;
+    long long arrival_us = 0;
+    long long completion_us = 0;
+    double latency_us = 0.0;
+    bool redispatched = false; ///< Survived >= 1 chip failure.
+    bool deadline_miss = false;
 };
 
 /**
@@ -137,27 +216,32 @@ class ServingEngine
 
     /**
      * Projected fleet utilization (demand / capacity) with
-     * @p additional_sessions more active sessions.
+     * @p additional_sessions more active sessions. Capacity reflects
+     * surviving chips and their lane degradations.
      */
     double projectedUtilization(int additional_sessions) const;
 
     /**
      * Admit a new session. Fails with ErrorCode::Overloaded when the
-     * session cap is reached or the projected utilization exceeds
-     * the admission bound. Returns the session id.
+     * session cap is reached, the projected utilization exceeds the
+     * admission bound, or the degradation ladder sits at tier 4.
+     * Returns the session id.
      */
     Result<int> openSession();
 
     /**
-     * Close an admitted session: queued frames are shed (recorded as
-     * drops), metrics and health remain queryable.
+     * Close an admitted session: queued frames and pending retries
+     * are shed (DropReason::ShedOnClose); frames already in flight
+     * on a chip still finalize into the closed session's metrics.
      */
     Status closeSession(int id);
 
     /**
      * Enqueue one frame for @p id. Never blocks; a full queue sheds
-     * its oldest frame into the session's drop log. Fails with
-     * InvalidArgument for unknown/closed sessions and after stop().
+     * its oldest frame into the session's drop log; at tier 3 every
+     * rate_downgrade_stride-th frame is shed at admission. Fails
+     * with InvalidArgument for unknown/closed sessions and after
+     * stop().
      */
     Status submitFrame(int id, const FrameTicket &ticket);
 
@@ -167,22 +251,28 @@ class ServingEngine
     /** Run scheduler ticks up to virtual time @p target_us. */
     void advanceTo(long long target_us);
 
-    /** Tick until every queue is empty and every chip idle. */
+    /**
+     * Tick until every queue, retry slot, and chip is empty/idle.
+     * If the whole fleet is down with no rejoin left in the
+     * schedule, pending work is shed (DropReason::Failover) so the
+     * drain terminates.
+     */
     void drain();
 
     /**
      * Stop the engine. With @p drain_first, serve every queued frame
      * to completion before retiring the scheduler workers (no frame
-     * is lost); otherwise shed remaining queued frames as drops.
-     * Idempotent; the engine stays queryable afterwards.
+     * is lost); otherwise shed remaining queued frames as drops and
+     * finalize work already in flight. Idempotent; the engine stays
+     * queryable afterwards.
      */
     void stop(bool drain_first = true);
 
     /**
      * Convenience driver: replay a scripted trace — opening sessions
      * at their join times (admission applies), submitting frames at
-     * their arrival times, closing churned sessions — then drain and
-     * return the fleet metrics.
+     * their arrival times, closing churned sessions at their leave
+     * times — then drain and return the fleet metrics.
      */
     FleetMetrics runTrace(const std::vector<SessionTraffic> &traffic);
 
@@ -195,7 +285,11 @@ class ServingEngine
     /** Serving metrics of session @p id. */
     const SessionMetrics &sessionMetrics(int id) const;
 
-    /** Serving + pipeline health of session @p id. */
+    /**
+     * Serving + pipeline health of session @p id; the embedded
+     * core::HealthReport carries the fleet failover counters and
+     * degradation-tier position.
+     */
     SessionHealth sessionHealth(int id) const;
 
     /** Emitted gaze stream of session @p id (record_gaze only). */
@@ -203,6 +297,28 @@ class ServingEngine
 
     /** Aggregate fleet metrics. */
     FleetMetrics fleetMetrics() const;
+
+    /** The degradation-ladder controller (tier, residency). */
+    const FleetHealthController &healthController() const
+    {
+        return health_;
+    }
+
+    /** The virtual chip pool (liveness, degraded models). */
+    const VirtualAccelPool &pool() const { return pool_; }
+
+    /** Finalized completions, in completion order
+     *  (record_completions only; bounded by completion_log_cap). */
+    const std::vector<CompletionRecord> &completionLog() const
+    {
+        return completion_log_;
+    }
+
+    /** Completions that no longer fit the bounded completion log. */
+    long long completionLogDropped() const
+    {
+        return completion_log_dropped_;
+    }
 
     /**
      * Export fleet metrics into @p json under section @p section,
@@ -221,9 +337,11 @@ class ServingEngine
         int session = -1;     ///< Session index.
         FrameTicket ticket;
         int batch = -1;       ///< Owning batch index this tick.
-        double cost_us = 0.0; ///< Service cost (set by the
-                              ///  functional pass).
+        bool refresh = false; ///< Functional pass ran segmentation.
+        bool degraded_res = false; ///< Served at tier-2 resolution.
         bool pipeline_drop = false; ///< Typed FrameDropped/other.
+        int attempts = 1;     ///< Dispatch attempts incl. this one.
+        bool first_dispatch = true; ///< Run the functional pass.
     };
 
     /** One cross-session batch bound to an idle chip. */
@@ -234,19 +352,65 @@ class ServingEngine
                                    ///  dispatched frames.
     };
 
+    /** A frame riding a chip until its completion timestamp. */
+    struct InFlightFrame
+    {
+        int session = -1;
+        FrameTicket ticket;
+        bool refresh = false;
+        bool degraded_res = false;
+        bool pipeline_drop = false;
+        int attempts = 1;
+    };
+
+    /** The batch occupying one chip (at most one per chip). */
+    struct InFlightBatch
+    {
+        bool active = false;
+        long long completion_us = 0;
+        std::vector<InFlightFrame> frames; ///< Pooled storage.
+    };
+
+    /** A frame whose chip failed, waiting out its backoff. */
+    struct RetryFrame
+    {
+        InFlightFrame frame;
+        long long eligible_us = 0; ///< Earliest re-dispatch time.
+    };
+
     Session &sessionRef(int id);
     const Session &sessionRef(int id) const;
 
     /** Run one scheduler tick at virtual_now_. */
     void runTick();
 
+    /** Abort the batch on a failed chip: requeue or shed frames. */
+    void abortInFlight(int chip, long long now_us);
+
+    /** Finalize in-flight batches due by @p now_us, in
+     *  (completion, chip) order. With @p force, finalize all. */
+    void finalizeDue(long long now_us, bool force = false);
+
+    /** Record one finalized batch's frames into session metrics. */
+    void finalizeBatch(int chip);
+
+    /** This tick's raw pressure signal for the health controller. */
+    FleetSignal fleetSignal() const;
+
+    /** Shed every queued + retrying frame (dead fleet / stop). */
+    void shedPending(DropReason reason);
+
     /** True when any active session still has queued frames. */
     bool anyQueued() const;
+
+    /** True while any chip carries an unfinalized batch. */
+    bool anyInFlight() const;
 
     ServingConfig cfg_;
     const dataset::SyntheticEyeRenderer &renderer_;
     eyetrack::RidgeGazeEstimator trained_;
     VirtualAccelPool pool_;
+    FleetHealthController health_;
     ThreadPool sched_pool_;
     std::vector<std::unique_ptr<Session>> sessions_;
     long long virtual_now_ = 0;
@@ -255,6 +419,18 @@ class ServingEngine
     long long rejected_sessions_ = 0;
     long long closed_sessions_ = 0;
     bool stopped_ = false;
+
+    // Failover state.
+    std::vector<InFlightBatch> inflight_; ///< One slot per chip.
+    std::vector<RetryFrame> retry_;       ///< Backoff queue; bounded
+                                          ///  by frames in flight at
+                                          ///  failure times.
+    long long chip_failures_ = 0;
+    long long chip_rejoins_ = 0;
+    long long lanes_retired_ = 0;
+    StreamingHistogram failover_latency_hist_{1.0, 1e8};
+    std::vector<CompletionRecord> completion_log_;
+    long long completion_log_dropped_ = 0;
 
     // Tick scratch, reused across runTick() calls so the scheduler's
     // serial phases allocate nothing in steady state. Pooled entries
@@ -267,6 +443,7 @@ class ServingEngine
     std::vector<double> costs_;
     std::vector<std::pair<int, std::vector<size_t>>> by_session_;
     size_t num_groups_ = 0;
+    std::vector<size_t> retry_pick_; ///< Eligible retries this tick.
 };
 
 } // namespace serve

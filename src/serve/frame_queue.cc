@@ -5,6 +5,22 @@
 namespace eyecod {
 namespace serve {
 
+const char *
+dropReasonName(DropReason reason)
+{
+    switch (reason) {
+    case DropReason::Backpressure:
+        return "backpressure";
+    case DropReason::ShedOnClose:
+        return "shed_on_close";
+    case DropReason::RateDowngrade:
+        return "rate_downgrade";
+    case DropReason::Failover:
+        return "failover";
+    }
+    return "unknown";
+}
+
 BoundedFrameQueue::BoundedFrameQueue(size_t capacity)
     : ring_(capacity), capacity_(capacity)
 {

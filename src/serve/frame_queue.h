@@ -49,12 +49,27 @@ struct FrameTicket
     dataset::EyeParams params;   ///< Scene to render when dispatched.
 };
 
-/** Record of one frame evicted by backpressure. */
+/** Why a frame was shed (drop accounting is broken out by reason). */
+enum class DropReason : int {
+    Backpressure = 0, ///< Drop-oldest eviction from a full queue.
+    ShedOnClose,      ///< Queue shed at session close / engine stop.
+    RateDowngrade,    ///< Refresh-rate downgrade (degradation tier 3).
+    Failover,         ///< Retries exhausted after chip failures.
+};
+
+/** Number of DropReason values. */
+constexpr int kNumDropReasons = 4;
+
+/** Human-readable name of a DropReason. */
+const char *dropReasonName(DropReason reason);
+
+/** Record of one shed frame. */
 struct DropRecord
 {
     long frame_index = 0;     ///< Which frame was shed.
     long long arrival_us = 0; ///< When it arrived.
     long long dropped_us = 0; ///< When the eviction happened.
+    DropReason reason = DropReason::Backpressure;
 };
 
 /**

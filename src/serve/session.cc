@@ -1,14 +1,19 @@
 #include "serve/session.h"
 
+#include <algorithm>
+
 #include "common/alloc_counter.h"
+#include "common/image_view.h"
 
 namespace eyecod {
 namespace serve {
 
 Session::Session(int id, const core::SystemConfig &cfg,
                  const eyetrack::RidgeGazeEstimator &trained,
-                 size_t queue_capacity, bool record_gaze)
-    : id_(id), record_gaze_(record_gaze), system_(cfg),
+                 size_t queue_capacity, bool record_gaze,
+                 size_t drop_log_cap)
+    : id_(id), record_gaze_(record_gaze),
+      drop_log_cap_(drop_log_cap), system_(cfg),
       queue_(queue_capacity)
 {
     // Sessions share the fleet-trained estimator instead of
@@ -18,7 +23,8 @@ Session::Session(int id, const core::SystemConfig &cfg,
 
 Result<core::GazeSample>
 Session::serveFrame(const dataset::SyntheticEyeRenderer &renderer,
-                    const FrameTicket &ticket)
+                    const FrameTicket &ticket,
+                    bool degraded_resolution)
 {
     // serveFrame runs wholly on one scheduler thread, so the
     // thread-local allocation counters bracket exactly this frame's
@@ -33,12 +39,34 @@ Session::serveFrame(const dataset::SyntheticEyeRenderer &renderer,
                         uint64_t(ticket.frame_index) * 0x9e3779b9ULL +
                             uint64_t(id_),
                         &sample_);
-    Result<core::GazeSample> r =
-        system_.processFrameChecked(sample_.image);
+
+    const Image *scene = &sample_.image;
+    if (degraded_resolution) {
+        // Tier-2 resolution downgrade: the sensor read-out halves its
+        // linear resolution; the pipeline's extents are fixed, so the
+        // half-res frame is bilinearly restored before processing.
+        // Both hops reuse member storage — after the first downgrade
+        // transition this path allocates nothing per frame.
+        const int h = sample_.image.height();
+        const int w = sample_.image.width();
+        resizeBilinearInto(ImageConstView::of(sample_.image),
+                           std::max(1, h / 2), std::max(1, w / 2),
+                           &lowres_);
+        resizeBilinearInto(ImageConstView::of(lowres_), h, w,
+                           &restored_);
+        scene = &restored_;
+        ++metrics_.degraded_res_frames;
+    }
+    Result<core::GazeSample> r = system_.processFrameChecked(*scene);
 
     const uint64_t frame_allocs =
         AllocCounter::threadAllocs() - allocs_before;
-    if (r.ok() && !r.value().roi_refreshed) {
+    // Resolution-mode transitions size the tier-2 scratch buffers, so
+    // they count with the refresh frames; frames inside one mode are
+    // held to the steady zero-alloc contract.
+    const bool transition = degraded_resolution != last_degraded_;
+    last_degraded_ = degraded_resolution;
+    if (r.ok() && !r.value().roi_refreshed && !transition) {
         ++metrics_.steady_frames;
         metrics_.steady_allocs += (long long)frame_allocs;
     } else {
@@ -49,8 +77,34 @@ Session::serveFrame(const dataset::SyntheticEyeRenderer &renderer,
     if (r.ok())
         last_gaze_ = r.value().gaze;
     if (record_gaze_)
-        gaze_log_.push_back(last_gaze_);
+        gaze_log_.push_back(last_gaze_); // detlint:allow(R8) tests
+                                         // only; bounded by the trace
     return r;
+}
+
+void
+Session::recordDrop(const DropRecord &record)
+{
+    ++metrics_.queue_drops;
+    switch (record.reason) {
+    case DropReason::Backpressure:
+        ++metrics_.drops_backpressure;
+        break;
+    case DropReason::ShedOnClose:
+        ++metrics_.drops_shed_on_close;
+        break;
+    case DropReason::RateDowngrade:
+        ++metrics_.drops_rate_downgrade;
+        break;
+    case DropReason::Failover:
+        ++metrics_.drops_failover;
+        break;
+    }
+    if (metrics_.drop_log.size() < drop_log_cap_)
+        metrics_.drop_log.push_back(record); // detlint:allow(R8)
+                                             // bounded by the cap
+    else
+        ++metrics_.drop_log_overflow;
 }
 
 SessionHealth

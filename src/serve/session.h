@@ -30,11 +30,24 @@ struct SessionMetrics
 {
     long long submitted = 0;      ///< Frames pushed at the queue.
     long long completed = 0;      ///< Frames served to completion.
-    long long queue_drops = 0;    ///< Frames shed by backpressure.
+    /** Total shed frames, every reason (the accounting identity
+     *  submitted == completed + queue_drops spans all shedding). */
+    long long queue_drops = 0;
+    // queue_drops broken out by DropReason:
+    long long drops_backpressure = 0;   ///< Drop-oldest eviction.
+    long long drops_shed_on_close = 0;  ///< Session close / stop.
+    long long drops_rate_downgrade = 0; ///< Tier-3 rate shedding.
+    long long drops_failover = 0;       ///< Retries exhausted.
     long long pipeline_drops = 0; ///< Served frames the pipeline
                                   ///  reported as FrameDropped.
     long long deadline_misses = 0; ///< Completions past deadline.
     long long max_queue_depth = 0; ///< Deepest backlog observed.
+    /** Completions that survived >= 1 chip failure (re-dispatched). */
+    long long redispatched_frames = 0;
+    /** Frames served at tier-2 reduced resolution. */
+    long long degraded_res_frames = 0;
+    /** Drops whose records no longer fit the bounded drop log. */
+    long long drop_log_overflow = 0;
     // Hot-path allocation accounting (alloc hooks; zero without
     // them). "Steady" frames are served gaze-only frames — no ROI
     // refresh, no drop — which the memory spine requires to perform
@@ -47,7 +60,8 @@ struct SessionMetrics
     RunningStat latency_us;       ///< Completion - arrival.
     /** Streaming p50/p95/p99 of frame latency (microseconds). */
     StreamingHistogram latency_hist{1.0, 1e8};
-    /** Shed frames, in drop order (replayable drop decisions). */
+    /** Shed frames, in drop order (replayable drop decisions).
+     *  Bounded: Session::recordDrop caps it and counts overflow. */
     std::vector<DropRecord> drop_log;
 };
 
@@ -78,10 +92,14 @@ class Session
      * @param queue_capacity bounded frame queue depth.
      * @param record_gaze keep the emitted gaze stream for
      *        determinism checks (tests) when true.
+     * @param drop_log_cap bound on the per-session drop log; records
+     *        past the cap are counted in drop_log_overflow instead
+     *        of growing the log (detlint R8's concern made real).
      */
     Session(int id, const core::SystemConfig &cfg,
             const eyetrack::RidgeGazeEstimator &trained,
-            size_t queue_capacity, bool record_gaze);
+            size_t queue_capacity, bool record_gaze,
+            size_t drop_log_cap = 4096);
 
     /** Engine-assigned id. */
     int id() const { return id_; }
@@ -99,10 +117,22 @@ class Session
      * Serve one dispatched frame functionally (render + pipeline)
      * and return the typed outcome. Called by exactly one scheduler
      * chunk at a time.
+     *
+     * With @p degraded_resolution (degradation tier >= 2) the scene
+     * round-trips through a half-linear-resolution buffer on the
+     * zero-copy resizeBilinearInto path before entering the fixed-
+     * extent pipeline: the gaze quality cost of serving cheaper
+     * frames is modelled functionally, not just in the timing.
      */
     Result<core::GazeSample> serveFrame(
         const dataset::SyntheticEyeRenderer &renderer,
-        const FrameTicket &ticket);
+        const FrameTicket &ticket, bool degraded_resolution = false);
+
+    /**
+     * Account one shed frame: total + per-reason counters, and the
+     * bounded drop log (overflow counted, never grown past the cap).
+     */
+    void recordDrop(const DropRecord &record);
 
     /** Serving metrics (mutated by the engine's serial sections). */
     SessionMetrics &metrics() { return metrics_; }
@@ -127,6 +157,7 @@ class Session
     int id_;
     bool active_ = true;
     bool record_gaze_;
+    size_t drop_log_cap_;
     core::EyeCoDSystem system_;
     BoundedFrameQueue queue_;
     SessionMetrics metrics_;
@@ -135,6 +166,14 @@ class Session
     /** Persistent render target: renderInto() reuses its storage, so
      *  steady-state serving allocates nothing for the scene. */
     dataset::EyeSample sample_;
+    /** Tier-2 scratch: half-resolution + restored scenes. Both reuse
+     *  their storage, so degraded steady frames stay zero-alloc after
+     *  the first downgrade transition. */
+    Image lowres_;
+    Image restored_;
+    /** Previous frame's resolution mode, to classify downgrade /
+     *  recover transition frames out of the steady-alloc bucket. */
+    bool last_degraded_ = false;
 };
 
 } // namespace serve

@@ -79,6 +79,11 @@ makeTraffic(const dataset::SyntheticEyeRenderer &renderer,
             prev_arrival = t.arrival_us;
             traffic.frames.push_back(t);
         }
+        // A churned session leaves one frame interval after its last
+        // arrival, so runTrace() closes it mid-run while its tail
+        // frames may still sit queued or in flight.
+        if (frames < cfg.frames_per_session)
+            traffic.leave_us = prev_arrival + cfg.frame_interval_us;
         out.push_back(std::move(traffic));
     }
     return out;

@@ -55,6 +55,8 @@ struct SessionTraffic
 {
     uint64_t user_seed = 0;      ///< Trajectory subject seed.
     long long join_us = 0;       ///< Virtual join time.
+    /** Virtual leave time (session closes); -1 = stays to the end. */
+    long long leave_us = -1;
     /** Frames in arrival order (strictly increasing arrival_us). */
     std::vector<FrameTicket> frames;
 };

@@ -16,6 +16,29 @@ cyclesToUs(long long cycles, const accel::HwConfig &hw)
     return double(cycles) / hw.clock_hz * 1e6;
 }
 
+/** splitmix64 mix of a 64-bit state (public-domain constant set). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic schedule order: time, then chip, then kind. */
+bool
+eventBefore(const ChipFaultEvent &a, const ChipFaultEvent &b)
+{
+    if (a.at_us != b.at_us)
+        return a.at_us < b.at_us;
+    if (a.chip != b.chip)
+        return a.chip < b.chip;
+    if (a.kind != b.kind)
+        return int(a.kind) < int(b.kind);
+    return a.lanes < b.lanes;
+}
+
 } // namespace
 
 Result<ServiceModel>
@@ -58,6 +81,56 @@ deriveServiceModel(const accel::PipelineWorkloadConfig &workload,
     return model;
 }
 
+std::vector<ChipFaultEvent>
+makeChipFaultSchedule(const ChaosScheduleConfig &cfg,
+                      const accel::HwConfig &hw, int chips)
+{
+    eyecod_assert(chips >= 1, "schedule needs >= 1 chip");
+    eyecod_assert(cfg.epoch_us >= 1, "epoch_us must be >= 1");
+    eyecod_assert(cfg.outage_us >= 1, "outage_us must be >= 1");
+    std::vector<ChipFaultEvent> events;
+    for (int c = 0; c < chips; ++c) {
+        // Each chip is its own fault domain: fold the chip index into
+        // the seed so per-chip schedules decorrelate, same discipline
+        // as the per-(seed, frame, unit) streams inside the injector.
+        accel::HwFaultConfig per_chip = cfg.hw_faults;
+        per_chip.seed = mix64(cfg.hw_faults.seed ^
+                              (uint64_t(c) << 17) ^ 0xc41b5ULL);
+        const accel::HwFaultInjector injector(per_chip, hw);
+
+        // Manufacturing-dead lanes surface as one BIST retirement
+        // event once the detection window elapses.
+        const int dead = int(injector.chip().dead_lanes.size());
+        if (dead > 0 && cfg.bist_detect_us < cfg.horizon_us)
+            events.push_back(ChipFaultEvent{
+                cfg.bist_detect_us, c, ChipEventKind::RetireLanes,
+                dead});
+
+        // Whole-chip outages: one stall-rate draw per epoch (the
+        // injector's per-frame plan, with the epoch index standing in
+        // for the frame index). Epochs inside an ongoing outage are
+        // skipped — a chip that is already down cannot fail again.
+        long long down_until = -1;
+        const long long epochs = cfg.horizon_us / cfg.epoch_us;
+        for (long long e = 0; e < epochs; ++e) {
+            const long long at = e * cfg.epoch_us;
+            if (at < down_until)
+                continue;
+            if (injector.plan(long(e)).stall_cycles <= 0)
+                continue;
+            events.push_back(
+                ChipFaultEvent{at, c, ChipEventKind::Fail, 0});
+            const long long back = at + cfg.outage_us;
+            if (back < cfg.horizon_us)
+                events.push_back(ChipFaultEvent{
+                    back, c, ChipEventKind::Rejoin, 0});
+            down_until = back;
+        }
+    }
+    std::sort(events.begin(), events.end(), eventBefore);
+    return events;
+}
+
 VirtualAccelPool::VirtualAccelPool(int chips,
                                    const ServiceModel &model,
                                    double batch_amortized_fraction)
@@ -68,14 +141,171 @@ VirtualAccelPool::VirtualAccelPool(int chips,
     eyecod_assert(batch_fraction_ >= 0.0 && batch_fraction_ < 1.0,
                   "batch fraction %g outside [0, 1)",
                   batch_fraction_);
-    busy_until_us_.assign(size_t(chips), 0);
+    ChipState healthy;
+    healthy.model = model_;
+    state_.assign(size_t(chips), healthy);
+}
+
+void
+VirtualAccelPool::configureHardware(
+    const accel::PipelineWorkloadConfig &workload,
+    const accel::HwConfig &hw)
+{
+    workload_ = workload;
+    hw_ = hw;
+    have_hardware_ = true;
+    degraded_models_.clear();
+}
+
+void
+VirtualAccelPool::setFaultSchedule(std::vector<ChipFaultEvent> events)
+{
+    eyecod_assert(next_event_ == 0,
+                  "fault schedule installed after events ran");
+    for (const ChipFaultEvent &ev : events) {
+        eyecod_assert(ev.chip >= 0 && ev.chip < chips(),
+                      "fault event chip %d out of range", ev.chip);
+        eyecod_assert(ev.at_us >= 0,
+                      "fault event at negative virtual time");
+    }
+    schedule_ = std::move(events);
+    std::sort(schedule_.begin(), schedule_.end(), eventBefore);
+}
+
+const ServiceModel *
+VirtualAccelPool::degradedModel(int retired)
+{
+    if (retired <= 0)
+        return &model_;
+    const auto it = degraded_models_.find(retired);
+    if (it != degraded_models_.end())
+        return it->second.amortized_frame_us > 0.0 ? &it->second
+                                                   : nullptr;
+    ServiceModel degraded; // Zero-cost sentinel = unusable.
+    if (have_hardware_) {
+        // Re-derive the timing model on the surviving lanes: the
+        // orchestrator re-partitions work exactly as the PR-3
+        // retirement path does, so serve-time degradation and
+        // simulator-time degradation agree.
+        const Result<accel::HwConfig> hw =
+            accel::retireLanes(hw_, retired);
+        if (hw.ok()) {
+            const Result<ServiceModel> m =
+                deriveServiceModel(workload_, hw.value());
+            if (m.ok())
+                degraded = m.value();
+        }
+    } else {
+        // No hardware attached: proportional lane-count scaling of
+        // the baseline model (sweeps and unit tests).
+        const int lanes = hw_.mac_lanes;
+        if (retired < lanes) {
+            const double scale =
+                double(lanes) / double(lanes - retired);
+            degraded = model_;
+            degraded.gaze_frame_us *= scale;
+            degraded.seg_frame_us *= scale;
+            degraded.amortized_frame_us *= scale;
+            degraded.chip_fps = model_.chip_fps / scale;
+        }
+    }
+    const auto [pos, inserted] =
+        degraded_models_.emplace(retired, degraded);
+    (void)inserted;
+    return pos->second.amortized_frame_us > 0.0 ? &pos->second
+                                                : nullptr;
+}
+
+VirtualAccelPool::EventOutcome
+VirtualAccelPool::applyEventsUpTo(long long now_us)
+{
+    EventOutcome out;
+    while (next_event_ < schedule_.size() &&
+           schedule_[next_event_].at_us <= now_us) {
+        const ChipFaultEvent &ev = schedule_[next_event_++];
+        ChipState &chip = state_[size_t(ev.chip)];
+        switch (ev.kind) {
+        case ChipEventKind::Fail:
+            if (!chip.alive)
+                break;
+            chip.alive = false;
+            // Work past the failure instant was never served: refund
+            // it from the busy accounting and free the horizon so
+            // utilization stays truthful.
+            if (chip.busy_until_us > ev.at_us) {
+                total_busy_us_ -=
+                    double(chip.busy_until_us - ev.at_us);
+                chip.busy_until_us = ev.at_us;
+            }
+            out.failed.push_back(ev.chip);
+            break;
+        case ChipEventKind::Rejoin:
+            if (chip.alive || !chip.usable)
+                break;
+            chip.alive = true;
+            chip.busy_until_us =
+                std::max(chip.busy_until_us, ev.at_us);
+            out.rejoined.push_back(ev.chip);
+            break;
+        case ChipEventKind::RetireLanes: {
+            if (!chip.usable)
+                break;
+            const int retired = chip.retired_lanes + ev.lanes;
+            const ServiceModel *m = degradedModel(retired);
+            chip.retired_lanes = retired;
+            out.lanes_retired += ev.lanes;
+            if (m == nullptr) {
+                // No usable lane survives: the chip is bricked, not
+                // degraded — it fails and never rejoins.
+                chip.usable = false;
+                if (chip.alive) {
+                    chip.alive = false;
+                    if (chip.busy_until_us > ev.at_us) {
+                        total_busy_us_ -=
+                            double(chip.busy_until_us - ev.at_us);
+                        chip.busy_until_us = ev.at_us;
+                    }
+                    out.failed.push_back(ev.chip);
+                }
+                break;
+            }
+            chip.model = *m;
+            out.lane_retired.push_back(ev.chip);
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+int
+VirtualAccelPool::aliveChips() const
+{
+    int n = 0;
+    for (const ChipState &chip : state_)
+        if (chip.alive)
+            ++n;
+    return n;
+}
+
+double
+VirtualAccelPool::effectiveCapacity() const
+{
+    double capacity = 0.0;
+    for (const ChipState &chip : state_) {
+        if (!chip.alive || chip.model.amortized_frame_us <= 0.0)
+            continue;
+        capacity +=
+            model_.amortized_frame_us / chip.model.amortized_frame_us;
+    }
+    return capacity;
 }
 
 int
 VirtualAccelPool::idleChip(long long now_us) const
 {
-    for (size_t c = 0; c < busy_until_us_.size(); ++c)
-        if (busy_until_us_[c] <= now_us)
+    for (size_t c = 0; c < state_.size(); ++c)
+        if (state_[c].alive && state_[c].busy_until_us <= now_us)
             return int(c);
     return -1;
 }
@@ -101,21 +331,23 @@ VirtualAccelPool::dispatch(int chip, long long now_us,
 {
     eyecod_assert(chip >= 0 && chip < chips(),
                   "chip %d out of range", chip);
-    eyecod_assert(busy_until_us_[size_t(chip)] <= now_us,
+    ChipState &st = state_[size_t(chip)];
+    eyecod_assert(st.alive, "dispatch to failed chip %d", chip);
+    eyecod_assert(st.busy_until_us <= now_us,
                   "dispatch to busy chip %d", chip);
     // Ceil to whole microseconds so completion timestamps stay
     // integral (and therefore exactly comparable across runs).
     const long long span = (long long)(service_us + 0.999999);
-    busy_until_us_[size_t(chip)] = now_us + span;
+    st.busy_until_us = now_us + span;
     total_busy_us_ += double(span);
-    return busy_until_us_[size_t(chip)];
+    return st.busy_until_us;
 }
 
 bool
 VirtualAccelPool::allIdle(long long now_us) const
 {
-    for (long long b : busy_until_us_)
-        if (b > now_us)
+    for (const ChipState &chip : state_)
+        if (chip.busy_until_us > now_us)
             return false;
     return true;
 }

@@ -25,6 +25,18 @@
  * dataflow model attributes to a steady frame; it is configurable
  * for what-if sweeps.
  *
+ * Chips are not assumed healthy forever. A pool can carry a scripted
+ * fault schedule — whole-chip outages (with later rejoin) and BIST
+ * lane retirements — applied in virtual time. A retired-lane chip
+ * stays in the pool with a *degraded* ServiceModel re-derived from
+ * accel::retireLanes() + the cycle-level scheduler, so its frames
+ * genuinely bill slower; a failed chip leaves the pool until its
+ * rejoin event and the engine re-dispatches whatever it was running.
+ * Schedules come either scripted or generated from the PR-3
+ * accel::HwFaultInjector seeded fault model (makeChipFaultSchedule),
+ * keeping serve-time chaos and simulator-time faults on one seed
+ * discipline.
+ *
  * Everything runs in virtual microseconds — no wall clock — so a
  * serving run is bit-for-bit reproducible at any scheduler thread
  * count.
@@ -33,9 +45,11 @@
 #ifndef EYECOD_SERVE_VIRTUAL_ACCEL_H
 #define EYECOD_SERVE_VIRTUAL_ACCEL_H
 
+#include <map>
 #include <vector>
 
 #include "accel/hw_config.h"
+#include "accel/hw_faults.h"
 #include "accel/workload.h"
 #include "common/status.h"
 
@@ -65,9 +79,56 @@ Result<ServiceModel> deriveServiceModel(
     const accel::PipelineWorkloadConfig &workload,
     const accel::HwConfig &hw);
 
+/** What happens to a chip at a scheduled fault event. */
+enum class ChipEventKind : int {
+    Fail = 0,    ///< Whole-chip outage: leaves the pool.
+    Rejoin,      ///< Returns to service (degradations persist).
+    RetireLanes, ///< BIST maps out MAC lanes; chip serves degraded.
+};
+
+/** One scheduled chip lifecycle event, in virtual time. */
+struct ChipFaultEvent
+{
+    long long at_us = 0; ///< Virtual time the event takes effect.
+    int chip = 0;        ///< Target chip index.
+    ChipEventKind kind = ChipEventKind::Fail;
+    int lanes = 0;       ///< RetireLanes only: lanes mapped out.
+};
+
+/**
+ * Chaos-schedule generator config layered on the PR-3 hardware fault
+ * model: dead_lane_rate drives BIST lane retirements, stall_rate
+ * drives whole-chip outage windows. Each chip derives its own
+ * injector seed from (seed, chip), so per-chip schedules are
+ * independent and the whole schedule is a pure function of the seed.
+ */
+struct ChaosScheduleConfig
+{
+    /** Fault rates + master seed (accel::HwFaultConfig semantics). */
+    accel::HwFaultConfig hw_faults;
+    /** Generate events in [0, horizon_us). */
+    long long horizon_us = 0;
+    /** Outage-draw granularity: one stall_rate draw per epoch. */
+    long long epoch_us = 50000;
+    /** Whole-chip outage duration before the rejoin event. */
+    long long outage_us = 100000;
+    /** When BIST detection lands the lane-retirement event. */
+    long long bist_detect_us = 40000;
+};
+
+/**
+ * Generate a deterministic chip fault schedule for @p chips chips of
+ * configuration @p hw, sorted by (at_us, chip, kind). An all-zero
+ * rate config yields an empty schedule.
+ */
+std::vector<ChipFaultEvent> makeChipFaultSchedule(
+    const ChaosScheduleConfig &cfg, const accel::HwConfig &hw,
+    int chips);
+
 /**
  * K virtual chip instances tracked as busy-until horizons in virtual
- * time, with batched-dispatch cost accounting.
+ * time, with batched-dispatch cost accounting and scheduled
+ * fail/rejoin/retire-lanes lifecycle events.
  */
 class VirtualAccelPool
 {
@@ -81,15 +142,84 @@ class VirtualAccelPool
     VirtualAccelPool(int chips, const ServiceModel &model,
                      double batch_amortized_fraction);
 
-    /** Number of virtual chips. */
-    int chips() const { return int(busy_until_us_.size()); }
+    /** Number of virtual chips (alive or not). */
+    int chips() const { return int(state_.size()); }
 
-    /** Service model in use. */
+    /** Baseline (healthy-chip) service model. */
     const ServiceModel &model() const { return model_; }
 
     /**
-     * Lowest-index chip idle at @p now_us (busy horizon has passed),
-     * or -1 when every chip is still busy.
+     * Enable degraded-model derivation for lane retirements. Without
+     * this, RetireLanes events fall back to proportional lane-count
+     * scaling of the baseline model.
+     */
+    void configureHardware(
+        const accel::PipelineWorkloadConfig &workload,
+        const accel::HwConfig &hw);
+
+    /** Install the chip fault schedule (re-sorted deterministically).
+     *  Must be called before any event time has been passed. */
+    void setFaultSchedule(std::vector<ChipFaultEvent> events);
+
+    /** Chips affected by one applyEventsUpTo() sweep. */
+    struct EventOutcome
+    {
+        std::vector<int> failed;       ///< Chips that went down.
+        std::vector<int> rejoined;     ///< Chips back in service.
+        std::vector<int> lane_retired; ///< Chips now degraded.
+        long long lanes_retired = 0;   ///< Total lanes mapped out.
+    };
+
+    /**
+     * Apply every scheduled event with at_us <= @p now_us, in
+     * schedule order. A failing chip's busy horizon is truncated to
+     * the event time (its in-flight work is the caller's to
+     * re-dispatch) and the unserved remainder is refunded from the
+     * busy accounting. A chip whose lane retirement leaves no usable
+     * lane fails instead of degrading.
+     */
+    EventOutcome applyEventsUpTo(long long now_us);
+
+    /** True when any scheduled event is still in the future. */
+    bool hasPendingEvents() const
+    {
+        return next_event_ < schedule_.size();
+    }
+
+    /** True when @p chip is in service. */
+    bool alive(int chip) const
+    {
+        return state_[size_t(chip)].alive;
+    }
+
+    /** Chips currently in service. */
+    int aliveChips() const;
+
+    /** True when at least one chip is in service. */
+    bool anyAlive() const { return aliveChips() > 0; }
+
+    /** Lanes mapped out on @p chip so far. */
+    int retiredLanes(int chip) const
+    {
+        return state_[size_t(chip)].retired_lanes;
+    }
+
+    /** Service model of @p chip (degraded once lanes retired). */
+    const ServiceModel &chipModel(int chip) const
+    {
+        return state_[size_t(chip)].model;
+    }
+
+    /**
+     * Fleet capacity in healthy-chip units: each alive chip
+     * contributes baseline_amortized / its_amortized (1.0 when
+     * healthy, less once degraded). 0 when every chip is down.
+     */
+    double effectiveCapacity() const;
+
+    /**
+     * Lowest-index alive chip idle at @p now_us (busy horizon has
+     * passed), or -1 when every chip is busy or down.
      */
     int idleChip(long long now_us) const;
 
@@ -101,27 +231,53 @@ class VirtualAccelPool
 
     /**
      * Occupy @p chip from @p now_us for @p service_us. The chip must
-     * be idle at @p now_us. Returns the completion timestamp.
+     * be alive and idle at @p now_us. Returns the completion
+     * timestamp.
      */
     long long dispatch(int chip, long long now_us, double service_us);
 
     /** Busy horizon of @p chip. */
     long long busyUntil(int chip) const
     {
-        return busy_until_us_[size_t(chip)];
+        return state_[size_t(chip)].busy_until_us;
     }
 
-    /** True when every chip is idle at @p now_us. */
+    /** True when every alive chip is idle at @p now_us. */
     bool allIdle(long long now_us) const;
 
-    /** Total busy microseconds accumulated across all chips. */
+    /** Total busy microseconds accumulated across all chips (time a
+     *  failed chip never served is refunded). */
     double totalBusyUs() const { return total_busy_us_; }
 
   private:
+    struct ChipState
+    {
+        bool alive = true;
+        bool usable = true; ///< False once retirement leaves no lane.
+        int retired_lanes = 0;
+        long long busy_until_us = 0;
+        ServiceModel model; ///< Degraded once lanes retire.
+    };
+
+    /**
+     * Degraded model for @p retired total lanes (cached); nullptr
+     * when no usable lane survives.
+     */
+    const ServiceModel *degradedModel(int retired);
+
     ServiceModel model_;
     double batch_fraction_;
-    std::vector<long long> busy_until_us_;
+    std::vector<ChipState> state_;
     double total_busy_us_ = 0.0;
+
+    std::vector<ChipFaultEvent> schedule_;
+    size_t next_event_ = 0;
+
+    bool have_hardware_ = false;
+    accel::PipelineWorkloadConfig workload_;
+    accel::HwConfig hw_;
+    /** retired-lane count -> re-derived model (ordered: replayable). */
+    std::map<int, ServiceModel> degraded_models_;
 };
 
 } // namespace serve

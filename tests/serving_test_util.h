@@ -67,6 +67,20 @@ quickServingConfig(int chips, int threads = 1)
     return cfg;
 }
 
+/**
+ * Park every degradation-ladder threshold out of reach so a test can
+ * observe the engine's raw overload behavior (deadline misses,
+ * backpressure drops) without the ladder stepping in.
+ */
+inline void
+disableDegradationLadder(ServingConfig &cfg)
+{
+    for (int i = 0; i < kNumDegradationTiers; ++i) {
+        cfg.degradation.engage_pressure[size_t(i)] = 1e18;
+        cfg.degradation.disengage_pressure[size_t(i)] = 1e17;
+    }
+}
+
 } // namespace serve
 } // namespace eyecod
 

@@ -2,7 +2,7 @@
  * @file
  * detlint rule-engine tests.
  *
- * Each rule R1-R6 gets a failing fixture (every seeded violation must
+ * Each rule R1-R8 gets a failing fixture (every seeded violation must
  * be caught, at its exact line) and a passing fixture (idiomatic
  * deterministic code plus near-miss identifiers must stay silent).
  * Scoping is exercised by re-analyzing the same fixture under a
@@ -207,6 +207,42 @@ TEST(DetlintR7, OnlyFrameSpineDirectoriesAreScoped)
     EXPECT_TRUE(runOn("r7_fail.cc", "tests/r7_fail.cc").empty());
 }
 
+TEST(DetlintR8, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r8_fail.cc", "src/serve/r8_fail.cc"));
+    const RL want = {{Rule::R8UnboundedPushBack, 17},
+                     {Rule::R8UnboundedPushBack, 18},
+                     {Rule::R8UnboundedPushBack, 19}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR8, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r8_pass.cc", "src/serve/r8_pass.cc").empty());
+}
+
+TEST(DetlintR8, OnlyServeDirectoryIsScoped)
+{
+    // Member-container growth off the per-frame serving path (e.g.
+    // dataset builders, tests) is routine and stays legal.
+    EXPECT_TRUE(runOn("r8_fail.cc", "src/dataset/r8_fail.cc").empty());
+    EXPECT_TRUE(runOn("r8_fail.cc", "tests/r8_fail.cc").empty());
+}
+
+TEST(DetlintR8, AllowCommentNamesTheBoundAndSuppresses)
+{
+    const std::string ok =
+        "// detlint:allow(R8) bounded by drop_log_cap_\n"
+        "void f(Engine &e) { e.drop_log_.push_back(1); }\n";
+    EXPECT_TRUE(analyzeSource("src/serve/f.cc", ok).empty());
+    const std::string bad =
+        "void f(Engine &e) { e.drop_log_.push_back(1); }\n";
+    const auto got = ruleLines(analyzeSource("src/serve/f.cc", bad));
+    const RL want = {{Rule::R8UnboundedPushBack, 1}};
+    EXPECT_EQ(got, want);
+}
+
 TEST(DetlintSuppression, AllThreeFormsSilenceFindings)
 {
     // Same-line, previous-line, and file-wide allow comments: the
@@ -293,7 +329,8 @@ TEST(DetlintOutput, RuleIdsAndNamesRoundTrip)
     for (Rule r : {Rule::R1UnseededRng, Rule::R2WallClock,
                    Rule::R3UnorderedIter, Rule::R4HotPathThrow,
                    Rule::R5WarnInLoop, Rule::R6FloatReduction,
-                   Rule::R7ImageCopy, Rule::H1HeaderSelfContained}) {
+                   Rule::R7ImageCopy, Rule::R8UnboundedPushBack,
+                   Rule::H1HeaderSelfContained}) {
         Rule parsed;
         ASSERT_TRUE(parseRule(ruleId(r), &parsed));
         EXPECT_EQ(parsed, r);

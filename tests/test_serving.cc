@@ -135,8 +135,9 @@ TEST(ServingEngine, CloseSessionShedsQueuedFramesAsDrops)
 TEST(ServingEngine, OverloadDropsAreBoundedAccountedAndFair)
 {
     // 8 symmetric users on one chip oversubscribe it (~1.7x): the
-    // engine must shed load through the bounded queues, keep the
-    // books balanced, and not starve anyone.
+    // degradation ladder must engage (resolution + refresh-rate
+    // downgrades), the engine must shed load through accounted
+    // drops, keep the books balanced, and not starve anyone.
     ServingConfig cfg = quickServingConfig(1);
     ServingEngine eng(cfg, servingTestEstimator(),
                       servingTestRenderer());
@@ -145,7 +146,16 @@ TEST(ServingEngine, OverloadDropsAreBoundedAccountedAndFair)
                                  quickTraffic(8, 40)));
     EXPECT_EQ(f.submitted, 8 * 40);
     EXPECT_GT(f.queue_drops, 0);
-    EXPECT_GT(f.deadline_misses, 0);
+    // 1.7x pressure walks the ladder to at least tier 3: frames are
+    // served at reduced resolution and every stride-th submit is
+    // shed as a rate-downgrade drop.
+    EXPECT_GT(f.tier_transitions, 0);
+    EXPECT_GT(f.degraded_res_frames, 0);
+    EXPECT_GT(f.drops_rate_downgrade, 0);
+    // The per-reason breakdown partitions the total drop count.
+    EXPECT_EQ(f.queue_drops,
+              f.drops_backpressure + f.drops_shed_on_close +
+                  f.drops_rate_downgrade + f.drops_failover);
     // Accounting identity after drain: every submitted frame either
     // completed or was shed as an accounted drop.
     EXPECT_EQ(f.submitted, f.completed + f.queue_drops);
@@ -173,6 +183,28 @@ TEST(ServingEngine, OverloadDropsAreBoundedAccountedAndFair)
             any_session_dropped ||
             eng.sessionHealth(id).metrics.queue_drops > 0;
     EXPECT_TRUE(any_session_dropped);
+}
+
+TEST(ServingEngine, OverloadWithoutLadderMissesDeadlines)
+{
+    // Same 1.7x oversubscription with the ladder parked out of
+    // reach: raw overload shows through as deadline misses and
+    // bounded-queue backpressure drops — the behavior the ladder
+    // exists to prevent.
+    ServingConfig cfg = quickServingConfig(1);
+    disableDegradationLadder(cfg);
+    ServingEngine eng(cfg, servingTestEstimator(),
+                      servingTestRenderer());
+    const FleetMetrics f =
+        eng.runTrace(makeTraffic(servingTestRenderer(),
+                                 quickTraffic(8, 40)));
+    EXPECT_EQ(f.submitted, 8 * 40);
+    EXPECT_GT(f.deadline_misses, 0);
+    EXPECT_GT(f.drops_backpressure, 0);
+    EXPECT_EQ(f.drops_rate_downgrade, 0);
+    EXPECT_EQ(f.degraded_res_frames, 0);
+    EXPECT_EQ(f.degradation_tier, 0);
+    EXPECT_EQ(f.submitted, f.completed + f.queue_drops);
 }
 
 TEST(ServingEngine, StopWithDrainLosesNoFrame)

@@ -47,8 +47,9 @@ runSignature(int scheduler_threads)
         }
         for (const DropRecord &d :
              eng.sessionMetrics(s).drop_log) {
-            std::snprintf(buf, sizeof(buf), "d%ld@%lld/%lld;",
-                          d.frame_index, d.arrival_us, d.dropped_us);
+            std::snprintf(buf, sizeof(buf), "d%ld@%lld/%lld:%s;",
+                          d.frame_index, d.arrival_us, d.dropped_us,
+                          dropReasonName(d.reason));
             sig += buf;
         }
     }
@@ -56,13 +57,17 @@ runSignature(int scheduler_threads)
     eng.exportMetrics(json, "serving");
     sig += json.serialize();
     std::snprintf(buf, sizeof(buf),
-                  "|completed=%lld drops=%lld misses=%lld",
-                  f.completed, f.queue_drops, f.deadline_misses);
+                  "|completed=%lld drops=%lld misses=%lld tier=%d",
+                  f.completed, f.queue_drops, f.deadline_misses,
+                  f.degradation_tier);
     sig += buf;
     // The trace is overloaded on purpose; an all-clean run would
-    // leave the drop/deadline paths untested.
+    // leave the shedding and degradation paths untested. The ladder
+    // absorbs the overload, so the interesting decisions are its
+    // rate-downgrade sheds and tier walk, not deadline misses.
     EXPECT_GT(f.queue_drops, 0);
-    EXPECT_GT(f.deadline_misses, 0);
+    EXPECT_GT(f.drops_rate_downgrade, 0);
+    EXPECT_GT(f.tier_transitions, 0);
     return sig;
 }
 
@@ -93,6 +98,85 @@ TEST(ServingDeterminism, IdenticalAcrossSchedulerThreadCounts)
 TEST(ServingDeterminism, RepeatedRunsAreIdentical)
 {
     EXPECT_EQ(runSignature(4), runSignature(4));
+}
+
+/**
+ * Chaos + churn signature: chip 1 of 2 dies mid-run and rejoins,
+ * chip 0 loses MAC lanes to BIST, and every third session leaves
+ * halfway through (joins staggered) — so the signature covers
+ * failover re-dispatch decisions, drop reasons, degraded-model
+ * billing, and the ladder walk under session churn.
+ */
+std::string
+chaosSignature(int scheduler_threads)
+{
+    ServingConfig cfg = quickServingConfig(2, scheduler_threads);
+    cfg.record_gaze = true;
+    cfg.failover.chip_faults = {
+        // 34000 lands mid-batch on chip 1, so the outage catches
+        // frames in flight and the re-dispatch path is exercised.
+        ChipFaultEvent{34000, 1, ChipEventKind::Fail, 0},
+        ChipFaultEvent{40000, 0, ChipEventKind::RetireLanes, 16},
+        ChipFaultEvent{90000, 1, ChipEventKind::Rejoin, 0},
+    };
+    ServingEngine eng(cfg, servingTestEstimator(),
+                      servingTestRenderer());
+    TrafficConfig tc;
+    tc.sessions = 12; // ~1.27x on two chips: backlog keeps both
+                      // chips in flight at the failure instant
+    tc.frames_per_session = 30;
+    tc.churn_stagger_us = 2000;
+    tc.leave_every = 3;
+    const FleetMetrics f =
+        eng.runTrace(makeTraffic(servingTestRenderer(), tc));
+
+    std::string sig;
+    char buf[160];
+    for (int s = 0; s < eng.sessionCount(); ++s) {
+        for (const dataset::GazeVec &g : eng.sessionGazeLog(s)) {
+            std::snprintf(buf, sizeof(buf), "%a,%a,%a;", g[0], g[1],
+                          g[2]);
+            sig += buf;
+        }
+        for (const DropRecord &d :
+             eng.sessionMetrics(s).drop_log) {
+            std::snprintf(buf, sizeof(buf), "d%ld@%lld/%lld:%s;",
+                          d.frame_index, d.arrival_us, d.dropped_us,
+                          dropReasonName(d.reason));
+            sig += buf;
+        }
+    }
+    PerfJson json;
+    eng.exportMetrics(json, "serving");
+    sig += json.serialize();
+    // The schedule must actually exercise the failover machinery;
+    // churned sessions must have left mid-run.
+    EXPECT_EQ(f.chip_failures, 1);
+    EXPECT_GT(f.redispatched_frames, 0);
+    EXPECT_EQ(f.lanes_retired, 16);
+    EXPECT_EQ(f.sessions_closed, 4); // sessions 2, 5, 8, 11 leave
+    return sig;
+}
+
+TEST(ServingDeterminism, ChaosAndChurnIdenticalAcrossThreadCounts)
+{
+    const std::string one = chaosSignature(1);
+    const std::string two = chaosSignature(2);
+    const std::string eight = chaosSignature(8);
+    const bool same12 = one == two;
+    const bool same18 = one == eight;
+    EXPECT_TRUE(same12);
+    EXPECT_TRUE(same18);
+    if (!same12 || !same18) {
+        const std::string &other = !same12 ? two : eight;
+        size_t i = 0;
+        while (i < one.size() && i < other.size() &&
+               one[i] == other[i])
+            ++i;
+        ADD_FAILURE() << "chaos signatures diverge at byte " << i
+                      << ": " << one.substr(i, 48) << " vs "
+                      << other.substr(i, 48);
+    }
 }
 
 } // namespace

@@ -17,6 +17,7 @@ ruleId(Rule rule)
     case Rule::R5WarnInLoop: return "R5";
     case Rule::R6FloatReduction: return "R6";
     case Rule::R7ImageCopy: return "R7";
+    case Rule::R8UnboundedPushBack: return "R8";
     case Rule::H1HeaderSelfContained: return "H1";
     }
     return "R?";
@@ -33,6 +34,7 @@ ruleName(Rule rule)
     case Rule::R5WarnInLoop: return "warn-in-loop";
     case Rule::R6FloatReduction: return "float-reduction-order";
     case Rule::R7ImageCopy: return "image-copy";
+    case Rule::R8UnboundedPushBack: return "unbounded-push-back";
     case Rule::H1HeaderSelfContained: return "header-self-contained";
     }
     return "unknown";
@@ -45,7 +47,8 @@ parseRule(const std::string &text, Rule *out)
         Rule::R1UnseededRng,   Rule::R2WallClock,
         Rule::R3UnorderedIter, Rule::R4HotPathThrow,
         Rule::R5WarnInLoop,    Rule::R6FloatReduction,
-        Rule::R7ImageCopy,     Rule::H1HeaderSelfContained,
+        Rule::R7ImageCopy,     Rule::R8UnboundedPushBack,
+        Rule::H1HeaderSelfContained,
     };
     for (Rule r : kAll) {
         if (text == ruleId(r) || text == ruleName(r)) {

@@ -28,6 +28,7 @@ enum class Rule {
     R5WarnInLoop,      ///< Unbounded warn() inside a loop body.
     R6FloatReduction,  ///< Reduction-order-hazardous primitives.
     R7ImageCopy,       ///< By-value Image traffic in hot-path dirs.
+    R8UnboundedPushBack, ///< push_back into members on serve hot paths.
     H1HeaderSelfContained, ///< Header fails standalone compile.
 };
 

@@ -1,0 +1,21 @@
+// R8 failing exemplar: member containers growing per frame on the
+// serving hot path. Scoped as src/serve/ by the test harness.
+#include <vector>
+
+struct Engine
+{
+    std::vector<int> retry_;
+    std::vector<long> log_;
+    struct Metrics
+    {
+        std::vector<int> drops;
+    } metrics_;
+
+    void
+    onFrame(int frame)
+    {
+        retry_.push_back(frame);            // line 17: R8 member
+        this->log_.emplace_back(frame);     // line 18: R8 this->
+        metrics_.drops.push_back(frame);    // line 19: R8 chain
+    }
+};

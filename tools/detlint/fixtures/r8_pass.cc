@@ -1,0 +1,22 @@
+// R8 passing exemplar: locals may grow, bounded member pushes carry
+// an allow comment naming their bound, and call-expression receivers
+// are not member chains. Scoped as src/serve/ by the test harness.
+#include <vector>
+
+std::vector<int> &scratch();
+
+struct Engine
+{
+    std::vector<int> pool_;
+    std::size_t cap_ = 64;
+
+    void
+    onFrame(int frame)
+    {
+        std::vector<int> batch; // local: rebuilt and freed per call
+        batch.push_back(frame);
+        if (pool_.size() < cap_)
+            pool_.push_back(frame); // detlint:allow(R8) capped at cap_
+        scratch().push_back(frame); // call receiver: not a member
+    }
+};

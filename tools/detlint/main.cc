@@ -53,7 +53,8 @@ listRules()
         Rule::R1UnseededRng,   Rule::R2WallClock,
         Rule::R3UnorderedIter, Rule::R4HotPathThrow,
         Rule::R5WarnInLoop,    Rule::R6FloatReduction,
-        Rule::R7ImageCopy,     Rule::H1HeaderSelfContained,
+        Rule::R7ImageCopy,     Rule::R8UnboundedPushBack,
+        Rule::H1HeaderSelfContained,
     };
     for (Rule r : kAll)
         std::cout << ruleId(r) << "  " << ruleName(r) << "\n";

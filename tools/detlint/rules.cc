@@ -603,6 +603,94 @@ scanImageCopy(const std::vector<Token> &toks,
     }
 }
 
+// ---------------------------------------------------------------------
+// R8: unbounded push_back into member containers on serve hot paths.
+// ---------------------------------------------------------------------
+
+/**
+ * Dirs whose member containers sit on a per-frame path (R8). The
+ * serving engine's tick loop runs at streaming rates; a member
+ * vector that grows per frame is a leak with a delay.
+ */
+const std::vector<std::string> kServeHotDirs = {"src/serve/"};
+
+/**
+ * Walk the receiver chain of the member call whose access token
+ * ('.' or '->') sits at @p dot, reporting the innermost component
+ * name through @p name. True when the chain roots in a data member:
+ * any component using the trailing-underscore member convention, or
+ * an explicit `this->`. Subscripts are skipped (`buf_[i].items`),
+ * and a call-expression receiver (`make().push_back`) never names a
+ * member.
+ */
+bool
+receiverIsMember(const std::vector<Token> &toks, size_t dot,
+                 std::string *name)
+{
+    bool member = false;
+    size_t j = dot;
+    while (j > 0) {
+        --j; // last token of this receiver component
+        // Skip balanced subscripts: by_session_[g].second ...
+        while (j > 0 && isPunct(toks[j], "]")) {
+            int depth = 0;
+            for (;;) {
+                if (isPunct(toks[j], "]"))
+                    ++depth;
+                else if (isPunct(toks[j], "[") && --depth == 0)
+                    break;
+                if (j == 0)
+                    return member;
+                --j;
+            }
+            if (j == 0)
+                return member;
+            --j;
+        }
+        if (toks[j].kind != TokKind::Identifier)
+            return false;
+        if (name->empty())
+            *name = toks[j].text;
+        if (toks[j].text == "this" || toks[j].text.back() == '_')
+            member = true;
+        if (j == 0 || !(isPunct(toks[j - 1], ".") ||
+                        isPunct(toks[j - 1], "->") ||
+                        isPunct(toks[j - 1], "::")))
+            break;
+        --j; // onto the separator; the loop steps past it
+    }
+    return member;
+}
+
+void
+scanMemberPushBack(const std::vector<Token> &toks,
+                   const std::string &relpath,
+                   const AnalyzeOptions &opts,
+                   std::vector<Finding> *out)
+{
+    if (!opts.runs(Rule::R8UnboundedPushBack) ||
+        !inAnyDir(relpath, kServeHotDirs))
+        return;
+    for (size_t i = 1; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Identifier || t.preproc)
+            continue;
+        if (t.text != "push_back" && t.text != "emplace_back")
+            continue;
+        if (!isMemberAccess(toks, i) || !isPunct(toks[i + 1], "("))
+            continue;
+        std::string name;
+        if (!receiverIsMember(toks, i - 1, &name))
+            continue;
+        out->push_back(
+            {Rule::R8UnboundedPushBack, relpath, t.line,
+             t.text + " into member container '" + name +
+                 "' on a per-frame path grows without bound; pool or "
+                 "cap it, then state the bound in a "
+                 "detlint:allow(R8) comment"});
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -625,6 +713,7 @@ analyzeSource(const std::string &relpath, const std::string &content,
     scanThrowAndDiscard(toks, relpath, opts, &raw);
     scanWarnInLoop(toks, relpath, opts, &raw);
     scanImageCopy(toks, relpath, opts, &raw);
+    scanMemberPushBack(toks, relpath, opts, &raw);
 
     std::vector<Finding> kept;
     for (Finding &f : raw)

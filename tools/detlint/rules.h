@@ -26,6 +26,13 @@
  *  R6 float-reduction-order: std::reduce / std::execution::par make
  *     float accumulation order unspecified — banned in src/, where
  *     every kernel is written to a fixed accumulation order.
+ *  R8 unbounded-push-back: push_back / emplace_back into a member
+ *     container (receiver named with the trailing-underscore member
+ *     convention, a this-> chain, or a member-of-member chain) inside
+ *     src/serve/, whose engine runs per-frame at streaming rates.
+ *     Member containers there must be pooled or explicitly bounded;
+ *     every legitimate site carries a `detlint:allow(R8)` comment
+ *     stating its bound.
  *
  * Suppression: `// detlint:allow(R1)` (or the long rule name)
  * suppresses that rule on the comment's line and the line below;
