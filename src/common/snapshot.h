@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Versioned field-wise binary snapshot codec.
+ *
+ * The serving engine checkpoints its whole live state graph (engine,
+ * sessions, queues, pipelines, sensor RNG streams) so a crashed
+ * scheduler can restore and resume **bitwise identically** — and so
+ * session migration (ROADMAP item 4) can serialize a session over the
+ * wire. Two rules govern the format:
+ *
+ *  1. **Field-wise only.** Every value is encoded one field at a time
+ *     through the typed put/get calls below. Whole-struct memcpy /
+ *     reinterpret_cast serialization is banned (detlint R9
+ *     raw-memcpy-serialize): struct layout, padding, and endianness
+ *     are not part of the format.
+ *  2. **Never trust input.** Decoding returns typed
+ *     `Result<T>` / `Status` values — every read bounds-checks the
+ *     remaining byte count, every container count is validated
+ *     against a caller-supplied maximum, and every component is
+ *     fenced by a tag word. A truncated or bit-flipped snapshot
+ *     yields `ErrorCode::CorruptSnapshot` (or `VersionMismatch` for a
+ *     foreign version), never a crash or UB.
+ *
+ * Layout: a snapshot is a flat byte string. Scalars are fixed-width
+ * little-endian; floating point travels as its IEEE-754 bit pattern
+ * (bit_cast, not memcpy). Strings and byte blobs are u32
+ * length-prefixed. Components write `u32 tag` first so a reader that
+ * drifts out of sync fails fast at the next fence.
+ */
+
+#ifndef EYECOD_COMMON_SNAPSHOT_H
+#define EYECOD_COMMON_SNAPSHOT_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/image.h"
+#include "common/status.h"
+
+namespace eyecod {
+namespace snap {
+
+/** Format magic ("EYCS") leading every top-level snapshot. */
+constexpr uint32_t kSnapshotMagic = 0x45594353u;
+
+/** Current format version. Bump on any layout change. */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/**
+ * Append-only snapshot encoder. Infallible: the writer owns its
+ * buffer and grows it as needed (snapshots are taken off the per-
+ * frame hot path, at tick boundaries).
+ */
+class SnapshotWriter
+{
+  public:
+    /** Append one byte. */
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back(v); // detlint:allow(R8) snapshot buffer, bounded by state-graph size
+    }
+
+    /** Append a bool as one byte (0/1). */
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Append a u32, little-endian. */
+    void
+    u32(uint32_t v)
+    {
+        u8(uint8_t(v & 0xffu));
+        u8(uint8_t((v >> 8) & 0xffu));
+        u8(uint8_t((v >> 16) & 0xffu));
+        u8(uint8_t((v >> 24) & 0xffu));
+    }
+
+    /** Append a u64, little-endian. */
+    void
+    u64(uint64_t v)
+    {
+        u32(uint32_t(v & 0xffffffffu));
+        u32(uint32_t(v >> 32));
+    }
+
+    /** Append a signed 64-bit value (two's-complement bit pattern). */
+    void i64(long long v) { u64(uint64_t(v)); }
+
+    /** Append a signed 32-bit value. */
+    void i32(int v) { u32(uint32_t(v)); }
+
+    /** Append a double as its IEEE-754 bit pattern. */
+    void f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+
+    /** Append a float as its IEEE-754 bit pattern. */
+    void f32(float v) { u32(std::bit_cast<uint32_t>(v)); }
+
+    /** Append a u32 length prefix + raw bytes. */
+    void str(const std::string &s);
+
+    /** Append a component fence tag (reader must match it). */
+    void tag(uint32_t t) { u32(t); }
+
+    /** The encoded bytes so far. */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    /** Move the encoded bytes out. */
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked snapshot decoder over a borrowed byte range. Every
+ * accessor either returns a value or a typed CorruptSnapshot error;
+ * after the first failure the reader stays failed (reads past the
+ * end keep erroring, they never wrap or fault).
+ */
+class SnapshotReader
+{
+  public:
+    SnapshotReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit SnapshotReader(const std::vector<uint8_t> &bytes)
+        : SnapshotReader(bytes.data(), bytes.size())
+    {
+    }
+
+    /** Read one byte. */
+    Result<uint8_t> u8();
+
+    /** Read a bool; bytes other than 0/1 are corrupt. */
+    Result<bool> b();
+
+    /** Read a little-endian u32. */
+    Result<uint32_t> u32();
+
+    /** Read a little-endian u64. */
+    Result<uint64_t> u64();
+
+    /** Read a signed 64-bit value. */
+    Result<long long> i64();
+
+    /** Read a signed 32-bit value. */
+    Result<int> i32();
+
+    /** Read a double from its bit pattern. */
+    Result<double> f64();
+
+    /** Read a float from its bit pattern. */
+    Result<float> f32();
+
+    /**
+     * Read a length-prefixed string; lengths above @p max_len (or
+     * past the end of the buffer) are corrupt.
+     */
+    Result<std::string> str(size_t max_len);
+
+    /**
+     * Read a container count and validate it against @p max — a
+     * count a hostile snapshot could inflate must never size an
+     * allocation unchecked.
+     */
+    Result<uint64_t> count(uint64_t max);
+
+    /** Read a fence tag and require it to equal @p want. */
+    Status expectTag(uint32_t want);
+
+    /** Bytes not yet consumed. */
+    size_t remaining() const { return size_ - pos_; }
+
+    /** True when every byte has been consumed. */
+    bool atEnd() const { return pos_ == size_; }
+
+    /** OK only when the whole buffer was consumed exactly. */
+    Status expectEnd() const;
+
+  private:
+    /**
+     * Build a CorruptSnapshot error and latch the reader failed:
+     * every later read also errors, so a decode routine may issue a
+     * batch of reads and check only the last one before touching any
+     * value.
+     */
+    Status corrupt(const char *what) const;
+
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    size_t pos_ = 0;
+    mutable bool failed_ = false;
+};
+
+/** Write the top-level header (magic + version). */
+void writeHeader(SnapshotWriter &w);
+
+/**
+ * Check the top-level header: CorruptSnapshot on a bad magic,
+ * VersionMismatch on a well-formed header from another version.
+ */
+Status checkHeader(SnapshotReader &r);
+
+/** FNV-1a 64-bit hash of a byte range. */
+uint64_t fnv1a(const uint8_t *data, size_t size);
+
+/**
+ * Seal a top-level snapshot: append the FNV-1a checksum of every
+ * byte written so far as the trailing u64. Any later truncation or
+ * bit flip — header, payload, or the checksum itself — is detected
+ * before a single payload field is decoded.
+ */
+void sealSnapshot(SnapshotWriter &w);
+
+/**
+ * Verify a sealed snapshot's trailing checksum. Returns the payload
+ * byte count (the sealed size minus the checksum), or
+ * CorruptSnapshot when the buffer is too short or the checksum does
+ * not match.
+ */
+Result<size_t> checkSeal(const uint8_t *data, size_t size);
+
+/** Encode a Rect field-wise (x, y, width, height). */
+void writeRect(SnapshotWriter &w, const Rect &rect);
+
+/** Decode a Rect. */
+Result<Rect> readRect(SnapshotReader &r);
+
+/** Encode an Image field-wise (extents + pixels). */
+void writeImage(SnapshotWriter &w, const Image &img);
+
+/**
+ * Decode an Image into @p out (storage reused when the capacity
+ * fits). Extents are validated against @p max_extent per axis before
+ * any allocation is sized from snapshot input.
+ */
+Status readImage(SnapshotReader &r, Image *out, int max_extent = 1 << 14);
+
+} // namespace snap
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_SNAPSHOT_H

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
+
 namespace eyecod {
 
 /**
@@ -47,6 +49,12 @@ class RunningStat
     double min() const { return min_; }
     /** Largest sample (-inf when empty). */
     double max() const { return max_; }
+
+    /** Field-wise encode (bit-exact, including the Welford m2). */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /** Field-wise decode; typed CorruptSnapshot on bad input. */
+    Status restoreSnapshot(snap::SnapshotReader &r);
 
   private:
     uint64_t n_ = 0;
@@ -116,6 +124,17 @@ class StreamingHistogram
      * buckets_per_decade); panics otherwise.
      */
     void merge(const StreamingHistogram &other);
+
+    /** Field-wise encode (bucket counts + exact min/max). */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /**
+     * Field-wise decode into this histogram. The snapshot's (lo, hi,
+     * buckets_per_decade) must match this instance's construction
+     * parameters — a mismatch is a CorruptSnapshot error, since the
+     * bucket geometry is part of the metric contract.
+     */
+    Status restoreSnapshot(snap::SnapshotReader &r);
 
   private:
     /** Bucket index holding @p x (clamped to the edge buckets). */

@@ -25,6 +25,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::EccUncorrectable: return "ecc-uncorrectable";
       case ErrorCode::ScheduleTimeout: return "schedule-timeout";
       case ErrorCode::Overloaded: return "overloaded";
+      case ErrorCode::CorruptSnapshot: return "corrupt-snapshot";
+      case ErrorCode::VersionMismatch: return "version-mismatch";
     }
     return "unknown";
 }

@@ -42,6 +42,9 @@ enum class ErrorCode {
     ScheduleTimeout,     ///< Schedule/stream exceeded its cycle budget.
     // --- Multi-session serving ---
     Overloaded,          ///< Admission rejected: fleet at capacity.
+    // --- Snapshot / restore ---
+    CorruptSnapshot,     ///< Snapshot bytes failed a bounds/tag check.
+    VersionMismatch,     ///< Snapshot written by an incompatible version.
 };
 
 /** Human-readable name of an ErrorCode. */

@@ -207,11 +207,34 @@ class EyeCoDSystem
      */
     [[nodiscard]] Result<GazeSample> processFrameChecked(const Image &scene);
 
-    /** Reset the functional pipeline's per-sequence state. */
+    /**
+     * Reset the functional pipeline's per-sequence state, the
+     * accelerator health counters, and the health report's warning
+     * view: warnLimited() counters accumulated before the reset are
+     * baselined out, so a reset (or snapshot-restored) system's
+     * healthReport() matches a fresh run instead of inheriting
+     * process-wide warning history.
+     */
     void reset();
 
     /** Aggregate health since construction or the last reset(). */
     HealthReport healthReport() const;
+
+    /**
+     * Serialize the serve-time state: the pipeline's per-sequence
+     * state graph plus the accelerator health counters. Trained
+     * estimators and configuration are construction inputs, not
+     * snapshot payload.
+     */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /**
+     * Restore state saved by saveSnapshot() into a system built from
+     * the same configuration. The warning baseline is re-captured at
+     * restore time (warn counters are process-global, and the
+     * restoring process has its own history).
+     */
+    [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
 
     /** Simulate the accelerator on the deployment workload. */
     accel::PerfReport simulatePerformance() const;
@@ -267,6 +290,14 @@ class EyeCoDSystem
     SystemConfig cfg_;
     std::unique_ptr<eyetrack::PredictThenFocusPipeline> pipe_;
     AccelHealth accel_health_;
+    /**
+     * warnLimited() counters at the last reset()/restore (the
+     * counters are process-global; healthReport() reports the delta
+     * since, so a reset system reads like a fresh one). Empty at
+     * construction: a system built mid-process intentionally surfaces
+     * pre-existing warning pressure until its first reset.
+     */
+    std::vector<WarnKeyCount> warn_baseline_;
 };
 
 } // namespace core

@@ -19,6 +19,7 @@
 
 #include "common/buffer_arena.h"
 #include "common/image_view.h"
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "dataset/sequence.h"
 #include "dataset/synthetic_eye.h"
@@ -204,6 +205,24 @@ class PredictThenFocusPipeline
      * ROIs, held gaze, watchdog backoff), and the health counters.
      */
     void reset();
+
+    /**
+     * Serialize the full per-sequence state — exactly the set
+     * reset() clears: ROI refresh phase, crop RNG, degradation FSM
+     * (fallback ROIs, held gaze, watchdog backoff, outage streak),
+     * the last acquired view, health counters, and the sensor noise
+     * stream position. The trained gaze estimator, mask, and
+     * configuration are NOT captured: they are construction inputs a
+     * restoring process already holds.
+     */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /**
+     * Restore the per-sequence state saved by saveSnapshot() into a
+     * pipeline built from the same configuration. On a typed failure
+     * the pipeline state is unspecified; call reset() before reuse.
+     */
+    [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
 
     /** Aggregate health counters since construction or reset(). */
     const HealthStats &healthStats() const { return health_stats_; }

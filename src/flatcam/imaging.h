@@ -19,6 +19,7 @@
 
 #include "common/image.h"
 #include "common/image_view.h"
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "flatcam/fault_injection.h"
 #include "flatcam/mask.h"
@@ -94,6 +95,19 @@ class FlatCamSensor
      * pipeline reset()).
      */
     void resetNoise();
+
+    /**
+     * Serialize the noise RNG's stream position — the only mutable
+     * state a sensor carries that the seed alone cannot rebuild. A
+     * restored sensor continues the read/shot-noise stream from the
+     * exact draw the snapshot was taken at (bitwise replay across a
+     * checkpoint boundary).
+     */
+    void saveNoiseState(snap::SnapshotWriter &w) const;
+
+    /** Restore the noise RNG stream position; typed errors on
+     *  corrupt input. */
+    Status restoreNoiseState(snap::SnapshotReader &r);
 
     /** The mask in use. */
     const SeparableMask &mask() const { return mask_; }

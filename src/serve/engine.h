@@ -330,6 +330,35 @@ class ServingEngine
     /** Configuration in use. */
     const ServingConfig &config() const { return cfg_; }
 
+    /** Frames waiting out a failover backoff right now. */
+    size_t pendingRetries() const { return retry_.size(); }
+
+    /**
+     * Serialize the engine's complete serve-time state into a sealed,
+     * versioned snapshot: virtual clock, in-flight batches, retry
+     * backoff queue, chip pool, degradation ladder, completion log,
+     * and every session (pipeline FSM, RNG streams, metrics, queued
+     * frames). Snapshots are taken at tick boundaries — call between
+     * advanceTo() steps, never concurrently with one.
+     *
+     * NOT captured (configuration, rebuilt on restore): the serving
+     * config, the trained estimator, the renderer, the fault
+     * schedule, and per-tick scheduler scratch.
+     */
+    std::vector<uint8_t> saveSnapshot() const;
+
+    /**
+     * Restore a snapshot into an engine constructed with the same
+     * configuration, estimator, and renderer. On success the engine
+     * continues bitwise identically to the run that saved the
+     * snapshot. Returns typed errors — CorruptSnapshot for damaged
+     * or mismatched bytes, VersionMismatch for a foreign format
+     * version — and never crashes on hostile input. On failure the
+     * engine state is unspecified; discard the engine.
+     */
+    [[nodiscard]] Status restoreSnapshot(
+        const std::vector<uint8_t> &data);
+
   private:
     /** One dispatched frame in flight through a tick. */
     struct PendingFrame

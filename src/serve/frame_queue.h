@@ -32,6 +32,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "dataset/synthetic_eye.h"
 
 namespace eyecod {
@@ -71,6 +72,18 @@ struct DropRecord
     long long dropped_us = 0; ///< When the eviction happened.
     DropReason reason = DropReason::Backpressure;
 };
+
+/** Encode one ticket field-wise (identity, arrival, scene params). */
+void writeTicket(snap::SnapshotWriter &w, const FrameTicket &ticket);
+
+/** Decode one ticket. */
+Result<FrameTicket> readTicket(snap::SnapshotReader &r);
+
+/** Encode one drop record field-wise. */
+void writeDropRecord(snap::SnapshotWriter &w, const DropRecord &rec);
+
+/** Decode one drop record (reason validated against the enum). */
+Result<DropRecord> readDropRecord(snap::SnapshotReader &r);
 
 /**
  * Bounded SPSC frame queue with drop-oldest backpressure.
@@ -114,6 +127,16 @@ class BoundedFrameQueue
     uint64_t totalDropped() const;
     /** Largest depth ever observed. */
     size_t maxDepth() const;
+
+    /** Serialize the queued tickets (oldest first) + counters. */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /**
+     * Restore into a queue of the same capacity; the snapshot's
+     * capacity is validated, queued tickets land at the front of the
+     * ring (head 0), and the counters resume exactly.
+     */
+    [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
 
   private:
     mutable std::mutex mutex_;

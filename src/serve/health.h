@@ -42,6 +42,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/snapshot.h"
+
 namespace eyecod {
 namespace serve {
 
@@ -129,6 +131,17 @@ class FleetHealthController
 
     /** Configuration in use. */
     const HealthControllerConfig &config() const { return cfg_; }
+
+    /**
+     * Serialize the ladder position and both hysteresis streaks — a
+     * restored controller continues its residency counters and
+     * escalation/de-escalation windows exactly where the snapshot
+     * left them (a mid-ladder checkpoint must not re-arm hysteresis).
+     */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /** Restore ladder state; tier and streaks are range-checked. */
+    [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
 
   private:
     HealthControllerConfig cfg_;

@@ -153,6 +153,21 @@ class Session
         return system_.arenaStats();
     }
 
+    /**
+     * Serialize the session's full serve-time state: liveness,
+     * metrics (counters, latency stat + histogram, bounded drop
+     * log), gaze stream (record_gaze only), the wrapped system's
+     * pipeline FSM, and the queued frame tickets.
+     */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /**
+     * Restore into a session constructed with the same id and
+     * configuration (the engine rebuilds sessions from config before
+     * restoring). Typed errors on any mismatch or corrupt field.
+     */
+    [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
+
   private:
     int id_;
     bool active_ = true;

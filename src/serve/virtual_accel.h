@@ -51,6 +51,7 @@
 #include "accel/hw_config.h"
 #include "accel/hw_faults.h"
 #include "accel/workload.h"
+#include "common/snapshot.h"
 #include "common/status.h"
 
 namespace eyecod {
@@ -248,6 +249,23 @@ class VirtualAccelPool
     /** Total busy microseconds accumulated across all chips (time a
      *  failed chip never served is refunded). */
     double totalBusyUs() const { return total_busy_us_; }
+
+    /**
+     * Serialize chip lifecycle state: per-chip liveness/usability,
+     * retired lanes, busy horizon, and (possibly degraded) service
+     * model, plus the busy accounting and the fault-schedule cursor.
+     * The schedule itself is configuration (installed via
+     * setFaultSchedule); only its length rides along for validation.
+     */
+    void saveSnapshot(snap::SnapshotWriter &w) const;
+
+    /**
+     * Restore into a pool built with the same chip count and fault
+     * schedule. The cursor re-enters mid-schedule: events already
+     * applied before the snapshot are never replayed, pending ones
+     * still fire. Typed errors on any mismatch.
+     */
+    [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
 
   private:
     struct ChipState

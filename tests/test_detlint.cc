@@ -2,7 +2,7 @@
  * @file
  * detlint rule-engine tests.
  *
- * Each rule R1-R8 gets a failing fixture (every seeded violation must
+ * Each rule R1-R9 gets a failing fixture (every seeded violation must
  * be caught, at its exact line) and a passing fixture (idiomatic
  * deterministic code plus near-miss identifiers must stay silent).
  * Scoping is exercised by re-analyzing the same fixture under a
@@ -243,6 +243,51 @@ TEST(DetlintR8, AllowCommentNamesTheBoundAndSuppresses)
     EXPECT_EQ(got, want);
 }
 
+TEST(DetlintR9, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r9_fail.cc", "src/common/snapshot_bad.cc"));
+    const RL want = {{Rule::R9RawMemcpySerialize, 16},
+                     {Rule::R9RawMemcpySerialize, 17},
+                     {Rule::R9RawMemcpySerialize, 23}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR9, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(
+        runOn("r9_pass.cc", "src/common/snapshot_ok.cc").empty());
+}
+
+TEST(DetlintR9, MemberNamedMemcpyIsNotTheCRoutine)
+{
+    EXPECT_TRUE(analyzeSource("src/common/snapshot.cc",
+                              "void f(Codec &c) { c.memcpy(0); }")
+                    .empty());
+}
+
+TEST(DetlintR9, OnlySnapshotFilesAreScoped)
+{
+    // The identical raw-copy code is legal outside the snapshot
+    // format's blast radius (kernels, pools, tests).
+    EXPECT_TRUE(runOn("r9_fail.cc", "src/common/codec.cc").empty());
+    EXPECT_TRUE(runOn("r9_fail.cc", "src/accel/r9_fail.cc").empty());
+}
+
+TEST(DetlintR9, AllowCommentNamesTheReasonAndSuppresses)
+{
+    const std::string ok =
+        "// detlint:allow(R9) opaque pixel rows, extent-checked\n"
+        "void f(char *d, const char *s) { memcpy(d, s, 8); }\n";
+    EXPECT_TRUE(analyzeSource("src/common/snapshot.cc", ok).empty());
+    const std::string bad =
+        "void f(char *d, const char *s) { memcpy(d, s, 8); }\n";
+    const auto got =
+        ruleLines(analyzeSource("src/common/snapshot.cc", bad));
+    const RL want = {{Rule::R9RawMemcpySerialize, 1}};
+    EXPECT_EQ(got, want);
+}
+
 TEST(DetlintSuppression, AllThreeFormsSilenceFindings)
 {
     // Same-line, previous-line, and file-wide allow comments: the
@@ -330,6 +375,7 @@ TEST(DetlintOutput, RuleIdsAndNamesRoundTrip)
                    Rule::R3UnorderedIter, Rule::R4HotPathThrow,
                    Rule::R5WarnInLoop, Rule::R6FloatReduction,
                    Rule::R7ImageCopy, Rule::R8UnboundedPushBack,
+                   Rule::R9RawMemcpySerialize,
                    Rule::H1HeaderSelfContained}) {
         Rule parsed;
         ASSERT_TRUE(parseRule(ruleId(r), &parsed));

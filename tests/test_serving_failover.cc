@@ -387,6 +387,143 @@ TEST(ServingEngine, EmptyFaultScheduleMatchesCleanEngineBitwise)
     EXPECT_EQ(signature(clean), signature(chaos));
 }
 
+/**
+ * Feed both engines one identical tick of traffic: every session
+ * submits a frame each 4th tick (1 chip cannot keep up with 8 such
+ * streams, so pressure builds), then virtual time advances one tick.
+ */
+void
+driveLockstepTick(ServingEngine &eng, const std::vector<int> &ids,
+                  long long t, long long tick_us)
+{
+    if ((t / tick_us) % 4 == 0)
+        for (int id : ids) {
+            dataset::EyeParams params;
+            params.yaw_deg = double(t % 7000) * 0.002 - 7.0;
+            const Status s = eng.submitFrame(
+                id, FrameTicket{long(t / (4 * tick_us)), t, params});
+            ASSERT_TRUE(s.isOk()) << s.toString();
+        }
+    eng.advanceTo(t);
+}
+
+TEST(ServingEngine, SnapshotMidLadderRestoresResidencyExactly)
+{
+    // Degradation-ladder state must checkpoint mid-escalation: a
+    // snapshot taken with tier >= 1 engaged restores the tier,
+    // transition count, and per-tier residency clocks exactly — and
+    // the restored controller continues counting from there (the
+    // hysteresis streaks are not re-armed by the restore).
+    ServingConfig cfg = quickServingConfig(1);
+    ServingEngine victim(cfg, servingTestEstimator(),
+                         servingTestRenderer());
+    std::vector<int> ids;
+    for (int i = 0; i < 8; ++i) {
+        const Result<int> r = victim.openSession();
+        ASSERT_TRUE(r.ok());
+        ids.push_back(r.value());
+    }
+    long long t = 0;
+    while (victim.healthController().tier() < 1) {
+        ASSERT_LT(t, 2000000) << "overload never engaged tier 1";
+        t += cfg.tick_us;
+        driveLockstepTick(victim, ids, t, cfg.tick_us);
+    }
+
+    const std::vector<uint8_t> snapshot = victim.saveSnapshot();
+    ServingEngine resumed(cfg, servingTestEstimator(),
+                          servingTestRenderer());
+    const Status restored = resumed.restoreSnapshot(snapshot);
+    ASSERT_TRUE(restored.isOk()) << restored.toString();
+
+    const FleetHealthController &a = victim.healthController();
+    const FleetHealthController &b = resumed.healthController();
+    EXPECT_GE(b.tier(), 1);
+    EXPECT_EQ(b.tier(), a.tier());
+    EXPECT_EQ(b.transitions(), a.transitions());
+    EXPECT_EQ(b.lastPressure(), a.lastPressure());
+    for (int tier = 0; tier <= kNumDegradationTiers; ++tier)
+        EXPECT_EQ(b.residencyTicks(tier), a.residencyTicks(tier))
+            << "tier " << tier;
+
+    // Continue both in lockstep: residency clocks and the ladder
+    // walk must stay identical tick for tick.
+    for (int step = 0; step < 200; ++step) {
+        t += cfg.tick_us;
+        driveLockstepTick(victim, ids, t, cfg.tick_us);
+        driveLockstepTick(resumed, ids, t, cfg.tick_us);
+    }
+    EXPECT_EQ(resumed.healthController().tier(),
+              victim.healthController().tier());
+    EXPECT_EQ(resumed.healthController().transitions(),
+              victim.healthController().transitions());
+    for (int tier = 0; tier <= kNumDegradationTiers; ++tier)
+        EXPECT_EQ(resumed.healthController().residencyTicks(tier),
+                  victim.healthController().residencyTicks(tier))
+            << "tier " << tier;
+}
+
+TEST(ServingEngine, SnapshotMidBackoffContinuesRetryStateExactly)
+{
+    // A snapshot taken while failed-over frames wait out their
+    // exponential backoff must restore the retry queue exactly: same
+    // pending count at the restore point, and a bitwise-identical
+    // remainder of the run (every retry re-dispatched or shed the
+    // same way, every failover counter equal).
+    ServingConfig cfg = quickServingConfig(2);
+    disableDegradationLadder(cfg);
+    cfg.failover.chip_faults = {
+        ChipFaultEvent{30000, 1, ChipEventKind::Fail, 0},
+        ChipFaultEvent{90000, 1, ChipEventKind::Rejoin, 0},
+    };
+    ServingEngine victim(cfg, servingTestEstimator(),
+                         servingTestRenderer());
+    std::vector<int> ids;
+    for (int i = 0; i < 16; ++i) {
+        const Result<int> r = victim.openSession();
+        ASSERT_TRUE(r.ok());
+        ids.push_back(r.value());
+    }
+    long long t = 0;
+    while (victim.pendingRetries() == 0) {
+        ASSERT_LT(t, 200000) << "chip outage stranded no frames";
+        t += cfg.tick_us;
+        driveLockstepTick(victim, ids, t, cfg.tick_us);
+    }
+    EXPECT_EQ(victim.fleetMetrics().chip_failures, 1);
+
+    const std::vector<uint8_t> snapshot = victim.saveSnapshot();
+    ServingEngine resumed(cfg, servingTestEstimator(),
+                          servingTestRenderer());
+    const Status restored = resumed.restoreSnapshot(snapshot);
+    ASSERT_TRUE(restored.isOk()) << restored.toString();
+    ASSERT_GT(resumed.pendingRetries(), 0u);
+    EXPECT_EQ(resumed.pendingRetries(), victim.pendingRetries());
+    EXPECT_EQ(resumed.now(), victim.now());
+
+    // Continue both in lockstep through the rejoin, then drain, and
+    // require identical books: the retry backoffs elapsed the same
+    // way, re-dispatches landed the same way, nothing double-served.
+    for (int step = 0; step < 100; ++step) {
+        t += cfg.tick_us;
+        driveLockstepTick(victim, ids, t, cfg.tick_us);
+        driveLockstepTick(resumed, ids, t, cfg.tick_us);
+    }
+    victim.drain();
+    resumed.drain();
+    PerfJson va, rb;
+    victim.exportMetrics(va, "serving");
+    resumed.exportMetrics(rb, "serving");
+    EXPECT_EQ(va.serialize(), rb.serialize());
+    const FleetMetrics fv = victim.fleetMetrics();
+    const FleetMetrics fr = resumed.fleetMetrics();
+    EXPECT_GT(fr.redispatched_frames, 0);
+    EXPECT_EQ(fr.redispatched_frames, fv.redispatched_frames);
+    EXPECT_EQ(fr.drops_failover, fv.drops_failover);
+    EXPECT_EQ(fr.chip_failures, fv.chip_failures);
+    EXPECT_EQ(fr.chip_rejoins, fv.chip_rejoins);
+}
+
 } // namespace
 } // namespace serve
 } // namespace eyecod

@@ -18,6 +18,7 @@ ruleId(Rule rule)
     case Rule::R6FloatReduction: return "R6";
     case Rule::R7ImageCopy: return "R7";
     case Rule::R8UnboundedPushBack: return "R8";
+    case Rule::R9RawMemcpySerialize: return "R9";
     case Rule::H1HeaderSelfContained: return "H1";
     }
     return "R?";
@@ -35,6 +36,7 @@ ruleName(Rule rule)
     case Rule::R6FloatReduction: return "float-reduction-order";
     case Rule::R7ImageCopy: return "image-copy";
     case Rule::R8UnboundedPushBack: return "unbounded-push-back";
+    case Rule::R9RawMemcpySerialize: return "raw-memcpy-serialize";
     case Rule::H1HeaderSelfContained: return "header-self-contained";
     }
     return "unknown";
@@ -48,6 +50,7 @@ parseRule(const std::string &text, Rule *out)
         Rule::R3UnorderedIter, Rule::R4HotPathThrow,
         Rule::R5WarnInLoop,    Rule::R6FloatReduction,
         Rule::R7ImageCopy,     Rule::R8UnboundedPushBack,
+        Rule::R9RawMemcpySerialize,
         Rule::H1HeaderSelfContained,
     };
     for (Rule r : kAll) {

@@ -29,6 +29,8 @@ enum class Rule {
     R6FloatReduction,  ///< Reduction-order-hazardous primitives.
     R7ImageCopy,       ///< By-value Image traffic in hot-path dirs.
     R8UnboundedPushBack, ///< push_back into members on serve hot paths.
+    R9RawMemcpySerialize, ///< memcpy/reinterpret_cast (de)serialization
+                          ///  in snapshot/codec code.
     H1HeaderSelfContained, ///< Header fails standalone compile.
 };
 

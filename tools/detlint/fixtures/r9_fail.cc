@@ -1,0 +1,24 @@
+// R9 failing exemplar: whole-struct (de)serialization in snapshot
+// code. Scoped as src/common/snapshot_bad.cc by the test harness.
+#include <cstring>
+#include <vector>
+
+struct Header
+{
+    unsigned magic;
+    unsigned version;
+};
+
+void
+save(std::vector<unsigned char> &out, const Header &h)
+{
+    out.resize(sizeof(Header));
+    std::memcpy(out.data(), &h, sizeof(Header)); // line 16: R9 memcpy
+    memmove(out.data(), &h, sizeof(Header));     // line 17: R9 memmove
+}
+
+const Header *
+load(const std::vector<unsigned char> &in)
+{
+    return reinterpret_cast<const Header *>(in.data()); // line 23: R9
+}

@@ -1,0 +1,20 @@
+// R9 passing exemplar: field-wise encoding through bit_cast and
+// byte pushes, near-miss identifiers, and an allowed raw copy naming
+// its reason. Scoped as src/common/snapshot_ok.cc by the test
+// harness.
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+void
+save(std::vector<unsigned char> &out, double v)
+{
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+        out.push_back((unsigned char)(bits >> (8 * i)));
+    int memcpy_count = 0; // near-miss identifier, never called
+    (void)memcpy_count;
+    // detlint:allow(R9) opaque byte payload, length checked above
+    std::memcpy(out.data(), &bits, 8);
+}

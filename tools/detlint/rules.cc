@@ -691,6 +691,60 @@ scanMemberPushBack(const std::vector<Token> &toks,
     }
 }
 
+// ---------------------------------------------------------------------
+// R9: raw-memory (de)serialization in snapshot/codec code.
+// ---------------------------------------------------------------------
+
+/**
+ * True for files in the snapshot format's blast radius: anything
+ * whose repo-relative path mentions "snapshot" (the codec itself and
+ * per-component saveSnapshot/restoreSnapshot translation units that
+ * adopt the naming convention).
+ */
+bool
+isSnapshotCode(const std::string &relpath)
+{
+    return relpath.find("snapshot") != std::string::npos;
+}
+
+void
+scanRawMemcpySerialize(const std::vector<Token> &toks,
+                       const std::string &relpath,
+                       const AnalyzeOptions &opts,
+                       std::vector<Finding> *out)
+{
+    if (!opts.runs(Rule::R9RawMemcpySerialize) ||
+        !isSnapshotCode(relpath))
+        return;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Identifier || t.preproc)
+            continue;
+        if (t.text == "reinterpret_cast") {
+            out->push_back(
+                {Rule::R9RawMemcpySerialize, relpath, t.line,
+                 "reinterpret_cast in snapshot code reads struct "
+                 "layout/padding into the wire format; encode each "
+                 "field through the typed codec calls"});
+            continue;
+        }
+        if (t.text != "memcpy" && t.text != "memmove")
+            continue;
+        if (isMemberAccess(toks, i))
+            continue;
+        const bool called =
+            i + 1 < toks.size() && isPunct(toks[i + 1], "(");
+        if (!called || !stdOrUnqualified(toks, i))
+            continue;
+        out->push_back(
+            {Rule::R9RawMemcpySerialize, relpath, t.line,
+             "whole-struct " + t.text +
+                 " (de)serialization bakes layout, padding, and "
+                 "endianness into the snapshot format; encode each "
+                 "field through the typed codec calls"});
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -714,6 +768,7 @@ analyzeSource(const std::string &relpath, const std::string &content,
     scanWarnInLoop(toks, relpath, opts, &raw);
     scanImageCopy(toks, relpath, opts, &raw);
     scanMemberPushBack(toks, relpath, opts, &raw);
+    scanRawMemcpySerialize(toks, relpath, opts, &raw);
 
     std::vector<Finding> kept;
     for (Finding &f : raw)

@@ -33,6 +33,13 @@
  *     Member containers there must be pooled or explicitly bounded;
  *     every legitimate site carries a `detlint:allow(R8)` comment
  *     stating its bound.
+ *  R9 raw-memcpy-serialize: in snapshot/codec code (any file whose
+ *     path mentions "snapshot"), memcpy/memmove calls and
+ *     reinterpret_cast bake struct layout, padding, and host
+ *     endianness into the on-disk snapshot format. Every field must
+ *     travel through the typed field-wise codec calls
+ *     (common/snapshot.h) so the format stays portable and a hostile
+ *     snapshot can never be reinterpreted as a live struct.
  *
  * Suppression: `// detlint:allow(R1)` (or the long rule name)
  * suppresses that rule on the comment's line and the line below;
