@@ -40,7 +40,7 @@ main()
 
     std::printf("=== EyeCoD accelerator configuration "
                 "(Tab. 1 / Fig. 13) ===\n");
-    std::printf("MAC lanes: %d x %d MACs = %d MACs @ %.0f MHz\n",
+    std::printf("MAC lanes: %d x %d MACs = %lld MACs @ %.0f MHz\n",
                 hw.mac_lanes, hw.macs_per_lane, hw.totalMacs(),
                 hw.clock_hz / 1e6);
     std::printf("Act GB: %ld KB x %d | weight buf: %ld KB x 2 | "

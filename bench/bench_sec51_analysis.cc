@@ -115,10 +115,10 @@ main()
     const double target_cycles = tm.clock_hz / 240.0;
     const double steady_macs =
         double(tm_perf.frame_cycles) / target_cycles *
-        tm.totalMacs();
+        double(tm.totalMacs());
     const double peak_macs =
         double(tm.clock_hz / tm_perf.fps_peak) / target_cycles *
-        tm.totalMacs();
+        double(tm.totalMacs());
     std::printf("=== Challenge #I: time-multiplexing provisioning "
                 "for 240 FPS ===\n"
                 "steady-state need: %.0f MACs; boundary-frame need: "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/analytic.h"
 #include "common/logging.h"
 
 namespace eyecod {
@@ -13,12 +14,8 @@ using nn::LayerWorkload;
 
 namespace {
 
-/** ceil division for positive integers. */
-long long
-ceilDiv(long long a, long long b)
-{
-    return (a + b - 1) / b;
-}
+/** Shared closed form (accel/analytic.h), local shorthand. */
+constexpr auto ceilDiv = ceilDivPositive;
 
 /** Fill the common derived fields of a MAC-layer cost. */
 void
@@ -29,7 +26,7 @@ finalizeMacCost(LayerCost &c, const LayerWorkload &w,
     if (c.compute_cycles > 0) {
         c.utilization =
             double(c.ideal_macs) /
-            (double(c.compute_cycles) * hw.totalMacs());
+            (double(c.compute_cycles) * double(hw.totalMacs()));
         c.read_bytes_per_cycle =
             double(input_bytes) / double(c.compute_cycles);
     }
@@ -161,7 +158,7 @@ costDataMovement(const LayerWorkload &w, const HwConfig &hw)
         // as address arithmetic: no data moves.
         bytes = 0;
     }
-    const double bw = double(hw.act_gb_banks) * hw.act_bank_width_bytes;
+    const double bw = bankMoveBandwidth(hw);
     c.compute_cycles = (long long)std::ceil(double(bytes) / bw);
     c.activity.act_gb_bytes = bytes;
     c.activity.cycles = c.compute_cycles;
@@ -211,7 +208,7 @@ costModel(const std::vector<LayerWorkload> &layers, const HwConfig &hw,
     if (total.totalCycles() > 0) {
         total.utilization =
             double(total.ideal_macs) /
-            (double(total.totalCycles()) * hw.totalMacs());
+            (double(total.totalCycles()) * double(hw.totalMacs()));
     }
     return total;
 }

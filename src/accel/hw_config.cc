@@ -65,6 +65,59 @@ validateHwConfig(const HwConfig &hw)
                              "watchdog_cycle_budget must be "
                              "non-negative (got %lld)",
                              hw.watchdog_cycle_budget);
+    // --- Overflow guards for derived products (DSE lattice corners).
+    // All operands are already known positive here, so the products
+    // below cannot overflow long long before the comparison: each
+    // factor is an int/long bounded by its own positivity check.
+    if ((long long)hw.mac_lanes * hw.macs_per_lane > kMaxTotalMacs)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "mac_lanes x macs_per_lane = %lld MACs "
+                             "exceeds the %lld supported maximum",
+                             (long long)hw.mac_lanes *
+                                 hw.macs_per_lane,
+                             kMaxTotalMacs);
+    if (hw.act_gb_count > kMaxActGbCount)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "act_gb_count %d exceeds the %d "
+                             "supported maximum",
+                             hw.act_gb_count, kMaxActGbCount);
+    if ((long long)hw.act_gb_bytes > kMaxSramBytes ||
+        (long long)hw.act_gb_bytes * hw.act_gb_count > kMaxSramBytes)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "act_gb_bytes x act_gb_count = "
+                             "%lld bytes exceeds the %lld-byte "
+                             "SRAM capacity bound",
+                             (long long)hw.act_gb_bytes *
+                                 hw.act_gb_count,
+                             kMaxSramBytes);
+    if ((long long)hw.weight_buf_bytes > kMaxSramBytes / 2)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "weight_buf_bytes %ld (double-buffered) "
+                             "exceeds the %lld-byte SRAM capacity "
+                             "bound",
+                             hw.weight_buf_bytes, kMaxSramBytes);
+    if ((long long)hw.weight_gb_bytes > kMaxSramBytes)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "weight_gb_bytes %ld exceeds the "
+                             "%lld-byte SRAM capacity bound",
+                             hw.weight_gb_bytes, kMaxSramBytes);
+    if ((long long)hw.index_sram_bytes > kMaxSramBytes ||
+        (long long)hw.instr_sram_bytes > kMaxSramBytes)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "index/instr SRAM (%ld / %ld bytes) "
+                             "exceeds the %lld-byte SRAM capacity "
+                             "bound",
+                             hw.index_sram_bytes, hw.instr_sram_bytes,
+                             kMaxSramBytes);
+    if ((long long)hw.act_gb_banks * hw.act_bank_width_bytes >
+        kMaxBankBytesPerCycle)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "act_gb_banks x act_bank_width_bytes = "
+                             "%lld B/cycle exceeds the %lld B/cycle "
+                             "bank bandwidth bound",
+                             (long long)hw.act_gb_banks *
+                                 hw.act_bank_width_bytes,
+                             kMaxBankBytesPerCycle);
     return Status::ok();
 }
 

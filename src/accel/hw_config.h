@@ -25,6 +25,19 @@ enum class OrchestrationMode {
                           ///  backfills waves with utilization < 80%.
 };
 
+/**
+ * Bounds on HwConfig derived products, enforced by validateHwConfig.
+ * The design-space explorer sweeps lattice corners far beyond the
+ * paper's Tab. 1 point; these caps guarantee every downstream
+ * product (total MACs, SRAM capacities, bank bandwidth) fits
+ * comfortably in 64-bit cycle/byte arithmetic instead of silently
+ * overflowing.
+ */
+constexpr long long kMaxTotalMacs = 1LL << 24;       ///< 16 Mi MACs.
+constexpr long long kMaxSramBytes = 1LL << 40;       ///< 1 TiB.
+constexpr int kMaxActGbCount = 1024;
+constexpr long long kMaxBankBytesPerCycle = 1LL << 20; ///< 1 MiB/cy.
+
 /** The accelerator configuration. */
 struct HwConfig
 {
@@ -74,8 +87,29 @@ struct HwConfig
      */
     long long watchdog_cycle_budget = 0;
 
-    /** Total MAC count. */
-    int totalMacs() const { return mac_lanes * macs_per_lane; }
+    /**
+     * Total MAC count. 64-bit: the DSE sweep visits lattice corners
+     * whose lane x MAC products overflow int, and validateHwConfig
+     * only bounds the product for *valid* configs — callers probing
+     * candidate configs read this before validation.
+     */
+    long long totalMacs() const
+    {
+        return (long long)mac_lanes * macs_per_lane;
+    }
+
+    /**
+     * Provisioned on-chip SRAM: both Act GBs, the double-buffered
+     * weight buffers, the weight GB, and the index + instruction
+     * SRAMs. This is the capacity axis of the DSE Pareto front.
+     */
+    long long totalSramBytes() const
+    {
+        return (long long)act_gb_bytes * act_gb_count +
+               2LL * weight_buf_bytes + (long long)weight_gb_bytes +
+               (long long)index_sram_bytes +
+               (long long)instr_sram_bytes;
+    }
 
     /**
      * Peak Act-GB read bandwidth in bytes per cycle. The

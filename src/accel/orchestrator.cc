@@ -38,7 +38,7 @@ appendModelTrace(FrameSchedule &fs, const ModelWorkload &m,
         lt.cycles = c.totalCycles();
         lt.utilization = double(c.ideal_macs) /
                          (double(std::max(1LL, c.totalCycles())) *
-                          hw.totalMacs());
+                          double(hw.totalMacs()));
         lt.lanes = c.lanes_used;
         fs.trace.push_back(std::move(lt));
         t += c.totalCycles();
@@ -94,7 +94,7 @@ scheduleTimeMux(const std::vector<const ModelWorkload *> &per_frame,
         t, t - amortized_periodic + worst_periodic_layer);
     fs.utilization = double(ideal) /
                      (double(std::max(1LL, fs.frame_cycles)) *
-                      hw.totalMacs());
+                      double(hw.totalMacs()));
     return fs;
 }
 
@@ -142,7 +142,7 @@ scheduleConcurrent(const std::vector<const ModelWorkload *> &per_frame,
     fs.peak_frame_cycles = fs.frame_cycles;
     fs.utilization = double(ideal) /
                      (double(std::max(1LL, fs.frame_cycles)) *
-                      hw.totalMacs());
+                      double(hw.totalMacs()));
     return fs;
 }
 
@@ -152,7 +152,7 @@ schedulePartial(const std::vector<const ModelWorkload *> &per_frame,
                 const HwConfig &hw)
 {
     FrameSchedule fs;
-    const double total_macs = hw.totalMacs();
+    const double total_macs = double(hw.totalMacs());
 
     // Per-frame (gaze-side) timeline at full width, collecting the
     // spare MAC-cycles of every slot below the donation threshold.

@@ -54,5 +54,27 @@ analyzePartition(const std::vector<nn::LayerWorkload> &layers,
     return a;
 }
 
+PartitionOverhead
+partitionOverhead(const std::vector<nn::LayerWorkload> &layers,
+                  int stripes)
+{
+    eyecod_assert(stripes >= 1, "partition stripes must be >= 1");
+    PartitionOverhead o;
+    if (stripes <= 1)
+        return o;
+    for (const nn::LayerWorkload &w : layers) {
+        // One halo per interior stripe boundary, matching the
+        // resident-set halo of partitionedActivationBytes.
+        const long long halo =
+            std::max(0LL,
+                     (long long)(w.kernel - 1) * w.h_in * w.c_in);
+        o.act_reread_bytes += halo * (stripes - 1);
+        // Each stripe beyond the first re-pulls the layer's weights
+        // through the double-buffered weight path.
+        o.weight_restream_bytes += w.weightBytes() * (stripes - 1);
+    }
+    return o;
+}
+
 } // namespace accel
 } // namespace eyecod

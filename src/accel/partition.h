@@ -47,6 +47,26 @@ PartitionAnalysis analyzePartition(
     const std::vector<nn::LayerWorkload> &layers,
     long long budget_bytes, int max_stripes = 16);
 
+/**
+ * Traffic overhead of running one model partitioned into @p stripes:
+ * consecutive stripes re-read a (kernel-1)-row halo of every layer's
+ * input from the activation GB, and every stripe re-streams each
+ * layer's weights from the weight GB through the ping-pong buffers
+ * (the weights cannot stay resident across the cross-layer stripe
+ * walk). Both terms are zero at stripes == 1, so an unpartitioned
+ * model pays nothing.
+ */
+struct PartitionOverhead
+{
+    /** Halo bytes re-read from the Act GB, whole model. */
+    long long act_reread_bytes = 0;
+    /** Weight bytes re-streamed (weight GB + ping-pong buffers). */
+    long long weight_restream_bytes = 0;
+};
+
+PartitionOverhead partitionOverhead(
+    const std::vector<nn::LayerWorkload> &layers, int stripes);
+
 } // namespace accel
 } // namespace eyecod
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/analytic.h"
 #include "accel/dataflow.h"
 #include "common/logging.h"
 
@@ -12,9 +13,9 @@ RooflineSummary
 analyzeRoofline(const ModelWorkload &model, const HwConfig &hw)
 {
     RooflineSummary s;
-    s.peak_macs_per_cycle = hw.totalMacs();
+    s.peak_macs_per_cycle = peakMacsPerCycle(hw);
     const double bandwidth = hw.actReadBandwidth();
-    s.balance_intensity = s.peak_macs_per_cycle / bandwidth;
+    s.balance_intensity = balanceIntensity(hw);
 
     long long total_macs = 0;
     long long bound_macs = 0;

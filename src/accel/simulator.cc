@@ -1,6 +1,7 @@
 #include "accel/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -42,25 +43,27 @@ simulateCore(const std::vector<ModelWorkload> &workloads,
 {
     PerfReport r;
     r.schedule = scheduleFrame(workloads, hw);
-    r.frame_cycles = r.schedule.frame_cycles;
-    r.frame_ms = double(r.frame_cycles) / hw.clock_hz * 1e3;
-    r.fps = hw.clock_hz / double(std::max(1LL, r.frame_cycles));
-    r.fps_peak =
-        hw.clock_hz / double(std::max(1LL,
-                                      r.schedule.peak_frame_cycles));
     r.utilization = r.schedule.utilization;
     r.seg_hidden_fraction = r.schedule.seg_hidden_fraction;
     r.active_lanes = hw.mac_lanes;
 
     // Activation memory: every model must keep its resident set
     // within the two activation GBs; the feature-wise partition is
-    // applied per model when enabled.
+    // applied per model when enabled. A model forced to partition
+    // pays the stripe overhead: halo rows re-read from the Act GB at
+    // the read bandwidth (extending the frame) and weights
+    // re-streamed through the weight path (energy only — hidden
+    // under the double-buffered staging). Both amortize by the
+    // model's period, same discipline as the schedule's activity.
     const long long budget =
         (long long)hw.act_gb_bytes * hw.act_gb_count;
     long long resident = 0;
     long long unpart = 0;
     int factor = 1;
     bool fits = true;
+    long long extra_act_bytes = 0;
+    long long extra_weight_bytes = 0;
+    long long overhead_cycles = 0;
     for (const ModelWorkload &m : workloads) {
         unpart = std::max(unpart, peakActivationBytes(m.layers));
         if (hw.feature_partition) {
@@ -69,6 +72,18 @@ simulateCore(const std::vector<ModelWorkload> &workloads,
             resident = std::max(resident, a.partitioned_bytes);
             factor = std::max(factor, a.partition_factor);
             fits = fits && a.fits;
+            if (a.partition_factor > 1) {
+                const PartitionOverhead o =
+                    partitionOverhead(m.layers, a.partition_factor);
+                extra_act_bytes += o.act_reread_bytes / m.period;
+                extra_weight_bytes +=
+                    o.weight_restream_bytes / m.period;
+                overhead_cycles +=
+                    (long long)std::ceil(
+                        double(o.act_reread_bytes) /
+                        hw.actReadBandwidth()) /
+                    m.period;
+            }
         } else {
             resident = std::max(resident,
                                 peakActivationBytes(m.layers));
@@ -80,8 +95,23 @@ simulateCore(const std::vector<ModelWorkload> &workloads,
     r.partition_factor = factor;
     r.act_mem_fits = fits;
 
+    r.partition_overhead_cycles = overhead_cycles;
+    r.frame_cycles = r.schedule.frame_cycles + overhead_cycles;
+    r.frame_ms = double(r.frame_cycles) / hw.clock_hz * 1e3;
+    r.fps = hw.clock_hz / double(std::max(1LL, r.frame_cycles));
+    r.fps_peak =
+        hw.clock_hz /
+        double(std::max(1LL, r.schedule.peak_frame_cycles +
+                                 overhead_cycles));
+    if (overhead_cycles > 0)
+        r.utilization *= double(r.schedule.frame_cycles) /
+                         double(std::max(1LL, r.frame_cycles));
+
     // Energy: amortized per-frame activity over the frame window.
     r.activity = r.schedule.activity;
+    r.activity.act_gb_bytes += extra_act_bytes;
+    r.activity.weight_gb_bytes += extra_weight_bytes;
+    r.activity.buf_bytes += extra_weight_bytes;
     r.activity.cycles = r.frame_cycles;
     r.energy_per_frame_j = energy.energyJoules(r.activity);
     r.power_w = energy.averagePowerWatts(r.activity);
@@ -198,6 +228,7 @@ simulateFaulted(const std::vector<ModelWorkload> &workloads,
         r.fps_peak =
             eff.clock_hz /
             double(std::max(1LL, r.schedule.peak_frame_cycles +
+                                     r.partition_overhead_cycles +
                                      overhead));
         r.utilization *= double(clean_cycles) /
                          double(std::max(1LL, r.frame_cycles));

@@ -33,6 +33,13 @@ struct PerfReport
     long long act_mem_unpartitioned = 0;
     int partition_factor = 1;
     bool act_mem_fits = false;   ///< Fits the two Act GBs.
+    /**
+     * Extra frame cycles spent re-reading stripe halos when a model
+     * runs feature-partitioned (partition_factor > 1); zero for an
+     * unpartitioned pipeline, leaving those reports bitwise
+     * unchanged. The matching traffic rides in `activity`.
+     */
+    long long partition_overhead_cycles = 0;
     double seg_hidden_fraction = 0.0;
     ActivityCounts activity;     ///< Amortized per-frame activity.
     FrameSchedule schedule;      ///< Layer timeline (Fig. 7).

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Analytical resource / latency / energy estimators for the
+ * design-space explorer (ROADMAP item 2, in the style of AutoSA's
+ * est_resource/est_latency and hls4ml's per-layer objective
+ * estimators).
+ *
+ * Given an accel::HwConfig candidate and a workload set, the
+ * estimator predicts cycles/frame, FPS, SRAM footprint, and J/frame
+ * WITHOUT running the cycle-level simulator: it reuses the
+ * simulator's own per-layer closed forms (accel/dataflow.h,
+ * accel/analytic.h) and replicates the orchestrator's aggregate
+ * arithmetic, but skips everything a design-space sweep does not
+ * need — per-layer trace construction, donor-slot credit
+ * assignment, and (for the Concurrent mode) the exhaustive lane
+ * split scan, which it replaces with a coarse-to-fine search.
+ *
+ * Accuracy contract (gated by dse/validate.h and bench_dse_pareto):
+ * for the PartialTimeMultiplex and TimeMultiplex orchestrations the
+ * estimate is exact — bit-identical frame cycles and energy to
+ * accel::simulateChecked — and in particular the paper's 128x8
+ * configuration is pinned exactly. Concurrent mode is approximate
+ * (the coarse split search may pick a slightly worse split) and is
+ * covered by the <= 10% latency / <= 15% energy validation gates.
+ */
+
+#ifndef EYECOD_DSE_ESTIMATE_H
+#define EYECOD_DSE_ESTIMATE_H
+
+#include <vector>
+
+#include "accel/energy.h"
+#include "accel/simulator.h"
+#include "accel/workload.h"
+#include "common/status.h"
+
+namespace eyecod {
+namespace dse {
+
+/** Frame-schedule aggregates, predicted without building a trace. */
+struct ScheduleEstimate
+{
+    long long frame_cycles = 0;      ///< Steady-state frame.
+    long long peak_frame_cycles = 0; ///< Worst (seg-boundary) frame.
+    double utilization = 0.0;        ///< Overall MAC utilization.
+    double seg_hidden_fraction = 0.0;
+    accel::ActivityCounts activity;  ///< Amortized per-frame traffic.
+};
+
+/** Full design-point estimate for one workload set on one config. */
+struct Estimate
+{
+    // --- Latency / throughput ---
+    long long frame_cycles = 0; ///< Incl. partition overhead.
+    long long peak_frame_cycles = 0;
+    long long partition_overhead_cycles = 0;
+    double fps = 0.0;
+    double fps_peak = 0.0;
+    double frame_ms = 0.0;
+    double utilization = 0.0;
+    double seg_hidden_fraction = 0.0;
+
+    // --- Resources ---
+    long long act_mem_bytes = 0; ///< Resident activations.
+    long long act_mem_unpartitioned = 0;
+    int partition_factor = 1;
+    bool act_mem_fits = false;
+    long long sram_total_bytes = 0; ///< Provisioned on-chip SRAM.
+
+    // --- Energy ---
+    accel::ActivityCounts activity;
+    double energy_per_frame_j = 0.0;
+    double power_w = 0.0;
+};
+
+/**
+ * Candidate-scaled energy model: leakage and clock-tree power grow
+ * with the provisioned lane and MAC counts, SRAM capacity, and
+ * Act-GB banking of the candidate instead of staying pinned at the
+ * paper chip's constants. Anchored so the paper's Tab. 1 configuration reproduces
+ * accel::EnergyModel{} exactly (bitwise — the validation harness and
+ * the serving cost model depend on that identity). Pass the result
+ * to BOTH the estimator and the simulator when comparing candidates,
+ * so the sweep charts genuine provisioning tradeoffs.
+ */
+accel::EnergyModel energyModelFor(const accel::HwConfig &hw);
+
+/**
+ * Predict the frame-schedule aggregates of accel::scheduleFrame for
+ * @p workloads on @p hw. Exact (bit-identical to the orchestrator)
+ * for PartialTimeMultiplex and TimeMultiplex; approximate for
+ * Concurrent. Same typed-error contract as scheduleFrameChecked.
+ */
+[[nodiscard]] Result<ScheduleEstimate> estimateSchedule(
+    const std::vector<accel::ModelWorkload> &workloads,
+    const accel::HwConfig &hw);
+
+/**
+ * Full design-point estimate: schedule aggregates plus activation
+ * memory (partition analysis + stripe overhead, mirroring
+ * simulateCore) and the energy of the predicted activity under
+ * @p energy. Compare against accel::simulateChecked with the same
+ * energy model.
+ */
+[[nodiscard]] Result<Estimate> estimateWorkloads(
+    const std::vector<accel::ModelWorkload> &workloads,
+    const accel::HwConfig &hw, const accel::EnergyModel &energy);
+
+/**
+ * Convenience wrapper: assemble the predict-then-focus pipeline
+ * workload for @p workload and estimate it on @p hw.
+ */
+[[nodiscard]] Result<Estimate> estimatePipeline(
+    const accel::PipelineWorkloadConfig &workload,
+    const accel::HwConfig &hw, const accel::EnergyModel &energy);
+
+} // namespace dse
+} // namespace eyecod
+
+#endif // EYECOD_DSE_ESTIMATE_H

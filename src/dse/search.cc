@@ -1,0 +1,256 @@
+#include "dse/search.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "accel/partition.h"
+
+namespace eyecod {
+namespace dse {
+
+namespace {
+
+/** Per-Act-GB-capacity feasibility, compute-dimension independent. */
+struct CapacityFit
+{
+    long act_gb_bytes = 0;
+    bool fits = false;
+    int partition_factor = 1;
+};
+
+/**
+ * The activation-fit of a capacity depends only on the workloads and
+ * the total Act-GB budget, never on the compute dimensions — analyze
+ * each capacity once up front instead of once per lattice corner.
+ */
+std::vector<CapacityFit>
+analyzeCapacities(const std::vector<accel::ModelWorkload> &workloads,
+                  const SearchSpace &space)
+{
+    std::vector<CapacityFit> fits;
+    const accel::HwConfig ref;
+    for (long bytes : space.act_gb_bytes) {
+        CapacityFit f;
+        f.act_gb_bytes = bytes;
+        const long long budget = (long long)bytes * ref.act_gb_count;
+        f.fits = true;
+        for (const accel::ModelWorkload &m : workloads) {
+            const accel::PartitionAnalysis a =
+                accel::analyzePartition(m.layers, budget);
+            f.fits = f.fits && a.fits;
+            f.partition_factor =
+                std::max(f.partition_factor, a.partition_factor);
+        }
+        fits.push_back(f);
+    }
+    std::sort(fits.begin(), fits.end(),
+              [](const CapacityFit &a, const CapacityFit &b) {
+                  return a.act_gb_bytes < b.act_gb_bytes;
+              });
+    return fits;
+}
+
+bool
+isPaperConfig(const accel::HwConfig &hw)
+{
+    const accel::HwConfig ref;
+    return hw.mac_lanes == ref.mac_lanes &&
+           hw.macs_per_lane == ref.macs_per_lane &&
+           hw.act_gb_bytes == ref.act_gb_bytes &&
+           hw.act_gb_banks == ref.act_gb_banks &&
+           hw.weight_buf_bytes == ref.weight_buf_bytes;
+}
+
+void appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+SearchSpace
+SearchSpace::defaultSpace()
+{
+    SearchSpace s;
+    s.mac_lanes = {64, 128, 256};
+    s.macs_per_lane = {4, 8};
+    s.act_gb_bytes = {128 * 1024, 256 * 1024, 512 * 1024,
+                      1024 * 1024, 2048 * 1024};
+    s.act_gb_banks = {2, 4, 8};
+    s.weight_buf_bytes = {64 * 1024, 128 * 1024};
+    return s;
+}
+
+bool
+dominates(const DesignPoint &a, const DesignPoint &b)
+{
+    const bool no_worse =
+        a.est.fps >= b.est.fps &&
+        a.est.energy_per_frame_j <= b.est.energy_per_frame_j &&
+        a.est.sram_total_bytes <= b.est.sram_total_bytes;
+    const bool strictly_better =
+        a.est.fps > b.est.fps ||
+        a.est.energy_per_frame_j < b.est.energy_per_frame_j ||
+        a.est.sram_total_bytes < b.est.sram_total_bytes;
+    return no_worse && strictly_better;
+}
+
+Result<SearchResult>
+searchParetoFront(const SearchSpace &space)
+{
+    if (space.mac_lanes.empty() || space.macs_per_lane.empty() ||
+        space.act_gb_bytes.empty() || space.act_gb_banks.empty() ||
+        space.weight_buf_bytes.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "search space has an empty axis");
+
+    const std::vector<accel::ModelWorkload> workloads =
+        accel::buildPipelineWorkload(space.workload);
+
+    SearchResult r;
+    r.lattice_size = (long long)space.mac_lanes.size() *
+                     (long long)space.macs_per_lane.size() *
+                     (long long)space.act_gb_bytes.size() *
+                     (long long)space.act_gb_banks.size() *
+                     (long long)space.weight_buf_bytes.size();
+
+    const std::vector<CapacityFit> capacities =
+        analyzeCapacities(workloads, space);
+    // Monotone rule 1: weight-buffer capacity buys no cycles in the
+    // dataflow model — only SRAM and leakage — so only the lattice
+    // minimum can be Pareto-optimal.
+    const long min_weight_buf = *std::min_element(
+        space.weight_buf_bytes.begin(), space.weight_buf_bytes.end());
+    const long long pruned_weight_bufs =
+        (long long)space.weight_buf_bytes.size() - 1;
+
+    for (int lanes : space.mac_lanes) {
+        for (int macs : space.macs_per_lane) {
+            for (int banks : space.act_gb_banks) {
+                // Monotone rule 2: walk capacities smallest-first;
+                // past the first unpartitioned (P == 1) fit, extra
+                // capacity cannot reduce cycles — prune the rest.
+                bool past_unpartitioned = false;
+                for (const CapacityFit &cap : capacities) {
+                    if (!cap.fits) {
+                        r.pruned_infeasible +=
+                            1 + pruned_weight_bufs;
+                        continue;
+                    }
+                    if (past_unpartitioned) {
+                        r.pruned_monotone += 1 + pruned_weight_bufs;
+                        continue;
+                    }
+                    if (cap.partition_factor == 1)
+                        past_unpartitioned = true;
+
+                    accel::HwConfig hw;
+                    hw.mac_lanes = lanes;
+                    hw.macs_per_lane = macs;
+                    hw.act_gb_banks = banks;
+                    hw.act_gb_bytes = cap.act_gb_bytes;
+                    hw.weight_buf_bytes = min_weight_buf;
+                    r.pruned_monotone += pruned_weight_bufs;
+
+                    if (!accel::validateHwConfig(hw).isOk()) {
+                        r.pruned_infeasible += 1;
+                        continue;
+                    }
+                    const accel::EnergyModel energy =
+                        energyModelFor(hw);
+                    Result<Estimate> est =
+                        estimateWorkloads(workloads, hw, energy);
+                    if (!est.ok()) {
+                        r.pruned_infeasible += 1;
+                        continue;
+                    }
+                    r.evaluated += 1;
+                    DesignPoint p;
+                    p.hw = hw;
+                    p.est = est.take();
+                    p.is_paper = isPaperConfig(hw);
+                    if (p.is_paper)
+                        r.paper_index = int(r.points.size());
+                    r.points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+
+    // Pareto classification: quadratic scan is fine at this scale.
+    for (size_t i = 0; i < r.points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < r.points.size() && !dominated; ++j)
+            dominated = j != i && dominates(r.points[j], r.points[i]);
+        r.points[i].on_front = !dominated;
+        if (!dominated)
+            r.front.push_back(i);
+    }
+    std::sort(r.front.begin(), r.front.end(),
+              [&r](size_t a, size_t b) {
+                  if (r.points[a].est.fps != r.points[b].est.fps)
+                      return r.points[a].est.fps >
+                             r.points[b].est.fps;
+                  return a < b;
+              });
+    r.paper_on_front = r.paper_index >= 0 &&
+                       r.points[size_t(r.paper_index)].on_front;
+    return r;
+}
+
+std::string
+searchResultJson(const SearchResult &result)
+{
+    std::string out;
+    out += "{\n  \"counters\": {\n";
+    appendf(out, "    \"lattice_size\": %lld,\n",
+            result.lattice_size);
+    appendf(out, "    \"evaluated\": %lld,\n", result.evaluated);
+    appendf(out, "    \"pruned_infeasible\": %lld,\n",
+            result.pruned_infeasible);
+    appendf(out, "    \"pruned_monotone\": %lld,\n",
+            result.pruned_monotone);
+    appendf(out, "    \"front_size\": %zu,\n", result.front.size());
+    appendf(out, "    \"paper_index\": %d,\n", result.paper_index);
+    appendf(out, "    \"paper_on_front\": %s\n",
+            result.paper_on_front ? "true" : "false");
+    out += "  },\n  \"points\": [\n";
+    for (size_t i = 0; i < result.points.size(); ++i) {
+        const DesignPoint &p = result.points[i];
+        out += "    {";
+        appendf(out, "\"mac_lanes\": %d, ", p.hw.mac_lanes);
+        appendf(out, "\"macs_per_lane\": %d, ", p.hw.macs_per_lane);
+        appendf(out, "\"act_gb_kib\": %ld, ",
+                p.hw.act_gb_bytes / 1024);
+        appendf(out, "\"act_gb_banks\": %d, ", p.hw.act_gb_banks);
+        appendf(out, "\"weight_buf_kib\": %ld, ",
+                p.hw.weight_buf_bytes / 1024);
+        appendf(out, "\"fps\": %.17g, ", p.est.fps);
+        appendf(out, "\"energy_per_frame_j\": %.17g, ",
+                p.est.energy_per_frame_j);
+        appendf(out, "\"sram_total_bytes\": %lld, ",
+                p.est.sram_total_bytes);
+        appendf(out, "\"partition_factor\": %d, ",
+                p.est.partition_factor);
+        appendf(out, "\"on_front\": %s, ",
+                p.on_front ? "true" : "false");
+        appendf(out, "\"is_paper\": %s}",
+                p.is_paper ? "true" : "false");
+        out += i + 1 < result.points.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace dse
+} // namespace eyecod

@@ -1,0 +1,147 @@
+#include "dse/validate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/simulator.h"
+#include "models/model_zoo.h"
+
+namespace eyecod {
+namespace dse {
+
+namespace {
+
+double
+relErr(double est, double sim)
+{
+    const double denom = std::max(std::abs(sim), 1e-30);
+    return std::abs(est - sim) / denom;
+}
+
+/** Run one comparison and fold it into the report. */
+Status
+runCase(ValidationReport &report, const std::string &name,
+        const std::vector<accel::ModelWorkload> &workloads,
+        const accel::HwConfig &hw)
+{
+    const accel::EnergyModel energy = energyModelFor(hw);
+    Result<accel::PerfReport> sim =
+        accel::simulateChecked(workloads, hw, energy);
+    if (!sim.ok())
+        return sim.status();
+    Result<Estimate> est = estimateWorkloads(workloads, hw, energy);
+    if (!est.ok())
+        return est.status();
+
+    ValidationCase c;
+    c.name = name;
+    c.est_frame_cycles = est.value().frame_cycles;
+    c.sim_frame_cycles = sim.value().frame_cycles;
+    c.est_energy_j = est.value().energy_per_frame_j;
+    c.sim_energy_j = sim.value().energy_per_frame_j;
+    c.latency_rel_err = relErr(double(c.est_frame_cycles),
+                               double(c.sim_frame_cycles));
+    c.energy_rel_err = relErr(c.est_energy_j, c.sim_energy_j);
+    c.exact = c.est_frame_cycles == c.sim_frame_cycles &&
+              c.est_energy_j == c.sim_energy_j;
+    report.max_latency_rel_err =
+        std::max(report.max_latency_rel_err, c.latency_rel_err);
+    report.max_energy_rel_err =
+        std::max(report.max_energy_rel_err, c.energy_rel_err);
+    report.cases.push_back(std::move(c));
+    return Status::ok();
+}
+
+} // namespace
+
+Result<ValidationReport>
+runValidationSweep()
+{
+    ValidationReport report;
+    const accel::PipelineWorkloadConfig pipeline_cfg;
+    const std::vector<accel::ModelWorkload> pipeline =
+        accel::buildPipelineWorkload(pipeline_cfg);
+
+    // 1. The paper's Tab. 1 configuration — pinned bit-exact.
+    {
+        const accel::HwConfig hw;
+        Status s = runCase(report, "pipeline/paper-128x8",
+                           pipeline, hw);
+        if (!s.isOk())
+            return s;
+        report.paper_exact = report.cases.back().exact;
+    }
+
+    // 2. The pipeline under the other orchestration modes.
+    {
+        accel::HwConfig hw;
+        hw.orchestration = accel::OrchestrationMode::TimeMultiplex;
+        Status s = runCase(report, "pipeline/timemux", pipeline, hw);
+        if (!s.isOk())
+            return s;
+        hw.orchestration = accel::OrchestrationMode::Concurrent;
+        s = runCase(report, "pipeline/concurrent", pipeline, hw);
+        if (!s.isOk())
+            return s;
+    }
+
+    // 3. Every zoo model standalone, at its deployment resolution.
+    for (const models::ZooEntry &entry : models::modelZoo()) {
+        const nn::Graph graph =
+            entry.build(entry.deploy_height, entry.deploy_width, 8);
+        std::vector<accel::ModelWorkload> workloads;
+        workloads.push_back(accel::workloadFromGraph(graph, 1));
+        const accel::HwConfig hw;
+        Status s = runCase(report, "zoo/" + entry.name, workloads,
+                           hw);
+        if (!s.isOk())
+            return s;
+    }
+
+    // 4. Off-nominal hardware variants of the pipeline.
+    struct Variant
+    {
+        const char *name;
+        void (*mutate)(accel::HwConfig &);
+    };
+    const Variant variants[] = {
+        {"hw/narrow-64x8",
+         [](accel::HwConfig &hw) { hw.mac_lanes = 64; }},
+        {"hw/wide-256x4",
+         [](accel::HwConfig &hw) {
+             hw.mac_lanes = 256;
+             hw.macs_per_lane = 4;
+         }},
+        {"hw/banks-2-no-swpr",
+         [](accel::HwConfig &hw) {
+             hw.act_gb_banks = 2;
+             hw.swpr_input_buffer = false;
+         }},
+        {"hw/no-depthwise-opt",
+         [](accel::HwConfig &hw) {
+             hw.depthwise_optimization = false;
+         }},
+        {"hw/act-gb-128k-partitioned",
+         [](accel::HwConfig &hw) {
+             hw.act_gb_bytes = 128 * 1024;
+         }},
+        {"hw/concurrent-64x8",
+         [](accel::HwConfig &hw) {
+             hw.mac_lanes = 64;
+             hw.orchestration =
+                 accel::OrchestrationMode::Concurrent;
+         }},
+    };
+    for (const Variant &v : variants) {
+        accel::HwConfig hw;
+        v.mutate(hw);
+        Status s = runCase(report, v.name, pipeline, hw);
+        if (!s.isOk())
+            return s;
+    }
+
+    return report;
+}
+
+} // namespace dse
+} // namespace eyecod

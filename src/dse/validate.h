@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Estimator validation harness: sweeps the analytical estimator
+ * against the cycle-level simulator across the model zoo, the full
+ * pipeline, all three orchestration modes, and off-nominal hardware
+ * variants, and gates the relative error (<= 10% latency, <= 15%
+ * energy). The paper's 128x8 configuration is additionally pinned
+ * bit-exact — the estimator replicates the orchestrator's arithmetic
+ * for that path, so any drift is a refactoring bug, not model error.
+ */
+
+#ifndef EYECOD_DSE_VALIDATE_H
+#define EYECOD_DSE_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "dse/estimate.h"
+
+namespace eyecod {
+namespace dse {
+
+/** Validation gates (relative error, estimator vs simulator). */
+constexpr double kLatencyErrorGate = 0.10;
+constexpr double kEnergyErrorGate = 0.15;
+
+/** One estimator-vs-simulator comparison. */
+struct ValidationCase
+{
+    std::string name;          ///< Stable case identifier.
+    long long est_frame_cycles = 0;
+    long long sim_frame_cycles = 0;
+    double est_energy_j = 0.0;
+    double sim_energy_j = 0.0;
+    double latency_rel_err = 0.0;
+    double energy_rel_err = 0.0;
+    bool exact = false; ///< Bit-identical cycles AND energy.
+};
+
+/** Sweep outcome; passed() is the bench/CI gate. */
+struct ValidationReport
+{
+    std::vector<ValidationCase> cases;
+    double max_latency_rel_err = 0.0;
+    double max_energy_rel_err = 0.0;
+    /** The paper-config pipeline case is bit-exact. */
+    bool paper_exact = false;
+
+    bool
+    passed() const
+    {
+        return paper_exact &&
+               max_latency_rel_err <= kLatencyErrorGate &&
+               max_energy_rel_err <= kEnergyErrorGate;
+    }
+};
+
+/**
+ * Run the full validation sweep: the paper pipeline (exact-pinned),
+ * the pipeline under every orchestration mode, each zoo model as a
+ * standalone per-frame workload at its deployment resolution, and a
+ * set of off-nominal hardware variants (narrow array, wide-short
+ * array, reduced banking, optimizations disabled, capacity-starved
+ * Act GBs that force feature partitioning). Both sides of every
+ * comparison use energyModelFor(hw).
+ */
+[[nodiscard]] Result<ValidationReport> runValidationSweep();
+
+} // namespace dse
+} // namespace eyecod
+
+#endif // EYECOD_DSE_VALIDATE_H

@@ -1,0 +1,82 @@
+#include "serve/cost_model.h"
+
+#include <algorithm>
+
+#include "accel/analytic.h"
+#include "dse/estimate.h"
+
+namespace eyecod {
+namespace serve {
+
+using accel::cyclesToUs;
+
+Result<ServiceModel>
+estimatorServiceModel(const accel::PipelineWorkloadConfig &workload,
+                      const accel::HwConfig &hw)
+{
+    const auto all = accel::buildPipelineWorkload(workload);
+
+    Result<dse::ScheduleEstimate> full =
+        dse::estimateSchedule(all, hw);
+    if (!full.ok())
+        return full.status();
+
+    std::vector<accel::ModelWorkload> per_frame;
+    for (const auto &m : all)
+        if (m.period == 1)
+            per_frame.push_back(m);
+    Result<dse::ScheduleEstimate> steady =
+        dse::estimateSchedule(per_frame, hw);
+    if (!steady.ok())
+        return steady.status();
+
+    // Field for field the deriveServiceModel() assembly, so the two
+    // cost models agree bitwise whenever the schedule estimate is
+    // exact.
+    ServiceModel model;
+    model.gaze_frame_us =
+        cyclesToUs(steady.value().frame_cycles, hw);
+    model.seg_frame_us =
+        cyclesToUs(full.value().peak_frame_cycles, hw);
+    model.amortized_frame_us =
+        cyclesToUs(full.value().frame_cycles, hw);
+    if (model.amortized_frame_us > 0.0)
+        model.chip_fps = 1e6 / model.amortized_frame_us;
+    model.seg_frame_us =
+        std::max(model.seg_frame_us, model.gaze_frame_us);
+    return model;
+}
+
+Result<double>
+estimatorResolutionCostFactor(
+    const accel::PipelineWorkloadConfig &workload,
+    const accel::HwConfig &hw)
+{
+    Result<ServiceModel> at_full = estimatorServiceModel(workload, hw);
+    if (!at_full.ok())
+        return at_full.status();
+
+    // The tier-2 downgrade halves the linear resolution of the
+    // camera-facing stages; the gaze ROI crop stays fixed (the ROI
+    // is produced by the predictor at its own extent).
+    accel::PipelineWorkloadConfig half = workload;
+    half.scene = std::max(1, workload.scene / 2);
+    half.sensor = std::max(1, workload.sensor / 2);
+    half.seg_input = std::max(1, workload.seg_input / 2);
+    Result<ServiceModel> at_half = estimatorServiceModel(half, hw);
+    if (!at_half.ok())
+        return at_half.status();
+
+    if (at_full.value().amortized_frame_us <= 0.0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "full-resolution frame cost is zero");
+    const double ratio = at_half.value().amortized_frame_us /
+                         at_full.value().amortized_frame_us;
+    // The billing contract requires a factor in (0, 1]; a half-res
+    // pipeline can never cost more than the full one under this
+    // dataflow, but clamp defensively.
+    return std::clamp(ratio, 1e-6, 1.0);
+}
+
+} // namespace serve
+} // namespace eyecod

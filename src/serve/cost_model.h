@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Estimator-backed serving cost model: derives the per-session
+ * ServiceModel and the reduced-resolution billing factor from the
+ * dse/ analytical estimator instead of the engine's hardcoded
+ * assumptions (DESIGN.md section 14.4).
+ *
+ * In the default PartialTimeMultiplex orchestration the estimator's
+ * schedule aggregates are bit-identical to the orchestrator's, so
+ * estimatorServiceModel() returns a ServiceModel bitwise equal to
+ * deriveServiceModel() — swapping the cost model in leaves every
+ * existing serving bench output unchanged (gated by
+ * bench_dse_pareto). What DOES change under CostModelKind::
+ * DseEstimator is the tier-2 resolution billing: the hardcoded 0.6
+ * multiplier is replaced by the estimator's predicted
+ * half-resolution / full-resolution amortized frame-cost ratio for
+ * the configured pipeline and hardware.
+ */
+
+#ifndef EYECOD_SERVE_COST_MODEL_H
+#define EYECOD_SERVE_COST_MODEL_H
+
+#include "serve/virtual_accel.h"
+
+namespace eyecod {
+namespace serve {
+
+/** Where the engine's per-frame service costs come from. */
+enum class CostModelKind : int {
+    /** Cycle-level orchestrator schedule (legacy default). */
+    Schedule = 0,
+    /** dse/ analytical estimator (admission/placement cost model). */
+    DseEstimator,
+};
+
+/**
+ * ServiceModel from the analytical estimator: same derivation shape
+ * as deriveServiceModel() (full pipeline for the amortized and peak
+ * frames, per-frame workloads only for the steady gaze frame), with
+ * dse::estimateSchedule() predicting the schedule aggregates instead
+ * of running the orchestrator. Bitwise equal to deriveServiceModel()
+ * for the PartialTimeMultiplex and TimeMultiplex orchestrations.
+ */
+[[nodiscard]] Result<ServiceModel> estimatorServiceModel(
+    const accel::PipelineWorkloadConfig &workload,
+    const accel::HwConfig &hw);
+
+/**
+ * Predicted tier-2 billing factor: the ratio of the amortized frame
+ * cost of the half-resolution pipeline (scene, sensor, and
+ * segmentation extents halved; the gaze ROI is resolution-independent
+ * by construction) to the full-resolution pipeline, clamped to
+ * (0, 1]. Replaces ServingConfig::resolution_cost_factor under
+ * CostModelKind::DseEstimator.
+ */
+[[nodiscard]] Result<double> estimatorResolutionCostFactor(
+    const accel::PipelineWorkloadConfig &workload,
+    const accel::HwConfig &hw);
+
+} // namespace serve
+} // namespace eyecod
+
+#endif // EYECOD_SERVE_COST_MODEL_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/analytic.h"
 #include "accel/orchestrator.h"
 #include "common/logging.h"
 
@@ -10,11 +11,7 @@ namespace serve {
 
 namespace {
 
-double
-cyclesToUs(long long cycles, const accel::HwConfig &hw)
-{
-    return double(cycles) / hw.clock_hz * 1e6;
-}
+using accel::cyclesToUs;
 
 /** splitmix64 mix of a 64-bit state (public-domain constant set). */
 uint64_t

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests of the design-space explorer (src/dse/): the analytical
+ * estimator's bit-exactness contract against the cycle-level
+ * simulator, the candidate-scaled energy model's paper anchor, the
+ * validation sweep gates, and the Pareto search invariants
+ * (enumeration accounting, dominance correctness, paper point on the
+ * front).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "accel/simulator.h"
+#include "dse/search.h"
+#include "dse/validate.h"
+
+namespace eyecod {
+namespace dse {
+namespace {
+
+using accel::EnergyModel;
+using accel::HwConfig;
+using accel::ModelWorkload;
+using accel::OrchestrationMode;
+
+std::vector<ModelWorkload>
+pipeline()
+{
+    return buildPipelineWorkload(accel::PipelineWorkloadConfig{});
+}
+
+/** Estimate and simulate the same workloads with the same energy
+ *  model, asserting the bit-exactness contract. */
+void
+expectExact(const HwConfig &hw)
+{
+    const EnergyModel energy = energyModelFor(hw);
+    const auto est = estimateWorkloads(pipeline(), hw, energy);
+    const auto sim = simulateChecked(pipeline(), hw, energy);
+    ASSERT_TRUE(est.ok()) << est.status().toString();
+    ASSERT_TRUE(sim.ok()) << sim.status().toString();
+    const Estimate &e = est.value();
+    const accel::PerfReport &s = sim.value();
+    EXPECT_EQ(e.frame_cycles, s.frame_cycles);
+    EXPECT_EQ(e.partition_overhead_cycles,
+              s.partition_overhead_cycles);
+    EXPECT_EQ(e.fps, s.fps);
+    EXPECT_EQ(e.fps_peak, s.fps_peak);
+    EXPECT_EQ(e.utilization, s.utilization);
+    EXPECT_EQ(e.energy_per_frame_j, s.energy_per_frame_j);
+    EXPECT_EQ(e.power_w, s.power_w);
+    EXPECT_EQ(e.act_mem_bytes, s.act_mem_bytes);
+    EXPECT_EQ(e.partition_factor, s.partition_factor);
+}
+
+TEST(Estimator, PaperConfigIsBitExact)
+{
+    expectExact(HwConfig{});
+}
+
+TEST(Estimator, TimeMultiplexIsBitExact)
+{
+    HwConfig hw;
+    hw.orchestration = OrchestrationMode::TimeMultiplex;
+    expectExact(hw);
+}
+
+TEST(Estimator, PartitionedConfigIsBitExact)
+{
+    // Starved Act GBs force feature partitioning; the estimator must
+    // reproduce the stripe-overhead cycles too.
+    HwConfig hw;
+    hw.act_gb_bytes = 128 * 1024;
+    const EnergyModel energy = energyModelFor(hw);
+    const auto est = estimateWorkloads(pipeline(), hw, energy);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GT(est.value().partition_factor, 1);
+    EXPECT_GT(est.value().partition_overhead_cycles, 0);
+    expectExact(hw);
+}
+
+TEST(Estimator, OffNominalVariantsAreBitExact)
+{
+    HwConfig hw;
+    hw.mac_lanes = 64;
+    expectExact(hw);
+
+    hw = HwConfig{};
+    hw.act_gb_banks = 2;
+    hw.swpr_input_buffer = false;
+    expectExact(hw);
+
+    hw = HwConfig{};
+    hw.depthwise_optimization = false;
+    expectExact(hw);
+}
+
+TEST(Estimator, SharesTheSimulatorsTypedErrorContract)
+{
+    HwConfig broken;
+    broken.mac_lanes = 0;
+    EXPECT_EQ(estimateSchedule(pipeline(), broken).status().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(estimateSchedule({}, HwConfig{}).status().code(),
+              ErrorCode::InvalidArgument);
+
+    // Watchdog parity: a budget the frame cannot fit is the same
+    // ScheduleTimeout on both sides.
+    HwConfig strangled;
+    strangled.watchdog_cycle_budget = 1;
+    const EnergyModel energy = energyModelFor(strangled);
+    EXPECT_EQ(estimateWorkloads(pipeline(), strangled, energy)
+                  .status()
+                  .code(),
+              ErrorCode::ScheduleTimeout);
+    EXPECT_EQ(simulateChecked(pipeline(), strangled, energy)
+                  .status()
+                  .code(),
+              ErrorCode::ScheduleTimeout);
+}
+
+TEST(EnergyModelFor, PaperAnchorReproducesTheDefaultBitwise)
+{
+    const EnergyModel scaled = energyModelFor(HwConfig{});
+    const EnergyModel ref;
+    EXPECT_EQ(scaled.mac_pj, ref.mac_pj);
+    EXPECT_EQ(scaled.buf_pj_per_byte, ref.buf_pj_per_byte);
+    EXPECT_EQ(scaled.act_gb_pj_per_byte, ref.act_gb_pj_per_byte);
+    EXPECT_EQ(scaled.weight_gb_pj_per_byte,
+              ref.weight_gb_pj_per_byte);
+    EXPECT_EQ(scaled.dram_pj_per_byte, ref.dram_pj_per_byte);
+    EXPECT_EQ(scaled.leakage_w, ref.leakage_w);
+    EXPECT_EQ(scaled.clock_tree_w, ref.clock_tree_w);
+    EXPECT_EQ(scaled.clock_hz, ref.clock_hz);
+    EXPECT_EQ(scaled.ecc_correct_pj, ref.ecc_correct_pj);
+    EXPECT_EQ(scaled.ecc_retry_pj, ref.ecc_retry_pj);
+}
+
+TEST(EnergyModelFor, StaticPowerTracksProvisioning)
+{
+    const EnergyModel paper = energyModelFor(HwConfig{});
+
+    HwConfig wide;
+    wide.mac_lanes = 256;
+    EXPECT_GT(energyModelFor(wide).leakage_w, paper.leakage_w);
+    EXPECT_GT(energyModelFor(wide).clock_tree_w,
+              paper.clock_tree_w);
+
+    HwConfig small;
+    small.act_gb_bytes = 128 * 1024;
+    EXPECT_LT(energyModelFor(small).leakage_w, paper.leakage_w);
+
+    HwConfig banked;
+    banked.act_gb_banks = 8;
+    EXPECT_GT(energyModelFor(banked).leakage_w, paper.leakage_w);
+}
+
+TEST(Validation, SweepPassesItsGates)
+{
+    const auto sweep = runValidationSweep();
+    ASSERT_TRUE(sweep.ok()) << sweep.status().toString();
+    const ValidationReport &rep = sweep.value();
+    EXPECT_TRUE(rep.paper_exact);
+    EXPECT_LE(rep.max_latency_rel_err, kLatencyErrorGate);
+    EXPECT_LE(rep.max_energy_rel_err, kEnergyErrorGate);
+    EXPECT_TRUE(rep.passed());
+    // Pipeline modes + zoo models + hardware variants.
+    EXPECT_GE(rep.cases.size(), 10u);
+    for (const ValidationCase &c : rep.cases) {
+        EXPECT_FALSE(c.name.empty());
+        EXPECT_GT(c.sim_frame_cycles, 0) << c.name;
+        EXPECT_GT(c.sim_energy_j, 0.0) << c.name;
+    }
+}
+
+TEST(Search, DominanceIsAStrictPartialOrder)
+{
+    DesignPoint a, b;
+    a.est.fps = 100.0;
+    a.est.energy_per_frame_j = 1.0;
+    a.est.sram_total_bytes = 1000;
+    b = a;
+    EXPECT_FALSE(dominates(a, a));
+    EXPECT_FALSE(dominates(a, b)); // Equal on every objective.
+
+    b.est.energy_per_frame_j = 2.0;
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+
+    // Trade-off: b wins FPS, loses energy — incomparable.
+    b.est.fps = 200.0;
+    EXPECT_FALSE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(Search, DefaultSweepInvariants)
+{
+    const auto r = searchParetoFront(SearchSpace::defaultSpace());
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    const SearchResult &res = r.value();
+
+    // Enumeration accounting closes over the lattice.
+    EXPECT_GT(res.lattice_size, 0);
+    EXPECT_EQ(res.evaluated + res.pruned_infeasible +
+                  res.pruned_monotone,
+              res.lattice_size);
+    EXPECT_EQ(res.evaluated, (long long)res.points.size());
+
+    // The paper's Tab. 1 point is swept and lands on the front.
+    ASSERT_GE(res.paper_index, 0);
+    ASSERT_LT(size_t(res.paper_index), res.points.size());
+    EXPECT_TRUE(res.points[size_t(res.paper_index)].is_paper);
+    EXPECT_TRUE(res.paper_on_front);
+    EXPECT_TRUE(res.points[size_t(res.paper_index)].on_front);
+
+    // Front membership is exactly non-dominance, and the front is
+    // sorted FPS-descending.
+    ASSERT_FALSE(res.front.empty());
+    for (size_t i = 1; i < res.front.size(); ++i)
+        EXPECT_GE(res.points[res.front[i - 1]].est.fps,
+                  res.points[res.front[i]].est.fps);
+    for (size_t i = 0; i < res.points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < res.points.size() && !dominated; ++j)
+            dominated = dominates(res.points[j], res.points[i]);
+        EXPECT_EQ(res.points[i].on_front, !dominated) << i;
+    }
+
+    // Every evaluated point is feasible by construction.
+    for (const DesignPoint &p : res.points) {
+        EXPECT_TRUE(validateHwConfig(p.hw).isOk());
+        EXPECT_TRUE(p.est.act_mem_fits);
+        EXPECT_GT(p.est.fps, 0.0);
+        EXPECT_GT(p.est.energy_per_frame_j, 0.0);
+        EXPECT_GT(p.est.sram_total_bytes, 0);
+    }
+}
+
+TEST(Search, JsonCarriesCountersAndFront)
+{
+    const auto r = searchParetoFront(SearchSpace::defaultSpace());
+    ASSERT_TRUE(r.ok());
+    const std::string json = searchResultJson(r.value());
+    EXPECT_NE(json.find("\"lattice_size\""), std::string::npos);
+    EXPECT_NE(json.find("\"paper_on_front\""), std::string::npos);
+    EXPECT_NE(json.find("\"points\""), std::string::npos);
+    EXPECT_NE(json.find("\"on_front\""), std::string::npos);
+    EXPECT_NE(json.find("\"front_size\""), std::string::npos);
+    // Deterministic serialization: byte-identical across calls.
+    EXPECT_EQ(json, searchResultJson(r.value()));
+}
+
+} // namespace
+} // namespace dse
+} // namespace eyecod

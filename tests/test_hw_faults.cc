@@ -59,6 +59,73 @@ TEST(HwConfigValidation, RejectsBrokenFields)
               ErrorCode::InvalidArgument);
 }
 
+TEST(HwConfigValidation, RejectsOverflowingDerivedProducts)
+{
+    // Each individual field passes its own positivity check; only
+    // the derived product (total MACs, total SRAM, bank bandwidth)
+    // exceeds the supported bound. These are the DSE lattice corners
+    // that used to overflow 32-bit intermediates silently.
+    HwConfig hw;
+    hw.mac_lanes = 1 << 13;
+    hw.macs_per_lane = 1 << 13; // 64 Mi MACs > kMaxTotalMacs.
+    EXPECT_EQ(validateHwConfig(hw).code(),
+              ErrorCode::InvalidArgument);
+
+    hw = HwConfig{};
+    hw.act_gb_count = kMaxActGbCount + 1;
+    EXPECT_EQ(validateHwConfig(hw).code(),
+              ErrorCode::InvalidArgument);
+
+    hw = HwConfig{};
+    hw.act_gb_bytes = long(kMaxSramBytes / 2);
+    hw.act_gb_count = 4; // Product 2 TiB > kMaxSramBytes.
+    EXPECT_EQ(validateHwConfig(hw).code(),
+              ErrorCode::InvalidArgument);
+
+    hw = HwConfig{};
+    hw.weight_buf_bytes = long(kMaxSramBytes / 2) + 1;
+    EXPECT_EQ(validateHwConfig(hw).code(),
+              ErrorCode::InvalidArgument);
+
+    hw = HwConfig{};
+    hw.act_gb_banks = 1 << 12;
+    hw.act_bank_width_bytes = 1 << 12; // 16 MiB/cy > bound.
+    EXPECT_EQ(validateHwConfig(hw).code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(HwConfigValidation, SingleLaneConfigSimulates)
+{
+    // The degenerate 1x1 array is a legal design point: everything
+    // time-multiplexes onto one MAC and the schedule stays finite.
+    HwConfig hw;
+    hw.mac_lanes = 1;
+    hw.macs_per_lane = 1;
+    ASSERT_TRUE(validateHwConfig(hw).isOk());
+    const auto r = simulateChecked(pipeline(), hw, EnergyModel{});
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.value().fps, 0.0);
+    EXPECT_GT(r.value().frame_cycles, 0);
+    // Utilization is nominal MAC ops over array-cycles; the
+    // depthwise intra-channel reuse can push it slightly past 1.0 on
+    // a degenerate 1-MAC array, so only boundedness is asserted.
+    EXPECT_GT(r.value().utilization, 0.0);
+    EXPECT_LT(r.value().utilization, 2.0);
+}
+
+TEST(HwConfigValidation, NonPowerOfTwoBankingSimulates)
+{
+    // Bank counts are not required to be powers of two; bandwidth
+    // math is plain multiplication, not shifts.
+    HwConfig hw;
+    hw.act_gb_banks = 3;
+    hw.act_bank_width_bytes = 24;
+    ASSERT_TRUE(validateHwConfig(hw).isOk());
+    const auto odd = simulateChecked(pipeline(), hw, EnergyModel{});
+    ASSERT_TRUE(odd.ok());
+    EXPECT_GT(odd.value().fps, 0.0);
+}
+
 TEST(HwConfigValidation, SimulateCheckedSurfacesErrors)
 {
     HwConfig hw;
@@ -86,6 +153,30 @@ TEST(LaneRetirement, RetiringEverythingIsALaneFault)
     const auto r = retireLanes(hw, hw.mac_lanes);
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), ErrorCode::HwLaneFault);
+
+    // Over-retirement beyond the physical lane count is the same
+    // fault, and a negative count is a plain argument error.
+    EXPECT_EQ(retireLanes(hw, hw.mac_lanes + 5).status().code(),
+              ErrorCode::HwLaneFault);
+    EXPECT_EQ(retireLanes(hw, -1).status().code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(LaneRetirement, SingleSurvivorStillSimulates)
+{
+    const HwConfig hw;
+    const auto r = retireLanes(hw, hw.mac_lanes - 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().mac_lanes, 1);
+    ASSERT_TRUE(validateHwConfig(r.value()).isOk());
+
+    const auto full = simulateChecked(pipeline(), hw, EnergyModel{});
+    const auto one =
+        simulateChecked(pipeline(), r.value(), EnergyModel{});
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(one.ok());
+    EXPECT_GT(one.value().fps, 0.0);
+    EXPECT_LT(one.value().fps, full.value().fps);
 }
 
 TEST(HwFaultInjector, DeterministicForFixedSeed)

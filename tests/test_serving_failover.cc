@@ -116,8 +116,9 @@ TEST(ChaosSchedule, SeededScheduleIsDeterministicAndSorted)
         EXPECT_EQ(a[i].chip, b[i].chip);
         EXPECT_EQ(a[i].kind, b[i].kind);
         EXPECT_EQ(a[i].lanes, b[i].lanes);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_LE(a[i - 1].at_us, a[i].at_us);
+        }
     }
     // A different seed reshapes the schedule.
     ChaosScheduleConfig cc2 = cc;
