@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace eyecod {
 
@@ -26,9 +27,10 @@ struct WarnEntry
     long suppressed_since_emit = 0;
 };
 
-std::mutex g_warn_mutex;
-WarnRateLimit g_warn_limit;
-std::map<std::string, WarnEntry> g_warn_entries;
+Mutex g_warn_mutex;
+WarnRateLimit g_warn_limit EYECOD_GUARDED_BY(g_warn_mutex);
+std::map<std::string, WarnEntry> g_warn_entries
+    EYECOD_GUARDED_BY(g_warn_mutex);
 
 /**
  * Record one occurrence of @p key; returns the number of messages
@@ -38,7 +40,7 @@ std::map<std::string, WarnEntry> g_warn_entries;
 long
 warnAdmit(const char *key)
 {
-    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    MutexLock lock(g_warn_mutex);
     WarnEntry &e = g_warn_entries[key];
     ++e.occurrences;
     const bool in_head = g_warn_limit.first_n < 0 ||
@@ -118,7 +120,7 @@ warn(const char *fmt, ...)
 void
 setWarnRateLimit(const WarnRateLimit &limit)
 {
-    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    MutexLock lock(g_warn_mutex);
     g_warn_limit = limit;
 }
 
@@ -134,7 +136,7 @@ warnLimited(const char *key, const char *fmt, ...)
 long
 warnOccurrences(const char *key)
 {
-    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    MutexLock lock(g_warn_mutex);
     const auto it = g_warn_entries.find(key);
     return it == g_warn_entries.end() ? 0 : it->second.occurrences;
 }
@@ -142,7 +144,7 @@ warnOccurrences(const char *key)
 long
 warnSuppressed(const char *key)
 {
-    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    MutexLock lock(g_warn_mutex);
     const auto it = g_warn_entries.find(key);
     return it == g_warn_entries.end() ? 0 : it->second.suppressed;
 }
@@ -150,7 +152,7 @@ warnSuppressed(const char *key)
 std::vector<WarnKeyCount>
 warnCounters()
 {
-    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    MutexLock lock(g_warn_mutex);
     std::vector<WarnKeyCount> out;
     out.reserve(g_warn_entries.size());
     // std::map iteration is key-ordered, so the snapshot order is
@@ -163,7 +165,7 @@ warnCounters()
 void
 resetWarnRateLimiter()
 {
-    std::lock_guard<std::mutex> lock(g_warn_mutex);
+    MutexLock lock(g_warn_mutex);
     g_warn_entries.clear();
 }
 

@@ -145,7 +145,9 @@ class StreamingHistogram
     double lo_ = 1.0;
     double hi_ = 10.0;
     int per_decade_ = 32;
+    // detlint:allow(R12) derived from lo_ in the ctor; restore validates geometry.
     double log_lo_ = 0.0;
+    // detlint:allow(R12) derived from per_decade_ in the ctor; geometry-checked.
     double inv_log_step_ = 1.0; ///< Buckets per unit log10.
     std::vector<uint64_t> buckets_;
     uint64_t n_ = 0;

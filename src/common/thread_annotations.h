@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Thread-safety annotations and capability-annotated mutex wrappers.
+ *
+ * The EYECOD_* macros expand to Clang's thread-safety-analysis
+ * attributes when the compiler supports them (clang with
+ * -Wthread-safety; enable via -DEYECOD_THREAD_SAFETY=ON) and to
+ * nothing elsewhere, so annotated code builds identically under GCC.
+ * The same annotations are consumed by detlint's R10 lock-discipline
+ * rule, which gives a compiler-independent (if shallower) version of
+ * the check on every build.
+ *
+ * libstdc++'s std::mutex / std::lock_guard are not capability-
+ * annotated, so Clang's analysis cannot see through them. Mutex,
+ * MutexLock, and UniqueMutexLock below are zero-cost wrappers over
+ * the std types that carry the attributes; condition variables keep
+ * working through UniqueMutexLock::native(). Guarded members are
+ * declared as
+ *
+ *     Mutex mutex_;
+ *     long depth_ EYECOD_GUARDED_BY(mutex_);
+ *
+ * and every access must sit inside a MutexLock / UniqueMutexLock
+ * scope naming that mutex (or a method annotated
+ * EYECOD_REQUIRES(mutex_)).
+ */
+
+#ifndef EYECOD_COMMON_THREAD_ANNOTATIONS_H
+#define EYECOD_COMMON_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define EYECOD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef EYECOD_THREAD_ANNOTATION
+#define EYECOD_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define EYECOD_CAPABILITY(name) EYECOD_THREAD_ANNOTATION(capability(name))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define EYECOD_SCOPED_CAPABILITY EYECOD_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while @p mu is held. */
+#define EYECOD_GUARDED_BY(mu) EYECOD_THREAD_ANNOTATION(guarded_by(mu))
+
+/** Pointee guarded by @p mu (the pointer itself is free). */
+#define EYECOD_PT_GUARDED_BY(mu) EYECOD_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/** Function that must be called with the capability held. */
+#define EYECOD_REQUIRES(...) \
+    EYECOD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the capability (and does not release it). */
+#define EYECOD_ACQUIRE(...) \
+    EYECOD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases a held capability. */
+#define EYECOD_RELEASE(...) \
+    EYECOD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability when it returns @p ret. */
+#define EYECOD_TRY_ACQUIRE(...) \
+    EYECOD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be called with the capability held. */
+#define EYECOD_EXCLUDES(...) \
+    EYECOD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Escape hatch: skip analysis for one function (or lambda). */
+#define EYECOD_NO_THREAD_SAFETY_ANALYSIS \
+    EYECOD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace eyecod {
+
+/**
+ * std::mutex with the capability attribute. Drop-in for the guarded
+ * classes in this repo; native() exposes the underlying std::mutex
+ * for APIs (condition variables) that need the real type.
+ */
+class EYECOD_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() EYECOD_ACQUIRE() { mu_.lock(); }
+    void unlock() EYECOD_RELEASE() { mu_.unlock(); }
+    bool try_lock() EYECOD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /** The wrapped std::mutex (condition_variable interop). */
+    std::mutex &native() { return mu_; }
+
+  private:
+    std::mutex mu_;
+};
+
+/** std::lock_guard over Mutex, annotated as a scoped capability. */
+class EYECOD_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) EYECOD_ACQUIRE(mu) : lock_(mu.native())
+    {
+    }
+    ~MutexLock() EYECOD_RELEASE() = default;
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    std::lock_guard<std::mutex> lock_;
+};
+
+/**
+ * std::unique_lock over Mutex, annotated as a scoped capability that
+ * may be dropped and re-taken mid-scope. native() hands the
+ * underlying unique_lock to std::condition_variable::wait.
+ */
+class EYECOD_SCOPED_CAPABILITY UniqueMutexLock
+{
+  public:
+    explicit UniqueMutexLock(Mutex &mu) EYECOD_ACQUIRE(mu)
+        : lock_(mu.native())
+    {
+    }
+    ~UniqueMutexLock() EYECOD_RELEASE() = default;
+
+    UniqueMutexLock(const UniqueMutexLock &) = delete;
+    UniqueMutexLock &operator=(const UniqueMutexLock &) = delete;
+
+    void lock() EYECOD_ACQUIRE() { lock_.lock(); }
+    void unlock() EYECOD_RELEASE() { lock_.unlock(); }
+
+    /** The wrapped unique_lock (condition_variable interop). The
+     *  capability state is unchanged by the call itself; wait()
+     *  releases and re-acquires, which nets out held-on-return. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace eyecod
+
+#endif // EYECOD_COMMON_THREAD_ANNOTATIONS_H

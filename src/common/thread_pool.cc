@@ -27,15 +27,18 @@ ThreadPool::shutdown(bool drain)
 {
     std::vector<std::thread> workers;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        UniqueMutexLock lock(mutex_);
         if (shutdown_)
             return;
         if (!drain)
             quit_.store(true, std::memory_order_relaxed);
         else
             // Let the in-flight parallelFor (if any) fully retire
-            // before the workers go away.
-            done_.wait(lock, [&] { return job_ == nullptr; });
+            // before the workers go away. The predicate runs with
+            // mutex_ held by wait() itself.
+            done_.wait(lock.native(), [&]() EYECOD_NO_THREAD_SAFETY_ANALYSIS {
+                return job_ == nullptr;
+            });
         stop_ = true;
         shutdown_ = true;
         // Swapping the vector out makes threadCount() report 1 and
@@ -50,7 +53,7 @@ ThreadPool::shutdown(bool drain)
 bool
 ThreadPool::isShutdown() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return shutdown_;
 }
 
@@ -74,11 +77,11 @@ ThreadPool::runChunks(Job &job, bool is_worker)
             in_pool_body_ = false;
         } catch (...) {
             in_pool_body_ = false;
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (!job.error)
                 job.error = std::current_exception();
         }
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (++job.chunks_done == job.num_chunks)
             done_.notify_all();
     }
@@ -88,9 +91,10 @@ void
 ThreadPool::workerLoop()
 {
     uint64_t seen_generation = 0;
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueMutexLock lock(mutex_);
     for (;;) {
-        wake_.wait(lock, [&] {
+        // The predicate runs with mutex_ held by wait() itself.
+        wake_.wait(lock.native(), [&]() EYECOD_NO_THREAD_SAFETY_ANALYSIS {
             return stop_ || (job_ && generation_ != seen_generation);
         });
         if (stop_)
@@ -131,7 +135,7 @@ ThreadPool::parallelFor(long n, long grain,
     job.grain = grain;
     job.num_chunks = num_chunks;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         job_ = &job;
         ++generation_;
         job.active = 1; // the calling thread
@@ -142,11 +146,11 @@ ThreadPool::parallelFor(long n, long grain,
 
     std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        UniqueMutexLock lock(mutex_);
         --job.active;
         // The job is stack-allocated: wait until every worker that
         // entered it has left before letting it go out of scope.
-        done_.wait(lock, [&] {
+        done_.wait(lock.native(), [&] {
             return job.active == 0 && job.chunks_done == job.num_chunks;
         });
         job_ = nullptr;

@@ -18,9 +18,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace eyecod {
 
@@ -103,13 +104,17 @@ class ThreadPool
     void runChunks(Job &job, bool is_worker);
 
     std::vector<std::thread> workers_;
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    Job *job_ = nullptr;         ///< Current job, guarded by mutex_.
-    uint64_t generation_ = 0;    ///< Bumped per job, guarded by mutex_.
-    bool stop_ = false;          ///< Workers exit (mutex_).
-    bool shutdown_ = false;      ///< shutdown() completed (mutex_).
+    /** Current job. */
+    Job *job_ EYECOD_GUARDED_BY(mutex_) = nullptr;
+    /** Bumped per job so workers spot fresh work. */
+    uint64_t generation_ EYECOD_GUARDED_BY(mutex_) = 0;
+    /** Workers exit. */
+    bool stop_ EYECOD_GUARDED_BY(mutex_) = false;
+    /** shutdown() completed. */
+    bool shutdown_ EYECOD_GUARDED_BY(mutex_) = false;
     /** Non-drain shutdown: workers stop claiming new chunks. */
     std::atomic<bool> quit_{false};
     static thread_local bool in_pool_body_;

@@ -179,6 +179,7 @@ EyeCoDSystem::restoreSnapshot(snap::SnapshotReader &r)
     accel_health_.last_error = ErrorCode(last_error.value());
     // Warn counters are process-global: re-baseline at restore so the
     // restored system's report starts clean, exactly like a fresh run.
+    // detlint:allow(R12) re-derived at restore, never decoded from the stream.
     warn_baseline_ = warnCounters();
     return Status::ok();
 }

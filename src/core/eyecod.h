@@ -287,6 +287,7 @@ class EyeCoDSystem
     }
 
   private:
+    // detlint:allow(R12) construction-time config; snapshots carry dynamic state.
     SystemConfig cfg_;
     std::unique_ptr<eyetrack::PredictThenFocusPipeline> pipe_;
     AccelHealth accel_health_;

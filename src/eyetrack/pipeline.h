@@ -270,12 +270,18 @@ class PredictThenFocusPipeline
     /** Centered roi_height x roi_width crop of the scene extent. */
     Rect centeredCrop() const;
 
+    // detlint:allow(R12) construction-time config; snapshots carry dynamic state.
     PipelineConfig cfg_;
+    // detlint:allow(R12) stateless stage, rebuilt from cfg_ at construction.
     ClassicalSegmenter segmenter_;
+    // detlint:allow(R12) stage state travels via the ROI fields below.
     RoiPredictor roi_;
+    // detlint:allow(R12) model fitted at construction from cfg_.
     RidgeGazeEstimator gaze_;
     std::unique_ptr<flatcam::FlatCamSensor> sensor_;
+    // detlint:allow(R12) rebuilt from calibration at construction.
     std::unique_ptr<flatcam::FlatCamReconstructor> recon_;
+    // detlint:allow(R12) fault schedule is config, replayed deterministically.
     std::unique_ptr<flatcam::FaultInjector> injector_;
 
     // Per-sequence ROI refresh state.
@@ -300,9 +306,13 @@ class PredictThenFocusPipeline
     // Frame spine: pooled per-frame scratch. The arena is epoch-reset
     // at the top of every frame; the member images reuse capacity, so
     // steady-state frames never touch the heap.
+    // detlint:allow(R12) pooled scratch, epoch-reset at the top of every frame.
     BufferArena arena_;
+    // detlint:allow(R12) per-frame scratch, repainted before first use.
     Image view_;       ///< Acquired (reconstructed) frame scratch.
+    // detlint:allow(R12) per-frame scratch, repainted before first use.
     Image meas_;       ///< FlatCam measurement scratch.
+    // detlint:allow(R12) last-frame output slot, overwritten next frame.
     FrameResult result_; ///< processFrameRef() result slot.
 };
 

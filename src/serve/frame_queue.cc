@@ -32,7 +32,7 @@ BoundedFrameQueue::BoundedFrameQueue(size_t capacity)
 std::optional<DropRecord>
 BoundedFrameQueue::push(const FrameTicket &ticket, long long now_us)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++pushed_;
     std::optional<DropRecord> shed;
     if (count_ >= capacity_) {
@@ -55,7 +55,7 @@ BoundedFrameQueue::push(const FrameTicket &ticket, long long now_us)
 std::optional<long long>
 BoundedFrameQueue::frontArrival() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (count_ == 0)
         return std::nullopt;
     return ring_[head_].arrival_us;
@@ -64,7 +64,7 @@ BoundedFrameQueue::frontArrival() const
 bool
 BoundedFrameQueue::pop(FrameTicket *out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (count_ == 0)
         return false;
     *out = ring_[head_];
@@ -76,7 +76,7 @@ BoundedFrameQueue::pop(FrameTicket *out)
 size_t
 BoundedFrameQueue::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const size_t n = count_;
     count_ = 0;
     dropped_ += n;
@@ -86,28 +86,28 @@ BoundedFrameQueue::clear()
 size_t
 BoundedFrameQueue::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return count_;
 }
 
 uint64_t
 BoundedFrameQueue::totalPushed() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return pushed_;
 }
 
 uint64_t
 BoundedFrameQueue::totalDropped() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return dropped_;
 }
 
 size_t
 BoundedFrameQueue::maxDepth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return max_depth_;
 }
 
@@ -189,7 +189,7 @@ readDropRecord(snap::SnapshotReader &r)
 void
 BoundedFrameQueue::saveSnapshot(snap::SnapshotWriter &w) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     w.tag(kFrameQueueTag);
     w.u64(capacity_);
     w.u64(count_);
@@ -203,7 +203,7 @@ BoundedFrameQueue::saveSnapshot(snap::SnapshotWriter &w) const
 Status
 BoundedFrameQueue::restoreSnapshot(snap::SnapshotReader &r)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Status fence = r.expectTag(kFrameQueueTag);
     if (!fence.isOk())
         return fence;

@@ -28,11 +28,11 @@
 #define EYECOD_SERVE_FRAME_QUEUE_H
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/snapshot.h"
+#include "common/thread_annotations.h"
 #include "dataset/synthetic_eye.h"
 
 namespace eyecod {
@@ -139,16 +139,19 @@ class BoundedFrameQueue
     [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
 
   private:
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     /** Fixed ring: ring_[(head_ + i) % capacity_] is the i-th oldest
      *  queued ticket. Preallocated; slots recycle in place. */
-    std::vector<FrameTicket> ring_;
-    size_t head_ = 0;  ///< Index of the oldest queued ticket.
-    size_t count_ = 0; ///< Queued tickets.
+    std::vector<FrameTicket> ring_ EYECOD_GUARDED_BY(mutex_);
+    /** Index of the oldest queued ticket. */
+    size_t head_ EYECOD_GUARDED_BY(mutex_) = 0;
+    /** Queued tickets. */
+    size_t count_ EYECOD_GUARDED_BY(mutex_) = 0;
+    /** Immutable after construction; read lock-free. */
     size_t capacity_;
-    uint64_t pushed_ = 0;
-    uint64_t dropped_ = 0;
-    size_t max_depth_ = 0;
+    uint64_t pushed_ EYECOD_GUARDED_BY(mutex_) = 0;
+    uint64_t dropped_ EYECOD_GUARDED_BY(mutex_) = 0;
+    size_t max_depth_ EYECOD_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace serve

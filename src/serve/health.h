@@ -144,6 +144,7 @@ class FleetHealthController
     [[nodiscard]] Status restoreSnapshot(snap::SnapshotReader &r);
 
   private:
+    // detlint:allow(R12) construction-time config; snapshots carry ladder state.
     HealthControllerConfig cfg_;
     int tier_ = 0;
     int above_ticks_ = 0; ///< Consecutive ticks above next engage.

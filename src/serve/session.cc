@@ -216,6 +216,7 @@ Session::restoreSnapshot(snap::SnapshotReader &r)
     s = metrics_.latency_hist.restoreSnapshot(r);
     if (!s.isOk())
         return s;
+    // detlint:allow(R12) drop_log_cap_ is the validation bound, not decoded state.
     auto drops = r.count(uint64_t(drop_log_cap_));
     if (!drops.ok())
         return drops.status();

@@ -180,11 +180,14 @@ class Session
     std::vector<dataset::GazeVec> gaze_log_;
     /** Persistent render target: renderInto() reuses its storage, so
      *  steady-state serving allocates nothing for the scene. */
+    // detlint:allow(R12) persistent render target, repainted every frame.
     dataset::EyeSample sample_;
     /** Tier-2 scratch: half-resolution + restored scenes. Both reuse
      *  their storage, so degraded steady frames stay zero-alloc after
      *  the first downgrade transition. */
+    // detlint:allow(R12) tier-2 scratch, repainted before first use.
     Image lowres_;
+    // detlint:allow(R12) tier-2 scratch, repainted before first use.
     Image restored_;
     /** Previous frame's resolution mode, to classify downgrade /
      *  recover transition frames out of the steady-alloc bucket. */

@@ -284,6 +284,7 @@ class VirtualAccelPool
     const ServiceModel *degradedModel(int retired);
 
     ServiceModel model_;
+    // detlint:allow(R12) construction-time config, not snapshot state.
     double batch_fraction_;
     std::vector<ChipState> state_;
     double total_busy_us_ = 0.0;
@@ -291,10 +292,14 @@ class VirtualAccelPool
     std::vector<ChipFaultEvent> schedule_;
     size_t next_event_ = 0;
 
+    // detlint:allow(R12) re-established by provisionHardware() on rebuild.
     bool have_hardware_ = false;
+    // detlint:allow(R12) re-established by provisionHardware() on rebuild.
     accel::PipelineWorkloadConfig workload_;
+    // detlint:allow(R12) re-established by provisionHardware() on rebuild.
     accel::HwConfig hw_;
     /** retired-lane count -> re-derived model (ordered: replayable). */
+    // detlint:allow(R12) memo cache, re-derived on demand after restore.
     std::map<int, ServiceModel> degraded_models_;
 };
 

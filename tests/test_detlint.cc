@@ -2,9 +2,12 @@
  * @file
  * detlint rule-engine tests.
  *
- * Each rule R1-R9 gets a failing fixture (every seeded violation must
+ * Each rule gets a failing fixture (every seeded violation must
  * be caught, at its exact line) and a passing fixture (idiomatic
  * deterministic code plus near-miss identifiers must stay silent).
+ * R1-R9 are per-line token rules; R10-R12 run over the phase-2
+ * declaration index (see index.h / symbol_rules.h) and are additionally
+ * exercised across files via analyzeSources().
  * Scoping is exercised by re-analyzing the same fixture under a
  * different pretend path: what is a violation in src/serve/ is legal
  * in bench/. Fixtures live in tools/detlint/fixtures/ and are also
@@ -330,6 +333,140 @@ TEST(DetlintOptions, RuleFilterRestrictsAnalysis)
         runOn("r1_fail.cc", "src/nn/r1_fail.cc", only_r1).size(), 3u);
 }
 
+TEST(DetlintR10, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r10_fail.cc", "src/serve/r10_fail.cc"));
+    // Line 16: read with no lock held; line 22: write before the lock
+    // is taken ("lock taken too late").
+    const RL want = {{Rule::R10LockDiscipline, 16},
+                     {Rule::R10LockDiscipline, 22}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR10, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(runOn("r10_pass.cc", "src/serve/r10_pass.cc").empty());
+}
+
+TEST(DetlintR10, AnnotationDrivenNotDirScoped)
+{
+    // R10 follows EYECOD_GUARDED_BY annotations, not directories: the
+    // same defects are caught under any pretend path.
+    const auto got =
+        ruleLines(runOn("r10_fail.cc", "tools/dse/r10_fail.cc"));
+    const RL want = {{Rule::R10LockDiscipline, 16},
+                     {Rule::R10LockDiscipline, 22}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR10, AllowCommentSuppresses)
+{
+    const std::string src =
+        "struct S\n"
+        "{\n"
+        "    Mutex mu_;\n"
+        "    long v_ EYECOD_GUARDED_BY(mu_) = 0;\n"
+        "    // detlint:allow(R10) callers serialize startup externally\n"
+        "    long peek() const { return v_; }\n"
+        "};\n";
+    EXPECT_TRUE(analyzeSource("src/serve/s.h", src).empty());
+}
+
+TEST(DetlintR11, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r11_fail.cc", "src/eyetrack/r11_fail.cc"));
+    // Line 3: static view; line 5: reference-returning accessor;
+    // line 12: member assigned an arena allocation; line 15:
+    // view-typed member.
+    const RL want = {{Rule::R11ViewEscape, 3},
+                     {Rule::R11ViewEscape, 5},
+                     {Rule::R11ViewEscape, 12},
+                     {Rule::R11ViewEscape, 15}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR11, PassingFixtureIsSilent)
+{
+    EXPECT_TRUE(
+        runOn("r11_pass.cc", "src/eyetrack/r11_pass.cc").empty());
+}
+
+TEST(DetlintR11, OnlyFrameSpineDirectoriesAreScoped)
+{
+    // View lifetimes are an arena-epoch concern; code outside the
+    // frame spine does not hold arena views.
+    EXPECT_TRUE(runOn("r11_fail.cc", "src/common/r11_fail.cc").empty());
+    EXPECT_TRUE(runOn("r11_fail.cc", "tests/r11_fail.cc").empty());
+}
+
+TEST(DetlintR11, AllowCommentSuppresses)
+{
+    const std::string src =
+        "struct T\n"
+        "{\n"
+        "    // detlint:allow(R11) rebound every frame by bindViews()\n"
+        "    ImageView staging_;\n"
+        "};\n";
+    EXPECT_TRUE(analyzeSource("src/eyetrack/t.h", src).empty());
+}
+
+TEST(DetlintR12, FailingFixtureCaughtAtExactLines)
+{
+    const auto got =
+        ruleLines(runOn("r12_fail.cc", "src/serve/r12_fail.cc"));
+    // Line 10: evictions_ saved but never restored; line 18: floor_
+    // restored but never saved; line 26: peak_depth_ covered by
+    // neither side.
+    const RL want = {{Rule::R12SnapshotCoverage, 10},
+                     {Rule::R12SnapshotCoverage, 18},
+                     {Rule::R12SnapshotCoverage, 26}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(DetlintR12, PassingFixtureIsSilent)
+{
+    // Symmetric codec, an allow-suppressed scratch field, a
+    // writer-only class (unchecked), and an accessor-only free codec
+    // pair (nothing to cross-check).
+    EXPECT_TRUE(runOn("r12_pass.cc", "src/serve/r12_pass.cc").empty());
+}
+
+TEST(DetlintR12, CrossFileCodecBodiesAreIndexed)
+{
+    // The class lives in a header; its codec bodies live out-of-line
+    // in a .cc. Only a repo-wide index can pair them.
+    const std::string header =
+        "struct Meter\n"
+        "{\n"
+        "    void saveSnapshot(SnapshotWriter &w) const;\n"
+        "    Status restoreSnapshot(SnapshotReader &r);\n"
+        "    long ticks_ = 0;\n"
+        "    long skew_ = 0;\n"
+        "};\n";
+    const std::string impl =
+        "void\n"
+        "Meter::saveSnapshot(SnapshotWriter &w) const\n"
+        "{\n"
+        "    w.i64(ticks_);\n"
+        "    w.i64(skew_);\n"
+        "}\n"
+        "\n"
+        "Status\n"
+        "Meter::restoreSnapshot(SnapshotReader &r)\n"
+        "{\n"
+        "    ticks_ = r.i64();\n"
+        "    return Status::ok();\n"
+        "}\n";
+    const auto findings = analyzeSources(
+        {{"src/serve/meter.h", header}, {"src/serve/meter.cc", impl}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::R12SnapshotCoverage);
+    EXPECT_EQ(findings[0].file, "src/serve/meter.cc");
+    EXPECT_EQ(findings[0].line, 5); // w.i64(skew_): never restored
+}
+
 TEST(DetlintTree, FixtureDirectoryReproducesFindings)
 {
     // Tree scan rooted at the fixture dir: rules that scope to all
@@ -376,6 +513,8 @@ TEST(DetlintOutput, RuleIdsAndNamesRoundTrip)
                    Rule::R5WarnInLoop, Rule::R6FloatReduction,
                    Rule::R7ImageCopy, Rule::R8UnboundedPushBack,
                    Rule::R9RawMemcpySerialize,
+                   Rule::R10LockDiscipline, Rule::R11ViewEscape,
+                   Rule::R12SnapshotCoverage,
                    Rule::H1HeaderSelfContained}) {
         Rule parsed;
         ASSERT_TRUE(parseRule(ruleId(r), &parsed));

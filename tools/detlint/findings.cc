@@ -6,56 +6,74 @@
 namespace eyecod {
 namespace detlint {
 
+const std::vector<RuleInfo> &
+allRules()
+{
+    static const std::vector<RuleInfo> kTable = {
+        {Rule::R1UnseededRng, "R1", "unseeded-rng",
+         "randomness outside the seeded eyecod::Rng"},
+        {Rule::R2WallClock, "R2", "wall-clock",
+         "wall-clock time in virtual-time directories"},
+        {Rule::R3UnorderedIter, "R3", "unordered-iteration",
+         "iteration over hash-ordered containers"},
+        {Rule::R4HotPathThrow, "R4", "hot-path-throw-or-discard",
+         "throw / discarded checked result on a hot path"},
+        {Rule::R5WarnInLoop, "R5", "warn-in-loop",
+         "unbounded warn() inside a loop body"},
+        {Rule::R6FloatReduction, "R6", "float-reduction-order",
+         "reduction primitives with unspecified order"},
+        {Rule::R7ImageCopy, "R7", "image-copy",
+         "by-value Image traffic on the frame spine"},
+        {Rule::R8UnboundedPushBack, "R8", "unbounded-push-back",
+         "member container growth on serve hot paths"},
+        {Rule::R9RawMemcpySerialize, "R9", "raw-memcpy-serialize",
+         "raw-memory (de)serialization in snapshot code"},
+        {Rule::R10LockDiscipline, "R10", "lock-discipline",
+         "EYECOD_GUARDED_BY member accessed without its mutex"},
+        {Rule::R11ViewEscape, "R11", "view-escape",
+         "arena view stored where it outlives its epoch"},
+        {Rule::R12SnapshotCoverage, "R12", "snapshot-coverage",
+         "snapshot writer/reader field sets drift"},
+        {Rule::H1HeaderSelfContained, "H1", "header-self-contained",
+         "header fails to compile standalone"},
+    };
+    return kTable;
+}
+
+namespace {
+
+/** Table row for @p rule; falls back to the first row (never hit —
+ *  ruleId()'s switch-free lookup is exercised for every enum value by
+ *  the round-trip test). */
+const RuleInfo &
+infoOf(Rule rule)
+{
+    for (const RuleInfo &info : allRules())
+        if (info.rule == rule)
+            return info;
+    return allRules().front();
+}
+
+} // namespace
+
 const char *
 ruleId(Rule rule)
 {
-    switch (rule) {
-    case Rule::R1UnseededRng: return "R1";
-    case Rule::R2WallClock: return "R2";
-    case Rule::R3UnorderedIter: return "R3";
-    case Rule::R4HotPathThrow: return "R4";
-    case Rule::R5WarnInLoop: return "R5";
-    case Rule::R6FloatReduction: return "R6";
-    case Rule::R7ImageCopy: return "R7";
-    case Rule::R8UnboundedPushBack: return "R8";
-    case Rule::R9RawMemcpySerialize: return "R9";
-    case Rule::H1HeaderSelfContained: return "H1";
-    }
-    return "R?";
+    return infoOf(rule).id;
 }
 
 const char *
 ruleName(Rule rule)
 {
-    switch (rule) {
-    case Rule::R1UnseededRng: return "unseeded-rng";
-    case Rule::R2WallClock: return "wall-clock";
-    case Rule::R3UnorderedIter: return "unordered-iteration";
-    case Rule::R4HotPathThrow: return "hot-path-throw-or-discard";
-    case Rule::R5WarnInLoop: return "warn-in-loop";
-    case Rule::R6FloatReduction: return "float-reduction-order";
-    case Rule::R7ImageCopy: return "image-copy";
-    case Rule::R8UnboundedPushBack: return "unbounded-push-back";
-    case Rule::R9RawMemcpySerialize: return "raw-memcpy-serialize";
-    case Rule::H1HeaderSelfContained: return "header-self-contained";
-    }
-    return "unknown";
+    return infoOf(rule).name;
 }
 
 bool
 parseRule(const std::string &text, Rule *out)
 {
-    static const Rule kAll[] = {
-        Rule::R1UnseededRng,   Rule::R2WallClock,
-        Rule::R3UnorderedIter, Rule::R4HotPathThrow,
-        Rule::R5WarnInLoop,    Rule::R6FloatReduction,
-        Rule::R7ImageCopy,     Rule::R8UnboundedPushBack,
-        Rule::R9RawMemcpySerialize,
-        Rule::H1HeaderSelfContained,
-    };
-    for (Rule r : kAll) {
-        if (text == ruleId(r) || text == ruleName(r)) {
-            *out = r;
+    for (const RuleInfo &info : allRules()) {
+        if (text == info.id || text == info.name) {
+            *out = info.rule;
             return true;
         }
     }

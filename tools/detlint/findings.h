@@ -31,8 +31,28 @@ enum class Rule {
     R8UnboundedPushBack, ///< push_back into members on serve hot paths.
     R9RawMemcpySerialize, ///< memcpy/reinterpret_cast (de)serialization
                           ///  in snapshot/codec code.
+    R10LockDiscipline,  ///< EYECOD_GUARDED_BY member touched lock-free.
+    R11ViewEscape,      ///< Arena view stored past its epoch.
+    R12SnapshotCoverage, ///< Writer/reader field sets drift.
     H1HeaderSelfContained, ///< Header fails standalone compile.
 };
+
+/**
+ * One row of the rule table: the single source of truth every rule
+ * listing (parseRule, --list-rules, the default enabled set) derives
+ * from, so adding an enum value without a row is a compile-time
+ * error in ruleId()'s switch and the listings can never drift again.
+ */
+struct RuleInfo
+{
+    Rule rule;
+    const char *id;      ///< Short id ("R1"), suppression comments.
+    const char *name;    ///< Long kebab-case name ("unseeded-rng").
+    const char *summary; ///< One-line description for --list-rules.
+};
+
+/** Every rule, in id order. */
+const std::vector<RuleInfo> &allRules();
 
 /** Short id ("R1") used in suppression comments and output. */
 const char *ruleId(Rule rule);

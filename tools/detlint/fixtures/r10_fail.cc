@@ -1,0 +1,29 @@
+// R10 fixture: EYECOD_GUARDED_BY members accessed outside lock scopes.
+// Annotations here are tokens only; fixtures are never compiled.
+
+struct StatsHub
+{
+    void
+    bump()
+    {
+        MutexLock lock(mutex_);
+        ++count_; // held: fine
+    }
+
+    long
+    peek() const
+    {
+        return count_; // FLAG: no lock at all
+    }
+
+    void
+    reset()
+    {
+        count_ = 0; // FLAG: lock taken too late
+        MutexLock lock(mutex_);
+        count_ = 0; // held: fine
+    }
+
+    mutable Mutex mutex_;
+    long count_ EYECOD_GUARDED_BY(mutex_) = 0;
+};

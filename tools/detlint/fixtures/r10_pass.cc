@@ -1,0 +1,51 @@
+// R10 fixture (pass): disciplined lock usage plus near-misses.
+
+struct StatsHub
+{
+    StatsHub() { count_ = 0; } // ctor exempt: no concurrent callers yet
+
+    void
+    bump()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        count_ += 1;
+        helper(); // unguarded call: fine
+    }
+
+    void
+    bumpLocked() EYECOD_REQUIRES(mutex_)
+    {
+        ++count_; // caller holds mutex_
+    }
+
+    void
+    waitUnderLock()
+    {
+        UniqueMutexLock lock(mutex_);
+        auto pred = [&] { return count_ > 0; }; // lambda inherits the hold
+        (void)pred;
+    }
+
+    long
+    readFrom(const StatsHub &other) const
+    {
+        MutexLock lock(mutex_);
+        return count_ + other.free_count; // other object's member: not ours
+    }
+
+    void
+    touchUnguarded()
+    {
+        free_count = 5; // unannotated member: free access
+    }
+
+    long free_count = 0;
+    mutable Mutex mutex_;
+    long count_ EYECOD_GUARDED_BY(mutex_) = 0;
+};
+
+struct OtherHub
+{
+    long count_ = 0; // same name, unguarded in this class
+    void set() { count_ = 1; }
+};

@@ -1,0 +1,17 @@
+// R11 fixture: arena views escaping their epoch.
+
+static ImageView g_last_view; // FLAG: static view pins an arena buffer
+
+ImageView &lastView(); // FLAG: reference-returning view accessor
+
+struct Tracker
+{
+    void
+    refresh(BufferArena &arena)
+    {
+        roi_view_ = arena.allocImage(64, 64); // FLAG: member store
+    }
+
+    ImageConstView snap_; // FLAG: view-typed member
+    Image owned_;
+};

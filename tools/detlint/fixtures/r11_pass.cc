@@ -1,0 +1,17 @@
+// R11 fixture (pass): views used frame-locally.
+
+ImageView viewOf(Image &img); // by-value return: fine
+
+struct Pipeline
+{
+    void
+    process(BufferArena &arena)
+    {
+        ImageView scratch = arena.allocImage(32, 32); // local: fine
+        last_ = ownedCopy(scratch); // member stores an owning Image
+    }
+
+    static ImageConstView of(const Image &img); // factory fn, not a var
+
+    Image last_; // owning member: fine
+};

@@ -1,0 +1,27 @@
+// R12 fixture: snapshot writer/reader field drift.
+
+struct Counters
+{
+    void
+    saveSnapshot(SnapshotWriter &w) const
+    {
+        w.u64(hits_);
+        w.u64(misses_);
+        w.u64(evictions_); // FLAG: never restored
+    }
+
+    Status
+    restoreSnapshot(SnapshotReader &r)
+    {
+        hits_ = r.u64();
+        misses_ = r.u64();
+        floor_ = r.u64(); // FLAG: never saved
+        return Status::ok();
+    }
+
+    unsigned long hits_ = 0;
+    unsigned long misses_ = 0;
+    unsigned long evictions_ = 0;
+    unsigned long floor_ = 0;
+    unsigned long peak_depth_ = 0; // FLAG: covered by neither side
+};

@@ -1,0 +1,58 @@
+// R12 fixture (pass): symmetric codecs, suppression, and near-misses.
+
+struct Gauge
+{
+    void
+    saveSnapshot(SnapshotWriter &w) const
+    {
+        w.u64(total_);
+        w.f64(rate_);
+    }
+
+    Status
+    restoreSnapshot(SnapshotReader &r)
+    {
+        total_ = r.u64();
+        rate_ = r.f64();
+        return Status::ok();
+    }
+
+    unsigned long total_ = 0;
+    double rate_ = 0.0;
+    // detlint:allow(R12) scratch accumulator, rebuilt on the next tick.
+    double scratch_ = 0.0;
+};
+
+struct WriteOnlyLog
+{
+    void
+    saveSnapshot(SnapshotWriter &w) const // no reader: not checked
+    {
+        w.u64(lines_);
+    }
+
+    unsigned long lines_ = 0;
+};
+
+struct Opaque
+{
+    unsigned long value() const;
+    void setValue(unsigned long v);
+    unsigned long raw_ = 0;
+};
+
+// Accessor-only free codec pair: neither side references a field
+// directly, so there is nothing to cross-check.
+void
+writeOpaque(SnapshotWriter &w, const Opaque &x)
+{
+    w.u64(x.value());
+}
+
+Result<Opaque>
+readOpaque(SnapshotReader &r)
+{
+    Opaque x;
+    x.setValue(r.u64());
+    return x;
+}

@@ -6,7 +6,8 @@
  *   detlint [options] [path...]
  *
  * Paths are files or directories, relative to --repo-root (default:
- * the current directory). With no paths, scans src, bench, tests.
+ * the current directory). With no paths, scans src, bench, tests,
+ * examples, and tools/dse.
  *
  * Options:
  *   --repo-root=DIR     Root used for relative paths and rule scoping.
@@ -49,15 +50,9 @@ usage(const char *argv0)
 void
 listRules()
 {
-    static const Rule kAll[] = {
-        Rule::R1UnseededRng,   Rule::R2WallClock,
-        Rule::R3UnorderedIter, Rule::R4HotPathThrow,
-        Rule::R5WarnInLoop,    Rule::R6FloatReduction,
-        Rule::R7ImageCopy,     Rule::R8UnboundedPushBack,
-        Rule::H1HeaderSelfContained,
-    };
-    for (Rule r : kAll)
-        std::cout << ruleId(r) << "  " << ruleName(r) << "\n";
+    for (const RuleInfo &info : allRules())
+        std::cout << info.id << "  " << info.name << "  — "
+                  << info.summary << "\n";
 }
 
 } // namespace
@@ -127,7 +122,8 @@ main(int argc, char **argv)
 
     const bool explicit_roots = !roots.empty();
     if (roots.empty())
-        roots = {"src", "bench", "tests"};
+        roots = {"src",      "bench",    "tests",
+                 "examples", "tools/dse"};
 
     std::vector<Finding> findings;
     std::vector<std::string> scanned;

@@ -5,7 +5,9 @@
 #include <map>
 #include <sstream>
 
+#include "index.h"
 #include "lexer.h"
+#include "symbol_rules.h"
 
 namespace fs = std::filesystem;
 
@@ -92,89 +94,10 @@ isMustCheckCall(const std::string &name)
 }
 
 // ---------------------------------------------------------------------
-// Suppressions.
+// Token helpers over the comment-free stream (isPunct / isIdent /
+// matchParen and the suppression machinery now live in index.h,
+// shared with the phase-2 symbol rules).
 // ---------------------------------------------------------------------
-
-struct Suppressions
-{
-    std::set<Rule> file_wide;
-    /** line -> rules suppressed on that line. */
-    std::map<int, std::set<Rule>> by_line;
-
-    bool
-    suppressed(Rule rule, int line) const
-    {
-        if (file_wide.count(rule))
-            return true;
-        auto it = by_line.find(line);
-        return it != by_line.end() && it->second.count(rule) > 0;
-    }
-};
-
-/** Parse "R1,warn-in-loop" (already inside parens) into rules. */
-void
-parseRuleList(const std::string &list, std::set<Rule> *out)
-{
-    std::stringstream ss(list);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        const size_t a = item.find_first_not_of(" \t");
-        const size_t b = item.find_last_not_of(" \t");
-        if (a == std::string::npos)
-            continue;
-        Rule rule;
-        if (parseRule(item.substr(a, b - a + 1), &rule))
-            out->insert(rule);
-    }
-}
-
-Suppressions
-collectSuppressions(const std::vector<Token> &toks)
-{
-    Suppressions sup;
-    for (const Token &t : toks) {
-        if (t.kind != TokKind::Comment)
-            continue;
-        for (const bool file_wide : {false, true}) {
-            const std::string marker = file_wide ? "detlint:allow-file("
-                                                 : "detlint:allow(";
-            size_t pos = 0;
-            while ((pos = t.text.find(marker, pos)) != std::string::npos) {
-                const size_t open = pos + marker.size();
-                const size_t close = t.text.find(')', open);
-                if (close == std::string::npos)
-                    break;
-                std::set<Rule> rules;
-                parseRuleList(t.text.substr(open, close - open), &rules);
-                if (file_wide) {
-                    sup.file_wide.insert(rules.begin(), rules.end());
-                } else {
-                    sup.by_line[t.line].insert(rules.begin(), rules.end());
-                    sup.by_line[t.line + 1].insert(rules.begin(),
-                                                   rules.end());
-                }
-                pos = close;
-            }
-        }
-    }
-    return sup;
-}
-
-// ---------------------------------------------------------------------
-// Token helpers over the comment-free stream.
-// ---------------------------------------------------------------------
-
-bool
-isPunct(const Token &t, const char *text)
-{
-    return t.kind == TokKind::Punct && t.text == text;
-}
-
-bool
-isIdent(const Token &t, const char *text)
-{
-    return t.kind == TokKind::Identifier && t.text == text;
-}
 
 /** True when toks[i] is a member access (x.name / x->name). */
 bool
@@ -200,20 +123,6 @@ stdOrUnqualified(const std::vector<Token> &toks, size_t i)
     if (q.kind != TokKind::Identifier)
         return true; // ::name after punctuation — global scope
     return q.text == "std" || q.text == "chrono";
-}
-
-/** Index of the matching close paren for the open paren at @p open. */
-size_t
-matchParen(const std::vector<Token> &toks, size_t open)
-{
-    int depth = 0;
-    for (size_t i = open; i < toks.size(); ++i) {
-        if (isPunct(toks[i], "("))
-            ++depth;
-        else if (isPunct(toks[i], ")") && --depth == 0)
-            return i;
-    }
-    return toks.size();
 }
 
 // ---------------------------------------------------------------------
@@ -748,34 +657,59 @@ scanRawMemcpySerialize(const std::vector<Token> &toks,
 } // namespace
 
 std::vector<Finding>
+analyzeSources(
+    const std::vector<std::pair<std::string, std::string>> &sources,
+    const AnalyzeOptions &opts)
+{
+    // Phase 0: lex every file once (both token streams + suppressions).
+    std::vector<SourceFile> files;
+    files.reserve(sources.size());
+    for (const auto &[relpath, content] : sources)
+        files.push_back(makeSourceFile(relpath, content));
+
+    // Phase 1+2 per file: the line-oriented rules over the stream
+    // that retains preprocessor tokens.
+    std::vector<Finding> raw;
+    for (const SourceFile &sf : files) {
+        scanBannedIdentifiers(sf.toks, sf.relpath, opts, &raw);
+        scanUnorderedIteration(sf.toks, sf.relpath, opts, &raw);
+        scanThrowAndDiscard(sf.toks, sf.relpath, opts, &raw);
+        scanWarnInLoop(sf.toks, sf.relpath, opts, &raw);
+        scanImageCopy(sf.toks, sf.relpath, opts, &raw);
+        scanMemberPushBack(sf.toks, sf.relpath, opts, &raw);
+        scanRawMemcpySerialize(sf.toks, sf.relpath, opts, &raw);
+    }
+
+    // Cross-file symbol rules over the declaration index.
+    if (opts.runs(Rule::R10LockDiscipline) ||
+        opts.runs(Rule::R11ViewEscape) ||
+        opts.runs(Rule::R12SnapshotCoverage)) {
+        const DeclIndex ix = buildIndex(files);
+        std::vector<Finding> sym = runSymbolRules(ix, files, opts);
+        raw.insert(raw.end(), std::make_move_iterator(sym.begin()),
+                   std::make_move_iterator(sym.end()));
+    }
+
+    // Suppressions anchor at each finding's own file and line.
+    std::map<std::string, const Suppressions *> sup_of;
+    for (const SourceFile &sf : files)
+        sup_of[sf.relpath] = &sf.sup;
+    std::vector<Finding> kept;
+    for (Finding &f : raw) {
+        auto it = sup_of.find(f.file);
+        if (it == sup_of.end() ||
+            !it->second->suppressed(f.rule, f.line))
+            kept.push_back(std::move(f));
+    }
+    sortFindings(&kept);
+    return kept;
+}
+
+std::vector<Finding>
 analyzeSource(const std::string &relpath, const std::string &content,
               const AnalyzeOptions &opts)
 {
-    const std::vector<Token> all = lex(content);
-    const Suppressions sup = collectSuppressions(all);
-
-    // Rules operate on the comment-free stream.
-    std::vector<Token> toks;
-    toks.reserve(all.size());
-    for (const Token &t : all)
-        if (t.kind != TokKind::Comment)
-            toks.push_back(t);
-
-    std::vector<Finding> raw;
-    scanBannedIdentifiers(toks, relpath, opts, &raw);
-    scanUnorderedIteration(toks, relpath, opts, &raw);
-    scanThrowAndDiscard(toks, relpath, opts, &raw);
-    scanWarnInLoop(toks, relpath, opts, &raw);
-    scanImageCopy(toks, relpath, opts, &raw);
-    scanMemberPushBack(toks, relpath, opts, &raw);
-    scanRawMemcpySerialize(toks, relpath, opts, &raw);
-
-    std::vector<Finding> kept;
-    for (Finding &f : raw)
-        if (!sup.suppressed(f.rule, f.line))
-            kept.push_back(std::move(f));
-    sortFindings(&kept);
-    return kept;
+    return analyzeSources({{relpath, content}}, opts);
 }
 
 std::vector<Finding>
@@ -817,7 +751,11 @@ analyzeTree(const std::string &repo_root,
         }
     }
 
-    std::vector<Finding> findings;
+    // All files feed one analyzeSources() call so the symbol rules
+    // see cross-file declarations (e.g. a class in a header with its
+    // codec bodies in the matching .cc).
+    std::vector<std::pair<std::string, std::string>> sources;
+    sources.reserve(files.size());
     for (const fs::path &file : files) {
         std::error_code ec;
         fs::path rel = fs::relative(file, base, ec);
@@ -829,13 +767,9 @@ analyzeTree(const std::string &repo_root,
         std::ifstream in(file);
         std::stringstream ss;
         ss << in.rdbuf();
-        std::vector<Finding> one = analyzeSource(relpath, ss.str(), opts);
-        findings.insert(findings.end(),
-                        std::make_move_iterator(one.begin()),
-                        std::make_move_iterator(one.end()));
+        sources.emplace_back(relpath, ss.str());
     }
-    sortFindings(&findings);
-    return findings;
+    return analyzeSources(sources, opts);
 }
 
 } // namespace detlint

@@ -26,6 +26,10 @@
  *  R6 float-reduction-order: std::reduce / std::execution::par make
  *     float accumulation order unspecified — banned in src/, where
  *     every kernel is written to a fixed accumulation order.
+ *  R7 image-copy: on the zero-copy frame spine (src/{flatcam,
+ *     eyetrack,nn,serve}) a by-value Image parameter or a
+ *     copy-construction from another Image duplicates a full frame
+ *     per call; frames travel as ImageView / ImageConstView.
  *  R8 unbounded-push-back: push_back / emplace_back into a member
  *     container (receiver named with the trailing-underscore member
  *     convention, a this-> chain, or a member-of-member chain) inside
@@ -41,6 +45,15 @@
  *     (common/snapshot.h) so the format stays portable and a hostile
  *     snapshot can never be reinterpreted as a live struct.
  *
+ * The symbol-aware rules (R10 lock-discipline, R11 view-escape, R12
+ * snapshot-coverage) run in a second phase over a repo-wide
+ * declaration index — see index.h and symbol_rules.h for the model
+ * each enforces.
+ *
+ * The list above is documentation; the authoritative rule table is
+ * allRules() in findings.h, which every listing (parseRule,
+ * --list-rules, the default enabled set) derives from.
+ *
  * Suppression: `// detlint:allow(R1)` (or the long rule name)
  * suppresses that rule on the comment's line and the line below;
  * `// detlint:allow-file(R1,R5)` suppresses for the whole file.
@@ -51,6 +64,7 @@
 
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "findings.h"
@@ -61,7 +75,7 @@ namespace detlint {
 /** Which rules to run (scoping is still applied per file). */
 struct AnalyzeOptions
 {
-    /** Empty means "all of R1..R6". */
+    /** Empty means "every rule in allRules()". */
     std::set<Rule> enabled;
 
     /** True when @p rule should run. */
@@ -82,6 +96,18 @@ struct AnalyzeOptions
 std::vector<Finding> analyzeSource(const std::string &relpath,
                                    const std::string &content,
                                    const AnalyzeOptions &opts = {});
+
+/**
+ * Analyze a set of translation units together: the per-line rules
+ * run on each file, then the symbol rules (R10/R11/R12) run over a
+ * declaration index built from all of them, so a class declared in
+ * one file is checked against method bodies defined in another.
+ * @param sources (repo-relative path, file content) pairs.
+ */
+std::vector<Finding>
+analyzeSources(
+    const std::vector<std::pair<std::string, std::string>> &sources,
+    const AnalyzeOptions &opts = {});
 
 /**
  * Recursively analyze every .h/.hpp/.cc/.cpp under @p roots
